@@ -1,0 +1,56 @@
+"""Shared helpers for printing regenerated tables/figures from the benchmarks.
+
+Every benchmark module reproduces one of the paper's tables or figures and
+prints the resulting rows/series so that running
+
+    pytest benchmarks/ --benchmark-only -s
+
+both measures the cost of the underlying computation and emits the data
+recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def print_header(title: str) -> None:
+    """Print a banner identifying which paper artefact follows."""
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)
+
+
+def print_table(headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Print an ASCII table with aligned columns."""
+    materialised: List[List[str]] = [[_format(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    line = "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers))
+    print(line)
+    print("  ".join("-" * w for w in widths))
+    for row in materialised:
+        print("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+
+
+def _format(cell) -> str:
+    if isinstance(cell, float):
+        if cell != 0 and (abs(cell) < 1e-3 or abs(cell) >= 1e4):
+            return f"{cell:.3e}"
+        return f"{cell:.4f}"
+    return str(cell)
+
+
+def sparkline(values: Sequence[float], width: int = 40) -> str:
+    """Render a coarse one-line bar chart of non-negative values."""
+    if not values:
+        return ""
+    peak = max(values) or 1.0
+    blocks = " .:-=+*#%@"
+    return "".join(
+        blocks[min(int(value / peak * (len(blocks) - 1)), len(blocks) - 1)]
+        for value in list(values)[:width]
+    )

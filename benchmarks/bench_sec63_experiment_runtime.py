@@ -1,0 +1,31 @@
+"""Section 6.3: analytical experimental runtime of a real-chip BEER campaign.
+
+Paper claim: runtime is dominated by the refresh pauses themselves; sweeping
+2-22 minute windows costs ~4.2 hours per chip, and testing parallelises across
+chips of the same model because they share one ECC function.
+"""
+
+from _reporting import print_header, print_table
+
+from repro.analysis import ExperimentRuntimeModel
+
+
+def test_section_6_3_experiment_runtime(benchmark):
+    model = ExperimentRuntimeModel()
+    windows = [60.0 * minutes for minutes in range(2, 23)]
+
+    serial_seconds = benchmark(model.sweep_seconds, windows)
+
+    print_header("Section 6.3 — analytical experiment runtime")
+    rows = [["single chip, serial sweep (2..22 min)", serial_seconds / 3600.0]]
+    for num_chips in (2, 4, 8, 21):
+        parallel = model.parallel_sweep_seconds(windows, num_chips)
+        rows.append([f"parallel across {num_chips} chips", parallel / 3600.0])
+    print_table(["configuration", "wall-clock hours"], rows)
+
+    # Shape checks: ~4.2 hours serial (paper's number), parallelism helps but
+    # is bounded below by the longest single window (22 minutes).
+    assert abs(serial_seconds / 3600.0 - 4.2) < 0.2
+    fully_parallel = model.parallel_sweep_seconds(windows, 21)
+    assert fully_parallel >= 22 * 60.0
+    assert fully_parallel < serial_seconds

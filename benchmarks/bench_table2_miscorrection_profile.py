@@ -1,0 +1,24 @@
+"""Table 2: miscorrection profile of the Equation-1 (7,4) Hamming code.
+
+Paper claim: under 1-CHARGED test patterns, only the pattern charging data
+bit 0 can produce miscorrections (at data bits 1, 2 and 3); the other three
+patterns cannot produce any miscorrection.
+"""
+
+from _reporting import print_header, print_table
+
+from repro.analysis import table2_miscorrection_profile_data
+
+
+def test_table2_miscorrection_profile(benchmark):
+    rows = benchmark(table2_miscorrection_profile_data)
+
+    print_header("Table 2 — miscorrection profile of the (7,4) example code")
+    print_table(
+        ["pattern id (CHARGED bit)", "bit 0", "bit 1", "bit 2", "bit 3"],
+        [[row["pattern_id"], *row["row_cells"]] for row in rows],
+    )
+
+    by_pattern = {row["pattern_id"]: row["possible_miscorrections"] for row in rows}
+    assert by_pattern[0] == [1, 2, 3]
+    assert by_pattern[1] == [] and by_pattern[2] == [] and by_pattern[3] == []

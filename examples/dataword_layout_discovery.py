@@ -1,0 +1,69 @@
+"""Reverse engineering cell encodings and the ECC dataword layout.
+
+Before BEER can craft test patterns it needs two pieces of information that
+DRAM datasheets do not provide (paper Sections 5.1.1 and 5.1.2):
+
+* which cells are true-cells and which are anti-cells, and
+* which byte addresses share an ECC dataword.
+
+This example runs both discovery procedures against a simulated manufacturer-C
+chip (the vendor that mixes true- and anti-cell row blocks) and checks the
+results against the simulator's ground truth.
+
+Run with::
+
+    python examples/dataword_layout_discovery.py
+"""
+
+from collections import Counter
+
+from repro import ChipGeometry, DataRetentionModel
+from repro.core import discover_cell_types, discover_dataword_layout
+from repro.core.layout_re import estimate_dataword_bits
+from repro.dram import CellType, VENDOR_C
+from repro.dram.retention import RetentionCalibration
+
+
+FAST_RETENTION = DataRetentionModel(RetentionCalibration(1.0, 0.02, 60.0, 0.6))
+
+
+def main() -> None:
+    chip = VENDOR_C.make_chip(
+        num_data_bits=16,
+        geometry=ChipGeometry(num_rows=28, words_per_row=8),
+        seed=5,
+        retention_model=FAST_RETENTION,
+    )
+    print("Simulated a manufacturer-C chip (alternating true/anti-cell row blocks).\n")
+
+    # Section 5.1.1: data-0 / data-1 retention tests reveal the cell encoding.
+    cell_types = discover_cell_types(chip, refresh_pause_s=90.0)
+    tally = Counter(value.value for value in cell_types.values())
+    print(f"Discovered cell encodings per row: {dict(tally)}")
+    ground_truth = VENDOR_C.cell_layout()
+    correct = sum(
+        1
+        for row, value in cell_types.items()
+        if value is ground_truth.cell_type_for_row(row)
+    )
+    print(f"Rows classified correctly vs ground truth: {correct}/{len(cell_types)}\n")
+
+    # Section 5.1.2: one-charged-byte tests reveal which bytes share a word.
+    groups = discover_dataword_layout(
+        chip,
+        refresh_pause_s=90.0,
+        cell_types=cell_types,
+        regions_to_test=range(0, 24),
+    )
+    print(f"Byte offsets grouped into ECC words (per region): {groups}")
+    print(f"Estimated ECC dataword length: {estimate_dataword_bits(groups)} bits")
+    print(f"Chip ground truth: {chip.num_data_bits}-bit datawords, "
+          f"{chip.word_layout.words_per_region} words interleaved per "
+          f"{chip.word_layout.region_bytes}-byte region")
+
+    anti_rows = [row for row, value in cell_types.items() if value is CellType.ANTI_CELL]
+    print(f"\nAnti-cell rows discovered: {anti_rows}")
+
+
+if __name__ == "__main__":
+    main()

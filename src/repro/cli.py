@@ -1,0 +1,204 @@
+"""Command-line interface: the reproduction's analogue of the open-source BEER tool.
+
+The paper releases a C++ application that takes an experimentally measured
+miscorrection profile and determines the ECC function(s) that explain it.
+This module provides the same workflow as a console script::
+
+    beer-tool simulate-profile --vendor B --data-bits 8 --output profile.json
+    beer-tool solve --profile profile.json [--backend fast|sat] [--max-solutions N]
+    beer-tool verify --profile profile.json --columns 7,11,19,...
+    beer-tool beep --data-bits 16 --error-positions 2,9 [--passes 2]
+
+Profiles are exchanged as JSON in the format produced by
+:meth:`repro.core.profile.MiscorrectionProfile.to_dict`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.ecc import SystematicLinearCode, random_hamming_code
+from repro.ecc.hamming import min_parity_bits
+from repro.dram import ChipGeometry, DataRetentionModel, all_vendors
+from repro.dram.retention import RetentionCalibration
+from repro.core import (
+    BeerExperiment,
+    BeerSolver,
+    ExperimentConfig,
+    MiscorrectionProfile,
+    SatBeerSolver,
+)
+from repro.core.beep import BeepProfiler, SimulatedWordUnderTest
+
+
+#: Retention model used by ``simulate-profile`` so simulated campaigns finish
+#: in seconds rather than the paper's hours of real refresh pauses.
+_FAST_RETENTION = DataRetentionModel(RetentionCalibration(1.0, 0.02, 60.0, 0.5))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the ``beer-tool`` console script."""
+    parser = argparse.ArgumentParser(
+        prog="beer-tool",
+        description="BEER: determine DRAM on-die ECC functions from miscorrection profiles.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    solve = subparsers.add_parser(
+        "solve", help="solve a miscorrection profile for the ECC function(s)"
+    )
+    solve.add_argument("--profile", required=True, help="path to a profile JSON file")
+    solve.add_argument("--parity-bits", type=int, default=None,
+                       help="number of parity bits (default: minimum for the dataword length)")
+    solve.add_argument("--max-solutions", type=int, default=None,
+                       help="stop after this many candidate functions")
+    solve.add_argument("--backend", choices=("fast", "sat"), default="fast",
+                       help="constraint-propagation backend (fast) or CNF/CDCL backend (sat)")
+    solve.add_argument("--output", default=None, help="write the solutions to a JSON file")
+
+    verify = subparsers.add_parser(
+        "verify", help="check that a parity-check matrix reproduces a profile"
+    )
+    verify.add_argument("--profile", required=True, help="path to a profile JSON file")
+    verify.add_argument("--columns", required=True,
+                        help="comma-separated integer columns of P (LSB = parity row 0)")
+    verify.add_argument("--parity-bits", type=int, default=None)
+
+    simulate = subparsers.add_parser(
+        "simulate-profile",
+        help="run a BEER campaign against a simulated chip and export its profile",
+    )
+    simulate.add_argument("--vendor", choices=("A", "B", "C"), default="A")
+    simulate.add_argument("--data-bits", type=int, default=8)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--rounds", type=int, default=8)
+    simulate.add_argument("--output", required=True, help="where to write the profile JSON")
+
+    beep = subparsers.add_parser(
+        "beep", help="demonstrate BEEP on a simulated ECC word with known weak cells"
+    )
+    beep.add_argument("--data-bits", type=int, default=16)
+    beep.add_argument("--error-positions", required=True,
+                      help="comma-separated codeword positions of the weak cells")
+    beep.add_argument("--passes", type=int, default=2)
+    beep.add_argument("--probability", type=float, default=1.0,
+                      help="per-bit failure probability of the weak cells")
+    beep.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for the ``beer-tool`` console script."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "solve": _run_solve,
+        "verify": _run_verify,
+        "simulate-profile": _run_simulate_profile,
+        "beep": _run_beep,
+    }
+    return handlers[args.command](args)
+
+
+# -- subcommand implementations -------------------------------------------------
+def _run_solve(args) -> int:
+    profile = _load_profile(args.profile)
+    parity_bits = args.parity_bits or min_parity_bits(profile.num_data_bits)
+    if args.backend == "sat":
+        solver = SatBeerSolver(profile.num_data_bits, parity_bits)
+    else:
+        solver = BeerSolver(profile.num_data_bits, parity_bits)
+    solution = solver.solve(profile, max_solutions=args.max_solutions)
+
+    print(f"profile: k={profile.num_data_bits}, {len(profile.patterns)} patterns, "
+          f"{profile.total_miscorrections} miscorrection entries")
+    print(f"solver backend: {args.backend}")
+    print(f"candidate ECC functions found: {solution.num_solutions}"
+          + (" (search truncated)" if solution.truncated else ""))
+    for index, code in enumerate(solution.codes):
+        print(f"\ncandidate {index}: parity columns {list(code.parity_column_ints)}")
+        print(code.parity_check_matrix)
+
+    if args.output:
+        payload = {
+            "num_data_bits": profile.num_data_bits,
+            "num_parity_bits": parity_bits,
+            "backend": args.backend,
+            "truncated": solution.truncated,
+            "candidates": [list(code.parity_column_ints) for code in solution.codes],
+        }
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"\nwrote solutions to {args.output}")
+    return 0 if solution.num_solutions > 0 else 1
+
+
+def _run_verify(args) -> int:
+    profile = _load_profile(args.profile)
+    columns = _parse_int_list(args.columns)
+    parity_bits = args.parity_bits or min_parity_bits(profile.num_data_bits)
+    code = SystematicLinearCode.from_parity_columns(columns, parity_bits)
+    matches = BeerSolver.verify(code, profile)
+    print("MATCH" if matches else "MISMATCH")
+    return 0 if matches else 1
+
+
+def _run_simulate_profile(args) -> int:
+    vendor = next(v for v in all_vendors() if v.name == args.vendor)
+    chip = vendor.make_chip(
+        num_data_bits=args.data_bits,
+        geometry=ChipGeometry(num_rows=32, words_per_row=8),
+        seed=args.seed,
+        retention_model=_FAST_RETENTION,
+    )
+    config = ExperimentConfig(
+        pattern_weights=(1, 2),
+        refresh_windows_s=(30.0, 45.0, 60.0),
+        rounds_per_window=args.rounds,
+        threshold=0.0,
+        discover_cell_encoding=True,
+        discovery_pause_s=60.0,
+    )
+    result = BeerExperiment(chip, config).run(solve=False)
+    with open(args.output, "w") as handle:
+        json.dump(result.profile.to_dict(), handle, indent=2)
+    print(f"simulated a vendor-{vendor.name} chip with k={args.data_bits} and wrote "
+          f"{len(result.profile.patterns)} pattern entries to {args.output}")
+    return 0
+
+
+def _run_beep(args) -> int:
+    code = random_hamming_code(args.data_bits, rng=np.random.default_rng(args.seed))
+    positions = _parse_int_list(args.error_positions)
+    word = SimulatedWordUnderTest(
+        code, positions, per_bit_probability=args.probability,
+        rng=np.random.default_rng(args.seed + 1),
+    )
+    result = BeepProfiler(code).profile(word, num_passes=args.passes)
+    identified = sorted(result.identified_errors)
+    print(f"ECC function: ({code.codeword_length}, {code.num_data_bits}) SEC Hamming code")
+    print(f"true weak cells:       {sorted(positions)}")
+    print(f"identified weak cells: {identified}")
+    print(f"patterns tested: {result.patterns_tested}, "
+          f"miscorrections observed: {result.miscorrections_observed}")
+    return 0 if set(identified) == set(positions) else 1
+
+
+# -- helpers -----------------------------------------------------------------------
+def _load_profile(path: str) -> MiscorrectionProfile:
+    with open(path) as handle:
+        payload = json.load(handle)
+    return MiscorrectionProfile.from_dict(payload)
+
+
+def _parse_int_list(text: str) -> List[int]:
+    return [int(token) for token in text.split(",") if token.strip() != ""]
+
+
+if __name__ == "__main__":
+    sys.exit(main())

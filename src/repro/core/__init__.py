@@ -1,0 +1,57 @@
+"""BEER and BEEP — the paper's primary contributions.
+
+* :mod:`repro.core.patterns` — the k-CHARGED test patterns BEER writes into a
+  chip to restrict where data-retention errors can occur.
+* :mod:`repro.core.profile` — miscorrection profiles: which DISCHARGED data
+  bits can exhibit miscorrections for each test pattern, plus the threshold
+  filtering used on noisy experimental counts, plus the exact (ground-truth)
+  profile computation used in simulation.
+* :mod:`repro.core.beer` — the BEER solver that recovers the on-die ECC
+  function (parity-check matrix) from a miscorrection profile, with
+  uniqueness checking (specialised GF(2) constraint-propagation backend).
+* :mod:`repro.core.beer_sat` — the same problem encoded to CNF and solved with
+  the :mod:`repro.sat` CDCL solver, mirroring the paper's Z3 formulation.
+* :mod:`repro.core.beep` — BEEP, the profiling methodology that uses the
+  recovered ECC function to locate pre-correction errors bit-exactly.
+* :mod:`repro.core.experiment` — the experimental campaign that runs BEER
+  against a (simulated) DRAM chip end to end.
+* :mod:`repro.core.layout_re` — reverse engineering of cell encodings and
+  dataword layout (paper Sections 5.1.1 and 5.1.2).
+"""
+
+from repro.core.patterns import ChargedPattern, charged_patterns, one_charged_patterns
+from repro.core.profile import (
+    MiscorrectionCounts,
+    MiscorrectionProfile,
+    expected_miscorrection_profile,
+    miscorrections_possible,
+    monte_carlo_miscorrection_profile,
+)
+from repro.core.beer import BeerSolver, BeerSolution
+from repro.core.beer_sat import SatBeerSolver
+from repro.core.beep import BeepProfiler, BeepResult
+from repro.core.experiment import BeerExperiment, ExperimentConfig
+from repro.core.layout_re import (
+    discover_cell_types,
+    discover_dataword_layout,
+)
+
+__all__ = [
+    "ChargedPattern",
+    "charged_patterns",
+    "one_charged_patterns",
+    "MiscorrectionCounts",
+    "MiscorrectionProfile",
+    "expected_miscorrection_profile",
+    "miscorrections_possible",
+    "monte_carlo_miscorrection_profile",
+    "BeerSolver",
+    "BeerSolution",
+    "SatBeerSolver",
+    "BeepProfiler",
+    "BeepResult",
+    "BeerExperiment",
+    "ExperimentConfig",
+    "discover_cell_types",
+    "discover_dataword_layout",
+]

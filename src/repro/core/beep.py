@@ -1,0 +1,388 @@
+"""BEEP: Bit-Exact Error Profiling (paper Section 7.1).
+
+BEEP uses the ECC function recovered by BEER to identify the number and
+bit-exact locations of *pre-correction* error-prone cells — including cells in
+the invisible parity bits — purely from observed post-correction errors.
+
+The three phases of Figure 7:
+
+1. **Craft a test pattern** for the codeword bit under test: the bit is placed
+   in the CHARGED state, its physical neighbours DISCHARGED (worst-case
+   coupling), and the remaining bits are chosen so that a miscorrection
+   becomes observable if the bit fails together with already-identified
+   error-prone cells.  Because every charge constraint is affine over the
+   dataword (``c = G · d``), patterns are crafted by solving small GF(2)
+   systems rather than by an opaque SAT query.
+2. **Run the experiment**: write the pattern, induce retention errors, read
+   back the post-correction dataword.
+3. **Infer pre-correction errors**: an observed miscorrection at DISCHARGED
+   data bit ``j`` reveals the syndrome ``H_j`` of the unknown pre-correction
+   codeword ``c'``; since the data part of ``c'`` is known, the parity part
+   follows uniquely (Equation 4) and ``c ⊕ c'`` pinpoints the raw errors.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.exceptions import DimensionError, PatternCraftingError
+from repro.gf2 import GF2Matrix, GF2Vector, gf2_solve
+from repro.exceptions import SingularMatrixError
+from repro.ecc.code import SystematicLinearCode
+from repro.ecc.decoder import SyndromeDecoder
+from repro.dram.cell import CellType
+
+
+@dataclass(frozen=True)
+class CraftedPattern:
+    """A BEEP test pattern plus the bookkeeping needed to interpret results."""
+
+    #: The dataword to write.
+    dataword: GF2Vector
+    #: The codeword the chip will store (assuming the recovered ECC function).
+    codeword: GF2Vector
+    #: The codeword bit this pattern targets.
+    target_bit: int
+    #: True when the miscorrection-possibility constraint could be satisfied.
+    miscorrection_armed: bool
+
+
+@dataclass
+class BeepResult:
+    """Outcome of profiling one ECC word with BEEP."""
+
+    identified_errors: Tuple[int, ...]
+    passes_used: int
+    patterns_tested: int
+    miscorrections_observed: int
+
+    def identified_set(self) -> FrozenSet[int]:
+        """The identified pre-correction error positions as a set."""
+        return frozenset(self.identified_errors)
+
+
+class WordUnderTest:
+    """Interface BEEP needs from a device: write a dataword, stress, read back."""
+
+    def test(self, dataword: GF2Vector) -> GF2Vector:  # pragma: no cover - interface
+        """Write ``dataword``, induce retention errors, and return the read dataword."""
+        raise NotImplementedError
+
+
+class SimulatedWordUnderTest(WordUnderTest):
+    """A standalone simulated ECC word with a fixed set of error-prone cells.
+
+    Each error-prone cell fails with probability ``per_bit_probability``
+    whenever it is CHARGED during a test — the model behind the paper's
+    Figures 8 and 9.
+    """
+
+    def __init__(
+        self,
+        code: SystematicLinearCode,
+        error_prone_positions: Iterable[int],
+        per_bit_probability: float = 1.0,
+        cell_type: CellType = CellType.TRUE_CELL,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self._code = code
+        self._decoder = SyndromeDecoder(code)
+        positions = sorted(set(int(p) for p in error_prone_positions))
+        for position in positions:
+            if not 0 <= position < code.codeword_length:
+                raise DimensionError(
+                    f"error-prone position {position} out of range for n={code.codeword_length}"
+                )
+        if not 0.0 <= per_bit_probability <= 1.0:
+            raise DimensionError("per-bit error probability must lie in [0, 1]")
+        self._error_prone = positions
+        self._per_bit_probability = per_bit_probability
+        self._cell_type = cell_type
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    @property
+    def error_prone_positions(self) -> Tuple[int, ...]:
+        """Ground-truth error-prone cell positions (used only for evaluation)."""
+        return tuple(self._error_prone)
+
+    @property
+    def code(self) -> SystematicLinearCode:
+        """The on-die ECC function of the simulated word."""
+        return self._code
+
+    def test(self, dataword: GF2Vector) -> GF2Vector:
+        """Encode, decay error-prone CHARGED cells probabilistically, decode."""
+        codeword = self._code.encode(dataword).to_numpy()
+        charged_value = 1 if self._cell_type is CellType.TRUE_CELL else 0
+        for position in self._error_prone:
+            if codeword[position] != charged_value:
+                continue
+            if self._rng.random() < self._per_bit_probability:
+                codeword[position] ^= 1
+        return self._decoder.decode_dataword(GF2Vector(codeword))
+
+
+class ChipWordUnderTest(WordUnderTest):
+    """Adapter that exposes one word of a :class:`SimulatedDramChip` to BEEP."""
+
+    def __init__(self, chip, word_index: int, refresh_pause_s: float, temperature_c: float = 80.0):
+        self._chip = chip
+        self._word_index = word_index
+        self._refresh_pause_s = refresh_pause_s
+        self._temperature_c = temperature_c
+
+    def test(self, dataword: GF2Vector) -> GF2Vector:
+        """Write, pause refresh, read back the post-correction dataword."""
+        self._chip.write_dataword(self._word_index, dataword)
+        self._chip.pause_refresh(self._refresh_pause_s, self._temperature_c)
+        return self._chip.read_dataword(self._word_index)
+
+
+class BeepProfiler:
+    """Infers pre-correction error locations using a known ECC function."""
+
+    def __init__(
+        self,
+        code: SystematicLinearCode,
+        cell_type: CellType = CellType.TRUE_CELL,
+        max_combination_size: int = 2,
+    ):
+        self._code = code
+        self._cell_type = cell_type
+        self._charged_value = 1 if cell_type is CellType.TRUE_CELL else 0
+        if max_combination_size < 1:
+            raise PatternCraftingError("combination size must be at least 1")
+        self._max_combination_size = max_combination_size
+
+    @property
+    def code(self) -> SystematicLinearCode:
+        """The ECC function BEEP reasons with (typically recovered by BEER)."""
+        return self._code
+
+    # -- phase 1: pattern crafting ------------------------------------------------
+    def craft_pattern(
+        self, target_bit: int, known_errors: Iterable[int] = (), phase: int = 0
+    ) -> CraftedPattern:
+        """Craft a test pattern for ``target_bit`` given already-known error cells.
+
+        The pattern satisfies, in priority order:
+
+        1. the target is CHARGED and its neighbours DISCHARGED, and the target
+           failing together with a subset of known errors produces an
+           observable miscorrection;
+        2. failing that, constraint (1) without the neighbour requirement;
+        3. failing that, the bootstrap pattern: target CHARGED, neighbours
+           DISCHARGED, and the remaining data bits alternating
+           CHARGED/DISCHARGED so coincident failures of unknown error-prone
+           cells stay observable.  ``phase`` flips which half of the bits is
+           CHARGED, so successive passes charge complementary cell sets.
+        """
+        if not 0 <= target_bit < self._code.codeword_length:
+            raise PatternCraftingError(
+                f"target bit {target_bit} out of range for n={self._code.codeword_length}"
+            )
+        known = sorted(set(int(e) for e in known_errors) - {target_bit})
+
+        for require_adjacency in (True, False):
+            dataword = self._craft_miscorrection_prone(target_bit, known, require_adjacency)
+            if dataword is not None:
+                return CraftedPattern(
+                    dataword=dataword,
+                    codeword=self._code.encode(dataword),
+                    target_bit=target_bit,
+                    miscorrection_armed=True,
+                )
+        dataword = self._bootstrap_pattern(target_bit, phase)
+        return CraftedPattern(
+            dataword=dataword,
+            codeword=self._code.encode(dataword),
+            target_bit=target_bit,
+            miscorrection_armed=False,
+        )
+
+    def _craft_miscorrection_prone(
+        self, target_bit: int, known_errors: Sequence[int], require_adjacency: bool
+    ) -> Optional[GF2Vector]:
+        max_size = min(self._max_combination_size, len(known_errors))
+        for combination_size in range(1, max_size + 1):
+            for combination in itertools.combinations(known_errors, combination_size):
+                syndrome_value = self._code.column_int(target_bit)
+                for error in combination:
+                    syndrome_value ^= self._code.column_int(error)
+                miscorrection_target = self._syndrome_to_data_bit(syndrome_value)
+                if miscorrection_target is None:
+                    continue
+                if miscorrection_target == target_bit or miscorrection_target in combination:
+                    continue
+                charge_constraints = {target_bit: 1}
+                for error in combination:
+                    charge_constraints[error] = 1
+                charge_constraints[miscorrection_target] = 0
+                if require_adjacency:
+                    for neighbour in self._neighbours(target_bit):
+                        charge_constraints.setdefault(neighbour, 0)
+                dataword = self._solve_charge_constraints(charge_constraints)
+                if dataword is not None:
+                    return dataword
+        return None
+
+    def _bootstrap_pattern(self, target_bit: int, phase: int = 0) -> GF2Vector:
+        """Pattern used while no error cells are known yet.
+
+        The target is CHARGED, its neighbours DISCHARGED, and the remaining
+        data bits alternate CHARGED/DISCHARGED.  Charging roughly half of the
+        word gives unknown error-prone cells a chance to fail together, while
+        keeping roughly half of the data bits DISCHARGED so that the resulting
+        miscorrections stay observable.  ``phase`` selects which half is
+        CHARGED so repeated passes cover complementary cell sets.
+        """
+        num_data_bits = self._code.num_data_bits
+        parity = phase % 2
+        if target_bit < num_data_bits:
+            charges = []
+            for index in range(num_data_bits):
+                if index == target_bit:
+                    charges.append(1)
+                elif abs(index - target_bit) == 1:
+                    charges.append(0)
+                else:
+                    charges.append(1 if index % 2 == parity else 0)
+            bits = [
+                charge if self._charged_value == 1 else 1 - charge for charge in charges
+            ]
+            return GF2Vector(bits)
+
+        # Parity-bit target: its charge is an affine function of the dataword.
+        # Start from the alternating pattern and, if the target parity cell is
+        # not CHARGED, toggle one data bit in that parity row's support.
+        charges = [1 if index % 2 == parity else 0 for index in range(num_data_bits)]
+        bits = [charge if self._charged_value == 1 else 1 - charge for charge in charges]
+        dataword = GF2Vector(bits)
+        codeword = self._code.encode(dataword)
+        if codeword[target_bit] != self._charged_value:
+            parity_row = self._code.parity_submatrix.row(target_bit - num_data_bits)
+            support = parity_row.support
+            if not support:
+                raise PatternCraftingError(
+                    f"parity bit {target_bit} does not depend on any data bit"
+                )
+            dataword = dataword.flip(support[0])
+        return dataword
+
+    def _neighbours(self, position: int) -> List[int]:
+        neighbours = []
+        if position > 0:
+            neighbours.append(position - 1)
+        if position < self._code.codeword_length - 1:
+            neighbours.append(position + 1)
+        return neighbours
+
+    def _solve_charge_constraints(
+        self, charge_by_position: dict, fill_charged: bool = False
+    ) -> Optional[GF2Vector]:
+        """Solve for a dataword whose codeword has the requested charge states.
+
+        Charge states translate into bit values through the cell convention;
+        each codeword bit is an affine (linear) function of the dataword, so
+        the constraints form a GF(2) linear system ``A d = b``.
+        """
+        generator = self._code.generator_matrix
+        rows = []
+        rhs = []
+        for position, charge in charge_by_position.items():
+            bit_value = charge if self._charged_value == 1 else 1 - charge
+            rows.append(generator.row(position).to_list())
+            rhs.append(bit_value)
+        if fill_charged:
+            constrained = set(charge_by_position)
+            for data_bit in self._code.data_bit_positions:
+                if data_bit not in constrained:
+                    rows.append(generator.row(data_bit).to_list())
+                    rhs.append(self._charged_value)
+        try:
+            solution = gf2_solve(GF2Matrix(rows), GF2Vector(rhs))
+        except SingularMatrixError:
+            return None
+        return solution
+
+    def _syndrome_to_data_bit(self, syndrome_value: int) -> Optional[int]:
+        position = self._code.syndrome_to_position(
+            GF2Vector.from_int(syndrome_value, self._code.num_parity_bits)
+        )
+        if position is None or position >= self._code.num_data_bits:
+            return None
+        return position
+
+    # -- phase 3: inference ------------------------------------------------------
+    def infer_errors_from_observation(
+        self, pattern: CraftedPattern, observed_dataword: GF2Vector
+    ) -> FrozenSet[int]:
+        """Translate one observed read into pre-correction error positions.
+
+        Every post-correction error at a DISCHARGED data bit is a
+        miscorrection; its position reveals the syndrome of the pre-correction
+        codeword, from which the full pre-correction error pattern follows.
+        """
+        observed = (
+            observed_dataword
+            if isinstance(observed_dataword, GF2Vector)
+            else GF2Vector(observed_dataword)
+        )
+        if len(observed) != self._code.num_data_bits:
+            raise DimensionError(
+                f"observed dataword has {len(observed)} bits, expected "
+                f"{self._code.num_data_bits}"
+            )
+        written_data = pattern.dataword
+        written_codeword = pattern.codeword
+        discharged_value = 1 - self._charged_value
+
+        errors: Set[int] = set()
+        difference = (observed + written_data).support
+        for position in difference:
+            if written_data[position] != discharged_value:
+                continue  # ambiguous: could be an uncorrected retention error
+            syndrome = self._code.column(position)
+            pre_correction_data = observed.flip(position)
+            parity_from_data = self._code.parity_submatrix @ pre_correction_data
+            pre_correction_parity = parity_from_data + syndrome
+            pre_correction_codeword = GF2Vector(
+                list(pre_correction_data) + list(pre_correction_parity)
+            )
+            error_pattern = pre_correction_codeword + written_codeword
+            errors.update(error_pattern.support)
+        return frozenset(errors)
+
+    # -- full profiling loop -------------------------------------------------------
+    def profile(
+        self,
+        word: WordUnderTest,
+        num_passes: int = 1,
+        trials_per_pattern: int = 1,
+    ) -> BeepResult:
+        """Profile one ECC word: iterate over codeword bits, craft, test, infer."""
+        if num_passes < 1 or trials_per_pattern < 1:
+            raise PatternCraftingError("passes and trials must be at least 1")
+        known_errors: Set[int] = set()
+        patterns_tested = 0
+        miscorrections_observed = 0
+        for pass_index in range(num_passes):
+            for target_bit in range(self._code.codeword_length):
+                pattern = self.craft_pattern(target_bit, known_errors, phase=pass_index)
+                for _ in range(trials_per_pattern):
+                    patterns_tested += 1
+                    observed = word.test(pattern.dataword)
+                    inferred = self.infer_errors_from_observation(pattern, observed)
+                    if inferred:
+                        miscorrections_observed += 1
+                        known_errors.update(inferred)
+        return BeepResult(
+            identified_errors=tuple(sorted(known_errors)),
+            passes_used=num_passes,
+            patterns_tested=patterns_tested,
+            miscorrections_observed=miscorrections_observed,
+        )

@@ -1,0 +1,386 @@
+"""BEER: recovering the on-die ECC function from a miscorrection profile.
+
+Section 5.3 of the paper solves for the parity-check matrix with a SAT solver
+constrained by (1) basic linear-code properties, (2) standard form, and (3)
+the miscorrection profile.  This module implements the same search as a
+specialised backtracking solver over the unknown columns of ``P`` (the data
+portion of ``H = [P | I]``) with constraint propagation, which exploits the
+closed-form structure of the constraints:
+
+* a test pattern whose CHARGED codeword positions are ``S`` can miscorrect
+  DISCHARGED data bit ``j`` iff ``H_j ∈ span{H_i : i ∈ S}``;
+* ``S`` itself depends only on the columns of the pattern's CHARGED data bits
+  (the CHARGED parity positions are the support of their XOR), so every
+  constraint touches only the pattern's columns plus the target column.
+
+Solutions are reported up to *code equivalence* (relabelling of parity bits,
+Section 4.2.1); the search breaks that symmetry by requiring parity rows to be
+introduced in increasing order along the assignment order, so each equivalence
+class is visited exactly once.
+
+The CNF/SAT formulation that mirrors the paper's Z3 encoding lives in
+:mod:`repro.core.beer_sat` and is cross-checked against this solver in tests.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ProfileError, SolverError
+from repro.ecc.code import SystematicLinearCode
+from repro.ecc.codespace import canonical_parity_columns
+from repro.ecc.hamming import candidate_parity_columns, min_parity_bits
+from repro.core.profile import MiscorrectionProfile, expected_miscorrection_profile
+from repro.core.patterns import ChargedPattern
+
+
+@dataclass
+class BeerSolution:
+    """Result of one BEER solve.
+
+    Attributes
+    ----------
+    codes:
+        Candidate ECC functions consistent with the profile, one representative
+        per equivalence class, in the order found.
+    nodes_visited:
+        Number of partial assignments explored by the backtracking search.
+    runtime_seconds:
+        Wall-clock time spent searching.
+    truncated:
+        True if the search stopped at ``max_solutions`` rather than exhausting
+        the space (the count is then a lower bound).
+    """
+
+    codes: List[SystematicLinearCode]
+    nodes_visited: int
+    runtime_seconds: float
+    truncated: bool = False
+
+    @property
+    def num_solutions(self) -> int:
+        """Number of (equivalence classes of) candidate functions found."""
+        return len(self.codes)
+
+    @property
+    def unique(self) -> bool:
+        """True if exactly one candidate function explains the profile."""
+        return len(self.codes) == 1 and not self.truncated
+
+    @property
+    def code(self) -> SystematicLinearCode:
+        """The unique solution (raises if the solution is not unique)."""
+        if not self.codes:
+            raise SolverError("no ECC function is consistent with the profile")
+        if len(self.codes) > 1:
+            raise SolverError(
+                f"{len(self.codes)} ECC functions are consistent with the profile; "
+                "use .codes to inspect them all"
+            )
+        return self.codes[0]
+
+
+@dataclass
+class _Constraint:
+    """One (pattern, target-bit) entry of the miscorrection profile."""
+
+    pattern_bits: Tuple[int, ...]
+    target_bit: int
+    observed: bool
+    #: Position (in assignment order) after which all involved columns are known.
+    ready_depth: int = field(default=0)
+
+
+class BeerSolver:
+    """Backtracking BEER solver over standard-form SEC parity-check columns."""
+
+    def __init__(self, num_data_bits: int, num_parity_bits: Optional[int] = None):
+        if num_data_bits < 1:
+            raise SolverError("the code must have at least one data bit")
+        self._num_data_bits = num_data_bits
+        self._num_parity_bits = (
+            num_parity_bits if num_parity_bits is not None else min_parity_bits(num_data_bits)
+        )
+        self._candidates = candidate_parity_columns(self._num_parity_bits)
+        if num_data_bits > len(self._candidates):
+            raise SolverError(
+                f"k={num_data_bits} does not fit in r={self._num_parity_bits} parity bits"
+            )
+
+    # -- public API -----------------------------------------------------------
+    @property
+    def num_data_bits(self) -> int:
+        """Dataword length ``k`` of the code being recovered."""
+        return self._num_data_bits
+
+    @property
+    def num_parity_bits(self) -> int:
+        """Number of parity bits ``r`` assumed for the code."""
+        return self._num_parity_bits
+
+    def solve(
+        self,
+        profile: MiscorrectionProfile,
+        max_solutions: Optional[int] = None,
+        max_nodes: Optional[int] = None,
+    ) -> BeerSolution:
+        """Search for every ECC function consistent with ``profile``.
+
+        ``max_solutions`` truncates the search after that many equivalence
+        classes have been found (``None`` = exhaustive, which is what the
+        uniqueness check requires).  ``max_nodes`` bounds the search effort and
+        raises :class:`~repro.exceptions.SolverError` when exceeded.
+        """
+        if profile.num_data_bits != self._num_data_bits:
+            raise ProfileError(
+                f"profile is for k={profile.num_data_bits}, solver expects "
+                f"k={self._num_data_bits}"
+            )
+        start_time = time.perf_counter()
+        order = self._assignment_order(profile)
+        order_position = {column: depth for depth, column in enumerate(order)}
+        constraints = self._build_constraints(profile, order_position)
+        constraints_by_depth: Dict[int, List[_Constraint]] = {}
+        for constraint in constraints:
+            constraints_by_depth.setdefault(constraint.ready_depth, []).append(constraint)
+
+        state = _SearchState(
+            num_data_bits=self._num_data_bits,
+            num_parity_bits=self._num_parity_bits,
+            candidates=self._candidates,
+            order=order,
+            constraints_by_depth=constraints_by_depth,
+            max_solutions=max_solutions,
+            max_nodes=max_nodes,
+            candidates_per_column=self._prefilter_candidates(profile),
+        )
+        state.search()
+        runtime = time.perf_counter() - start_time
+
+        codes = [
+            SystematicLinearCode.from_parity_columns(columns, self._num_parity_bits)
+            for columns in state.solutions
+        ]
+        return BeerSolution(
+            codes=codes,
+            nodes_visited=state.nodes_visited,
+            runtime_seconds=runtime,
+            truncated=state.truncated,
+        )
+
+    def check_uniqueness(self, profile: MiscorrectionProfile) -> BeerSolution:
+        """Exhaustively search for *all* consistent functions (paper's uniqueness check)."""
+        return self.solve(profile, max_solutions=None)
+
+    @staticmethod
+    def verify(code: SystematicLinearCode, profile: MiscorrectionProfile) -> bool:
+        """Return True if ``code`` reproduces every entry of ``profile`` exactly."""
+        expected = expected_miscorrection_profile(code, profile.patterns)
+        for pattern in profile.patterns:
+            if expected.miscorrections(pattern) != profile.miscorrections(pattern):
+                return False
+        return True
+
+    # -- internals ------------------------------------------------------------
+    def _assignment_order(self, profile: MiscorrectionProfile) -> List[int]:
+        """Choose a static column assignment order (most-constrained first).
+
+        Columns that appear in many *observed* miscorrection relations are the
+        most constrained, so assigning them early maximises pruning.
+        """
+        scores = [0] * self._num_data_bits
+        for pattern, positions in profile.items():
+            for bit in pattern.charged_bits:
+                scores[bit] += len(positions) + 1
+            for bit in positions:
+                scores[bit] += 1
+        return sorted(range(self._num_data_bits), key=lambda bit: -scores[bit])
+
+    def _prefilter_candidates(self, profile: MiscorrectionProfile) -> Dict[int, List[int]]:
+        """Derive per-column candidate lists from cheap 1-CHARGED counting bounds.
+
+        If the 1-CHARGED pattern charging data bit ``c`` can miscorrect ``m``
+        other data bits, then those ``m`` columns are distinct weight-≥2
+        subsets of ``supp(P_c)``, so ``2**w - w - 2 >= m`` where ``w`` is the
+        weight of ``P_c``.  This bounds the weight of each column from below
+        and substantially narrows the value choices for heavily-covering
+        columns before the search starts.
+        """
+        cover_counts: Dict[int, int] = {}
+        for pattern, positions in profile.items():
+            if pattern.weight != 1:
+                continue
+            (charged_bit,) = tuple(pattern.charged_bits)
+            cover_counts[charged_bit] = len(positions)
+
+        candidates_per_column: Dict[int, List[int]] = {}
+        for column in range(self._num_data_bits):
+            cover = cover_counts.get(column)
+            if cover is None:
+                candidates_per_column[column] = list(self._candidates)
+                continue
+            allowed = [
+                value
+                for value in self._candidates
+                if (1 << bin(value).count("1")) - bin(value).count("1") - 2 >= cover
+            ]
+            # Try tightly-fitting weights first: columns that cover many bits
+            # are almost certainly high weight, and vice versa.
+            allowed.sort(
+                key=lambda value: (
+                    (1 << bin(value).count("1")) - bin(value).count("1") - 2 - cover,
+                    value,
+                )
+            )
+            candidates_per_column[column] = allowed
+        return candidates_per_column
+
+    def _build_constraints(
+        self,
+        profile: MiscorrectionProfile,
+        order_position: Dict[int, int],
+    ) -> List[_Constraint]:
+        constraints: List[_Constraint] = []
+        for pattern, observed_positions in profile.items():
+            charged = tuple(sorted(pattern.charged_bits))
+            if not charged:
+                # The 0-CHARGED pattern cannot produce any retention errors and
+                # therefore carries no information.
+                continue
+            for target in pattern.discharged_bits:
+                involved = charged + (target,)
+                ready_depth = max(order_position[bit] for bit in involved)
+                constraints.append(
+                    _Constraint(
+                        pattern_bits=charged,
+                        target_bit=target,
+                        observed=target in observed_positions,
+                        ready_depth=ready_depth,
+                    )
+                )
+        return constraints
+
+
+class _SearchState:
+    """Mutable state of the backtracking search (kept out of the public API)."""
+
+    def __init__(
+        self,
+        num_data_bits: int,
+        num_parity_bits: int,
+        candidates: Sequence[int],
+        order: Sequence[int],
+        constraints_by_depth: Dict[int, List[_Constraint]],
+        max_solutions: Optional[int],
+        max_nodes: Optional[int],
+        candidates_per_column: Optional[Dict[int, List[int]]] = None,
+    ):
+        self.num_data_bits = num_data_bits
+        self.num_parity_bits = num_parity_bits
+        self.candidates = list(candidates)
+        self.candidates_per_column = candidates_per_column or {}
+        self.order = list(order)
+        self.constraints_by_depth = constraints_by_depth
+        self.max_solutions = max_solutions
+        self.max_nodes = max_nodes
+
+        self.assignment: Dict[int, int] = {}
+        self.used_values: set = set()
+        self.solutions: List[Tuple[int, ...]] = []
+        self.seen_canonical: set = set()
+        self.nodes_visited = 0
+        self.truncated = False
+
+    # -- search ------------------------------------------------------------------
+    def search(self) -> None:
+        self._search_depth(0, used_row_mask=0, rows_used=0)
+
+    def _search_depth(self, depth: int, used_row_mask: int, rows_used: int) -> bool:
+        """Depth-first search; returns False when the search should stop entirely."""
+        if self.max_solutions is not None and len(self.solutions) >= self.max_solutions:
+            self.truncated = True
+            return False
+        if depth == self.num_data_bits:
+            self._record_solution()
+            if self.max_solutions is not None and len(self.solutions) >= self.max_solutions:
+                self.truncated = True
+                return False
+            return True
+        column = self.order[depth]
+        for value in self.candidates_per_column.get(column, self.candidates):
+            if value in self.used_values:
+                continue
+            new_rows = value & ~used_row_mask
+            if new_rows and not self._introduces_rows_in_order(new_rows, rows_used):
+                continue
+            self.nodes_visited += 1
+            if self.max_nodes is not None and self.nodes_visited > self.max_nodes:
+                raise SolverError("BEER search exceeded the node budget")
+            self.assignment[column] = value
+            self.used_values.add(value)
+            if self._constraints_hold(depth):
+                next_mask = used_row_mask | value
+                next_rows_used = rows_used + bin(new_rows).count("1")
+                keep_going = self._search_depth(depth + 1, next_mask, next_rows_used)
+            else:
+                keep_going = True
+            del self.assignment[column]
+            self.used_values.discard(value)
+            if not keep_going:
+                return False
+        return True
+
+    def _introduces_rows_in_order(self, new_rows: int, rows_used: int) -> bool:
+        """Symmetry break: new parity rows must be the next consecutive indices."""
+        count = bin(new_rows).count("1")
+        expected = ((1 << count) - 1) << rows_used
+        return new_rows == expected
+
+    def _constraints_hold(self, depth: int) -> bool:
+        for constraint in self.constraints_by_depth.get(depth, []):
+            if self._evaluate(constraint) != constraint.observed:
+                return False
+        return True
+
+    def _evaluate(self, constraint: _Constraint) -> bool:
+        """Evaluate whether a miscorrection is possible under the current assignment."""
+        pattern_columns = [self.assignment[bit] for bit in constraint.pattern_bits]
+        parity_value = 0
+        for column in pattern_columns:
+            parity_value ^= column
+        spanning = list(pattern_columns)
+        row = 0
+        remaining = parity_value
+        while remaining:
+            if remaining & 1:
+                spanning.append(1 << row)
+            remaining >>= 1
+            row += 1
+        target = self.assignment[constraint.target_bit]
+        return _int_in_span(target, spanning)
+
+    def _record_solution(self) -> None:
+        columns = tuple(self.assignment[bit] for bit in range(self.num_data_bits))
+        canonical = canonical_parity_columns(columns, self.num_parity_bits)
+        if canonical in self.seen_canonical:
+            return
+        self.seen_canonical.add(canonical)
+        self.solutions.append(columns)
+
+
+def _int_in_span(target: int, vectors: Sequence[int]) -> bool:
+    """Return True if ``target`` is a GF(2) combination of integer-encoded vectors."""
+    basis: List[int] = []
+    for vector in vectors:
+        value = vector
+        for pivot in basis:
+            value = min(value, value ^ pivot)
+        if value:
+            basis.append(value)
+            basis.sort(reverse=True)
+    value = target
+    for pivot in basis:
+        value = min(value, value ^ pivot)
+    return value == 0

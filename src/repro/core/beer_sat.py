@@ -1,0 +1,272 @@
+"""BEER's CNF/SAT formulation (the paper's Z3-style encoding).
+
+The unknown is the parity submatrix ``P`` of the standard-form parity-check
+matrix ``H = [P | I]``: one Boolean variable per (data column, parity row)
+entry.  The constraints mirror Section 5.3 of the paper:
+
+1. basic linear-code properties — every data column is non-zero, has weight at
+   least two (so it cannot collide with the identity columns), and all data
+   columns are pairwise distinct;
+2. standard form — implicit in solving only for ``P``;
+3. the miscorrection profile — for every (pattern, DISCHARGED bit) entry the
+   encoded "miscorrection possible" condition must match the observation.
+
+The profile conditions have closed forms for the pattern weights BEER uses
+(Section 4.2.3):
+
+* 1-CHARGED pattern ``{c}``: possible at ``j`` iff ``supp(P_j) ⊆ supp(P_c)``;
+* 2-CHARGED pattern ``{a, b}``: possible at ``j`` iff ``supp(P_j) ⊆ U`` or
+  ``supp(P_j ⊕ P_a) ⊆ U`` where ``U = supp(P_a ⊕ P_b)``.
+
+Solving and model enumeration use the library's own CDCL solver
+(:mod:`repro.sat`).  This backend is the reference implementation used to
+cross-validate the faster specialised solver in :mod:`repro.core.beer`; it is
+practical for the small-to-moderate code sizes used in tests.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import ProfileError, SolverError
+from repro.ecc.code import SystematicLinearCode
+from repro.ecc.codespace import canonical_parity_columns
+from repro.ecc.hamming import min_parity_bits
+from repro.sat import CNF, iterate_models
+from repro.sat.encoders import encode_xor
+from repro.core.beer import BeerSolution
+from repro.core.profile import MiscorrectionProfile
+
+
+class SatBeerSolver:
+    """BEER solver backed by the CNF encoding and the CDCL SAT solver."""
+
+    def __init__(self, num_data_bits: int, num_parity_bits: Optional[int] = None):
+        if num_data_bits < 1:
+            raise SolverError("the code must have at least one data bit")
+        self._num_data_bits = num_data_bits
+        self._num_parity_bits = (
+            num_parity_bits if num_parity_bits is not None else min_parity_bits(num_data_bits)
+        )
+
+    @property
+    def num_data_bits(self) -> int:
+        """Dataword length ``k`` of the code being recovered."""
+        return self._num_data_bits
+
+    @property
+    def num_parity_bits(self) -> int:
+        """Number of parity bits ``r`` assumed for the code."""
+        return self._num_parity_bits
+
+    # -- public API ---------------------------------------------------------
+    def solve(
+        self,
+        profile: MiscorrectionProfile,
+        max_solutions: Optional[int] = None,
+    ) -> BeerSolution:
+        """Enumerate the ECC functions consistent with ``profile`` (up to equivalence)."""
+        if profile.num_data_bits != self._num_data_bits:
+            raise ProfileError(
+                f"profile is for k={profile.num_data_bits}, solver expects "
+                f"k={self._num_data_bits}"
+            )
+        start_time = time.perf_counter()
+        formula, column_variables = self._build_formula(profile)
+        flat_variables = [v for column in column_variables for v in column]
+
+        codes: List[SystematicLinearCode] = []
+        seen_canonical = set()
+        truncated = False
+        models_examined = 0
+        for model in iterate_models(formula, over_variables=flat_variables):
+            models_examined += 1
+            columns = self._columns_from_model(model, column_variables)
+            canonical = canonical_parity_columns(columns, self._num_parity_bits)
+            if canonical not in seen_canonical:
+                seen_canonical.add(canonical)
+                codes.append(
+                    SystematicLinearCode.from_parity_columns(columns, self._num_parity_bits)
+                )
+                if max_solutions is not None and len(codes) >= max_solutions:
+                    truncated = True
+                    break
+        runtime = time.perf_counter() - start_time
+        return BeerSolution(
+            codes=codes,
+            nodes_visited=models_examined,
+            runtime_seconds=runtime,
+            truncated=truncated,
+        )
+
+    # -- CNF construction -----------------------------------------------------
+    def _build_formula(self, profile: MiscorrectionProfile) -> Tuple[CNF, List[List[int]]]:
+        formula = CNF()
+        column_variables = [
+            formula.new_variables(self._num_parity_bits) for _ in range(self._num_data_bits)
+        ]
+        self._encode_code_validity(formula, column_variables)
+        xor_cache: Dict[Tuple[int, int], List[int]] = {}
+        for pattern, observed_positions in profile.items():
+            charged = tuple(sorted(pattern.charged_bits))
+            if len(charged) == 0:
+                continue
+            if len(charged) > 2:
+                raise SolverError(
+                    "the SAT backend supports 1- and 2-CHARGED patterns only; "
+                    "use BeerSolver for higher-weight patterns"
+                )
+            for target in pattern.discharged_bits:
+                observed = target in observed_positions
+                if len(charged) == 1:
+                    self._encode_one_charged(
+                        formula, column_variables, charged[0], target, observed
+                    )
+                else:
+                    self._encode_two_charged(
+                        formula,
+                        column_variables,
+                        charged[0],
+                        charged[1],
+                        target,
+                        observed,
+                        xor_cache,
+                    )
+        return formula, column_variables
+
+    def _encode_code_validity(self, formula: CNF, column_variables: List[List[int]]) -> None:
+        """Columns are non-zero, weight >= 2, and pairwise distinct."""
+        for column in column_variables:
+            formula.add_clause(column)
+            for row, variable in enumerate(column):
+                others = [column[i] for i in range(len(column)) if i != row]
+                formula.add_clause([-variable] + others)
+        for first in range(self._num_data_bits):
+            for second in range(first + 1, self._num_data_bits):
+                difference_bits = []
+                for row in range(self._num_parity_bits):
+                    diff = formula.new_variable()
+                    self._encode_xor_pair(
+                        formula,
+                        column_variables[first][row],
+                        column_variables[second][row],
+                        diff,
+                    )
+                    difference_bits.append(diff)
+                formula.add_clause(difference_bits)
+
+    def _encode_one_charged(
+        self,
+        formula: CNF,
+        column_variables: List[List[int]],
+        charged_bit: int,
+        target_bit: int,
+        observed: bool,
+    ) -> None:
+        """Encode ``supp(P_target) ⊆ supp(P_charged)`` equal to ``observed``."""
+        target = column_variables[target_bit]
+        charged = column_variables[charged_bit]
+        if observed:
+            for row in range(self._num_parity_bits):
+                formula.add_clause([-target[row], charged[row]])
+        else:
+            witnesses = []
+            for row in range(self._num_parity_bits):
+                witness = formula.new_variable()
+                formula.add_clause([-witness, target[row]])
+                formula.add_clause([-witness, -charged[row]])
+                witnesses.append(witness)
+            formula.add_clause(witnesses)
+
+    def _encode_two_charged(
+        self,
+        formula: CNF,
+        column_variables: List[List[int]],
+        first_bit: int,
+        second_bit: int,
+        target_bit: int,
+        observed: bool,
+        xor_cache: Dict[Tuple[int, int], List[int]],
+    ) -> None:
+        """Encode the 2-CHARGED miscorrection condition equal to ``observed``."""
+        union_bits = self._cached_xor(formula, column_variables, first_bit, second_bit, xor_cache)
+        shifted_bits = self._cached_xor(formula, column_variables, first_bit, target_bit, xor_cache)
+        target = column_variables[target_bit]
+
+        if observed:
+            # (forall row: target -> union) OR (forall row: shifted -> union)
+            case_direct = formula.new_variable()
+            case_shifted = formula.new_variable()
+            for row in range(self._num_parity_bits):
+                formula.add_clause([-case_direct, -target[row], union_bits[row]])
+                formula.add_clause([-case_shifted, -shifted_bits[row], union_bits[row]])
+            formula.add_clause([case_direct, case_shifted])
+        else:
+            # (exists row: target and not union) AND (exists row: shifted and not union)
+            direct_witnesses = []
+            shifted_witnesses = []
+            for row in range(self._num_parity_bits):
+                direct = formula.new_variable()
+                formula.add_clause([-direct, target[row]])
+                formula.add_clause([-direct, -union_bits[row]])
+                direct_witnesses.append(direct)
+                shifted = formula.new_variable()
+                formula.add_clause([-shifted, shifted_bits[row]])
+                formula.add_clause([-shifted, -union_bits[row]])
+                shifted_witnesses.append(shifted)
+            formula.add_clause(direct_witnesses)
+            formula.add_clause(shifted_witnesses)
+
+    def _cached_xor(
+        self,
+        formula: CNF,
+        column_variables: List[List[int]],
+        first_bit: int,
+        second_bit: int,
+        xor_cache: Dict[Tuple[int, int], List[int]],
+    ) -> List[int]:
+        """Return variables representing ``P_first ⊕ P_second`` (memoised)."""
+        key = (min(first_bit, second_bit), max(first_bit, second_bit))
+        if key not in xor_cache:
+            result_bits = []
+            for row in range(self._num_parity_bits):
+                result = formula.new_variable()
+                self._encode_xor_pair(
+                    formula,
+                    column_variables[key[0]][row],
+                    column_variables[key[1]][row],
+                    result,
+                )
+                result_bits.append(result)
+            xor_cache[key] = result_bits
+        return xor_cache[key]
+
+    @staticmethod
+    def _encode_xor_pair(formula: CNF, left: int, right: int, result: int) -> None:
+        """Constrain ``result = left XOR right`` with the full biconditional."""
+        formula.add_clauses(
+            [
+                [-left, -right, -result],
+                [left, right, -result],
+                [-left, right, result],
+                [left, -right, result],
+            ]
+        )
+
+    def _columns_from_model(
+        self, model: Dict[int, bool], column_variables: List[List[int]]
+    ) -> Tuple[int, ...]:
+        columns = []
+        for column in column_variables:
+            value = 0
+            for row, variable in enumerate(column):
+                if model[variable]:
+                    value |= 1 << row
+            columns.append(value)
+        return tuple(columns)
+
+
+# Re-export encode_xor so the module is self-contained for external users who
+# want to extend the encoding (e.g. to higher-weight patterns).
+__all__ = ["SatBeerSolver", "encode_xor"]

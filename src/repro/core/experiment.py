@@ -1,0 +1,214 @@
+"""End-to-end BEER experimental campaign against a (simulated) DRAM chip.
+
+This module glues the pieces of Section 5 together, treating the chip as a
+black box that only supports write / pause-refresh / read:
+
+1. (optionally) discover each row's cell encoding (Section 5.1.1);
+2. write every k-CHARGED test pattern to a rotating set of ECC words, sweep
+   the refresh window, and record which DISCHARGED data bits exhibit
+   post-correction errors (Section 5.1.3);
+3. apply the threshold filter to the resulting counts (Section 5.2);
+4. run the BEER solver on the miscorrection profile and, if requested, check
+   the solution's uniqueness (Section 5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ChipConfigurationError
+from repro.dram.cell import CellType
+from repro.dram.chip import SimulatedDramChip
+from repro.ecc.hamming import min_parity_bits
+from repro.core.beer import BeerSolution, BeerSolver
+from repro.core.layout_re import discover_cell_types
+from repro.core.patterns import ChargedPattern, charged_patterns
+from repro.core.profile import MiscorrectionCounts, MiscorrectionProfile
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs of a BEER campaign (mirroring the paper's experimental sweep)."""
+
+    #: Which k-CHARGED pattern weights to test ({1,2} suffices for shortened codes).
+    pattern_weights: Tuple[int, ...] = (1, 2)
+    #: Refresh windows (seconds) to sweep; longer windows induce more errors.
+    refresh_windows_s: Tuple[float, ...] = (600.0, 1200.0, 1800.0)
+    #: Ambient temperature during the refresh pauses.
+    temperature_c: float = 80.0
+    #: Number of write/pause/read rounds per window; the pattern-to-word
+    #: assignment rotates between rounds so each pattern samples fresh cells.
+    rounds_per_window: int = 4
+    #: Threshold (per-word error probability) separating miscorrections from noise.
+    threshold: float = 0.0
+    #: Assumed number of parity bits (``None`` = minimum for the dataword length).
+    num_parity_bits: Optional[int] = None
+    #: Run the cell-type discovery step before the campaign.
+    discover_cell_encoding: bool = True
+    #: Refresh pause used for the cell-type discovery step.
+    discovery_pause_s: float = 1800.0
+
+
+@dataclass
+class ExperimentResult:
+    """Everything a BEER campaign produces."""
+
+    counts: MiscorrectionCounts
+    profile: MiscorrectionProfile
+    solution: Optional[BeerSolution]
+    cell_types: Dict[int, CellType] = field(default_factory=dict)
+
+    @property
+    def recovered_code(self):
+        """The uniquely recovered ECC function (raises if not unique)."""
+        if self.solution is None:
+            raise ChipConfigurationError("the campaign was run with solving disabled")
+        return self.solution.code
+
+
+class BeerExperiment:
+    """Runs the BEER methodology against a chip through its public interface."""
+
+    def __init__(self, chip: SimulatedDramChip, config: Optional[ExperimentConfig] = None):
+        self._chip = chip
+        self._config = config if config is not None else ExperimentConfig()
+        if chip.num_data_bits < 2:
+            raise ChipConfigurationError("BEER needs at least two data bits per word")
+
+    @property
+    def chip(self) -> SimulatedDramChip:
+        """The chip under test."""
+        return self._chip
+
+    @property
+    def config(self) -> ExperimentConfig:
+        """The campaign configuration."""
+        return self._config
+
+    # -- campaign steps -----------------------------------------------------------
+    def discover_cell_types(self) -> Dict[int, CellType]:
+        """Step 0: classify each row as true- or anti-cell (Section 5.1.1)."""
+        return discover_cell_types(
+            self._chip,
+            refresh_pause_s=self._config.discovery_pause_s,
+            temperature_c=self._config.temperature_c,
+        )
+
+    def measure_counts(
+        self, cell_types: Optional[Dict[int, CellType]] = None
+    ) -> MiscorrectionCounts:
+        """Steps 1-2: run the pattern/refresh sweep and collect error counts."""
+        num_data_bits = self._chip.num_data_bits
+        patterns = list(charged_patterns(num_data_bits, list(self._config.pattern_weights)))
+        counts = MiscorrectionCounts(num_data_bits)
+        word_cell_types = self._cell_type_per_word(cell_types)
+        # Like the paper's analysis, the campaign profiles the true-cell
+        # regions; anti-cell rows would need the mirrored charge translation
+        # inside the solver and are simply skipped here.
+        eligible_words = [
+            word_index
+            for word_index in range(self._chip.num_words)
+            if word_cell_types[word_index] is CellType.TRUE_CELL
+        ]
+        if not eligible_words:
+            raise ChipConfigurationError(
+                "no true-cell words available for the BEER campaign"
+            )
+
+        assignment_offset = 0
+        for window in self._config.refresh_windows_s:
+            for _ in range(self._config.rounds_per_window):
+                assignment = self._assign_patterns_to_words(
+                    patterns, eligible_words, assignment_offset
+                )
+                assignment_offset += 1
+                self._write_assignment(assignment, word_cell_types)
+                self._chip.pause_refresh(window, self._config.temperature_c)
+                self._collect_observations(assignment, word_cell_types, counts)
+        return counts
+
+    def run(self, solve: bool = True, max_solutions: Optional[int] = None) -> ExperimentResult:
+        """Run the full campaign and (optionally) solve for the ECC function."""
+        cell_types: Dict[int, CellType] = {}
+        if self._config.discover_cell_encoding:
+            cell_types = self.discover_cell_types()
+        counts = self.measure_counts(cell_types if cell_types else None)
+        profile = counts.to_profile(self._config.threshold)
+        solution = None
+        if solve:
+            solver = BeerSolver(
+                self._chip.num_data_bits,
+                self._config.num_parity_bits
+                if self._config.num_parity_bits is not None
+                else min_parity_bits(self._chip.num_data_bits),
+            )
+            solution = solver.solve(profile, max_solutions=max_solutions)
+        return ExperimentResult(
+            counts=counts, profile=profile, solution=solution, cell_types=cell_types
+        )
+
+    # -- helpers --------------------------------------------------------------------
+    def _cell_type_per_word(
+        self, cell_types: Optional[Dict[int, CellType]]
+    ) -> List[CellType]:
+        per_word = []
+        for word_index in range(self._chip.num_words):
+            row = self._chip.row_of_word(word_index)
+            if cell_types is not None and row in cell_types:
+                per_word.append(cell_types[row])
+            else:
+                per_word.append(CellType.TRUE_CELL)
+        return per_word
+
+    @staticmethod
+    def _assign_patterns_to_words(
+        patterns: Sequence[ChargedPattern],
+        eligible_words: Sequence[int],
+        offset: int,
+    ) -> Dict[int, ChargedPattern]:
+        """Round-robin pattern assignment, rotated by ``offset`` between rounds."""
+        assignment = {}
+        num_patterns = len(patterns)
+        for position, word_index in enumerate(eligible_words):
+            assignment[word_index] = patterns[(position + offset) % num_patterns]
+        return assignment
+
+    def _write_assignment(
+        self,
+        assignment: Dict[int, ChargedPattern],
+        word_cell_types: Sequence[CellType],
+    ) -> None:
+        indices = sorted(assignment)
+        datawords = np.vstack(
+            [
+                assignment[word_index].dataword(word_cell_types[word_index]).to_numpy()
+                for word_index in indices
+            ]
+        )
+        self._chip.write_datawords(indices, datawords)
+
+    def _collect_observations(
+        self,
+        assignment: Dict[int, ChargedPattern],
+        word_cell_types: Sequence[CellType],
+        counts: MiscorrectionCounts,
+    ) -> None:
+        indices = sorted(assignment)
+        observed = self._chip.read_datawords(indices)
+        words_per_pattern: Dict[ChargedPattern, int] = {}
+        errors_per_pattern: Dict[ChargedPattern, List[int]] = {}
+        for row_index, word_index in enumerate(indices):
+            pattern = assignment[word_index]
+            expected = pattern.dataword(word_cell_types[word_index]).to_numpy()
+            error_positions = np.flatnonzero(observed[row_index] != expected)
+            words_per_pattern[pattern] = words_per_pattern.get(pattern, 0) + 1
+            errors_per_pattern.setdefault(pattern, []).extend(
+                int(p) for p in error_positions
+            )
+        for pattern, words_observed in words_per_pattern.items():
+            counts.record_observations(
+                pattern, errors_per_pattern.get(pattern, []), words_observed
+            )

@@ -1,0 +1,357 @@
+"""Miscorrection profiles.
+
+A *miscorrection profile* (paper Section 5.1.3, Table 2) records, for every
+test pattern, the DISCHARGED data-bit positions at which the on-die ECC can
+be observed to "correct" a bit that never had an error — i.e. the positions
+where miscorrections are possible.  The profile is all BEER needs to recover
+the ECC function.
+
+Two representations are provided:
+
+* :class:`MiscorrectionCounts` — raw experimental observation counts per
+  pattern and bit, from which a clean profile is obtained with the threshold
+  filter of Section 5.2 / Figure 4;
+* :class:`MiscorrectionProfile` — the boolean profile itself.
+
+For simulation and validation, :func:`miscorrections_possible` computes the
+exact profile of a *known* code: with CHARGED codeword positions ``S``, a
+miscorrection can appear at DISCHARGED data bit ``j`` iff column ``H_j`` lies
+in the GF(2) span of ``{H_i : i in S}`` (all subsets of CHARGED cells can
+fail, and subset sums over GF(2) are exactly the span).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ProfileError
+from repro.gf2 import in_span
+from repro.ecc.code import SystematicLinearCode
+from repro.dram.cell import CellType, charge_state_for_bit, ChargeState
+from repro.core.patterns import ChargedPattern
+
+
+def charged_codeword_positions(
+    code: SystematicLinearCode,
+    pattern: ChargedPattern,
+    cell_type: CellType = CellType.TRUE_CELL,
+) -> FrozenSet[int]:
+    """Return every codeword position stored in the CHARGED state for ``pattern``.
+
+    The data positions are given directly by the pattern; the parity positions
+    depend on the encoded parity values, which the ECC function determines.
+    """
+    if pattern.num_data_bits != code.num_data_bits:
+        raise ProfileError(
+            f"pattern is for {pattern.num_data_bits}-bit datawords, "
+            f"code expects {code.num_data_bits}"
+        )
+    codeword = code.encode(pattern.dataword(cell_type))
+    charged = set(pattern.charged_bits)
+    for position in code.parity_bit_positions:
+        state = charge_state_for_bit(cell_type, codeword[position])
+        if state is ChargeState.CHARGED:
+            charged.add(position)
+    return frozenset(charged)
+
+
+def miscorrections_possible(
+    code: SystematicLinearCode,
+    pattern: ChargedPattern,
+    cell_type: CellType = CellType.TRUE_CELL,
+) -> FrozenSet[int]:
+    """Return the DISCHARGED data bits where ``code`` can miscorrect under ``pattern``."""
+    charged = charged_codeword_positions(code, pattern, cell_type)
+    spanning_columns = [code.column(position) for position in charged]
+    possible = set()
+    for target in pattern.discharged_bits:
+        if in_span(code.column(target), spanning_columns):
+            possible.add(target)
+    return frozenset(possible)
+
+
+def expected_miscorrection_profile(
+    code: SystematicLinearCode,
+    patterns: Iterable[ChargedPattern],
+    cell_type: CellType = CellType.TRUE_CELL,
+) -> "MiscorrectionProfile":
+    """Compute the exact miscorrection profile of a known code (ground truth)."""
+    mapping = {
+        pattern: miscorrections_possible(code, pattern, cell_type)
+        for pattern in patterns
+    }
+    return MiscorrectionProfile(code.num_data_bits, mapping)
+
+
+def monte_carlo_miscorrection_profile(
+    code: SystematicLinearCode,
+    patterns: Iterable[ChargedPattern],
+    bit_error_rate: float,
+    words_per_pattern: int,
+    cell_type: CellType = CellType.TRUE_CELL,
+    rng: Optional[np.random.Generator] = None,
+) -> "MiscorrectionProfile":
+    """Measure a miscorrection profile by Monte-Carlo simulation (EINSim-style).
+
+    This mirrors the paper's correctness evaluation (Section 6.1): for every
+    test pattern, many ECC words are simulated with data-retention errors at
+    ``bit_error_rate`` (CHARGED cells only), and every post-correction error
+    observed at a DISCHARGED data bit is recorded as a miscorrection.  With
+    enough words per pattern the measured profile converges to the exact
+    profile of :func:`expected_miscorrection_profile`.
+    """
+    from repro.einsim.simulator import bulk_decode
+
+    if words_per_pattern < 1:
+        raise ProfileError("at least one word per pattern is required")
+    if not 0.0 <= bit_error_rate <= 1.0:
+        raise ProfileError("bit error rate must lie in [0, 1]")
+    generator = rng if rng is not None else np.random.default_rng()
+    charged_value = 1 if cell_type is CellType.TRUE_CELL else 0
+
+    profile = MiscorrectionProfile(code.num_data_bits)
+    for pattern in patterns:
+        dataword = pattern.dataword(cell_type)
+        codeword = code.encode(dataword).to_numpy()
+        stored = np.tile(codeword, (words_per_pattern, 1))
+        charged_cells = stored == charged_value
+        failures = charged_cells & (generator.random(stored.shape) < bit_error_rate)
+        received = np.where(failures, stored ^ 1, stored).astype(np.uint8)
+        corrected = bulk_decode(code, received)
+        data_errors = corrected[:, : code.num_data_bits] != stored[:, : code.num_data_bits]
+        observed_bits = np.flatnonzero(data_errors.any(axis=0))
+        discharged = pattern.discharged_bits
+        profile.record(
+            pattern, [int(bit) for bit in observed_bits if int(bit) in discharged]
+        )
+    return profile
+
+
+class MiscorrectionProfile:
+    """Mapping from test pattern to the set of miscorrection-susceptible data bits."""
+
+    def __init__(
+        self,
+        num_data_bits: int,
+        mapping: Optional[Mapping[ChargedPattern, Iterable[int]]] = None,
+    ):
+        if num_data_bits < 1:
+            raise ProfileError("a profile needs at least one data bit")
+        self._num_data_bits = num_data_bits
+        self._mapping: Dict[ChargedPattern, FrozenSet[int]] = {}
+        if mapping:
+            for pattern, positions in mapping.items():
+                self.record(pattern, positions)
+
+    # -- construction -------------------------------------------------------
+    def record(self, pattern: ChargedPattern, positions: Iterable[int]) -> None:
+        """Record (or extend) the miscorrection positions observed for a pattern."""
+        self._validate_pattern(pattern)
+        cleaned = frozenset(int(p) for p in positions)
+        for position in cleaned:
+            if not 0 <= position < self._num_data_bits:
+                raise ProfileError(f"miscorrection position {position} out of range")
+            if position in pattern.charged_bits:
+                raise ProfileError(
+                    f"bit {position} is CHARGED in the pattern; errors there are "
+                    "ambiguous and cannot be recorded as miscorrections"
+                )
+        existing = self._mapping.get(pattern, frozenset())
+        self._mapping[pattern] = existing | cleaned
+
+    def merge(self, other: "MiscorrectionProfile") -> "MiscorrectionProfile":
+        """Return the union of two profiles (same dataword length required)."""
+        if other.num_data_bits != self._num_data_bits:
+            raise ProfileError("cannot merge profiles with different dataword lengths")
+        merged = MiscorrectionProfile(self._num_data_bits, self._mapping)
+        for pattern in other.patterns:
+            merged.record(pattern, other.miscorrections(pattern))
+        return merged
+
+    # -- accessors ----------------------------------------------------------
+    @property
+    def num_data_bits(self) -> int:
+        """Dataword length the profile applies to."""
+        return self._num_data_bits
+
+    @property
+    def patterns(self) -> List[ChargedPattern]:
+        """Patterns with a recorded entry, in insertion order."""
+        return list(self._mapping.keys())
+
+    def miscorrections(self, pattern: ChargedPattern) -> FrozenSet[int]:
+        """Return the miscorrection positions recorded for ``pattern``."""
+        self._validate_pattern(pattern)
+        if pattern not in self._mapping:
+            raise ProfileError(f"pattern {pattern!r} has no recorded entry")
+        return self._mapping[pattern]
+
+    def __contains__(self, pattern: ChargedPattern) -> bool:
+        return pattern in self._mapping
+
+    def items(self):
+        """Iterate over ``(pattern, miscorrection_positions)`` pairs."""
+        return self._mapping.items()
+
+    def restricted_to_weights(self, weights: Sequence[int]) -> "MiscorrectionProfile":
+        """Return a sub-profile containing only patterns of the given weights."""
+        allowed = set(weights)
+        mapping = {
+            pattern: positions
+            for pattern, positions in self._mapping.items()
+            if pattern.weight in allowed
+        }
+        return MiscorrectionProfile(self._num_data_bits, mapping)
+
+    @property
+    def total_miscorrections(self) -> int:
+        """Total number of (pattern, position) miscorrection entries."""
+        return sum(len(positions) for positions in self._mapping.values())
+
+    # -- serialisation -----------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Serialise to plain Python types (JSON compatible)."""
+        return {
+            "num_data_bits": self._num_data_bits,
+            "entries": [
+                {
+                    "charged_bits": sorted(pattern.charged_bits),
+                    "miscorrections": sorted(positions),
+                }
+                for pattern, positions in self._mapping.items()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MiscorrectionProfile":
+        """Deserialise a profile produced by :meth:`to_dict`."""
+        try:
+            num_data_bits = int(payload["num_data_bits"])
+            entries = payload["entries"]
+        except (KeyError, TypeError) as error:
+            raise ProfileError(f"malformed profile payload: {error}") from error
+        profile = cls(num_data_bits)
+        for entry in entries:
+            pattern = ChargedPattern(num_data_bits, entry["charged_bits"])
+            profile.record(pattern, entry["miscorrections"])
+        return profile
+
+    # -- protocol methods -----------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, MiscorrectionProfile):
+            return NotImplemented
+        return (
+            self._num_data_bits == other._num_data_bits
+            and self._mapping == other._mapping
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"MiscorrectionProfile(k={self._num_data_bits}, "
+            f"patterns={len(self._mapping)}, entries={self.total_miscorrections})"
+        )
+
+    def _validate_pattern(self, pattern: ChargedPattern) -> None:
+        if pattern.num_data_bits != self._num_data_bits:
+            raise ProfileError(
+                f"pattern is for {pattern.num_data_bits}-bit datawords, "
+                f"profile expects {self._num_data_bits}"
+            )
+
+
+class MiscorrectionCounts:
+    """Raw per-bit post-correction error counts gathered during experiments.
+
+    Counts at CHARGED bits are kept (they show up in Figure 3 as the diagonal)
+    but are never interpreted as miscorrections — only DISCHARGED-bit counts
+    survive the conversion to a :class:`MiscorrectionProfile`.
+    """
+
+    def __init__(self, num_data_bits: int):
+        if num_data_bits < 1:
+            raise ProfileError("counts need at least one data bit")
+        self._num_data_bits = num_data_bits
+        self._counts: Dict[ChargedPattern, np.ndarray] = {}
+        self._words_observed: Dict[ChargedPattern, int] = {}
+
+    @property
+    def num_data_bits(self) -> int:
+        """Dataword length the counts apply to."""
+        return self._num_data_bits
+
+    @property
+    def patterns(self) -> List[ChargedPattern]:
+        """Patterns with at least one recorded observation."""
+        return list(self._counts.keys())
+
+    def record_observations(
+        self,
+        pattern: ChargedPattern,
+        error_positions: Iterable[int],
+        words_observed: int,
+    ) -> None:
+        """Record post-correction error positions seen over ``words_observed`` words."""
+        if pattern.num_data_bits != self._num_data_bits:
+            raise ProfileError("pattern dataword length does not match the counts")
+        if words_observed < 0:
+            raise ProfileError("words observed cannot be negative")
+        counts = self._counts.setdefault(pattern, np.zeros(self._num_data_bits, dtype=np.int64))
+        for position in error_positions:
+            if not 0 <= position < self._num_data_bits:
+                raise ProfileError(f"error position {position} out of range")
+            counts[position] += 1
+        self._words_observed[pattern] = self._words_observed.get(pattern, 0) + words_observed
+
+    def counts_for(self, pattern: ChargedPattern) -> np.ndarray:
+        """Return the per-bit error counts recorded for ``pattern``."""
+        if pattern not in self._counts:
+            raise ProfileError(f"pattern {pattern!r} has no recorded observations")
+        return self._counts[pattern].copy()
+
+    def words_observed(self, pattern: ChargedPattern) -> int:
+        """Return the number of word observations recorded for ``pattern``."""
+        return self._words_observed.get(pattern, 0)
+
+    def error_probabilities(self, pattern: ChargedPattern) -> np.ndarray:
+        """Return per-bit post-correction error probabilities for ``pattern``."""
+        counts = self.counts_for(pattern)
+        words = max(self._words_observed.get(pattern, 0), 1)
+        return counts / words
+
+    def merge(self, other: "MiscorrectionCounts") -> "MiscorrectionCounts":
+        """Combine observation counts from two experiments."""
+        if other.num_data_bits != self._num_data_bits:
+            raise ProfileError("cannot merge counts with different dataword lengths")
+        merged = MiscorrectionCounts(self._num_data_bits)
+        for source in (self, other):
+            for pattern in source.patterns:
+                merged._counts.setdefault(
+                    pattern, np.zeros(self._num_data_bits, dtype=np.int64)
+                )
+                merged._counts[pattern] += source._counts[pattern]
+                merged._words_observed[pattern] = (
+                    merged._words_observed.get(pattern, 0) + source._words_observed[pattern]
+                )
+        return merged
+
+    def to_profile(self, threshold: float = 0.0) -> MiscorrectionProfile:
+        """Apply the threshold filter and return the resulting miscorrection profile.
+
+        A DISCHARGED data bit is accepted as miscorrection-susceptible when its
+        per-word error probability strictly exceeds ``threshold``; CHARGED
+        bits are always excluded because their errors are ambiguous.
+        """
+        if threshold < 0:
+            raise ProfileError("threshold must be non-negative")
+        profile = MiscorrectionProfile(self._num_data_bits)
+        for pattern in self.patterns:
+            probabilities = self.error_probabilities(pattern)
+            positions = [
+                position
+                for position in pattern.discharged_bits
+                if probabilities[position] > threshold
+            ]
+            profile.record(pattern, positions)
+        return profile

@@ -1,0 +1,59 @@
+"""DRAM cell encoding conventions (true-cells vs anti-cells).
+
+Section 3.1 of the paper: a *true-cell* encodes data '1' as a fully charged
+capacitor while an *anti-cell* encodes data '1' as a fully discharged one.
+The convention is invisible during normal operation but matters for
+data-retention errors, because cells decay only from CHARGED to DISCHARGED.
+For a true-cell a retention error therefore flips 1 → 0; for an anti-cell it
+flips 0 → 1.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class CellType(enum.Enum):
+    """Physical data-encoding convention of a DRAM cell."""
+
+    #: Data '1' is stored as a charged capacitor.
+    TRUE_CELL = "true"
+    #: Data '1' is stored as a discharged capacitor.
+    ANTI_CELL = "anti"
+
+
+class ChargeState(enum.Enum):
+    """Electrical state of a DRAM cell's storage capacitor."""
+
+    CHARGED = "charged"
+    DISCHARGED = "discharged"
+
+
+def charge_state_for_bit(cell_type: CellType, bit_value: int) -> ChargeState:
+    """Return the charge state a cell assumes when storing ``bit_value``."""
+    if bit_value not in (0, 1):
+        raise ValueError(f"bit value must be 0 or 1, got {bit_value}")
+    if cell_type is CellType.TRUE_CELL:
+        return ChargeState.CHARGED if bit_value == 1 else ChargeState.DISCHARGED
+    return ChargeState.CHARGED if bit_value == 0 else ChargeState.DISCHARGED
+
+
+def bit_for_charge_state(cell_type: CellType, state: ChargeState) -> int:
+    """Return the logical bit value a cell in ``state`` reads back as."""
+    if cell_type is CellType.TRUE_CELL:
+        return 1 if state is ChargeState.CHARGED else 0
+    return 0 if state is ChargeState.CHARGED else 1
+
+
+def retention_error_value(cell_type: CellType) -> int:
+    """Return the bit value a cell decays *to* when it loses its charge."""
+    return bit_for_charge_state(cell_type, ChargeState.DISCHARGED)
+
+
+def can_experience_retention_error(cell_type: CellType, stored_bit: int) -> bool:
+    """Return True if a cell storing ``stored_bit`` can suffer a retention error.
+
+    Only CHARGED cells can decay, so a cell is vulnerable exactly when its
+    stored value maps to the CHARGED state under its encoding convention.
+    """
+    return charge_state_for_bit(cell_type, stored_bit) is ChargeState.CHARGED

@@ -1,0 +1,94 @@
+"""Non-retention fault models.
+
+BEER's miscorrection profiles must be robust to occasional errors that are not
+data-retention related — soft errors from particle strikes, variable-retention
+-time cells, voltage fluctuations (paper Section 5.2).  These faults are rare
+compared with the deliberately induced retention errors, so BEER removes them
+with a simple threshold filter.  The models here let the simulated chip inject
+exactly that kind of interference so the filtering path can be exercised.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ChipConfigurationError
+
+
+class TransientFaultModel:
+    """Rare, random, non-repeatable single-bit flips applied at read time.
+
+    Parameters
+    ----------
+    probability_per_bit:
+        Probability that any individual stored bit is flipped during one read
+        operation.  The paper's argument is that this rate is orders of
+        magnitude below the induced retention error rate (> 1e-7), so the
+        default is tiny but non-zero.
+    """
+
+    def __init__(self, probability_per_bit: float = 1e-9):
+        if not 0 <= probability_per_bit <= 1:
+            raise ChipConfigurationError("fault probability must be in [0, 1]")
+        self._probability_per_bit = probability_per_bit
+
+    @property
+    def probability_per_bit(self) -> float:
+        """Per-bit flip probability per read."""
+        return self._probability_per_bit
+
+    def corrupt(self, bits: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Return a copy of ``bits`` with transient flips applied."""
+        bits = np.asarray(bits, dtype=np.uint8)
+        if self._probability_per_bit == 0:
+            return bits.copy()
+        flips = rng.random(bits.shape) < self._probability_per_bit
+        return np.bitwise_xor(bits, flips.astype(np.uint8))
+
+
+class StuckAtFaultModel:
+    """Permanently stuck cells (stuck-at-0 / stuck-at-1).
+
+    Stuck-at faults are not part of the BEER methodology itself but are the
+    canonical example of "another error mechanism" that BEEP could be extended
+    towards (paper Section 7.1.5); they are used in tests to confirm that such
+    faults do *not* masquerade as retention behaviour.
+    """
+
+    def __init__(
+        self,
+        stuck_fraction: float = 0.0,
+        stuck_value: int = 0,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if not 0 <= stuck_fraction <= 1:
+            raise ChipConfigurationError("stuck fraction must be in [0, 1]")
+        if stuck_value not in (0, 1):
+            raise ChipConfigurationError("stuck value must be 0 or 1")
+        self._stuck_fraction = stuck_fraction
+        self._stuck_value = stuck_value
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._mask_cache: Optional[Tuple[Tuple[int, ...], np.ndarray]] = None
+
+    @property
+    def stuck_fraction(self) -> float:
+        """Fraction of cells that are permanently stuck."""
+        return self._stuck_fraction
+
+    def _mask_for_shape(self, shape: Tuple[int, ...]) -> np.ndarray:
+        if self._mask_cache is None or self._mask_cache[0] != tuple(shape):
+            mask = self._rng.random(shape) < self._stuck_fraction
+            self._mask_cache = (tuple(shape), mask)
+        return self._mask_cache[1]
+
+    def corrupt(self, bits: np.ndarray, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Return a copy of ``bits`` with stuck cells forced to the stuck value."""
+        del rng  # stuck-at faults are permanent; the mask is fixed per model
+        bits = np.asarray(bits, dtype=np.uint8).copy()
+        if self._stuck_fraction == 0:
+            return bits
+        mask = self._mask_for_shape(bits.shape)
+        bits[mask] = self._stuck_value
+        return bits

@@ -1,0 +1,191 @@
+"""Address layouts: ECC-word interleaving and true/anti-cell organisation.
+
+Two layout questions matter to a third party testing a chip with on-die ECC
+(paper Sections 5.1.1 and 5.1.2):
+
+* **Which bytes share an ECC word?**  The profiled LPDDR4 chips map each
+  contiguous 32 B region onto two 16 B ECC datawords interleaved at byte
+  granularity (byte 0 → word 0, byte 1 → word 1, byte 2 → word 0, ...).
+  :class:`ByteInterleavedWordLayout` models this; :class:`SequentialWordLayout`
+  models the simpler contiguous mapping for comparison.
+
+* **Which cells are true-cells and which are anti-cells?**  Manufacturers A
+  and B use only true-cells; manufacturer C alternates blocks of rows between
+  the two conventions.  :class:`CellTypeLayout` captures both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.exceptions import AddressError, ChipConfigurationError
+from repro.dram.cell import CellType
+
+
+@dataclass(frozen=True)
+class WordBitAddress:
+    """Location of one data bit inside the chip's ECC-word address space."""
+
+    word_index: int
+    bit_index: int
+
+
+class SequentialWordLayout:
+    """Contiguous mapping: each ECC dataword covers ``dataword_bytes`` adjacent bytes."""
+
+    def __init__(self, dataword_bytes: int):
+        if dataword_bytes < 1:
+            raise ChipConfigurationError("dataword must span at least one byte")
+        self._dataword_bytes = dataword_bytes
+
+    @property
+    def dataword_bytes(self) -> int:
+        """Number of bytes covered by one ECC dataword."""
+        return self._dataword_bytes
+
+    @property
+    def region_bytes(self) -> int:
+        """Size of the address-space granule the layout repeats over."""
+        return self._dataword_bytes
+
+    @property
+    def words_per_region(self) -> int:
+        """Number of ECC words per region (always 1 for sequential layout)."""
+        return 1
+
+    def bit_address(self, byte_address: int, bit_in_byte: int) -> WordBitAddress:
+        """Map ``(byte_address, bit_in_byte)`` to its ECC word and bit index."""
+        _validate_bit_in_byte(bit_in_byte)
+        if byte_address < 0:
+            raise AddressError("byte address must be non-negative")
+        word_index = byte_address // self._dataword_bytes
+        byte_in_word = byte_address % self._dataword_bytes
+        return WordBitAddress(word_index, byte_in_word * 8 + bit_in_byte)
+
+    def byte_address(self, word_index: int, bit_index: int) -> Tuple[int, int]:
+        """Inverse of :meth:`bit_address`; returns ``(byte_address, bit_in_byte)``."""
+        if bit_index < 0 or bit_index >= self._dataword_bytes * 8:
+            raise AddressError("bit index out of range for this layout")
+        byte_in_word, bit_in_byte = divmod(bit_index, 8)
+        return word_index * self._dataword_bytes + byte_in_word, bit_in_byte
+
+
+class ByteInterleavedWordLayout:
+    """Byte-granularity interleaving of several ECC words within a region.
+
+    With the paper's parameters (``dataword_bytes=16``, ``words_per_region=2``)
+    a 32 B region holds two 16 B ECC datawords: even bytes belong to the first
+    word and odd bytes to the second.
+    """
+
+    def __init__(self, dataword_bytes: int = 16, words_per_region: int = 2):
+        if dataword_bytes < 1 or words_per_region < 1:
+            raise ChipConfigurationError(
+                "dataword size and words per region must be positive"
+            )
+        self._dataword_bytes = dataword_bytes
+        self._words_per_region = words_per_region
+
+    @property
+    def dataword_bytes(self) -> int:
+        """Number of bytes covered by one ECC dataword."""
+        return self._dataword_bytes
+
+    @property
+    def words_per_region(self) -> int:
+        """Number of ECC words interleaved within one region."""
+        return self._words_per_region
+
+    @property
+    def region_bytes(self) -> int:
+        """Size of one interleaving region in bytes."""
+        return self._dataword_bytes * self._words_per_region
+
+    def bit_address(self, byte_address: int, bit_in_byte: int) -> WordBitAddress:
+        """Map ``(byte_address, bit_in_byte)`` to its ECC word and bit index."""
+        _validate_bit_in_byte(bit_in_byte)
+        if byte_address < 0:
+            raise AddressError("byte address must be non-negative")
+        region_index, offset = divmod(byte_address, self.region_bytes)
+        word_in_region = offset % self._words_per_region
+        byte_in_word = offset // self._words_per_region
+        word_index = region_index * self._words_per_region + word_in_region
+        return WordBitAddress(word_index, byte_in_word * 8 + bit_in_byte)
+
+    def byte_address(self, word_index: int, bit_index: int) -> Tuple[int, int]:
+        """Inverse of :meth:`bit_address`; returns ``(byte_address, bit_in_byte)``."""
+        if bit_index < 0 or bit_index >= self._dataword_bytes * 8:
+            raise AddressError("bit index out of range for this layout")
+        byte_in_word, bit_in_byte = divmod(bit_index, 8)
+        region_index, word_in_region = divmod(word_index, self._words_per_region)
+        byte_address = (
+            region_index * self.region_bytes
+            + byte_in_word * self._words_per_region
+            + word_in_region
+        )
+        return byte_address, bit_in_byte
+
+
+class CellTypeLayout:
+    """Assignment of true-/anti-cell conventions to rows.
+
+    The layout is described as repeating blocks of rows; e.g. the paper's
+    manufacturer C alternates true- and anti-cell blocks with block lengths of
+    800, 824, and 1224 rows.  The (scaled-down) simulated chips use the same
+    structure with configurable block lengths.
+    """
+
+    def __init__(self, block_types: Sequence[CellType], block_lengths: Sequence[int]):
+        if len(block_types) != len(block_lengths) or not block_types:
+            raise ChipConfigurationError(
+                "block types and block lengths must be non-empty and equal length"
+            )
+        if any(length < 1 for length in block_lengths):
+            raise ChipConfigurationError("block lengths must be positive")
+        self._block_types = list(block_types)
+        self._block_lengths = list(block_lengths)
+        self._period = sum(block_lengths)
+
+    @classmethod
+    def uniform(cls, cell_type: CellType) -> "CellTypeLayout":
+        """Return a layout in which every row uses the same cell type."""
+        return cls([cell_type], [1])
+
+    @classmethod
+    def alternating(
+        cls, block_lengths: Sequence[int], first: CellType = CellType.TRUE_CELL
+    ) -> "CellTypeLayout":
+        """Return a layout alternating true/anti blocks of the given lengths."""
+        second = (
+            CellType.ANTI_CELL if first is CellType.TRUE_CELL else CellType.TRUE_CELL
+        )
+        types = [first if i % 2 == 0 else second for i in range(len(block_lengths))]
+        return cls(types, block_lengths)
+
+    @property
+    def period(self) -> int:
+        """Number of rows after which the block pattern repeats."""
+        return self._period
+
+    def cell_type_for_row(self, row_index: int) -> CellType:
+        """Return the cell type used by every cell in the given row."""
+        if row_index < 0:
+            raise AddressError("row index must be non-negative")
+        offset = row_index % self._period
+        for cell_type, length in zip(self._block_types, self._block_lengths):
+            if offset < length:
+                return cell_type
+            offset -= length
+        raise AssertionError("unreachable: offset exceeded layout period")
+
+    def rows_of_type(self, cell_type: CellType, num_rows: int) -> List[int]:
+        """Return every row index below ``num_rows`` using ``cell_type``."""
+        return [
+            row for row in range(num_rows) if self.cell_type_for_row(row) is cell_type
+        ]
+
+
+def _validate_bit_in_byte(bit_in_byte: int) -> None:
+    if not 0 <= bit_in_byte < 8:
+        raise AddressError(f"bit-in-byte must be in [0, 8), got {bit_in_byte}")

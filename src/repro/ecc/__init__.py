@@ -1,0 +1,55 @@
+"""Error-correction-code substrate.
+
+This package models the systematic single-error-correcting (SEC) linear block
+codes that DRAM manufacturers use for on-die ECC (Section 3.3 of the paper):
+
+* :mod:`repro.ecc.code` — the :class:`SystematicLinearCode` type holding the
+  generator and parity-check matrices in standard form ``H = [P | I]``.
+* :mod:`repro.ecc.hamming` — construction of SEC Hamming codes (full-length
+  and shortened), random sampling of representative on-die ECC functions, and
+  the worked (7,4,3) example of the paper's Equation 1.
+* :mod:`repro.ecc.decoder` — syndrome decoding and classification of decode
+  outcomes (no error / corrected / silent corruption / partial correction /
+  miscorrection), mirroring Section 3.3.
+* :mod:`repro.ecc.codespace` — code-equivalence (row permutations of the
+  parity submatrix), canonical forms, enumeration and counting of the on-die
+  ECC design space.
+"""
+
+from repro.ecc.code import SystematicLinearCode
+from repro.ecc.decoder import (
+    DecodeOutcome,
+    DecodeResult,
+    SyndromeDecoder,
+    classify_decode,
+)
+from repro.ecc.hamming import (
+    example_7_4_code,
+    full_length_data_bits,
+    hamming_code,
+    min_parity_bits,
+    random_hamming_code,
+)
+from repro.ecc.codespace import (
+    canonical_parity_columns,
+    codes_equivalent,
+    design_space_size,
+    enumerate_sec_codes,
+)
+
+__all__ = [
+    "SystematicLinearCode",
+    "DecodeOutcome",
+    "DecodeResult",
+    "SyndromeDecoder",
+    "classify_decode",
+    "example_7_4_code",
+    "full_length_data_bits",
+    "hamming_code",
+    "min_parity_bits",
+    "random_hamming_code",
+    "canonical_parity_columns",
+    "codes_equivalent",
+    "design_space_size",
+    "enumerate_sec_codes",
+]

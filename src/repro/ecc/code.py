@@ -1,0 +1,270 @@
+"""Systematic linear block codes in standard form.
+
+The paper (Section 4.2.1) argues that, because on-die ECC never exposes its
+parity bits, the ECC function may be assumed without loss of generality to be
+a *systematic* code in *standard form*: the parity-check matrix is
+
+    H = [ P | I ]            (r rows, n = k + r columns)
+
+where the first ``k`` columns correspond to the data bits and the trailing
+``r`` columns form an identity over the parity bits.  A codeword is laid out
+as ``c = [d | p]`` with ``p = P · d``.
+
+:class:`SystematicLinearCode` captures exactly this representation and is the
+single code type used throughout the library; Hamming-specific construction
+logic lives in :mod:`repro.ecc.hamming`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import CodeConstructionError, DimensionError
+from repro.gf2 import GF2Matrix, GF2Vector
+
+
+class SystematicLinearCode:
+    """A systematic linear block code ``H = [P | I]`` over GF(2).
+
+    Parameters
+    ----------
+    parity_submatrix:
+        The ``r × k`` submatrix ``P`` mapping datawords to parity bits.
+
+    Notes
+    -----
+    * Data bits occupy codeword positions ``0 .. k-1``.
+    * Parity bits occupy codeword positions ``k .. n-1``.
+    * The code corrects a single bit error iff all columns of ``H`` are
+      distinct and non-zero (:meth:`is_single_error_correcting`).
+    """
+
+    def __init__(self, parity_submatrix: GF2Matrix):
+        matrix = (
+            parity_submatrix
+            if isinstance(parity_submatrix, GF2Matrix)
+            else GF2Matrix(parity_submatrix)
+        )
+        if matrix.num_rows == 0 or matrix.num_cols == 0:
+            raise CodeConstructionError("parity submatrix must be non-empty")
+        self._parity_submatrix = matrix
+        self._num_parity_bits = matrix.num_rows
+        self._num_data_bits = matrix.num_cols
+        identity = GF2Matrix.identity(self._num_parity_bits)
+        self._parity_check_matrix = matrix.hstack(identity)
+        self._column_ints = tuple(
+            self._parity_check_matrix.column(j).to_int()
+            for j in range(self.codeword_length)
+        )
+
+    # -- constructors -----------------------------------------------------
+    @classmethod
+    def from_parity_columns(
+        cls, columns: Sequence[int], num_parity_bits: int
+    ) -> "SystematicLinearCode":
+        """Build a code from integer-encoded columns of ``P`` (LSB = row 0)."""
+        vectors = [GF2Vector.from_int(col, num_parity_bits) for col in columns]
+        return cls(GF2Matrix.from_columns(vectors))
+
+    @classmethod
+    def from_parity_check_matrix(cls, matrix: GF2Matrix) -> "SystematicLinearCode":
+        """Build a code from a full standard-form parity-check matrix ``[P | I]``.
+
+        Raises :class:`~repro.exceptions.CodeConstructionError` if the trailing
+        square block is not the identity.
+        """
+        full = matrix if isinstance(matrix, GF2Matrix) else GF2Matrix(matrix)
+        num_parity = full.num_rows
+        num_total = full.num_cols
+        if num_total <= num_parity:
+            raise CodeConstructionError(
+                "parity-check matrix must have more columns than rows"
+            )
+        identity_block = full.submatrix(cols=range(num_total - num_parity, num_total))
+        if identity_block != GF2Matrix.identity(num_parity):
+            raise CodeConstructionError(
+                "parity-check matrix is not in standard form [P | I]"
+            )
+        parity_submatrix = full.submatrix(cols=range(num_total - num_parity))
+        return cls(parity_submatrix)
+
+    # -- dimensions -------------------------------------------------------
+    @property
+    def num_data_bits(self) -> int:
+        """``k`` — the number of data bits per ECC word."""
+        return self._num_data_bits
+
+    @property
+    def num_parity_bits(self) -> int:
+        """``r = n - k`` — the number of parity-check bits."""
+        return self._num_parity_bits
+
+    @property
+    def codeword_length(self) -> int:
+        """``n = k + r`` — the total codeword length."""
+        return self._num_data_bits + self._num_parity_bits
+
+    @property
+    def data_bit_positions(self) -> range:
+        """Codeword positions holding data bits."""
+        return range(self._num_data_bits)
+
+    @property
+    def parity_bit_positions(self) -> range:
+        """Codeword positions holding parity bits."""
+        return range(self._num_data_bits, self.codeword_length)
+
+    # -- matrices ---------------------------------------------------------
+    @property
+    def parity_submatrix(self) -> GF2Matrix:
+        """The ``r × k`` submatrix ``P``."""
+        return self._parity_submatrix
+
+    @property
+    def parity_check_matrix(self) -> GF2Matrix:
+        """The full ``r × n`` parity-check matrix ``H = [P | I]``."""
+        return self._parity_check_matrix
+
+    @property
+    def generator_matrix(self) -> GF2Matrix:
+        """The ``n × k`` generator ``G`` such that ``c = G · d`` (systematic)."""
+        identity = GF2Matrix.identity(self._num_data_bits)
+        return identity.vstack(self._parity_submatrix)
+
+    def column(self, position: int) -> GF2Vector:
+        """Return column ``position`` of ``H`` (the syndrome of a single error there)."""
+        return self._parity_check_matrix.column(position)
+
+    def column_int(self, position: int) -> int:
+        """Return column ``position`` of ``H`` encoded as an integer (LSB = row 0)."""
+        return self._column_ints[position]
+
+    @property
+    def column_ints(self) -> Tuple[int, ...]:
+        """All ``n`` columns of ``H`` as integers, data columns first."""
+        return self._column_ints
+
+    @property
+    def parity_column_ints(self) -> Tuple[int, ...]:
+        """The ``k`` data-bit columns of ``H`` (i.e. the columns of ``P``) as integers."""
+        return self._column_ints[: self._num_data_bits]
+
+    # -- encoding / syndromes ----------------------------------------------
+    def encode(self, dataword: GF2Vector) -> GF2Vector:
+        """Encode a ``k``-bit dataword into an ``n``-bit codeword ``[d | p]``."""
+        data = dataword if isinstance(dataword, GF2Vector) else GF2Vector(dataword)
+        if len(data) != self._num_data_bits:
+            raise DimensionError(
+                f"dataword length {len(data)} does not match k={self._num_data_bits}"
+            )
+        parity = self._parity_submatrix @ data
+        return GF2Vector(list(data) + list(parity))
+
+    def extract_dataword(self, codeword: GF2Vector) -> GF2Vector:
+        """Return the data portion (first ``k`` bits) of a codeword."""
+        word = codeword if isinstance(codeword, GF2Vector) else GF2Vector(codeword)
+        if len(word) != self.codeword_length:
+            raise DimensionError(
+                f"codeword length {len(word)} does not match n={self.codeword_length}"
+            )
+        return word[0 : self._num_data_bits]
+
+    def syndrome(self, codeword: GF2Vector) -> GF2Vector:
+        """Return ``H · c`` for a (possibly erroneous) codeword."""
+        word = codeword if isinstance(codeword, GF2Vector) else GF2Vector(codeword)
+        if len(word) != self.codeword_length:
+            raise DimensionError(
+                f"codeword length {len(word)} does not match n={self.codeword_length}"
+            )
+        return self._parity_check_matrix @ word
+
+    def syndrome_of_error_positions(self, positions: Iterable[int]) -> GF2Vector:
+        """Return the syndrome produced by errors at exactly the given positions."""
+        value = 0
+        for position in positions:
+            if not 0 <= position < self.codeword_length:
+                raise DimensionError(
+                    f"error position {position} out of range for n={self.codeword_length}"
+                )
+            value ^= self._column_ints[position]
+        return GF2Vector.from_int(value, self._num_parity_bits)
+
+    def is_codeword(self, codeword: GF2Vector) -> bool:
+        """Return True if ``codeword`` has a zero syndrome."""
+        return self.syndrome(codeword).is_zero()
+
+    def syndrome_to_position(self, syndrome: GF2Vector) -> Optional[int]:
+        """Map a syndrome to the codeword position it points at, if any.
+
+        Returns ``None`` for the zero syndrome and for syndromes that match no
+        column of ``H`` (possible for shortened codes).  If several columns
+        matched — which cannot happen for a valid SEC code — the lowest
+        position is returned.
+        """
+        value = (
+            syndrome.to_int()
+            if isinstance(syndrome, GF2Vector)
+            else GF2Vector(syndrome).to_int()
+        )
+        if value == 0:
+            return None
+        try:
+            return self._column_ints.index(value)
+        except ValueError:
+            return None
+
+    # -- code properties ---------------------------------------------------
+    def is_single_error_correcting(self) -> bool:
+        """True iff every column of ``H`` is non-zero and all columns are distinct."""
+        if 0 in self._column_ints:
+            return False
+        return len(set(self._column_ints)) == len(self._column_ints)
+
+    def minimum_distance(self) -> int:
+        """Return the minimum distance of the code.
+
+        Computed from the parity-check columns: the minimum distance is the
+        smallest number of columns of ``H`` that XOR to zero.  This is
+        exponential in general, so the search is capped at distance 4 which is
+        sufficient to distinguish the cases relevant to SEC on-die ECC
+        (d = 1, 2, 3 or ``>= 4``).
+        """
+        columns = self._column_ints
+        if 0 in columns:
+            return 1
+        if len(set(columns)) != len(columns):
+            return 2
+        column_set = set(columns)
+        for i in range(len(columns)):
+            for j in range(i + 1, len(columns)):
+                combined = columns[i] ^ columns[j]
+                if combined in column_set and columns.index(combined) not in (i, j):
+                    return 3
+        return 4
+
+    def codewords(self) -> List[GF2Vector]:
+        """Enumerate every codeword (only sensible for small ``k``)."""
+        if self._num_data_bits > 20:
+            raise CodeConstructionError(
+                "refusing to enumerate more than 2**20 codewords"
+            )
+        words = []
+        for value in range(1 << self._num_data_bits):
+            dataword = GF2Vector.from_int(value, self._num_data_bits)
+            words.append(self.encode(dataword))
+        return words
+
+    # -- protocol methods ---------------------------------------------------
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, SystematicLinearCode):
+            return NotImplemented
+        return self._parity_submatrix == other._parity_submatrix
+
+    def __hash__(self) -> int:
+        return hash(self._parity_submatrix)
+
+    def __repr__(self) -> str:
+        return (
+            f"SystematicLinearCode(n={self.codeword_length}, "
+            f"k={self.num_data_bits}, r={self.num_parity_bits})"
+        )

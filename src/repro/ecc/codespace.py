@@ -1,0 +1,117 @@
+"""Code equivalence, canonical forms, and design-space enumeration.
+
+Because on-die ECC never exposes its parity bits, two codes that differ only
+by a relabelling of the parity bits (equivalently: a permutation of the rows
+of the standard-form parity submatrix ``P``) are indistinguishable from
+outside the chip — they produce identical miscorrection profiles (paper
+Sections 4.2.1 and 5.4).  BEER therefore recovers the ECC function *up to
+this equivalence*, and solution counting (Figure 5) must be performed on
+equivalence classes.
+
+This module provides:
+
+* :func:`canonical_parity_columns` — a canonical representative of a code's
+  equivalence class, used to de-duplicate solver output;
+* :func:`codes_equivalent` — the equivalence test itself;
+* :func:`enumerate_sec_codes` — exhaustive enumeration of all SEC codes for
+  small dimensions (used by tests and small-scale uniqueness studies);
+* :func:`design_space_size` — the size of the full design space.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.ecc.code import SystematicLinearCode
+from repro.ecc.hamming import candidate_parity_columns, count_sec_functions
+
+
+def _permute_column_bits(column: int, permutation: Sequence[int]) -> int:
+    """Apply a row permutation to an integer-encoded column.
+
+    ``permutation[i]`` gives the new row index of original row ``i``.
+    """
+    result = 0
+    for source_row, target_row in enumerate(permutation):
+        if (column >> source_row) & 1:
+            result |= 1 << target_row
+    return result
+
+
+def canonical_parity_columns(
+    columns: Sequence[int], num_parity_bits: int
+) -> Tuple[int, ...]:
+    """Return the canonical representative of a column tuple under row permutations.
+
+    The canonical form is the lexicographically smallest tuple obtained by
+    applying any permutation of the parity rows to every column
+    simultaneously.  Codes are equivalent iff their canonical forms match.
+
+    The search is exhaustive over ``r!`` permutations, which is fine for the
+    parity-bit counts relevant to on-die ECC (``r <= 9``) and only used on
+    solver output, never in inner loops.
+    """
+    best: Optional[Tuple[int, ...]] = None
+    for permutation in itertools.permutations(range(num_parity_bits)):
+        candidate = tuple(_permute_column_bits(col, permutation) for col in columns)
+        if best is None or candidate < best:
+            best = candidate
+    assert best is not None
+    return best
+
+
+def canonical_form(code: SystematicLinearCode) -> Tuple[int, ...]:
+    """Return the canonical column tuple for a code."""
+    return canonical_parity_columns(code.parity_column_ints, code.num_parity_bits)
+
+
+def codes_equivalent(first: SystematicLinearCode, second: SystematicLinearCode) -> bool:
+    """Return True if two codes differ only by a relabelling of parity bits."""
+    if first.num_data_bits != second.num_data_bits:
+        return False
+    if first.num_parity_bits != second.num_parity_bits:
+        return False
+    return canonical_form(first) == canonical_form(second)
+
+
+def deduplicate_equivalent(
+    codes: Sequence[SystematicLinearCode],
+) -> List[SystematicLinearCode]:
+    """Return one representative per equivalence class, preserving order."""
+    seen = set()
+    unique: List[SystematicLinearCode] = []
+    for code in codes:
+        key = canonical_form(code)
+        if key not in seen:
+            seen.add(key)
+            unique.append(code)
+    return unique
+
+
+def enumerate_sec_codes(
+    num_data_bits: int,
+    num_parity_bits: int,
+    up_to_equivalence: bool = False,
+) -> Iterator[SystematicLinearCode]:
+    """Yield every standard-form SEC code with the given dimensions.
+
+    With ``up_to_equivalence=True`` only one representative per
+    row-permutation equivalence class is yielded.  The enumeration is
+    exponential in ``k`` and intended for the small dimensions used in tests
+    and exhaustive validation (e.g. ``k <= 6``).
+    """
+    available = candidate_parity_columns(num_parity_bits)
+    seen_canonical = set()
+    for arrangement in itertools.permutations(available, num_data_bits):
+        if up_to_equivalence:
+            key = canonical_parity_columns(arrangement, num_parity_bits)
+            if key in seen_canonical:
+                continue
+            seen_canonical.add(key)
+        yield SystematicLinearCode.from_parity_columns(arrangement, num_parity_bits)
+
+
+def design_space_size(num_data_bits: int, num_parity_bits: Optional[int] = None) -> int:
+    """Return the number of distinct standard-form SEC functions (ordered columns)."""
+    return count_sec_functions(num_data_bits, num_parity_bits)

@@ -1,0 +1,179 @@
+"""Syndrome decoding and classification of decode outcomes.
+
+Section 3.3 of the paper describes the behaviour of an on-die SEC decoder
+facing an arbitrary (possibly uncorrectable) error pattern:
+
+* syndrome ``0``       → no correction performed,
+* syndrome = column j  → bit ``j`` is flipped,
+* syndrome matches no column (possible for shortened codes) → no correction.
+
+When the injected error pattern is uncorrectable, the externally visible
+outcome falls into one of three classes — *silent data corruption*, *partial
+correction*, or *miscorrection* — which :func:`classify_decode` reports.
+Miscorrections are the signal BEER is built on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.exceptions import DimensionError
+from repro.gf2 import GF2Vector
+from repro.ecc.code import SystematicLinearCode
+
+
+class DecodeOutcome(enum.Enum):
+    """Classification of a decode relative to the true transmitted codeword."""
+
+    #: No pre-correction errors and no correction performed.
+    NO_ERROR = "no_error"
+    #: A single pre-correction error was corrected exactly.
+    CORRECTED = "corrected"
+    #: Uncorrectable error with a zero syndrome: errors pass through silently.
+    SILENT_CORRUPTION = "silent_corruption"
+    #: Uncorrectable error whose syndrome pointed at one of the erroneous bits.
+    PARTIAL_CORRECTION = "partial_correction"
+    #: Uncorrectable error whose syndrome pointed at a non-erroneous bit.
+    MISCORRECTION = "miscorrection"
+    #: Non-zero syndrome matching no column of H (shortened codes only).
+    DETECTED_UNCORRECTABLE = "detected_uncorrectable"
+
+
+@dataclass(frozen=True)
+class DecodeResult:
+    """Result of decoding one (possibly erroneous) codeword.
+
+    Attributes
+    ----------
+    dataword:
+        The post-correction dataword handed back over the DRAM interface.
+    corrected_codeword:
+        The full post-correction codeword (internal to the chip).
+    corrected_position:
+        The codeword position flipped by the decoder, or ``None``.
+    syndrome:
+        The raw error syndrome ``H · c'`` (never visible to real hosts; kept
+        here for simulation and validation).
+    """
+
+    dataword: GF2Vector
+    corrected_codeword: GF2Vector
+    corrected_position: Optional[int]
+    syndrome: GF2Vector
+
+    @property
+    def correction_performed(self) -> bool:
+        """True if the decoder flipped any bit."""
+        return self.corrected_position is not None
+
+
+class SyndromeDecoder:
+    """Single-error syndrome decoder for a :class:`SystematicLinearCode`.
+
+    The decoder mirrors the hardware behaviour described in the paper: it
+    blindly computes the syndrome, flips the bit the syndrome points at (if
+    any), and returns the data portion of the result.  It has no notion of
+    how many errors actually occurred.
+    """
+
+    def __init__(self, code: SystematicLinearCode):
+        self._code = code
+
+    @property
+    def code(self) -> SystematicLinearCode:
+        """The code this decoder operates on."""
+        return self._code
+
+    def decode(self, received_codeword: GF2Vector) -> DecodeResult:
+        """Decode a received codeword and return the full decode result."""
+        word = (
+            received_codeword
+            if isinstance(received_codeword, GF2Vector)
+            else GF2Vector(received_codeword)
+        )
+        if len(word) != self._code.codeword_length:
+            raise DimensionError(
+                f"received word has length {len(word)}, expected "
+                f"{self._code.codeword_length}"
+            )
+        syndrome = self._code.syndrome(word)
+        position = self._code.syndrome_to_position(syndrome)
+        corrected = word if position is None else word.flip(position)
+        return DecodeResult(
+            dataword=self._code.extract_dataword(corrected),
+            corrected_codeword=corrected,
+            corrected_position=position,
+            syndrome=syndrome,
+        )
+
+    def decode_dataword(self, received_codeword: GF2Vector) -> GF2Vector:
+        """Decode and return only the post-correction dataword."""
+        return self.decode(received_codeword).dataword
+
+
+def classify_decode(
+    code: SystematicLinearCode,
+    transmitted_codeword: GF2Vector,
+    received_codeword: GF2Vector,
+) -> DecodeOutcome:
+    """Classify the outcome of decoding ``received`` given the true codeword.
+
+    This requires ground-truth knowledge of the transmitted codeword and is
+    therefore only available in simulation — exactly the visibility gap that
+    motivates BEER.
+    """
+    transmitted = (
+        transmitted_codeword
+        if isinstance(transmitted_codeword, GF2Vector)
+        else GF2Vector(transmitted_codeword)
+    )
+    received = (
+        received_codeword
+        if isinstance(received_codeword, GF2Vector)
+        else GF2Vector(received_codeword)
+    )
+    if len(transmitted) != code.codeword_length or len(received) != code.codeword_length:
+        raise DimensionError("codeword lengths do not match the code")
+
+    error_positions = set((transmitted + received).support)
+    decoder = SyndromeDecoder(code)
+    result = decoder.decode(received)
+
+    if not error_positions:
+        return DecodeOutcome.NO_ERROR
+    if len(error_positions) == 1:
+        # A valid SEC code always corrects a single error exactly.
+        if result.corrected_position in error_positions:
+            return DecodeOutcome.CORRECTED
+        # A shortened/degenerate code may fail to match the syndrome.
+        return DecodeOutcome.DETECTED_UNCORRECTABLE
+
+    if result.syndrome.is_zero():
+        return DecodeOutcome.SILENT_CORRUPTION
+    if result.corrected_position is None:
+        return DecodeOutcome.DETECTED_UNCORRECTABLE
+    if result.corrected_position in error_positions:
+        return DecodeOutcome.PARTIAL_CORRECTION
+    return DecodeOutcome.MISCORRECTION
+
+
+def post_correction_error_positions(
+    code: SystematicLinearCode,
+    transmitted_dataword: GF2Vector,
+    received_codeword: GF2Vector,
+) -> tuple:
+    """Return the data-bit positions that differ after decoding.
+
+    These are the only errors a third party can observe through the DRAM
+    interface (the parity bits never leave the chip).
+    """
+    decoder = SyndromeDecoder(code)
+    decoded = decoder.decode_dataword(received_codeword)
+    transmitted = (
+        transmitted_dataword
+        if isinstance(transmitted_dataword, GF2Vector)
+        else GF2Vector(transmitted_dataword)
+    )
+    return (decoded + transmitted).support

@@ -1,0 +1,184 @@
+"""Construction of single-error-correcting (SEC) Hamming codes.
+
+On-die ECC is reported to use 64- or 128-bit-dataword SEC Hamming codes
+(paper Section 1).  A standard-form SEC Hamming code with ``r`` parity bits
+assigns every data bit a distinct non-zero syndrome column that is also
+distinct from the ``r`` unit columns of the identity block — i.e. a column of
+Hamming weight at least two.  There are ``2**r - r - 1`` such columns, so
+
+* a *full-length* code uses all of them (``k = 2**r - r - 1``), and
+* a *shortened* code uses any ordered subset of ``k`` of them.
+
+Every valid on-die ECC function therefore corresponds to an ordered selection
+of ``k`` distinct weight-≥2 columns, which is exactly the design space BEER
+searches (paper Section 3.3, "Design Space").
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import CodeConstructionError
+from repro.gf2 import GF2Matrix, GF2Vector, popcount
+from repro.ecc.code import SystematicLinearCode
+
+
+def min_parity_bits(num_data_bits: int) -> int:
+    """Return the minimum number of parity bits for a ``k``-data-bit SEC code.
+
+    This is the smallest ``r`` with ``2**r - r - 1 >= k``.
+    """
+    if num_data_bits < 1:
+        raise CodeConstructionError("a code needs at least one data bit")
+    num_parity_bits = 2
+    while (1 << num_parity_bits) - num_parity_bits - 1 < num_data_bits:
+        num_parity_bits += 1
+    return num_parity_bits
+
+
+def full_length_data_bits(num_parity_bits: int) -> int:
+    """Return ``k`` for the full-length SEC Hamming code with ``r`` parity bits."""
+    if num_parity_bits < 2:
+        raise CodeConstructionError("a SEC Hamming code needs at least two parity bits")
+    return (1 << num_parity_bits) - num_parity_bits - 1
+
+
+def candidate_parity_columns(num_parity_bits: int) -> List[int]:
+    """Return every legal data-column syndrome for ``r`` parity bits.
+
+    Legal columns are the non-zero ``r``-bit values of weight at least two
+    (weight-one values are reserved for the identity block over the parity
+    bits), listed in increasing integer order.
+    """
+    return [
+        value
+        for value in range(1, 1 << num_parity_bits)
+        if popcount(value) >= 2
+    ]
+
+
+def is_shortened(code: SystematicLinearCode) -> bool:
+    """Return True if the code uses fewer data bits than the full-length code."""
+    return code.num_data_bits < full_length_data_bits(code.num_parity_bits)
+
+
+def hamming_code(
+    num_data_bits: int,
+    num_parity_bits: Optional[int] = None,
+    columns: Optional[Sequence[int]] = None,
+) -> SystematicLinearCode:
+    """Construct a deterministic SEC Hamming code.
+
+    Parameters
+    ----------
+    num_data_bits:
+        Dataword length ``k``.
+    num_parity_bits:
+        Number of parity bits ``r``; defaults to the minimum for ``k``.
+    columns:
+        Optional explicit choice of the ``k`` data-column syndromes (integers,
+        LSB = parity row 0).  When omitted the first ``k`` legal columns in
+        increasing integer order are used, which gives a repeatable
+        "textbook" construction.
+    """
+    if num_parity_bits is None:
+        num_parity_bits = min_parity_bits(num_data_bits)
+    available = candidate_parity_columns(num_parity_bits)
+    if num_data_bits > len(available):
+        raise CodeConstructionError(
+            f"k={num_data_bits} does not fit in r={num_parity_bits} parity bits "
+            f"(maximum is {len(available)})"
+        )
+    if columns is None:
+        chosen = available[:num_data_bits]
+    else:
+        chosen = list(columns)
+        if len(chosen) != num_data_bits:
+            raise CodeConstructionError(
+                f"expected {num_data_bits} columns, got {len(chosen)}"
+            )
+        _validate_columns(chosen, num_parity_bits)
+    return SystematicLinearCode.from_parity_columns(chosen, num_parity_bits)
+
+
+def random_hamming_code(
+    num_data_bits: int,
+    num_parity_bits: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> SystematicLinearCode:
+    """Sample a uniformly random SEC Hamming code for the given dimensions.
+
+    This mirrors the paper's evaluation methodology (Section 6.1), which
+    samples representative on-die ECC functions by drawing random ordered
+    subsets of legal parity-check columns.
+    """
+    if num_parity_bits is None:
+        num_parity_bits = min_parity_bits(num_data_bits)
+    available = candidate_parity_columns(num_parity_bits)
+    if num_data_bits > len(available):
+        raise CodeConstructionError(
+            f"k={num_data_bits} does not fit in r={num_parity_bits} parity bits "
+            f"(maximum is {len(available)})"
+        )
+    generator = rng if rng is not None else np.random.default_rng()
+    indices = generator.permutation(len(available))[:num_data_bits]
+    chosen = [available[int(i)] for i in indices]
+    return SystematicLinearCode.from_parity_columns(chosen, num_parity_bits)
+
+
+def _validate_columns(columns: Sequence[int], num_parity_bits: int) -> None:
+    """Raise if the chosen columns cannot form a SEC Hamming code."""
+    seen = set()
+    for column in columns:
+        if not 0 < column < (1 << num_parity_bits):
+            raise CodeConstructionError(
+                f"column {column} does not fit in {num_parity_bits} parity bits"
+            )
+        if popcount(column) < 2:
+            raise CodeConstructionError(
+                f"column {column} has weight < 2 and would collide with a parity column"
+            )
+        if column in seen:
+            raise CodeConstructionError(f"column {column} is duplicated")
+        seen.add(column)
+
+
+def example_7_4_code() -> SystematicLinearCode:
+    """Return the exact (7, 4, 3) Hamming code of the paper's Equation 1.
+
+    The parity-check matrix is::
+
+        H = [ 1 1 1 0 | 1 0 0 ]
+            [ 1 1 0 1 | 0 1 0 ]
+            [ 1 0 1 1 | 0 0 1 ]
+    """
+    parity_submatrix = GF2Matrix(
+        [
+            [1, 1, 1, 0],
+            [1, 1, 0, 1],
+            [1, 0, 1, 1],
+        ]
+    )
+    return SystematicLinearCode(parity_submatrix)
+
+
+def count_sec_functions(num_data_bits: int, num_parity_bits: Optional[int] = None) -> int:
+    """Count the ordered arrangements of legal columns, i.e. the design space size.
+
+    This is the number of distinct standard-form SEC parity-check matrices for
+    the given dimensions: ``P(2**r - r - 1, k)`` ordered selections.
+    """
+    if num_parity_bits is None:
+        num_parity_bits = min_parity_bits(num_data_bits)
+    available = (1 << num_parity_bits) - num_parity_bits - 1
+    if num_data_bits > available:
+        return 0
+    return math.perm(available, num_data_bits)
+
+
+def parity_columns_of(code: SystematicLinearCode) -> List[GF2Vector]:
+    """Return the data-bit columns of ``H`` for ``code`` as vectors."""
+    return [code.column(j) for j in code.data_bit_positions]

@@ -1,0 +1,41 @@
+"""EINSim-equivalent ECC-word error-injection simulator.
+
+The paper evaluates BEER and BEEP with EINSim, the authors' open-source DRAM
+error-correction simulator.  This package provides the equivalent Monte-Carlo
+machinery in Python:
+
+* :mod:`repro.einsim.injectors` — pre-correction error models (uniform-random
+  bit errors, data-retention errors restricted to CHARGED cells, fixed error
+  counts, arbitrary per-bit probabilities);
+* :mod:`repro.einsim.simulator` — vectorised simulation of large numbers of
+  ECC words through encode → inject → decode, with per-bit post-correction
+  statistics and miscorrection bookkeeping;
+* :mod:`repro.einsim.statistics` — bootstrap confidence intervals and summary
+  helpers used when reproducing the paper's figures.
+"""
+
+from repro.einsim.injectors import (
+    DataRetentionInjector,
+    FixedErrorCountInjector,
+    PerBitBernoulliInjector,
+    UniformRandomInjector,
+)
+from repro.einsim.simulator import EinsimSimulator, SimulationResult, bulk_decode
+from repro.einsim.statistics import (
+    bootstrap_confidence_interval,
+    BootstrapInterval,
+    relative_probabilities,
+)
+
+__all__ = [
+    "DataRetentionInjector",
+    "FixedErrorCountInjector",
+    "PerBitBernoulliInjector",
+    "UniformRandomInjector",
+    "EinsimSimulator",
+    "SimulationResult",
+    "bulk_decode",
+    "bootstrap_confidence_interval",
+    "BootstrapInterval",
+    "relative_probabilities",
+]

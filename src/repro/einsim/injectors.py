@@ -1,0 +1,152 @@
+"""Pre-correction error injection models.
+
+Every injector produces, for a batch of stored codewords, a boolean error mask
+of the same shape; a set bit means the corresponding cell reads back flipped.
+The masks respect each model's physical semantics — in particular the
+data-retention injector only ever flips CHARGED cells, mirroring the
+unidirectional CHARGED → DISCHARGED decay BEER exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ChipConfigurationError
+from repro.dram.cell import CellType
+
+
+class UniformRandomInjector:
+    """Flip every codeword bit independently with probability ``bit_error_rate``.
+
+    This is the model behind the paper's Figure 1 (uniform-random
+    pre-correction errors at a given raw BER).
+    """
+
+    def __init__(self, bit_error_rate: float):
+        _validate_probability(bit_error_rate)
+        self._bit_error_rate = bit_error_rate
+
+    @property
+    def bit_error_rate(self) -> float:
+        """Per-bit flip probability."""
+        return self._bit_error_rate
+
+    def error_mask(self, stored_codewords: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Return a boolean mask of injected errors."""
+        stored = np.asarray(stored_codewords)
+        return rng.random(stored.shape) < self._bit_error_rate
+
+
+class DataRetentionInjector:
+    """Flip CHARGED cells only, each with probability ``bit_error_rate``.
+
+    CHARGED-ness is derived from the stored bit and the cell type: true-cells
+    are CHARGED when storing 1, anti-cells when storing 0 (paper Section 3.2).
+    """
+
+    def __init__(self, bit_error_rate: float, cell_type: CellType = CellType.TRUE_CELL):
+        _validate_probability(bit_error_rate)
+        self._bit_error_rate = bit_error_rate
+        self._cell_type = cell_type
+
+    @property
+    def bit_error_rate(self) -> float:
+        """Per-CHARGED-cell flip probability."""
+        return self._bit_error_rate
+
+    @property
+    def cell_type(self) -> CellType:
+        """Cell convention assumed for every cell in the batch."""
+        return self._cell_type
+
+    def error_mask(self, stored_codewords: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Return a boolean mask of injected errors (CHARGED cells only)."""
+        stored = np.asarray(stored_codewords)
+        if self._cell_type is CellType.TRUE_CELL:
+            charged = stored == 1
+        else:
+            charged = stored == 0
+        return charged & (rng.random(stored.shape) < self._bit_error_rate)
+
+
+class FixedErrorCountInjector:
+    """Inject exactly ``num_errors`` errors per codeword at random positions.
+
+    Optionally the candidate positions can be restricted (e.g. to the cells a
+    BEEP experiment knows to be error-prone) and each selected candidate can
+    fail only with probability ``per_bit_probability`` (paper Figure 9).
+    """
+
+    def __init__(
+        self,
+        num_errors: int,
+        candidate_positions: Optional[Sequence[int]] = None,
+        per_bit_probability: float = 1.0,
+    ):
+        if num_errors < 0:
+            raise ChipConfigurationError("number of errors cannot be negative")
+        _validate_probability(per_bit_probability)
+        self._num_errors = num_errors
+        self._candidate_positions = (
+            None if candidate_positions is None else list(candidate_positions)
+        )
+        self._per_bit_probability = per_bit_probability
+
+    @property
+    def num_errors(self) -> int:
+        """Number of error-prone cells chosen per codeword."""
+        return self._num_errors
+
+    def error_mask(self, stored_codewords: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Return a boolean mask with up to ``num_errors`` flips per word."""
+        stored = np.asarray(stored_codewords)
+        num_words, codeword_length = stored.shape
+        candidates = (
+            np.arange(codeword_length)
+            if self._candidate_positions is None
+            else np.asarray(self._candidate_positions)
+        )
+        if self._num_errors > candidates.size:
+            raise ChipConfigurationError(
+                f"cannot place {self._num_errors} errors among {candidates.size} candidates"
+            )
+        mask = np.zeros((num_words, codeword_length), dtype=bool)
+        for word in range(num_words):
+            chosen = rng.choice(candidates, size=self._num_errors, replace=False)
+            fires = rng.random(self._num_errors) < self._per_bit_probability
+            mask[word, chosen[fires]] = True
+        return mask
+
+
+class PerBitBernoulliInjector:
+    """Flip bit ``i`` of every codeword independently with probability ``p[i]``."""
+
+    def __init__(self, probabilities: Sequence[float]):
+        probabilities = np.asarray(list(probabilities), dtype=float)
+        if probabilities.ndim != 1:
+            raise ChipConfigurationError("per-bit probabilities must be one-dimensional")
+        if ((probabilities < 0) | (probabilities > 1)).any():
+            raise ChipConfigurationError("probabilities must lie in [0, 1]")
+        self._probabilities = probabilities
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """Per-bit flip probabilities."""
+        return self._probabilities.copy()
+
+    def error_mask(self, stored_codewords: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Return a boolean mask of injected errors."""
+        stored = np.asarray(stored_codewords)
+        if stored.shape[1] != self._probabilities.shape[0]:
+            raise ChipConfigurationError(
+                f"codeword length {stored.shape[1]} does not match "
+                f"{self._probabilities.shape[0]} per-bit probabilities"
+            )
+        return rng.random(stored.shape) < self._probabilities[np.newaxis, :]
+
+
+def _validate_probability(value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ChipConfigurationError(f"probability {value} must lie in [0, 1]")

@@ -1,0 +1,151 @@
+"""Vectorised Monte-Carlo simulation of ECC words (the EINSim role).
+
+The simulator takes a code, a dataword (test pattern), an error injector and a
+word count; it encodes, injects pre-correction errors, decodes, and reports
+per-bit post-correction error statistics plus the miscorrection bookkeeping
+that BEER and BEEP need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Set, Tuple
+
+import numpy as np
+
+from repro.exceptions import DimensionError
+from repro.gf2 import GF2Vector
+from repro.ecc.code import SystematicLinearCode
+
+
+def bulk_decode(code: SystematicLinearCode, received: np.ndarray) -> np.ndarray:
+    """Syndrome-decode a batch of codewords (rows of ``received``) at once."""
+    received = np.asarray(received, dtype=np.uint8)
+    if received.ndim != 2 or received.shape[1] != code.codeword_length:
+        raise DimensionError(
+            f"expected an array of shape (*, {code.codeword_length}), got {received.shape}"
+        )
+    h_matrix = code.parity_check_matrix.to_numpy().astype(np.int64)
+    syndromes = (received.astype(np.int64) @ h_matrix.T) % 2
+    weights = (1 << np.arange(code.num_parity_bits)).astype(np.int64)
+    syndrome_values = syndromes @ weights
+    lookup = np.full(1 << code.num_parity_bits, -1, dtype=np.int64)
+    for position in range(code.codeword_length):
+        lookup[code.column_int(position)] = position
+    positions = lookup[syndrome_values]
+    corrected = received.copy()
+    rows = np.flatnonzero(positions >= 0)
+    corrected[rows, positions[rows]] ^= 1
+    return corrected
+
+
+@dataclass
+class SimulationResult:
+    """Aggregate outcome of simulating many ECC words with one test pattern."""
+
+    #: The dataword that was written to every simulated word.
+    dataword: GF2Vector
+    #: Number of ECC words simulated.
+    num_words: int
+    #: Per-data-bit count of post-correction errors (length ``k``).
+    post_correction_error_counts: np.ndarray
+    #: Per-codeword-bit count of injected pre-correction errors (length ``n``).
+    pre_correction_error_counts: np.ndarray
+    #: Number of words whose injected error pattern was uncorrectable.
+    uncorrectable_words: int
+    #: Number of words in which the decoder flipped a non-erroneous bit.
+    miscorrected_words: int
+    #: Data-bit positions where a miscorrection was observed at least once.
+    miscorrection_positions: Tuple[int, ...]
+
+    @property
+    def post_correction_error_probabilities(self) -> np.ndarray:
+        """Per-data-bit post-correction error probability."""
+        return self.post_correction_error_counts / max(self.num_words, 1)
+
+    @property
+    def pre_correction_error_probabilities(self) -> np.ndarray:
+        """Per-codeword-bit pre-correction error probability."""
+        return self.pre_correction_error_counts / max(self.num_words, 1)
+
+
+class EinsimSimulator:
+    """Monte-Carlo ECC-word simulator for a fixed code."""
+
+    def __init__(self, code: SystematicLinearCode, seed: Optional[int] = None):
+        self._code = code
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def code(self) -> SystematicLinearCode:
+        """The code under simulation."""
+        return self._code
+
+    def simulate(
+        self,
+        dataword,
+        num_words: int,
+        injector,
+        batch_size: int = 65536,
+    ) -> SimulationResult:
+        """Simulate ``num_words`` ECC words storing ``dataword`` with ``injector`` errors."""
+        data_bits = _as_dataword(dataword, self._code.num_data_bits)
+        codeword = self._code.encode(GF2Vector(data_bits)).to_numpy()
+        codeword_length = self._code.codeword_length
+        num_data_bits = self._code.num_data_bits
+
+        post_counts = np.zeros(num_data_bits, dtype=np.int64)
+        pre_counts = np.zeros(codeword_length, dtype=np.int64)
+        uncorrectable = 0
+        miscorrected = 0
+        miscorrection_positions: Set[int] = set()
+
+        remaining = num_words
+        while remaining > 0:
+            batch = min(batch_size, remaining)
+            remaining -= batch
+            stored = np.tile(codeword, (batch, 1))
+            mask = injector.error_mask(stored, self._rng)
+            received = np.bitwise_xor(stored, mask.astype(np.uint8))
+            corrected = bulk_decode(self._code, received)
+
+            pre_counts += mask.sum(axis=0)
+            data_errors = corrected[:, :num_data_bits] != stored[:, :num_data_bits]
+            post_counts += data_errors.sum(axis=0)
+
+            error_counts = mask.sum(axis=1)
+            uncorrectable += int((error_counts >= 2).sum())
+
+            flipped = corrected != received
+            miscorrection_mask = flipped & ~mask
+            miscorrected += int(miscorrection_mask.any(axis=1).sum())
+            observed = np.flatnonzero(miscorrection_mask[:, :num_data_bits].any(axis=0))
+            miscorrection_positions.update(int(i) for i in observed)
+
+        return SimulationResult(
+            dataword=GF2Vector(data_bits),
+            num_words=num_words,
+            post_correction_error_counts=post_counts,
+            pre_correction_error_counts=pre_counts,
+            uncorrectable_words=uncorrectable,
+            miscorrected_words=miscorrected,
+            miscorrection_positions=tuple(sorted(miscorrection_positions)),
+        )
+
+    def per_bit_error_probability(
+        self, dataword, num_words: int, injector
+    ) -> np.ndarray:
+        """Convenience wrapper returning only per-data-bit error probabilities."""
+        return self.simulate(dataword, num_words, injector).post_correction_error_probabilities
+
+
+def _as_dataword(dataword, expected_length: int) -> np.ndarray:
+    if isinstance(dataword, GF2Vector):
+        bits = dataword.to_numpy()
+    else:
+        bits = np.asarray(dataword, dtype=np.uint8) % 2
+    if bits.ndim != 1 or bits.shape[0] != expected_length:
+        raise DimensionError(
+            f"dataword must have exactly {expected_length} bits, got shape {bits.shape}"
+        )
+    return bits.astype(np.uint8)

@@ -1,0 +1,79 @@
+"""Statistical helpers for simulation results.
+
+The paper reports Figure 1 as medians with 95 % confidence intervals obtained
+by statistical bootstrapping over 1000 resamples; these helpers provide that
+machinery for the reproduction's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BootstrapInterval:
+    """A point estimate with a bootstrap confidence interval."""
+
+    estimate: float
+    lower: float
+    upper: float
+    confidence: float
+
+    def contains(self, value: float) -> bool:
+        """Return True if ``value`` lies inside the interval."""
+        return self.lower <= value <= self.upper
+
+
+def bootstrap_confidence_interval(
+    samples: Sequence[float],
+    statistic: Callable[[np.ndarray], float] = np.median,
+    num_resamples: int = 1000,
+    confidence: float = 0.95,
+    rng: Optional[np.random.Generator] = None,
+) -> BootstrapInterval:
+    """Bootstrap a confidence interval for ``statistic`` over ``samples``."""
+    data = np.asarray(list(samples), dtype=float)
+    if data.size == 0:
+        raise ValueError("cannot bootstrap an empty sample")
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must lie strictly between 0 and 1")
+    if num_resamples < 1:
+        raise ValueError("at least one resample is required")
+    generator = rng if rng is not None else np.random.default_rng()
+    resample_statistics = np.empty(num_resamples, dtype=float)
+    for index in range(num_resamples):
+        resample = generator.choice(data, size=data.size, replace=True)
+        resample_statistics[index] = float(statistic(resample))
+    alpha = (1.0 - confidence) / 2.0
+    lower, upper = np.quantile(resample_statistics, [alpha, 1.0 - alpha])
+    return BootstrapInterval(
+        estimate=float(statistic(data)),
+        lower=float(lower),
+        upper=float(upper),
+        confidence=confidence,
+    )
+
+
+def relative_probabilities(counts: Sequence[float]) -> np.ndarray:
+    """Normalise per-bit error counts into relative probabilities (sum = 1).
+
+    This is how Figure 1 presents per-bit error distributions: the interesting
+    signal is the *shape* across bit positions, not the absolute error rate.
+    """
+    values = np.asarray(list(counts), dtype=float)
+    total = values.sum()
+    if total <= 0:
+        return np.zeros_like(values)
+    return values / total
+
+
+def empirical_rate(successes: int, trials: int) -> float:
+    """Return a simple empirical probability, guarding against zero trials."""
+    if trials < 0 or successes < 0 or successes > trials:
+        raise ValueError("successes must lie within [0, trials]")
+    if trials == 0:
+        return 0.0
+    return successes / trials

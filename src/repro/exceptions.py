@@ -1,0 +1,52 @@
+"""Exception hierarchy for the BEER reproduction library.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch every failure mode of the library with a single ``except`` clause
+while still being able to distinguish the individual categories.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class DimensionError(ReproError):
+    """Raised when matrix/vector dimensions are inconsistent."""
+
+
+class SingularMatrixError(ReproError):
+    """Raised when a linear system has no solution."""
+
+
+class CodeConstructionError(ReproError):
+    """Raised when an ECC code cannot be constructed from the given spec."""
+
+
+class DecodingError(ReproError):
+    """Raised when a codeword cannot be decoded under the requested policy."""
+
+
+class ChipConfigurationError(ReproError):
+    """Raised when a DRAM chip model is configured inconsistently."""
+
+
+class AddressError(ReproError):
+    """Raised when a DRAM address is out of range or misaligned."""
+
+
+class ProfileError(ReproError):
+    """Raised when a miscorrection profile is malformed or inconsistent."""
+
+
+class SolverError(ReproError):
+    """Raised when a BEER/SAT solver is used incorrectly."""
+
+
+class UnsatisfiableError(SolverError):
+    """Raised when constraints admit no solution and one was required."""
+
+
+class PatternCraftingError(ReproError):
+    """Raised when BEEP cannot craft a test pattern for a target bit."""

@@ -1,0 +1,44 @@
+"""Dense linear algebra over GF(2).
+
+This package provides the finite-field substrate that every other part of the
+library builds on: ECC generator/parity-check matrices, syndrome computation,
+span-membership tests used by the BEER constraint solver, and the affine
+solves used by BEEP's test-pattern crafting.
+
+The central type is :class:`~repro.gf2.matrix.GF2Matrix`, a thin wrapper
+around a ``numpy`` ``uint8`` array whose entries are always 0 or 1 and whose
+arithmetic is performed modulo 2.
+"""
+
+from repro.gf2.matrix import GF2Matrix, GF2Vector
+from repro.gf2.linalg import (
+    gf2_rank,
+    gf2_rref,
+    gf2_solve,
+    gf2_null_space,
+    gf2_inverse,
+    in_span,
+    span,
+    row_space_equal,
+    vector_from_int,
+    int_from_vector,
+    popcount,
+    support,
+)
+
+__all__ = [
+    "GF2Matrix",
+    "GF2Vector",
+    "gf2_rank",
+    "gf2_rref",
+    "gf2_solve",
+    "gf2_null_space",
+    "gf2_inverse",
+    "in_span",
+    "span",
+    "row_space_equal",
+    "vector_from_int",
+    "int_from_vector",
+    "popcount",
+    "support",
+]

@@ -1,0 +1,44 @@
+"""A self-contained Boolean satisfiability (SAT) substrate.
+
+The paper solves the BEER constraint problem with the Z3 solver; this package
+provides the equivalent capability from scratch (see DESIGN.md substitution
+table):
+
+* :mod:`repro.sat.cnf` — CNF formula container and variable allocation,
+* :mod:`repro.sat.dimacs` — DIMACS CNF reading/writing,
+* :mod:`repro.sat.solver` — a CDCL solver (two-watched-literal propagation,
+  first-UIP clause learning, activity-based branching, restarts) with model
+  enumeration support,
+* :mod:`repro.sat.encoders` — helper encodings (XOR/parity chains, at-most-one,
+  implications) used to express GF(2) constraints in CNF.
+
+The BEER SAT backend (:mod:`repro.core.beer_sat`) builds directly on these
+pieces; everything here is also usable independently as a general-purpose SAT
+toolkit.
+"""
+
+from repro.sat.cnf import CNF
+from repro.sat.solver import CDCLSolver, SATResult, solve, iterate_models
+from repro.sat.dimacs import read_dimacs, write_dimacs
+from repro.sat.encoders import (
+    encode_xor,
+    encode_at_most_one,
+    encode_exactly_one,
+    encode_implies,
+    encode_iff,
+)
+
+__all__ = [
+    "CNF",
+    "CDCLSolver",
+    "SATResult",
+    "solve",
+    "iterate_models",
+    "read_dimacs",
+    "write_dimacs",
+    "encode_xor",
+    "encode_at_most_one",
+    "encode_exactly_one",
+    "encode_implies",
+    "encode_iff",
+]

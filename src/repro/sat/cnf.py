@@ -1,0 +1,102 @@
+"""CNF formula container.
+
+Literals follow the DIMACS convention: variables are positive integers
+``1, 2, 3, ...``; a positive literal ``v`` asserts the variable is true and a
+negative literal ``-v`` asserts it is false.  A clause is a disjunction of
+literals, and a formula is a conjunction of clauses.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.exceptions import SolverError
+
+
+class CNF:
+    """A conjunctive-normal-form formula with explicit variable allocation."""
+
+    def __init__(self, num_variables: int = 0):
+        if num_variables < 0:
+            raise SolverError("number of variables cannot be negative")
+        self._num_variables = num_variables
+        self._clauses: List[Tuple[int, ...]] = []
+
+    # -- variables ---------------------------------------------------------
+    @property
+    def num_variables(self) -> int:
+        """Highest variable index allocated so far."""
+        return self._num_variables
+
+    def new_variable(self) -> int:
+        """Allocate and return a fresh variable."""
+        self._num_variables += 1
+        return self._num_variables
+
+    def new_variables(self, count: int) -> List[int]:
+        """Allocate ``count`` fresh variables and return them in order."""
+        if count < 0:
+            raise SolverError("cannot allocate a negative number of variables")
+        return [self.new_variable() for _ in range(count)]
+
+    # -- clauses -------------------------------------------------------------
+    @property
+    def clauses(self) -> List[Tuple[int, ...]]:
+        """The clauses added so far (tuples of literals)."""
+        return list(self._clauses)
+
+    @property
+    def num_clauses(self) -> int:
+        """Number of clauses."""
+        return len(self._clauses)
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        """Add one clause; literals referencing unallocated variables extend the pool."""
+        clause = tuple(int(lit) for lit in literals)
+        if not clause:
+            raise SolverError("cannot add an empty clause (formula would be trivially UNSAT)")
+        for literal in clause:
+            if literal == 0:
+                raise SolverError("0 is not a valid literal")
+            self._num_variables = max(self._num_variables, abs(literal))
+        self._clauses.append(clause)
+
+    def add_clauses(self, clauses: Iterable[Iterable[int]]) -> None:
+        """Add several clauses."""
+        for clause in clauses:
+            self.add_clause(clause)
+
+    def add_unit(self, literal: int) -> None:
+        """Add a unit clause forcing ``literal`` to be true."""
+        self.add_clause([literal])
+
+    # -- evaluation -----------------------------------------------------------
+    def evaluate(self, assignment: Sequence[bool]) -> bool:
+        """Evaluate the formula under a full assignment.
+
+        ``assignment[v - 1]`` gives the value of variable ``v``.
+        """
+        if len(assignment) < self._num_variables:
+            raise SolverError(
+                f"assignment covers {len(assignment)} variables, "
+                f"formula has {self._num_variables}"
+            )
+        for clause in self._clauses:
+            satisfied = False
+            for literal in clause:
+                value = assignment[abs(literal) - 1]
+                if (literal > 0) == value:
+                    satisfied = True
+                    break
+            if not satisfied:
+                return False
+        return True
+
+    def copy(self) -> "CNF":
+        """Return an independent copy of the formula."""
+        duplicate = CNF(self._num_variables)
+        duplicate._clauses = list(self._clauses)
+        return duplicate
+
+    def __repr__(self) -> str:
+        return f"CNF(variables={self._num_variables}, clauses={len(self._clauses)})"

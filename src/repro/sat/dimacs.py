@@ -1,0 +1,85 @@
+"""Reading and writing DIMACS CNF files.
+
+The DIMACS format is the interchange format for SAT instances::
+
+    c optional comments
+    p cnf <num_variables> <num_clauses>
+    1 -2 3 0
+    2 3 0
+
+Each clause line lists its literals terminated by ``0``.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Union
+
+from repro.exceptions import SolverError
+from repro.sat.cnf import CNF
+
+
+def read_dimacs(source: Union[str, Path, io.TextIOBase]) -> CNF:
+    """Parse a DIMACS CNF file (path, string content, or open text stream)."""
+    if isinstance(source, io.TextIOBase):
+        text = source.read()
+    else:
+        path = Path(str(source))
+        if path.exists():
+            text = path.read_text()
+        else:
+            text = str(source)
+
+    declared_variables = None
+    declared_clauses = None
+    formula = CNF()
+    pending: list = []
+
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise SolverError(f"malformed problem line: {line!r}")
+            declared_variables = int(parts[2])
+            declared_clauses = int(parts[3])
+            continue
+        for token in line.split():
+            literal = int(token)
+            if literal == 0:
+                if pending:
+                    formula.add_clause(pending)
+                    pending = []
+            else:
+                pending.append(literal)
+    if pending:
+        formula.add_clause(pending)
+
+    if declared_variables is None:
+        raise SolverError("missing 'p cnf' problem line")
+    if formula.num_variables > declared_variables:
+        raise SolverError(
+            f"clauses reference variable {formula.num_variables} but the header "
+            f"declares only {declared_variables}"
+        )
+    while formula.num_variables < declared_variables:
+        formula.new_variable()
+    if declared_clauses is not None and formula.num_clauses != declared_clauses:
+        raise SolverError(
+            f"header declares {declared_clauses} clauses but {formula.num_clauses} were read"
+        )
+    return formula
+
+
+def write_dimacs(formula: CNF, destination: Union[str, Path, None] = None) -> str:
+    """Serialise a CNF formula to DIMACS; optionally write it to ``destination``."""
+    lines = [f"p cnf {formula.num_variables} {formula.num_clauses}"]
+    for clause in formula.clauses:
+        lines.append(" ".join(str(literal) for literal in clause) + " 0")
+    text = "\n".join(lines) + "\n"
+    if destination is not None:
+        Path(destination).write_text(text)
+    return text

@@ -1,0 +1,117 @@
+"""CNF encodings for the constraint shapes the library needs.
+
+The BEER SAT backend expresses GF(2) (XOR) relations, mutual exclusion, and
+implications over Boolean variables.  These helpers add the corresponding
+clauses to a :class:`~repro.sat.cnf.CNF`, allocating auxiliary variables where
+needed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.exceptions import SolverError
+from repro.sat.cnf import CNF
+
+
+def encode_xor(formula: CNF, literals: Sequence[int], parity: bool) -> None:
+    """Constrain ``literals`` to XOR to ``parity`` (True = odd number of true literals).
+
+    Long XOR chains are broken into three-literal links with auxiliary
+    variables so clause counts stay linear in the chain length.
+    """
+    literals = list(literals)
+    if not literals:
+        if parity:
+            raise SolverError("an empty XOR cannot have odd parity")
+        return
+    # Reduce to a chain: x1 xor x2 = a1, a1 xor x3 = a2, ...
+    accumulator = literals[0]
+    for literal in literals[1:]:
+        auxiliary = formula.new_variable()
+        _encode_xor_triple(formula, accumulator, literal, auxiliary)
+        accumulator = auxiliary
+    formula.add_unit(accumulator if parity else -accumulator)
+
+
+def _encode_xor_triple(formula: CNF, left: int, right: int, result: int) -> None:
+    """Add clauses enforcing ``result = left XOR right``."""
+    formula.add_clauses(
+        [
+            [-left, -right, -result],
+            [left, right, -result],
+            [-left, right, result],
+            [left, -right, result],
+        ]
+    )
+
+
+def encode_at_most_one(formula: CNF, literals: Sequence[int]) -> None:
+    """Constrain at most one of ``literals`` to be true (pairwise encoding)."""
+    literals = list(literals)
+    for index, first in enumerate(literals):
+        for second in literals[index + 1 :]:
+            formula.add_clause([-first, -second])
+
+
+def encode_exactly_one(formula: CNF, literals: Sequence[int]) -> None:
+    """Constrain exactly one of ``literals`` to be true."""
+    literals = list(literals)
+    if not literals:
+        raise SolverError("exactly-one over an empty set is unsatisfiable")
+    formula.add_clause(literals)
+    encode_at_most_one(formula, literals)
+
+
+def encode_implies(formula: CNF, antecedent: int, consequents: Sequence[int]) -> None:
+    """Constrain ``antecedent -> (c1 and c2 and ...)``."""
+    for consequent in consequents:
+        formula.add_clause([-antecedent, consequent])
+
+
+def encode_iff(formula: CNF, left: int, right: int) -> None:
+    """Constrain ``left <-> right``."""
+    formula.add_clauses([[-left, right], [left, -right]])
+
+
+def encode_clause_selector(formula: CNF, selector: int, clause: Sequence[int]) -> None:
+    """Constrain ``selector -> clause`` (a guarded/soft clause)."""
+    formula.add_clause([-selector] + list(clause))
+
+
+def encode_conjunction(formula: CNF, output: int, inputs: Sequence[int]) -> None:
+    """Constrain ``output <-> AND(inputs)`` (Tseitin AND gate)."""
+    inputs = list(inputs)
+    if not inputs:
+        formula.add_unit(output)
+        return
+    for literal in inputs:
+        formula.add_clause([-output, literal])
+    formula.add_clause([output] + [-literal for literal in inputs])
+
+
+def encode_disjunction(formula: CNF, output: int, inputs: Sequence[int]) -> None:
+    """Constrain ``output <-> OR(inputs)`` (Tseitin OR gate)."""
+    inputs = list(inputs)
+    if not inputs:
+        formula.add_unit(-output)
+        return
+    for literal in inputs:
+        formula.add_clause([output, -literal])
+    formula.add_clause([-output] + list(inputs))
+
+
+def integer_of_bits(model: dict, variables: Sequence[int]) -> int:
+    """Decode a little-endian bit vector of SAT variables from a model."""
+    value = 0
+    for position, variable in enumerate(variables):
+        if model[variable]:
+            value |= 1 << position
+    return value
+
+
+def bits_of_integer(value: int, width: int) -> List[bool]:
+    """Return the little-endian bit list of ``value`` with the given width."""
+    if value < 0 or value >> width:
+        raise SolverError(f"value {value} does not fit in {width} bits")
+    return [(value >> position) & 1 == 1 for position in range(width)]

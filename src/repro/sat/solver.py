@@ -1,0 +1,321 @@
+"""A conflict-driven clause-learning (CDCL) SAT solver.
+
+The solver implements the standard modern architecture:
+
+* two-watched-literal unit propagation,
+* first-UIP conflict analysis with non-chronological backjumping,
+* activity-based (VSIDS-style) branching with phase saving,
+* geometric restarts.
+
+It is deliberately free of micro-optimisation tricks so the algorithm stays
+readable; the problem sizes produced by the BEER SAT backend (thousands of
+variables, tens of thousands of clauses) are well within its reach.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.exceptions import SolverError
+from repro.sat.cnf import CNF
+
+
+@dataclass
+class SATResult:
+    """Outcome of one SAT solver invocation."""
+
+    satisfiable: bool
+    #: Variable assignment (``assignment[v]`` for variable ``v``); empty if UNSAT.
+    assignment: Dict[int, bool]
+    #: Number of conflicts encountered while solving.
+    conflicts: int
+    #: Number of decisions made while solving.
+    decisions: int
+
+    def value(self, variable: int) -> bool:
+        """Return the value assigned to ``variable`` (only valid when satisfiable)."""
+        if not self.satisfiable:
+            raise SolverError("no model available for an unsatisfiable formula")
+        return self.assignment[variable]
+
+
+class CDCLSolver:
+    """Conflict-driven clause-learning solver for a fixed CNF formula."""
+
+    def __init__(self, formula: CNF, max_conflicts: Optional[int] = None):
+        self._num_variables = formula.num_variables
+        self._clauses: List[List[int]] = [list(clause) for clause in formula.clauses]
+        self._max_conflicts = max_conflicts
+
+        size = self._num_variables + 1
+        self._assignment: List[Optional[bool]] = [None] * size
+        self._level: List[int] = [0] * size
+        self._reason: List[Optional[int]] = [None] * size
+        self._activity: List[float] = [0.0] * size
+        self._saved_phase: List[bool] = [False] * size
+        self._activity_increment = 1.0
+        self._activity_decay = 0.95
+
+        self._trail: List[int] = []
+        self._trail_limits: List[int] = []
+        self._propagation_head = 0
+
+        self._watches: Dict[int, List[int]] = {}
+        self._conflicts = 0
+        self._decisions = 0
+        self._initial_units: List[int] = []
+
+        for index, clause in enumerate(self._clauses):
+            if len(clause) == 1:
+                self._initial_units.append(clause[0])
+            else:
+                self._watch_clause(index)
+
+    # -- public API -------------------------------------------------------------
+    def solve(self) -> SATResult:
+        """Run the CDCL loop and return the result."""
+        if not self._place_initial_units():
+            return SATResult(False, {}, self._conflicts, self._decisions)
+
+        conflict_limit = 128.0
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self._conflicts += 1
+                if self._max_conflicts is not None and self._conflicts > self._max_conflicts:
+                    raise SolverError("conflict budget exhausted before a result was found")
+                if self._decision_level() == 0:
+                    return SATResult(False, {}, self._conflicts, self._decisions)
+                learnt_clause, backjump_level = self._analyze(conflict)
+                self._backtrack(backjump_level)
+                self._attach_learnt(learnt_clause)
+                self._decay_activities()
+                conflict_limit -= 1
+                if conflict_limit <= 0:
+                    conflict_limit = 128.0 + 0.1 * self._conflicts
+                    self._backtrack(0)
+                continue
+
+            variable = self._pick_branch_variable()
+            if variable is None:
+                assignment = {
+                    v: bool(self._assignment[v]) for v in range(1, self._num_variables + 1)
+                }
+                return SATResult(True, assignment, self._conflicts, self._decisions)
+            self._decisions += 1
+            self._trail_limits.append(len(self._trail))
+            literal = variable if self._saved_phase[variable] else -variable
+            self._enqueue(literal, reason=None)
+
+    # -- clause bookkeeping -----------------------------------------------------
+    def _watch_clause(self, index: int) -> None:
+        clause = self._clauses[index]
+        for literal in clause[:2]:
+            self._watches.setdefault(literal, []).append(index)
+
+    def _attach_learnt(self, clause: List[int]) -> None:
+        if len(clause) == 1:
+            self._enqueue(clause[0], reason=None)
+            return
+        self._clauses.append(clause)
+        index = len(self._clauses) - 1
+        self._watch_clause(index)
+        self._enqueue(clause[0], reason=index)
+
+    # -- assignment machinery ------------------------------------------------------
+    def _place_initial_units(self) -> bool:
+        for literal in self._initial_units:
+            value = self._literal_value(literal)
+            if value is False:
+                return False
+            if value is None:
+                self._enqueue(literal, reason=None)
+        return True
+
+    def _decision_level(self) -> int:
+        return len(self._trail_limits)
+
+    def _literal_value(self, literal: int) -> Optional[bool]:
+        value = self._assignment[abs(literal)]
+        if value is None:
+            return None
+        return value if literal > 0 else not value
+
+    def _enqueue(self, literal: int, reason: Optional[int]) -> None:
+        variable = abs(literal)
+        self._assignment[variable] = literal > 0
+        self._level[variable] = self._decision_level()
+        self._reason[variable] = reason
+        self._saved_phase[variable] = literal > 0
+        self._trail.append(literal)
+
+    def _backtrack(self, target_level: int) -> None:
+        if self._decision_level() <= target_level:
+            return
+        cutoff = self._trail_limits[target_level]
+        for literal in reversed(self._trail[cutoff:]):
+            variable = abs(literal)
+            self._assignment[variable] = None
+            self._reason[variable] = None
+        del self._trail[cutoff:]
+        del self._trail_limits[target_level:]
+        self._propagation_head = min(self._propagation_head, len(self._trail))
+
+    # -- propagation ---------------------------------------------------------------
+    def _propagate(self) -> Optional[int]:
+        while self._propagation_head < len(self._trail):
+            literal = self._trail[self._propagation_head]
+            self._propagation_head += 1
+            false_literal = -literal
+            watching = self._watches.get(false_literal, [])
+            retained: List[int] = []
+            conflict: Optional[int] = None
+            for position, clause_index in enumerate(watching):
+                clause = self._clauses[clause_index]
+                if clause[0] == false_literal:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first_value = self._literal_value(clause[0])
+                if first_value is True:
+                    retained.append(clause_index)
+                    continue
+                moved = False
+                for alternative in range(2, len(clause)):
+                    if self._literal_value(clause[alternative]) is not False:
+                        clause[1], clause[alternative] = clause[alternative], clause[1]
+                        self._watches.setdefault(clause[1], []).append(clause_index)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                retained.append(clause_index)
+                if first_value is None:
+                    self._enqueue(clause[0], reason=clause_index)
+                else:
+                    conflict = clause_index
+                    retained.extend(watching[position + 1 :])
+                    break
+            self._watches[false_literal] = retained
+            if conflict is not None:
+                return conflict
+        return None
+
+    # -- conflict analysis ----------------------------------------------------------
+    def _analyze(self, conflict_index: int) -> tuple:
+        learnt: List[int] = []
+        seen = [False] * (self._num_variables + 1)
+        counter = 0
+        literal: Optional[int] = None
+        clause: List[int] = list(self._clauses[conflict_index])
+        trail_index = len(self._trail) - 1
+        current_level = self._decision_level()
+
+        while True:
+            for clause_literal in clause:
+                # Skip the literal this clause propagated (the resolvent pivot).
+                if literal is not None and clause_literal == literal:
+                    continue
+                variable = abs(clause_literal)
+                if seen[variable] or self._level[variable] == 0:
+                    continue
+                seen[variable] = True
+                self._bump_activity(variable)
+                if self._level[variable] == current_level:
+                    counter += 1
+                else:
+                    learnt.append(clause_literal)
+
+            while not seen[abs(self._trail[trail_index])]:
+                trail_index -= 1
+            literal = self._trail[trail_index]
+            variable = abs(literal)
+            seen[variable] = False
+            trail_index -= 1
+            counter -= 1
+            if counter == 0:
+                break
+            reason_index = self._reason[variable]
+            assert reason_index is not None, "UIP literal must have a reason clause"
+            clause = list(self._clauses[reason_index])
+
+        learnt_clause = [-literal] + learnt
+        if len(learnt_clause) == 1:
+            backjump_level = 0
+        else:
+            levels = sorted((self._level[abs(lit)] for lit in learnt), reverse=True)
+            backjump_level = levels[0]
+            # Place a literal from the backjump level in the second watch slot.
+            for index, lit in enumerate(learnt_clause[1:], start=1):
+                if self._level[abs(lit)] == backjump_level:
+                    learnt_clause[1], learnt_clause[index] = (
+                        learnt_clause[index],
+                        learnt_clause[1],
+                    )
+                    break
+        return learnt_clause, backjump_level
+
+    # -- branching heuristics -----------------------------------------------------------
+    def _bump_activity(self, variable: int) -> None:
+        self._activity[variable] += self._activity_increment
+        if self._activity[variable] > 1e100:
+            for index in range(1, self._num_variables + 1):
+                self._activity[index] *= 1e-100
+            self._activity_increment *= 1e-100
+
+    def _decay_activities(self) -> None:
+        self._activity_increment /= self._activity_decay
+
+    def _pick_branch_variable(self) -> Optional[int]:
+        best_variable = None
+        best_activity = -1.0
+        for variable in range(1, self._num_variables + 1):
+            if self._assignment[variable] is None and self._activity[variable] > best_activity:
+                best_variable = variable
+                best_activity = self._activity[variable]
+        return best_variable
+
+
+def solve(
+    formula: CNF,
+    assumptions: Optional[Iterable[int]] = None,
+    max_conflicts: Optional[int] = None,
+) -> SATResult:
+    """Solve ``formula`` (optionally under unit assumptions)."""
+    if assumptions:
+        working = formula.copy()
+        for literal in assumptions:
+            working.add_unit(literal)
+    else:
+        working = formula
+    return CDCLSolver(working, max_conflicts=max_conflicts).solve()
+
+
+def iterate_models(
+    formula: CNF,
+    over_variables: Optional[Sequence[int]] = None,
+    limit: Optional[int] = None,
+) -> Iterator[Dict[int, bool]]:
+    """Enumerate models of ``formula``.
+
+    ``over_variables`` restricts both the reported assignment and the blocking
+    clauses to a subset of variables, so models are enumerated up to their
+    projection onto those variables.  ``limit`` bounds the number of models.
+    """
+    variables = (
+        list(over_variables)
+        if over_variables is not None
+        else list(range(1, formula.num_variables + 1))
+    )
+    working = formula.copy()
+    found = 0
+    while limit is None or found < limit:
+        result = CDCLSolver(working).solve()
+        if not result.satisfiable:
+            return
+        model = {v: result.assignment[v] for v in variables}
+        yield model
+        found += 1
+        blocking_clause = [(-v if model[v] else v) for v in variables]
+        if not blocking_clause:
+            return
+        working.add_clause(blocking_clause)

@@ -1,0 +1,207 @@
+"""Tests for the figure/table data generators (small parameterisations)."""
+
+import numpy as np
+import pytest
+
+from repro.ecc import example_7_4_code
+from repro.analysis import (
+    figure1_error_probability_data,
+    figure3_manufacturer_profile_data,
+    figure4_threshold_data,
+    figure5_uniqueness_data,
+    figure6_runtime_data,
+    figure8_beep_pass_data,
+    figure9_beep_probability_data,
+    table1_outcome_data,
+    table2_miscorrection_profile_data,
+)
+from repro.analysis.figures import _data_bits_for_codeword_length
+
+
+class TestFigure1:
+    def test_shapes_and_normalisation(self):
+        data = figure1_error_probability_data(
+            num_data_bits=16, num_functions=2, bit_error_rate=1e-3,
+            num_words=20_000, num_bootstrap=50, seed=0,
+        )
+        assert len(data["post_correction"]) == 2
+        for entry in data["post_correction"]:
+            relative = np.array(entry["relative_error_probability"])
+            assert relative.shape == (16,)
+            assert relative.sum() == pytest.approx(1.0, abs=1e-6) or relative.sum() == 0.0
+        assert np.array(data["pre_correction_relative_probability"]).sum() == pytest.approx(1.0)
+
+    def test_different_functions_have_different_profiles(self):
+        data = figure1_error_probability_data(
+            num_data_bits=16, num_functions=2, bit_error_rate=5e-3,
+            num_words=30_000, num_bootstrap=20, seed=1,
+        )
+        first = np.array(data["post_correction"][0]["relative_error_probability"])
+        second = np.array(data["post_correction"][1]["relative_error_probability"])
+        assert not np.allclose(first, second)
+
+
+class TestTable1:
+    def test_row_count_is_all_subsets_of_charged_cells(self):
+        rows = table1_outcome_data()
+        assert len(rows) == 8  # 2^3 subsets of the three CHARGED cells
+
+    def test_outcome_classification(self):
+        rows = table1_outcome_data()
+        by_size = {}
+        for row in rows:
+            by_size.setdefault(len(row["error_positions"]), []).append(row)
+        assert all(r["outcome"] == "no error" for r in by_size[0])
+        assert all(r["outcome"] == "correctable" for r in by_size[1])
+        assert all(r["outcome"] == "uncorrectable" for r in by_size[2] + by_size[3])
+
+    def test_single_error_syndromes_point_to_the_error(self):
+        for row in table1_outcome_data():
+            if len(row["error_positions"]) == 1:
+                assert row["syndrome_points_to"] == row["error_positions"][0]
+
+    def test_zero_subset_has_zero_syndrome(self):
+        rows = table1_outcome_data()
+        empty = next(r for r in rows if not r["error_positions"])
+        assert empty["syndrome"] == [0, 0, 0]
+
+
+class TestTable2:
+    def test_matches_paper_table_2(self):
+        rows = table2_miscorrection_profile_data()
+        by_pattern = {row["pattern_id"]: row for row in rows}
+        assert by_pattern[0]["possible_miscorrections"] == [1, 2, 3]
+        for pattern_id in (1, 2, 3):
+            assert by_pattern[pattern_id]["possible_miscorrections"] == []
+
+    def test_row_cells_mark_charged_bit_ambiguous(self):
+        for row in table2_miscorrection_profile_data():
+            assert row["row_cells"][row["charged_bit"]] == "?"
+
+    def test_rows_ordered_by_descending_pattern_id(self):
+        ids = [row["pattern_id"] for row in table2_miscorrection_profile_data()]
+        assert ids == sorted(ids, reverse=True)
+
+    def test_custom_code(self):
+        rows = table2_miscorrection_profile_data(example_7_4_code())
+        assert len(rows) == 4
+
+
+class TestFigure5:
+    def test_combined_patterns_always_unique(self):
+        data = figure5_uniqueness_data(
+            dataword_lengths=(4, 6), codes_per_length=2, max_solutions=10, seed=0
+        )
+        combined = data["solution_counts"]["{1,2}-CHARGED"]
+        for num_data_bits in (4, 6):
+            assert combined[num_data_bits]["max"] == 1.0
+
+    def test_full_length_codes_unique_for_single_weight_sets(self):
+        data = figure5_uniqueness_data(
+            dataword_lengths=(4,), codes_per_length=2, max_solutions=10, seed=1
+        )
+        assert data["solution_counts"]["1-CHARGED"][4]["max"] == 1.0
+
+    def test_all_sets_report_every_length(self):
+        data = figure5_uniqueness_data(
+            dataword_lengths=(4, 5), codes_per_length=1, max_solutions=5, seed=2
+        )
+        for set_name, by_length in data["solution_counts"].items():
+            assert set(by_length) == {4, 5}
+            for stats in by_length.values():
+                assert stats["min"] >= 1.0
+
+
+class TestFigure6:
+    def test_runtime_rows_populated(self):
+        data = figure6_runtime_data(dataword_lengths=(4, 8), codes_per_length=1, seed=0)
+        assert len(data["rows"]) == 2
+        for row in data["rows"]:
+            assert row["determine_function_seconds"] >= 0.0
+            assert row["check_uniqueness_seconds"] >= 0.0
+            assert row["total_seconds"] >= row["determine_function_seconds"]
+            assert row["peak_memory_mib"] > 0.0
+
+    def test_uniqueness_check_dominates_for_larger_codes(self):
+        data = figure6_runtime_data(dataword_lengths=(12,), codes_per_length=1, seed=1)
+        row = data["rows"][0]
+        assert row["check_uniqueness_seconds"] >= row["determine_function_seconds"]
+
+
+class TestBeepFigures:
+    def test_codeword_length_to_data_bits(self):
+        assert _data_bits_for_codeword_length(7) == 4
+        assert _data_bits_for_codeword_length(15) == 11
+        assert _data_bits_for_codeword_length(31) == 26
+        assert _data_bits_for_codeword_length(63) == 57
+        assert _data_bits_for_codeword_length(127) == 120
+
+    def test_invalid_codeword_length(self):
+        with pytest.raises(ValueError):
+            _data_bits_for_codeword_length(2)
+
+    def test_figure8_rows_and_rates(self):
+        data = figure8_beep_pass_data(
+            codeword_lengths=(15, 31), error_counts=(2, 3), passes=(1, 2),
+            codewords_per_point=4, seed=0,
+        )
+        assert len(data["rows"]) == 2 * 2 * 2
+        for row in data["rows"]:
+            assert 0.0 <= row["success_rate"] <= 1.0
+
+    def test_figure8_second_pass_not_worse_on_aggregate(self):
+        data = figure8_beep_pass_data(
+            codeword_lengths=(31,), error_counts=(2, 3), passes=(1, 2),
+            codewords_per_point=6, seed=1,
+        )
+        one_pass = np.mean([r["success_rate"] for r in data["rows"] if r["passes"] == 1])
+        two_pass = np.mean([r["success_rate"] for r in data["rows"] if r["passes"] == 2])
+        assert two_pass >= one_pass - 1e-9
+
+    def test_figure9_rows(self):
+        data = figure9_beep_probability_data(
+            codeword_lengths=(15,), error_counts=(2, 3),
+            per_bit_probabilities=(1.0, 0.5), codewords_per_point=4, seed=0,
+        )
+        assert len(data["rows"]) == 1 * 2 * 2
+        for row in data["rows"]:
+            assert 0.0 <= row["success_rate"] <= 1.0
+
+
+@pytest.mark.slow
+class TestChipFigures:
+    def test_figure3_vendor_maps_differ(self):
+        from repro.dram import ChipGeometry
+
+        data = figure3_manufacturer_profile_data(
+            num_data_bits=8,
+            geometry=ChipGeometry(16, 8),
+            refresh_windows_s=(30.0, 60.0),
+            rounds_per_window=4,
+            seed=0,
+        )
+        assert set(data) == {"A", "B", "C"}
+        for vendor in data.values():
+            assert vendor["error_count_matrix"].shape == (8, 8)
+        assert not np.array_equal(
+            data["A"]["error_count_matrix"], data["B"]["error_count_matrix"]
+        )
+
+    def test_figure4_separation(self):
+        data = figure4_threshold_data(
+            num_data_bits=8,
+            refresh_windows_s=(30.0, 45.0, 60.0),
+            rounds_per_window=4,
+            transient_fault_probability=0.0,
+            seed=0,
+        )
+        minima = np.array(data["per_bit_min"])
+        susceptible = set(data["analytically_susceptible_bits"])
+        non_susceptible = [b for b in range(8) if b not in susceptible]
+        if susceptible and non_susceptible:
+            # Bits that can never miscorrect show (near-)zero probability in
+            # every window; susceptible bits show clearly non-zero medians.
+            assert max(np.array(data["per_bit_median"])[non_susceptible]) <= min(
+                np.array(data["per_bit_median"])[sorted(susceptible)]
+            ) + 1e-9
+        assert minima.shape == (8,)

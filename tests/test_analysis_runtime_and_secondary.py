@@ -1,0 +1,94 @@
+"""Tests for the analytical runtime model and the secondary-ECC designer."""
+
+import numpy as np
+import pytest
+
+from repro.ecc import hamming_code, random_hamming_code
+from repro.analysis import ExperimentRuntimeModel, SecondaryEccDesigner
+
+
+class TestExperimentRuntimeModel:
+    def test_single_window_cost(self):
+        model = ExperimentRuntimeModel(chip_read_seconds=0.2, chip_write_seconds=0.1)
+        assert model.single_window_seconds(60.0) == pytest.approx(60.3)
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentRuntimeModel().single_window_seconds(-1.0)
+
+    def test_sweep_is_sum_of_windows(self):
+        model = ExperimentRuntimeModel(chip_read_seconds=0.0, chip_write_seconds=0.0)
+        assert model.sweep_seconds([60.0, 120.0]) == pytest.approx(180.0)
+        assert model.sweep_seconds([60.0], rounds_per_window=3) == pytest.approx(180.0)
+
+    def test_sweep_requires_positive_rounds(self):
+        with pytest.raises(ValueError):
+            ExperimentRuntimeModel().sweep_seconds([60.0], rounds_per_window=0)
+
+    def test_paper_sweep_is_about_4_2_hours(self):
+        # Section 6.3: sweeping 2..22 minutes in 1-minute steps costs a
+        # combined ~4.2 hours per chip.
+        hours = ExperimentRuntimeModel().paper_sweep_seconds() / 3600.0
+        assert hours == pytest.approx(4.2, abs=0.2)
+
+    def test_parallelism_reduces_wall_clock(self):
+        model = ExperimentRuntimeModel()
+        windows = [60.0 * m for m in range(2, 23)]
+        serial = model.sweep_seconds(windows)
+        parallel = model.parallel_sweep_seconds(windows, num_chips=4)
+        assert parallel < serial
+        assert model.speedup_from_parallelism(windows, 4) > 2.0
+
+    def test_parallelism_bounded_by_longest_window(self):
+        model = ExperimentRuntimeModel(chip_read_seconds=0.0, chip_write_seconds=0.0)
+        windows = [60.0, 120.0, 600.0]
+        assert model.parallel_sweep_seconds(windows, num_chips=10) == pytest.approx(600.0)
+
+    def test_parallel_requires_chips(self):
+        with pytest.raises(ValueError):
+            ExperimentRuntimeModel().parallel_sweep_seconds([60.0], num_chips=0)
+
+    def test_empty_sweep(self):
+        model = ExperimentRuntimeModel()
+        assert model.parallel_sweep_seconds([], num_chips=2) == 0.0
+        assert model.speedup_from_parallelism([], 2) == 1.0
+
+
+class TestSecondaryEccDesigner:
+    def test_characterise_shape(self):
+        code = hamming_code(16)
+        designer = SecondaryEccDesigner(code, seed=0)
+        probabilities = designer.characterise(bit_error_rate=1e-3, num_words=20_000)
+        assert probabilities.shape == (16,)
+        assert (probabilities >= 0).all()
+
+    def test_plan_selects_most_vulnerable_bits(self):
+        code = random_hamming_code(16, rng=np.random.default_rng(2))
+        designer = SecondaryEccDesigner(code, seed=1)
+        plan = designer.plan(bit_error_rate=5e-3, protection_budget_bits=4, num_words=40_000)
+        assert plan.num_protected_bits == 4
+        assert len(plan.per_bit_error_probability) == 16
+        probabilities = np.array(plan.per_bit_error_probability)
+        protected_min = probabilities[plan.protected_bits].min()
+        unprotected = [b for b in range(16) if b not in plan.protected_bits]
+        assert protected_min >= probabilities[unprotected].max() - 1e-12
+        assert 0.0 <= plan.coverage <= 1.0
+
+    def test_plan_budget_validation(self):
+        designer = SecondaryEccDesigner(hamming_code(8))
+        with pytest.raises(ValueError):
+            designer.plan(1e-3, protection_budget_bits=9)
+        with pytest.raises(ValueError):
+            designer.plan(1e-3, protection_budget_bits=-1)
+
+    def test_zero_budget_plan(self):
+        designer = SecondaryEccDesigner(hamming_code(8), seed=3)
+        plan = designer.plan(1e-3, protection_budget_bits=0, num_words=5_000)
+        assert plan.protected_bits == []
+        assert plan.coverage == 0.0 or plan.coverage >= 0.0
+
+    def test_full_budget_covers_everything(self):
+        designer = SecondaryEccDesigner(hamming_code(8), seed=4)
+        plan = designer.plan(5e-3, protection_budget_bits=8, num_words=20_000)
+        assert plan.protected_bits == list(range(8))
+        assert plan.coverage == pytest.approx(1.0)

@@ -1,0 +1,136 @@
+"""Tests for the beer-tool command-line interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.ecc import codes_equivalent, random_hamming_code, SystematicLinearCode
+from repro.core import charged_patterns, expected_miscorrection_profile, one_charged_patterns
+
+
+@pytest.fixture
+def profile_file(tmp_path):
+    code = random_hamming_code(6, rng=np.random.default_rng(5))
+    profile = expected_miscorrection_profile(
+        code, list(charged_patterns(6, [1, 2]))
+    )
+    path = tmp_path / "profile.json"
+    path.write_text(json.dumps(profile.to_dict()))
+    return path, code
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_solve_arguments(self):
+        args = build_parser().parse_args(
+            ["solve", "--profile", "p.json", "--backend", "sat", "--max-solutions", "3"]
+        )
+        assert args.command == "solve"
+        assert args.backend == "sat"
+        assert args.max_solutions == 3
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "--profile", "p.json", "--backend", "z3"])
+
+
+class TestSolveCommand:
+    def test_solve_recovers_function(self, profile_file, tmp_path, capsys):
+        path, code = profile_file
+        output = tmp_path / "solution.json"
+        exit_code = main(["solve", "--profile", str(path), "--output", str(output)])
+        assert exit_code == 0
+        captured = capsys.readouterr().out
+        assert "candidate ECC functions found: 1" in captured
+        payload = json.loads(output.read_text())
+        recovered = SystematicLinearCode.from_parity_columns(
+            payload["candidates"][0], payload["num_parity_bits"]
+        )
+        assert codes_equivalent(recovered, code)
+
+    def test_solve_with_sat_backend(self, profile_file, capsys):
+        path, code = profile_file
+        exit_code = main(["solve", "--profile", str(path), "--backend", "sat"])
+        assert exit_code == 0
+        assert "sat" in capsys.readouterr().out
+
+    def test_solve_reports_failure_when_profile_inconsistent(self, tmp_path, capsys):
+        # A self-contradictory profile: both containments => equal columns.
+        payload = {
+            "num_data_bits": 2,
+            "entries": [
+                {"charged_bits": [0], "miscorrections": [1]},
+                {"charged_bits": [1], "miscorrections": [0]},
+            ],
+        }
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(payload))
+        exit_code = main(["solve", "--profile", str(path), "--parity-bits", "3"])
+        assert exit_code == 1
+        assert "found: 0" in capsys.readouterr().out
+
+
+class TestVerifyCommand:
+    def test_verify_match(self, profile_file, capsys):
+        path, code = profile_file
+        columns = ",".join(str(c) for c in code.parity_column_ints)
+        exit_code = main(["verify", "--profile", str(path), "--columns", columns])
+        assert exit_code == 0
+        assert "MATCH" in capsys.readouterr().out
+
+    def test_verify_mismatch(self, profile_file, capsys):
+        path, code = profile_file
+        wrong = random_hamming_code(6, rng=np.random.default_rng(99))
+        if codes_equivalent(wrong, code):
+            pytest.skip("random code happened to match")
+        columns = ",".join(str(c) for c in wrong.parity_column_ints)
+        exit_code = main(["verify", "--profile", str(path), "--columns", columns])
+        assert exit_code == 1
+        assert "MISMATCH" in capsys.readouterr().out
+
+
+class TestSimulateAndBeepCommands:
+    def test_simulate_profile_roundtrip(self, tmp_path, capsys):
+        output = tmp_path / "sim_profile.json"
+        exit_code = main(
+            [
+                "simulate-profile",
+                "--vendor", "B",
+                "--data-bits", "8",
+                "--rounds", "6",
+                "--output", str(output),
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(output.read_text())
+        assert payload["num_data_bits"] == 8
+        assert len(payload["entries"]) == 8 + 28
+        # The exported profile is solvable by the solve subcommand.
+        solve_exit = main(["solve", "--profile", str(output)])
+        assert solve_exit == 0
+
+    def test_beep_identifies_deterministic_errors(self, capsys):
+        exit_code = main(
+            ["beep", "--data-bits", "16", "--error-positions", "2,9", "--passes", "2"]
+        )
+        captured = capsys.readouterr().out
+        assert "identified weak cells" in captured
+        assert exit_code == 0
+
+    def test_beep_reports_partial_identification(self, capsys):
+        # With failure probability 0 nothing can ever be identified.
+        exit_code = main(
+            [
+                "beep",
+                "--data-bits", "16",
+                "--error-positions", "2,9",
+                "--probability", "0.0",
+            ]
+        )
+        assert exit_code == 1
+        assert "identified weak cells: []" in capsys.readouterr().out

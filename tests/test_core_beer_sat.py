@@ -1,0 +1,114 @@
+"""Tests for the SAT-backed BEER solver and its agreement with the fast backend."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ProfileError, SolverError
+from repro.ecc import codes_equivalent, example_7_4_code, hamming_code, random_hamming_code
+from repro.core import (
+    BeerSolver,
+    ChargedPattern,
+    MiscorrectionProfile,
+    SatBeerSolver,
+    charged_patterns,
+    expected_miscorrection_profile,
+    one_charged_patterns,
+)
+
+
+def profile_for(code, weights):
+    return expected_miscorrection_profile(
+        code, list(charged_patterns(code.num_data_bits, weights))
+    )
+
+
+class TestSatBackendBasics:
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(SolverError):
+            SatBeerSolver(0)
+
+    def test_profile_length_mismatch_rejected(self):
+        with pytest.raises(ProfileError):
+            SatBeerSolver(4, 3).solve(MiscorrectionProfile(5))
+
+    def test_default_parity_bits(self):
+        assert SatBeerSolver(11).num_parity_bits == 4
+
+    def test_higher_weight_patterns_rejected(self):
+        profile = MiscorrectionProfile(4)
+        profile.record(ChargedPattern(4, [0, 1, 2]), [])
+        with pytest.raises(SolverError):
+            SatBeerSolver(4, 3).solve(profile)
+
+    def test_zero_weight_pattern_is_ignored(self):
+        code = example_7_4_code()
+        profile = profile_for(code, [1])
+        profile.record(ChargedPattern(4, []), [])
+        solution = SatBeerSolver(4, 3).solve(profile)
+        assert solution.unique
+
+
+class TestSatRecovery:
+    def test_paper_example_recovered(self):
+        code = example_7_4_code()
+        solution = SatBeerSolver(4, 3).solve(profile_for(code, [1]))
+        assert solution.unique
+        assert codes_equivalent(solution.code, code)
+
+    def test_shortened_code_with_one_two_charged(self):
+        code = random_hamming_code(6, rng=np.random.default_rng(3))
+        solution = SatBeerSolver(6).solve(profile_for(code, [1, 2]))
+        assert solution.unique
+        assert codes_equivalent(solution.code, code)
+
+    def test_max_solutions_truncates(self):
+        solution = SatBeerSolver(2, 3).solve(MiscorrectionProfile(2), max_solutions=2)
+        assert solution.num_solutions == 2
+        assert solution.truncated
+
+    def test_ambiguous_one_charged_profile_yields_multiple_codes(self):
+        # A heavily shortened code where 1-CHARGED alone is not unique: two
+        # disjoint-support columns give the same empty profile as two
+        # overlapping-support columns.
+        from repro.ecc import SystematicLinearCode
+
+        code = SystematicLinearCode.from_parity_columns([0b0011, 0b1100], 4)
+        solution = SatBeerSolver(2, 4).solve(profile_for(code, [1]), max_solutions=8)
+        assert solution.num_solutions > 1
+        assert any(codes_equivalent(code, candidate) for candidate in solution.codes)
+
+
+class TestBackendAgreement:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_sat_and_specialised_backends_agree_on_uniqueness(self, seed):
+        code = random_hamming_code(5, num_parity_bits=4, rng=np.random.default_rng(seed))
+        profile = profile_for(code, [1, 2])
+        fast = BeerSolver(5, 4).solve(profile)
+        sat = SatBeerSolver(5, 4).solve(profile)
+        assert fast.num_solutions == sat.num_solutions
+        for candidate in sat.codes:
+            assert any(codes_equivalent(candidate, other) for other in fast.codes)
+
+    @pytest.mark.parametrize("seed", [10, 11])
+    def test_backends_agree_on_solution_sets_for_one_charged(self, seed):
+        code = random_hamming_code(4, num_parity_bits=4, rng=np.random.default_rng(seed))
+        profile = profile_for(code, [1])
+        fast = BeerSolver(4, 4).solve(profile)
+        sat = SatBeerSolver(4, 4).solve(profile)
+        assert fast.num_solutions == sat.num_solutions
+        for candidate in fast.codes:
+            assert any(codes_equivalent(candidate, other) for other in sat.codes)
+
+    def test_full_length_code_unique_under_both_backends(self):
+        code = hamming_code(4, num_parity_bits=3)
+        profile = profile_for(code, [1])
+        assert BeerSolver(4, 3).solve(profile).unique
+        assert SatBeerSolver(4, 3).solve(profile).unique
+
+    def test_recovered_codes_reproduce_profile(self):
+        code = random_hamming_code(6, rng=np.random.default_rng(21))
+        patterns = one_charged_patterns(6)
+        profile = expected_miscorrection_profile(code, patterns)
+        solution = SatBeerSolver(6).solve(profile, max_solutions=4)
+        for candidate in solution.codes:
+            assert expected_miscorrection_profile(candidate, patterns) == profile

@@ -1,0 +1,172 @@
+"""End-to-end tests for the BEER experimental campaign on simulated chips."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ChipConfigurationError
+from repro.dram import (
+    CellType,
+    CellTypeLayout,
+    ChipGeometry,
+    DataRetentionModel,
+    SimulatedDramChip,
+    TransientFaultModel,
+    VENDOR_A,
+    VENDOR_B,
+    VENDOR_C,
+)
+from repro.dram.retention import RetentionCalibration
+from repro.ecc import codes_equivalent, random_hamming_code
+from repro.core import BeerExperiment, BeerSolver, ExperimentConfig, expected_miscorrection_profile, charged_patterns
+
+
+#: Retention model that fails frequently at second-scale windows so campaigns
+#: on small simulated chips still observe every possible miscorrection.
+FAST_RETENTION = DataRetentionModel(RetentionCalibration(1.0, 0.02, 60.0, 0.5))
+
+#: Campaign settings tuned for the small test chips: short windows, several
+#: rounds so every pattern samples many different error combinations.
+TEST_CONFIG = ExperimentConfig(
+    pattern_weights=(1, 2),
+    refresh_windows_s=(20.0, 40.0, 60.0),
+    rounds_per_window=8,
+    threshold=0.0,
+    discover_cell_encoding=False,
+)
+
+
+def make_chip(num_data_bits=8, seed=0, vendor=None, **kwargs):
+    if vendor is not None:
+        return vendor.make_chip(
+            num_data_bits=num_data_bits,
+            geometry=ChipGeometry(num_rows=32, words_per_row=8),
+            seed=seed,
+            retention_model=FAST_RETENTION,
+            **kwargs,
+        )
+    code = random_hamming_code(num_data_bits, rng=np.random.default_rng(seed))
+    return SimulatedDramChip(
+        code,
+        ChipGeometry(num_rows=32, words_per_row=8),
+        retention_model=FAST_RETENTION,
+        seed=seed,
+        **kwargs,
+    )
+
+
+class TestCampaignMechanics:
+    def test_counts_cover_every_pattern(self):
+        chip = make_chip()
+        experiment = BeerExperiment(chip, TEST_CONFIG)
+        counts = experiment.measure_counts()
+        expected_patterns = 8 + 28  # 1-CHARGED + 2-CHARGED for k=8
+        assert len(counts.patterns) == expected_patterns
+        total_words = sum(counts.words_observed(p) for p in counts.patterns)
+        windows = len(TEST_CONFIG.refresh_windows_s)
+        assert total_words == chip.num_words * windows * TEST_CONFIG.rounds_per_window
+
+    def test_profile_never_claims_charged_bits(self):
+        chip = make_chip(seed=1)
+        result = BeerExperiment(chip, TEST_CONFIG).run(solve=False)
+        for pattern in result.profile.patterns:
+            assert not (result.profile.miscorrections(pattern) & pattern.charged_bits)
+
+    def test_solve_disabled_returns_no_solution(self):
+        chip = make_chip(seed=2)
+        result = BeerExperiment(chip, TEST_CONFIG).run(solve=False)
+        assert result.solution is None
+        with pytest.raises(ChipConfigurationError):
+            _ = result.recovered_code
+
+    def test_requires_at_least_two_data_bits(self):
+        code = random_hamming_code(1, num_parity_bits=3, rng=np.random.default_rng(0))
+        chip = SimulatedDramChip(code, ChipGeometry(2, 2))
+        with pytest.raises(ChipConfigurationError):
+            BeerExperiment(chip)
+
+    def test_all_anti_cell_chip_rejected(self):
+        chip = make_chip(cell_layout=CellTypeLayout.uniform(CellType.ANTI_CELL), seed=3)
+        experiment = BeerExperiment(chip, TEST_CONFIG)
+        cell_types = {row: CellType.ANTI_CELL for row in range(chip.geometry.num_rows)}
+        with pytest.raises(ChipConfigurationError):
+            experiment.measure_counts(cell_types)
+
+
+class TestEndToEndRecovery:
+    def test_campaign_recovers_the_on_die_ecc_function(self):
+        chip = make_chip(num_data_bits=8, seed=4)
+        result = BeerExperiment(chip, TEST_CONFIG).run(solve=True)
+        assert result.solution is not None
+        assert result.solution.unique
+        assert codes_equivalent(result.recovered_code, chip.code)
+
+    def test_measured_profile_matches_analytic_profile(self):
+        chip = make_chip(num_data_bits=8, seed=5)
+        result = BeerExperiment(chip, TEST_CONFIG).run(solve=False)
+        analytic = expected_miscorrection_profile(
+            chip.code, list(charged_patterns(8, [1, 2]))
+        )
+        measured = result.profile
+        # Every measured miscorrection must be analytically possible; with
+        # enough rounds the measured profile matches the analytic one exactly.
+        for pattern in measured.patterns:
+            assert measured.miscorrections(pattern) <= analytic.miscorrections(pattern)
+        matches = sum(
+            1
+            for pattern in measured.patterns
+            if measured.miscorrections(pattern) == analytic.miscorrections(pattern)
+        )
+        assert matches >= 0.9 * len(measured.patterns)
+
+    def test_campaign_tolerates_transient_noise_with_threshold(self):
+        chip = make_chip(
+            num_data_bits=8,
+            seed=6,
+            transient_faults=TransientFaultModel(probability_per_bit=2e-4),
+        )
+        # Real miscorrection probabilities sit above ~0.02 per word while the
+        # transient-noise artefacts stay below ~0.006, so a 0.01 threshold
+        # separates them cleanly (the reproduction of Figure 4's filter).
+        noisy_config = ExperimentConfig(
+            pattern_weights=(1, 2),
+            refresh_windows_s=(30.0, 45.0, 60.0),
+            rounds_per_window=16,
+            threshold=0.01,
+            discover_cell_encoding=False,
+        )
+        result = BeerExperiment(chip, noisy_config).run(solve=True)
+        assert result.solution is not None
+        assert any(
+            codes_equivalent(candidate, chip.code) for candidate in result.solution.codes
+        )
+
+    def test_vendor_c_chip_with_mixed_cell_types(self):
+        chip = make_chip(num_data_bits=8, seed=7, vendor=VENDOR_C)
+        config = ExperimentConfig(
+            pattern_weights=(1, 2),
+            refresh_windows_s=(20.0, 40.0, 60.0),
+            rounds_per_window=8,
+            threshold=0.0,
+            discover_cell_encoding=True,
+            discovery_pause_s=60.0,
+        )
+        result = BeerExperiment(chip, config).run(solve=True)
+        assert CellType.ANTI_CELL in result.cell_types.values()
+        assert result.solution.unique
+        assert codes_equivalent(result.recovered_code, chip.code)
+
+    def test_different_vendors_yield_different_profiles(self):
+        profiles = {}
+        for vendor in (VENDOR_A, VENDOR_B):
+            chip = make_chip(num_data_bits=8, seed=8, vendor=vendor)
+            result = BeerExperiment(chip, TEST_CONFIG).run(solve=False)
+            profiles[vendor.name] = result.profile
+        assert profiles["A"] != profiles["B"]
+
+    def test_chips_of_same_vendor_yield_same_recovered_function(self):
+        codes = []
+        for seed in (10, 11):
+            chip = make_chip(num_data_bits=8, seed=seed, vendor=VENDOR_B)
+            result = BeerExperiment(chip, TEST_CONFIG).run(solve=True)
+            codes.append(result.recovered_code)
+        assert codes_equivalent(codes[0], codes[1])

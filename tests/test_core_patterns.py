@@ -1,0 +1,93 @@
+"""Unit tests for k-CHARGED test patterns."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ProfileError
+from repro.dram import CellType
+from repro.gf2 import GF2Vector
+from repro.core import ChargedPattern, charged_patterns, one_charged_patterns
+from repro.core.patterns import pattern_count
+
+
+class TestChargedPattern:
+    def test_basic_properties(self):
+        pattern = ChargedPattern(8, [1, 5])
+        assert pattern.num_data_bits == 8
+        assert pattern.charged_bits == frozenset({1, 5})
+        assert pattern.discharged_bits == frozenset({0, 2, 3, 4, 6, 7})
+        assert pattern.weight == 2
+
+    def test_out_of_range_bit_rejected(self):
+        with pytest.raises(ProfileError):
+            ChargedPattern(4, [4])
+        with pytest.raises(ProfileError):
+            ChargedPattern(0, [])
+
+    def test_true_cell_dataword_sets_charged_bits_to_one(self):
+        pattern = ChargedPattern(4, [2])
+        assert pattern.dataword(CellType.TRUE_CELL) == GF2Vector([0, 0, 1, 0])
+
+    def test_anti_cell_dataword_sets_charged_bits_to_zero(self):
+        pattern = ChargedPattern(4, [2])
+        assert pattern.dataword(CellType.ANTI_CELL) == GF2Vector([1, 1, 0, 1])
+
+    def test_from_dataword_round_trip(self):
+        pattern = ChargedPattern(6, [0, 3])
+        for cell_type in CellType:
+            recovered = ChargedPattern.from_dataword(pattern.dataword(cell_type), cell_type)
+            assert recovered == pattern
+
+    def test_equality_and_hash(self):
+        assert ChargedPattern(4, [1]) == ChargedPattern(4, (1,))
+        assert ChargedPattern(4, [1]) != ChargedPattern(4, [2])
+        assert ChargedPattern(4, [1]) != ChargedPattern(5, [1])
+        assert hash(ChargedPattern(4, [1])) == hash(ChargedPattern(4, [1]))
+
+    def test_repr_lists_charged_bits(self):
+        assert "1,3" in repr(ChargedPattern(4, [3, 1]))
+
+    def test_empty_pattern_allowed(self):
+        pattern = ChargedPattern(4, [])
+        assert pattern.weight == 0
+        assert pattern.dataword(CellType.TRUE_CELL).is_zero()
+
+
+class TestPatternGenerators:
+    def test_one_charged_count(self):
+        patterns = one_charged_patterns(16)
+        assert len(patterns) == 16
+        assert all(p.weight == 1 for p in patterns)
+        assert len({p for p in patterns}) == 16
+
+    def test_two_charged_count(self):
+        patterns = list(charged_patterns(8, [2]))
+        assert len(patterns) == math.comb(8, 2)
+        assert all(p.weight == 2 for p in patterns)
+
+    def test_mixed_weights(self):
+        patterns = list(charged_patterns(6, [1, 2]))
+        assert len(patterns) == 6 + 15
+
+    def test_pattern_count_matches_generator(self):
+        for weights in ([1], [2], [1, 2], [3]):
+            generated = len(list(charged_patterns(10, weights)))
+            assert pattern_count(10, weights) == generated
+
+    def test_invalid_weight_rejected(self):
+        with pytest.raises(ProfileError):
+            list(charged_patterns(4, [5]))
+        with pytest.raises(ProfileError):
+            pattern_count(4, [-1])
+
+    @given(st.integers(min_value=2, max_value=20), st.integers(min_value=1, max_value=3))
+    @settings(max_examples=30, deadline=None)
+    def test_generated_patterns_have_requested_weight(self, num_bits, weight):
+        if weight > num_bits:
+            return
+        for pattern in charged_patterns(num_bits, [weight]):
+            assert pattern.weight == weight
+            assert pattern.num_data_bits == num_bits

@@ -1,0 +1,252 @@
+"""Unit tests for miscorrection profiles, counts, and threshold filtering."""
+
+import pytest
+
+from repro.exceptions import ProfileError
+from repro.dram import CellType
+from repro.ecc import SystematicLinearCode, example_7_4_code, hamming_code
+from repro.core import (
+    ChargedPattern,
+    MiscorrectionCounts,
+    MiscorrectionProfile,
+    expected_miscorrection_profile,
+    miscorrections_possible,
+    one_charged_patterns,
+)
+from repro.core.profile import charged_codeword_positions
+
+
+@pytest.fixture
+def code_7_4():
+    return example_7_4_code()
+
+
+class TestChargedCodewordPositions:
+    def test_one_charged_pattern_charges_parity_support(self, code_7_4):
+        # Charging only data bit 2 charges exactly the parity bits in the
+        # support of column P_*,2 = (1, 0, 1): parity positions 4 and 6.
+        pattern = ChargedPattern(4, [2])
+        charged = charged_codeword_positions(code_7_4, pattern)
+        assert charged == frozenset({2, 4, 6})
+
+    def test_zero_pattern_true_cells_has_no_charged_positions(self, code_7_4):
+        charged = charged_codeword_positions(code_7_4, ChargedPattern(4, []))
+        assert charged == frozenset()
+
+    def test_anti_cells_invert_parity_charges(self, code_7_4):
+        # With all data bits DISCHARGED, anti-cells store all ones; the parity
+        # bits then store the encoding of all-ones data.
+        pattern = ChargedPattern(4, [])
+        charged = charged_codeword_positions(code_7_4, pattern, CellType.ANTI_CELL)
+        codeword = code_7_4.encode(pattern.dataword(CellType.ANTI_CELL))
+        expected = {p for p in code_7_4.parity_bit_positions if codeword[p] == 0}
+        assert charged == frozenset(expected)
+
+    def test_pattern_code_mismatch_rejected(self, code_7_4):
+        with pytest.raises(ProfileError):
+            charged_codeword_positions(code_7_4, ChargedPattern(5, [0]))
+
+
+class TestMiscorrectionsPossible:
+    def test_paper_table_2(self, code_7_4):
+        # Table 2: only the pattern charging data bit 0 can miscorrect, and it
+        # can miscorrect every other data bit.
+        expectations = {
+            0: {1, 2, 3},
+            1: set(),
+            2: set(),
+            3: set(),
+        }
+        for charged_bit, expected in expectations.items():
+            possible = miscorrections_possible(code_7_4, ChargedPattern(4, [charged_bit]))
+            assert possible == frozenset(expected)
+
+    def test_miscorrections_never_reported_at_charged_bits(self):
+        code = hamming_code(8)
+        for pattern in one_charged_patterns(8):
+            possible = miscorrections_possible(code, pattern)
+            assert not (possible & pattern.charged_bits)
+
+    def test_full_charge_pattern_spans_everything(self):
+        # Charging every data bit makes every column reachable, so every
+        # DISCHARGED bit (none) - trivially empty set.
+        code = hamming_code(8)
+        pattern = ChargedPattern(8, range(8))
+        assert miscorrections_possible(code, pattern) == frozenset()
+
+    def test_weight_two_column_pattern_can_only_miscorrect_subsets(self):
+        # For a 1-CHARGED pattern, miscorrections are possible exactly at bits
+        # whose columns have support contained in the charged bit's column.
+        code = SystematicLinearCode.from_parity_columns([0b111, 0b011, 0b101, 0b110], 3)
+        possible = miscorrections_possible(code, ChargedPattern(4, [1]))
+        assert possible == frozenset()
+        possible = miscorrections_possible(code, ChargedPattern(4, [0]))
+        assert possible == frozenset({1, 2, 3})
+
+
+class TestMiscorrectionProfile:
+    def test_record_and_query(self):
+        profile = MiscorrectionProfile(4)
+        pattern = ChargedPattern(4, [0])
+        profile.record(pattern, [1, 3])
+        assert profile.miscorrections(pattern) == frozenset({1, 3})
+        assert pattern in profile
+        assert profile.total_miscorrections == 2
+
+    def test_record_accumulates(self):
+        profile = MiscorrectionProfile(4)
+        pattern = ChargedPattern(4, [0])
+        profile.record(pattern, [1])
+        profile.record(pattern, [2])
+        assert profile.miscorrections(pattern) == frozenset({1, 2})
+
+    def test_cannot_record_miscorrection_at_charged_bit(self):
+        profile = MiscorrectionProfile(4)
+        with pytest.raises(ProfileError):
+            profile.record(ChargedPattern(4, [0]), [0])
+
+    def test_cannot_record_out_of_range_position(self):
+        profile = MiscorrectionProfile(4)
+        with pytest.raises(ProfileError):
+            profile.record(ChargedPattern(4, [0]), [4])
+
+    def test_pattern_length_mismatch(self):
+        profile = MiscorrectionProfile(4)
+        with pytest.raises(ProfileError):
+            profile.record(ChargedPattern(5, [0]), [1])
+        with pytest.raises(ProfileError):
+            profile.miscorrections(ChargedPattern(5, [0]))
+
+    def test_query_unknown_pattern(self):
+        profile = MiscorrectionProfile(4)
+        with pytest.raises(ProfileError):
+            profile.miscorrections(ChargedPattern(4, [0]))
+
+    def test_merge(self):
+        first = MiscorrectionProfile(4, {ChargedPattern(4, [0]): [1]})
+        second = MiscorrectionProfile(4, {ChargedPattern(4, [0]): [2], ChargedPattern(4, [1]): []})
+        merged = first.merge(second)
+        assert merged.miscorrections(ChargedPattern(4, [0])) == frozenset({1, 2})
+        assert merged.miscorrections(ChargedPattern(4, [1])) == frozenset()
+
+    def test_merge_length_mismatch(self):
+        with pytest.raises(ProfileError):
+            MiscorrectionProfile(4).merge(MiscorrectionProfile(5))
+
+    def test_restricted_to_weights(self):
+        profile = MiscorrectionProfile(4)
+        profile.record(ChargedPattern(4, [0]), [1])
+        profile.record(ChargedPattern(4, [0, 1]), [2])
+        only_singles = profile.restricted_to_weights([1])
+        assert len(only_singles.patterns) == 1
+        assert only_singles.patterns[0].weight == 1
+
+    def test_serialisation_round_trip(self, code_7_4):
+        profile = expected_miscorrection_profile(code_7_4, one_charged_patterns(4))
+        rebuilt = MiscorrectionProfile.from_dict(profile.to_dict())
+        assert rebuilt == profile
+
+    def test_from_dict_malformed(self):
+        with pytest.raises(ProfileError):
+            MiscorrectionProfile.from_dict({"entries": []})
+
+    def test_equality(self, code_7_4):
+        first = expected_miscorrection_profile(code_7_4, one_charged_patterns(4))
+        second = expected_miscorrection_profile(code_7_4, one_charged_patterns(4))
+        assert first == second
+        assert first != MiscorrectionProfile(4)
+
+    def test_repr(self):
+        profile = MiscorrectionProfile(4, {ChargedPattern(4, [0]): [1, 2]})
+        assert "patterns=1" in repr(profile)
+        assert "entries=2" in repr(profile)
+
+
+class TestMiscorrectionCounts:
+    def test_record_and_probabilities(self):
+        counts = MiscorrectionCounts(4)
+        pattern = ChargedPattern(4, [0])
+        counts.record_observations(pattern, [1, 1, 2], words_observed=10)
+        assert counts.words_observed(pattern) == 10
+        assert counts.counts_for(pattern).tolist() == [0, 2, 1, 0]
+        probabilities = counts.error_probabilities(pattern)
+        assert probabilities[1] == pytest.approx(0.2)
+
+    def test_counts_validation(self):
+        counts = MiscorrectionCounts(4)
+        with pytest.raises(ProfileError):
+            counts.record_observations(ChargedPattern(5, [0]), [], 1)
+        with pytest.raises(ProfileError):
+            counts.record_observations(ChargedPattern(4, [0]), [9], 1)
+        with pytest.raises(ProfileError):
+            counts.record_observations(ChargedPattern(4, [0]), [], -1)
+        with pytest.raises(ProfileError):
+            counts.counts_for(ChargedPattern(4, [1]))
+        with pytest.raises(ProfileError):
+            MiscorrectionCounts(0)
+
+    def test_threshold_filter_removes_rare_events(self):
+        # Bit 1 fails often (a real miscorrection), bit 2 fails once
+        # (transient noise); a threshold separates them (paper Figure 4).
+        counts = MiscorrectionCounts(4)
+        pattern = ChargedPattern(4, [0])
+        counts.record_observations(pattern, [1] * 50 + [2], words_observed=1000)
+        profile = counts.to_profile(threshold=0.01)
+        assert profile.miscorrections(pattern) == frozenset({1})
+
+    def test_zero_threshold_keeps_all_discharged_observations(self):
+        counts = MiscorrectionCounts(4)
+        pattern = ChargedPattern(4, [0])
+        counts.record_observations(pattern, [0, 1, 2], words_observed=10)
+        profile = counts.to_profile(threshold=0.0)
+        # Bit 0 is CHARGED: its errors are ambiguous and never become profile entries.
+        assert profile.miscorrections(pattern) == frozenset({1, 2})
+
+    def test_negative_threshold_rejected(self):
+        counts = MiscorrectionCounts(4)
+        with pytest.raises(ProfileError):
+            counts.to_profile(threshold=-0.1)
+
+    def test_merge_counts(self):
+        pattern = ChargedPattern(4, [0])
+        first = MiscorrectionCounts(4)
+        first.record_observations(pattern, [1], 5)
+        second = MiscorrectionCounts(4)
+        second.record_observations(pattern, [1, 2], 5)
+        merged = first.merge(second)
+        assert merged.words_observed(pattern) == 10
+        assert merged.counts_for(pattern).tolist() == [0, 2, 1, 0]
+
+    def test_merge_length_mismatch(self):
+        with pytest.raises(ProfileError):
+            MiscorrectionCounts(4).merge(MiscorrectionCounts(5))
+
+
+class TestExpectedProfileConsistency:
+    def test_expected_profile_matches_per_pattern_queries(self, code_7_4):
+        patterns = one_charged_patterns(4)
+        profile = expected_miscorrection_profile(code_7_4, patterns)
+        for pattern in patterns:
+            assert profile.miscorrections(pattern) == miscorrections_possible(
+                code_7_4, pattern
+            )
+
+    def test_profiles_differ_between_codes(self):
+        first = hamming_code(8)
+        second = SystematicLinearCode.from_parity_columns(
+            list(reversed(first.parity_column_ints)), first.num_parity_bits
+        )
+        patterns = one_charged_patterns(8)
+        assert expected_miscorrection_profile(
+            first, patterns
+        ) != expected_miscorrection_profile(second, patterns)
+
+    def test_anti_cell_profile_of_one_charged_pattern(self, code_7_4):
+        # BEER's reasoning is charge-based, so the expected profile computed
+        # for anti-cells must match the charge-domain condition as well.
+        patterns = one_charged_patterns(4)
+        profile = expected_miscorrection_profile(code_7_4, patterns, CellType.ANTI_CELL)
+        for pattern in patterns:
+            assert profile.miscorrections(pattern) == miscorrections_possible(
+                code_7_4, pattern, CellType.ANTI_CELL
+            )

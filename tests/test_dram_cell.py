@@ -1,0 +1,46 @@
+"""Unit tests for DRAM cell encoding conventions."""
+
+import pytest
+
+from repro.dram import CellType, ChargeState, bit_for_charge_state, charge_state_for_bit
+from repro.dram.cell import can_experience_retention_error, retention_error_value
+
+
+class TestChargeStateMapping:
+    def test_true_cell_one_is_charged(self):
+        assert charge_state_for_bit(CellType.TRUE_CELL, 1) is ChargeState.CHARGED
+        assert charge_state_for_bit(CellType.TRUE_CELL, 0) is ChargeState.DISCHARGED
+
+    def test_anti_cell_zero_is_charged(self):
+        assert charge_state_for_bit(CellType.ANTI_CELL, 0) is ChargeState.CHARGED
+        assert charge_state_for_bit(CellType.ANTI_CELL, 1) is ChargeState.DISCHARGED
+
+    def test_invalid_bit_value(self):
+        with pytest.raises(ValueError):
+            charge_state_for_bit(CellType.TRUE_CELL, 2)
+
+    def test_round_trip_bit_to_state_to_bit(self):
+        for cell_type in CellType:
+            for bit in (0, 1):
+                state = charge_state_for_bit(cell_type, bit)
+                assert bit_for_charge_state(cell_type, state) == bit
+
+
+class TestRetentionSemantics:
+    def test_retention_error_value_is_discharged_readout(self):
+        assert retention_error_value(CellType.TRUE_CELL) == 0
+        assert retention_error_value(CellType.ANTI_CELL) == 1
+
+    def test_only_charged_cells_can_fail(self):
+        assert can_experience_retention_error(CellType.TRUE_CELL, 1)
+        assert not can_experience_retention_error(CellType.TRUE_CELL, 0)
+        assert can_experience_retention_error(CellType.ANTI_CELL, 0)
+        assert not can_experience_retention_error(CellType.ANTI_CELL, 1)
+
+    def test_failure_direction_is_towards_discharged_value(self):
+        # A failing cell must end up at the value it would read when DISCHARGED,
+        # i.e. a failure never recreates the originally stored value.
+        for cell_type in CellType:
+            for stored in (0, 1):
+                if can_experience_retention_error(cell_type, stored):
+                    assert retention_error_value(cell_type) != stored

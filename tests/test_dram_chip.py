@@ -1,0 +1,283 @@
+"""Unit and integration tests for the simulated DRAM chip with on-die ECC."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import AddressError, ChipConfigurationError
+from repro.gf2 import GF2Vector
+from repro.ecc import hamming_code, random_hamming_code
+from repro.dram import (
+    CellType,
+    CellTypeLayout,
+    ChipGeometry,
+    DataRetentionModel,
+    RetentionCalibration,
+    SimulatedDramChip,
+    TransientFaultModel,
+)
+
+
+def make_chip(num_data_bits=16, num_rows=8, words_per_row=4, seed=0, **kwargs):
+    code = hamming_code(num_data_bits)
+    geometry = ChipGeometry(num_rows=num_rows, words_per_row=words_per_row)
+    return SimulatedDramChip(code=code, geometry=geometry, seed=seed, **kwargs)
+
+
+#: A calibration that produces many retention failures within short windows,
+#: keeping tests fast while exercising the same code paths.
+FAST_FAILING = DataRetentionModel(RetentionCalibration(1.0, 1e-4, 100.0, 0.5))
+
+
+class TestGeometry:
+    def test_word_count(self):
+        chip = make_chip(num_rows=4, words_per_row=8)
+        assert chip.num_words == 32
+        assert chip.geometry.num_words == 32
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ChipConfigurationError):
+            ChipGeometry(num_rows=0, words_per_row=4)
+
+    def test_row_of_word(self):
+        chip = make_chip(num_rows=4, words_per_row=8)
+        assert chip.row_of_word(0) == 0
+        assert chip.row_of_word(7) == 0
+        assert chip.row_of_word(8) == 1
+        assert list(chip.words_in_row(1)) == list(range(8, 16))
+
+    def test_row_of_word_out_of_range(self):
+        chip = make_chip()
+        with pytest.raises(AddressError):
+            chip.row_of_word(chip.num_words)
+        with pytest.raises(AddressError):
+            chip.words_in_row(999)
+
+    def test_row_size_bytes(self):
+        chip = make_chip(num_data_bits=16, words_per_row=4)
+        assert chip.row_size_bytes == 8
+
+
+class TestReadWrite:
+    def test_write_then_read_round_trip(self):
+        chip = make_chip()
+        dataword = GF2Vector([1, 0] * 8)
+        chip.write_dataword(3, dataword)
+        assert chip.read_dataword(3) == dataword
+
+    def test_fill_writes_every_word(self):
+        chip = make_chip()
+        chip.fill(GF2Vector.ones(16))
+        data = chip.read_all_datawords()
+        assert data.shape == (chip.num_words, 16)
+        assert (data == 1).all()
+
+    def test_bulk_write_and_read(self):
+        chip = make_chip()
+        rng = np.random.default_rng(0)
+        words = rng.integers(0, 2, size=(chip.num_words, 16)).astype(np.uint8)
+        chip.write_datawords(range(chip.num_words), words)
+        assert np.array_equal(chip.read_all_datawords(), words)
+
+    def test_write_wrong_shape(self):
+        chip = make_chip()
+        with pytest.raises(AddressError):
+            chip.write_datawords([0, 1], np.zeros((2, 8), dtype=np.uint8))
+
+    def test_write_out_of_range_index(self):
+        chip = make_chip()
+        with pytest.raises(AddressError):
+            chip.write_dataword(chip.num_words, GF2Vector.zeros(16))
+
+    def test_wrong_dataword_length(self):
+        chip = make_chip()
+        with pytest.raises(AddressError):
+            chip.write_dataword(0, GF2Vector.zeros(8))
+
+    def test_stored_codeword_is_systematic_encoding(self):
+        chip = make_chip()
+        dataword = GF2Vector([1] + [0] * 15)
+        chip.write_dataword(0, dataword)
+        codeword = chip.inspect_stored_codeword(0)
+        assert codeword == chip.code.encode(dataword)
+
+
+class TestByteAddressing:
+    def test_byte_round_trip(self):
+        chip = make_chip(num_data_bits=16)
+        payload = bytes(range(16))
+        chip.write_bytes(0, payload)
+        assert chip.read_bytes(0, 16) == payload
+
+    def test_byte_interleaving_matches_layout(self):
+        chip = make_chip(num_data_bits=16)
+        # Bytes 0 and 1 of a region belong to different ECC words.
+        chip.write_bytes(0, bytes([0xFF, 0x00, 0x00, 0x00]))
+        word0 = chip.read_dataword(0)
+        word1 = chip.read_dataword(1)
+        assert word0.to_list()[:8] == [1] * 8
+        assert word1.to_list()[:8] == [0] * 8
+
+    def test_byte_access_requires_layout(self):
+        code = hamming_code(12)  # not byte aligned
+        chip = SimulatedDramChip(code, ChipGeometry(2, 2))
+        with pytest.raises(ChipConfigurationError):
+            chip.write_bytes(0, b"\x00")
+        with pytest.raises(ChipConfigurationError):
+            _ = chip.row_size_bytes
+
+
+class TestRetentionBehaviour:
+    def test_no_pause_means_no_errors(self):
+        chip = make_chip(retention_model=FAST_FAILING)
+        chip.fill(GF2Vector.ones(16))
+        assert (chip.read_all_datawords() == 1).all()
+
+    def test_pause_refresh_induces_errors_in_charged_cells_only(self):
+        chip = make_chip(
+            num_rows=16, words_per_row=8, retention_model=FAST_FAILING, seed=1
+        )
+        chip.fill(GF2Vector.ones(16))
+        chip.pause_refresh(200.0, temperature_c=80.0)
+        raw_errors = [
+            chip.inspect_pre_correction_errors(w) for w in range(chip.num_words)
+        ]
+        assert any(raw_errors), "expected at least one retention error"
+        # True cells store 1 when charged; every raw error must be a 1 -> 0 decay.
+        for word_index, errors in enumerate(raw_errors):
+            stored = chip.inspect_stored_codeword(word_index)
+            current = chip.inspect_current_codeword(word_index)
+            for position in errors:
+                assert stored[position] == 1
+                assert current[position] == 0
+
+    def test_all_zero_true_cell_pattern_never_fails(self):
+        chip = make_chip(retention_model=FAST_FAILING)
+        chip.fill(GF2Vector.zeros(16))
+        chip.pause_refresh(10_000.0)
+        assert (chip.read_all_datawords() == 0).all()
+        for word in range(chip.num_words):
+            assert chip.inspect_pre_correction_errors(word) == ()
+
+    def test_anti_cells_fail_towards_one(self):
+        code = hamming_code(16)
+        chip = SimulatedDramChip(
+            code,
+            ChipGeometry(4, 4),
+            cell_layout=CellTypeLayout.uniform(CellType.ANTI_CELL),
+            retention_model=FAST_FAILING,
+            seed=2,
+        )
+        chip.fill(GF2Vector.zeros(16))
+        chip.pause_refresh(500.0)
+        errors = [
+            position
+            for word in range(chip.num_words)
+            for position in chip.inspect_pre_correction_errors(word)
+        ]
+        assert errors, "expected anti-cell retention errors"
+        for word in range(chip.num_words):
+            current = chip.inspect_current_codeword(word)
+            for position in chip.inspect_pre_correction_errors(word):
+                assert current[position] == 1
+
+    def test_retention_errors_are_repeatable(self):
+        first = make_chip(num_rows=16, words_per_row=8, retention_model=FAST_FAILING, seed=5)
+        second = make_chip(num_rows=16, words_per_row=8, retention_model=FAST_FAILING, seed=5)
+        for chip in (first, second):
+            chip.fill(GF2Vector.ones(16))
+            chip.pause_refresh(100.0)
+        for word in range(first.num_words):
+            assert first.inspect_pre_correction_errors(
+                word
+            ) == second.inspect_pre_correction_errors(word)
+
+    def test_decay_accumulates_until_rewrite(self):
+        chip = make_chip(retention_model=FAST_FAILING, seed=3)
+        chip.fill(GF2Vector.ones(16))
+        chip.pause_refresh(100.0)
+        errors_after_first = sum(
+            len(chip.inspect_pre_correction_errors(w)) for w in range(chip.num_words)
+        )
+        chip.pause_refresh(1000.0)
+        errors_after_second = sum(
+            len(chip.inspect_pre_correction_errors(w)) for w in range(chip.num_words)
+        )
+        assert errors_after_second >= errors_after_first
+        chip.fill(GF2Vector.ones(16))
+        assert all(
+            chip.inspect_pre_correction_errors(w) == () for w in range(chip.num_words)
+        )
+
+    def test_single_error_words_are_corrected_by_on_die_ecc(self):
+        chip = make_chip(num_rows=32, words_per_row=8, retention_model=FAST_FAILING, seed=7)
+        chip.fill(GF2Vector.ones(16))
+        chip.pause_refresh(20.0)
+        data = chip.read_all_datawords()
+        for word in range(chip.num_words):
+            if len(chip.inspect_pre_correction_errors(word)) == 1:
+                assert (data[word] == 1).all()
+
+    def test_negative_pause_rejected(self):
+        with pytest.raises(ChipConfigurationError):
+            make_chip().pause_refresh(-1.0)
+
+    def test_restore_refresh_is_noop(self):
+        chip = make_chip(retention_model=FAST_FAILING)
+        chip.fill(GF2Vector.ones(16))
+        chip.pause_refresh(50.0)
+        before = chip.read_all_datawords().copy()
+        chip.restore_refresh()
+        assert np.array_equal(chip.read_all_datawords(), before)
+
+
+class TestTransientFaults:
+    def test_transient_faults_affect_reads_not_storage(self):
+        chip = make_chip(
+            num_rows=16,
+            words_per_row=8,
+            transient_faults=TransientFaultModel(probability_per_bit=0.02),
+            seed=9,
+        )
+        chip.fill(GF2Vector.zeros(16))
+        # Transient flips may appear on any given read...
+        observed_any = any(chip.read_all_datawords().any() for _ in range(10))
+        assert observed_any
+        # ...but the stored state never changes.
+        for word in range(chip.num_words):
+            assert chip.inspect_pre_correction_errors(word) == ()
+
+    def test_zero_probability_means_clean_reads(self):
+        chip = make_chip(transient_faults=TransientFaultModel(0.0))
+        chip.fill(GF2Vector.ones(16))
+        for _ in range(5):
+            assert (chip.read_all_datawords() == 1).all()
+
+
+class TestGroundTruthInspection:
+    def test_inspect_retention_time_positive(self):
+        chip = make_chip()
+        assert chip.inspect_retention_time(0, 0) > 0
+
+    def test_cell_type_of_word_follows_layout(self):
+        code = hamming_code(16)
+        chip = SimulatedDramChip(
+            code,
+            ChipGeometry(num_rows=4, words_per_row=2),
+            cell_layout=CellTypeLayout.alternating([1, 1]),
+        )
+        assert chip.cell_type_of_word(0) is CellType.TRUE_CELL
+        assert chip.cell_type_of_word(2) is CellType.ANTI_CELL
+
+    def test_inspect_out_of_range(self):
+        chip = make_chip()
+        with pytest.raises(AddressError):
+            chip.inspect_stored_codeword(chip.num_words)
+
+
+class TestDefaultConstruction:
+    def test_default_geometry_and_layout(self):
+        code = random_hamming_code(32, rng=np.random.default_rng(0))
+        chip = SimulatedDramChip(code)
+        assert chip.num_words == ChipGeometry().num_words
+        assert chip.word_layout is not None
+        assert chip.word_layout.dataword_bytes == 4

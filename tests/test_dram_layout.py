@@ -1,0 +1,149 @@
+"""Unit tests for ECC-word and cell-type layouts."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import AddressError, ChipConfigurationError
+from repro.dram import ByteInterleavedWordLayout, CellTypeLayout, CellType, SequentialWordLayout
+
+
+class TestSequentialLayout:
+    def test_mapping_within_first_word(self):
+        layout = SequentialWordLayout(dataword_bytes=16)
+        target = layout.bit_address(0, 0)
+        assert target.word_index == 0
+        assert target.bit_index == 0
+        target = layout.bit_address(15, 7)
+        assert target.word_index == 0
+        assert target.bit_index == 127
+
+    def test_mapping_to_second_word(self):
+        layout = SequentialWordLayout(dataword_bytes=16)
+        target = layout.bit_address(16, 0)
+        assert target.word_index == 1
+        assert target.bit_index == 0
+
+    def test_round_trip(self):
+        layout = SequentialWordLayout(dataword_bytes=4)
+        for byte_address in range(32):
+            for bit in range(8):
+                target = layout.bit_address(byte_address, bit)
+                assert layout.byte_address(target.word_index, target.bit_index) == (
+                    byte_address,
+                    bit,
+                )
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ChipConfigurationError):
+            SequentialWordLayout(0)
+
+    def test_invalid_addresses(self):
+        layout = SequentialWordLayout(4)
+        with pytest.raises(AddressError):
+            layout.bit_address(-1, 0)
+        with pytest.raises(AddressError):
+            layout.bit_address(0, 8)
+        with pytest.raises(AddressError):
+            layout.byte_address(0, 32)
+
+
+class TestByteInterleavedLayout:
+    def test_paper_layout_interleaves_two_words_per_32_bytes(self):
+        # 32B region = two 16B ECC words interleaved at byte granularity.
+        layout = ByteInterleavedWordLayout(dataword_bytes=16, words_per_region=2)
+        assert layout.region_bytes == 32
+        assert layout.bit_address(0, 0).word_index == 0
+        assert layout.bit_address(1, 0).word_index == 1
+        assert layout.bit_address(2, 0).word_index == 0
+        assert layout.bit_address(3, 0).word_index == 1
+        # Second region starts at byte 32 and uses words 2 and 3.
+        assert layout.bit_address(32, 0).word_index == 2
+        assert layout.bit_address(33, 0).word_index == 3
+
+    def test_bytes_within_word_are_consecutive(self):
+        layout = ByteInterleavedWordLayout(dataword_bytes=16, words_per_region=2)
+        # Even bytes 0,2,4,... of a region map to consecutive bytes of word 0.
+        for byte_in_word, byte_address in enumerate(range(0, 32, 2)):
+            target = layout.bit_address(byte_address, 0)
+            assert target.word_index == 0
+            assert target.bit_index == byte_in_word * 8
+
+    def test_round_trip(self):
+        layout = ByteInterleavedWordLayout(dataword_bytes=4, words_per_region=2)
+        for byte_address in range(64):
+            for bit in range(8):
+                target = layout.bit_address(byte_address, bit)
+                assert layout.byte_address(target.word_index, target.bit_index) == (
+                    byte_address,
+                    bit,
+                )
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ChipConfigurationError):
+            ByteInterleavedWordLayout(0, 2)
+        with pytest.raises(ChipConfigurationError):
+            ByteInterleavedWordLayout(16, 0)
+
+    def test_invalid_addresses(self):
+        layout = ByteInterleavedWordLayout(4, 2)
+        with pytest.raises(AddressError):
+            layout.bit_address(-1, 0)
+        with pytest.raises(AddressError):
+            layout.bit_address(0, 9)
+        with pytest.raises(AddressError):
+            layout.byte_address(0, 99)
+
+    @given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=0, max_value=7))
+    @settings(max_examples=80, deadline=None)
+    def test_round_trip_property(self, byte_address, bit):
+        layout = ByteInterleavedWordLayout(dataword_bytes=16, words_per_region=2)
+        target = layout.bit_address(byte_address, bit)
+        assert layout.byte_address(target.word_index, target.bit_index) == (byte_address, bit)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=80, deadline=None)
+    def test_every_byte_maps_to_exactly_one_word(self, byte_address):
+        layout = ByteInterleavedWordLayout(dataword_bytes=16, words_per_region=2)
+        words = {layout.bit_address(byte_address, bit).word_index for bit in range(8)}
+        assert len(words) == 1
+
+
+class TestCellTypeLayout:
+    def test_uniform_layout(self):
+        layout = CellTypeLayout.uniform(CellType.TRUE_CELL)
+        assert all(
+            layout.cell_type_for_row(row) is CellType.TRUE_CELL for row in range(100)
+        )
+
+    def test_alternating_blocks(self):
+        layout = CellTypeLayout.alternating([2, 3], first=CellType.TRUE_CELL)
+        expected = [
+            CellType.TRUE_CELL,
+            CellType.TRUE_CELL,
+            CellType.ANTI_CELL,
+            CellType.ANTI_CELL,
+            CellType.ANTI_CELL,
+        ]
+        for row, cell_type in enumerate(expected * 2):
+            assert layout.cell_type_for_row(row) is cell_type
+
+    def test_period(self):
+        assert CellTypeLayout.alternating([8, 8, 12]).period == 28
+
+    def test_rows_of_type(self):
+        layout = CellTypeLayout.alternating([1, 1])
+        assert layout.rows_of_type(CellType.TRUE_CELL, 6) == [0, 2, 4]
+        assert layout.rows_of_type(CellType.ANTI_CELL, 6) == [1, 3, 5]
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ChipConfigurationError):
+            CellTypeLayout([], [])
+        with pytest.raises(ChipConfigurationError):
+            CellTypeLayout([CellType.TRUE_CELL], [0])
+        with pytest.raises(ChipConfigurationError):
+            CellTypeLayout([CellType.TRUE_CELL], [1, 2])
+
+    def test_negative_row_rejected(self):
+        with pytest.raises(AddressError):
+            CellTypeLayout.uniform(CellType.TRUE_CELL).cell_type_for_row(-1)

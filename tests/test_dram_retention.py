@@ -1,0 +1,137 @@
+"""Unit tests for the data-retention error model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram import DataRetentionModel, RetentionCalibration
+
+
+class TestCalibration:
+    def test_default_calibration_reproduces_anchor_points(self):
+        model = DataRetentionModel()
+        calibration = model.calibration
+        assert model.failure_probability(calibration.window_low_s, 80.0) == pytest.approx(
+            calibration.ber_low, rel=1e-6
+        )
+        assert model.failure_probability(calibration.window_high_s, 80.0) == pytest.approx(
+            calibration.ber_high, rel=1e-6
+        )
+
+    def test_invalid_calibration_rejected(self):
+        with pytest.raises(ValueError):
+            RetentionCalibration(ber_low=0.5, ber_high=0.1).lognormal_parameters()
+        with pytest.raises(ValueError):
+            RetentionCalibration(window_low_s=100, window_high_s=50).lognormal_parameters()
+        with pytest.raises(ValueError):
+            RetentionCalibration(ber_low=0.0).lognormal_parameters()
+
+    def test_custom_calibration(self):
+        calibration = RetentionCalibration(60.0, 1e-6, 600.0, 1e-2)
+        model = DataRetentionModel(calibration)
+        assert model.failure_probability(60.0, 80.0) == pytest.approx(1e-6, rel=1e-6)
+        assert model.failure_probability(600.0, 80.0) == pytest.approx(1e-2, rel=1e-6)
+
+
+class TestFailureProbability:
+    def test_monotonic_in_window(self):
+        model = DataRetentionModel()
+        windows = [30, 60, 120, 300, 600, 1200, 1800]
+        probabilities = [model.failure_probability(w, 80.0) for w in windows]
+        assert probabilities == sorted(probabilities)
+
+    def test_monotonic_in_temperature(self):
+        model = DataRetentionModel()
+        temps = [30, 45, 60, 80, 95]
+        probabilities = [model.failure_probability(600, t) for t in temps]
+        assert probabilities == sorted(probabilities)
+
+    def test_zero_window_means_no_failures(self):
+        model = DataRetentionModel()
+        assert model.failure_probability(0.0, 80.0) == 0.0
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ValueError):
+            DataRetentionModel().failure_probability(-1.0, 80.0)
+
+    def test_temperature_halving_rule(self):
+        # +10 degC doubles the effective window.
+        model = DataRetentionModel()
+        assert model.effective_window(300, 90.0) == pytest.approx(600.0)
+        assert model.effective_window(300, 70.0) == pytest.approx(150.0)
+
+    def test_window_for_failure_probability_inverts(self):
+        model = DataRetentionModel()
+        for ber in [1e-6, 1e-4, 1e-3]:
+            window = model.window_for_failure_probability(ber, 80.0)
+            assert model.failure_probability(window, 80.0) == pytest.approx(ber, rel=1e-6)
+
+    def test_window_for_failure_probability_temperature_consistency(self):
+        model = DataRetentionModel()
+        window_80 = model.window_for_failure_probability(1e-4, 80.0)
+        window_90 = model.window_for_failure_probability(1e-4, 90.0)
+        assert window_90 == pytest.approx(window_80 / 2.0)
+
+    def test_invalid_target_ber(self):
+        with pytest.raises(ValueError):
+            DataRetentionModel().window_for_failure_probability(0.0, 80.0)
+        with pytest.raises(ValueError):
+            DataRetentionModel().window_for_failure_probability(1.0, 80.0)
+
+
+class TestSampling:
+    def test_sample_shape_and_positivity(self):
+        model = DataRetentionModel()
+        times = model.sample_retention_times(1000, np.random.default_rng(0))
+        assert times.shape == (1000,)
+        assert (times > 0).all()
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            DataRetentionModel().sample_retention_times(-1, np.random.default_rng(0))
+
+    def test_sampling_is_reproducible(self):
+        model = DataRetentionModel()
+        first = model.sample_retention_times(100, np.random.default_rng(7))
+        second = model.sample_retention_times(100, np.random.default_rng(7))
+        assert np.array_equal(first, second)
+
+    def test_empirical_failure_rate_matches_model(self):
+        # At a window giving ~5% failures the empirical rate over many cells
+        # should be close to the analytic probability.
+        model = DataRetentionModel()
+        rng = np.random.default_rng(3)
+        times = model.sample_retention_times(200_000, rng)
+        window = model.window_for_failure_probability(0.05, 80.0)
+        empirical = model.cells_failing(times, window, 80.0).mean()
+        assert empirical == pytest.approx(0.05, rel=0.15)
+
+    def test_cells_failing_monotone_in_window(self):
+        model = DataRetentionModel()
+        times = model.sample_retention_times(10_000, np.random.default_rng(11))
+        short = model.cells_failing(times, 300, 80.0)
+        long = model.cells_failing(times, 3000, 80.0)
+        # Every cell failing at the short window also fails at the long one.
+        assert np.all(long[short])
+
+
+class TestRetentionProperties:
+    @given(
+        st.floats(min_value=1.0, max_value=10_000.0),
+        st.floats(min_value=20.0, max_value=95.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_probability_is_valid(self, window, temperature):
+        probability = DataRetentionModel().failure_probability(window, temperature)
+        assert 0.0 <= probability <= 1.0
+
+    @given(
+        st.floats(min_value=1.0, max_value=5_000.0),
+        st.floats(min_value=1.0, max_value=5_000.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_longer_window_never_reduces_probability(self, first, second):
+        model = DataRetentionModel()
+        low, high = sorted([first, second])
+        assert model.failure_probability(low, 80.0) <= model.failure_probability(high, 80.0)

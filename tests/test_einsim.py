@@ -1,0 +1,252 @@
+"""Unit and integration tests for the EINSim-equivalent simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ChipConfigurationError, DimensionError
+from repro.gf2 import GF2Vector
+from repro.ecc import SyndromeDecoder, example_7_4_code, hamming_code, random_hamming_code
+from repro.dram import CellType
+from repro.einsim import (
+    BootstrapInterval,
+    DataRetentionInjector,
+    EinsimSimulator,
+    FixedErrorCountInjector,
+    PerBitBernoulliInjector,
+    UniformRandomInjector,
+    bootstrap_confidence_interval,
+    bulk_decode,
+    relative_probabilities,
+)
+from repro.einsim.statistics import empirical_rate
+
+
+class TestInjectors:
+    def test_uniform_injector_rate(self):
+        injector = UniformRandomInjector(0.3)
+        stored = np.zeros((500, 40), dtype=np.uint8)
+        mask = injector.error_mask(stored, np.random.default_rng(0))
+        assert mask.shape == stored.shape
+        assert mask.mean() == pytest.approx(0.3, abs=0.03)
+
+    def test_uniform_injector_validation(self):
+        with pytest.raises(ChipConfigurationError):
+            UniformRandomInjector(1.5)
+
+    def test_retention_injector_true_cells_only_flip_ones(self):
+        injector = DataRetentionInjector(1.0, CellType.TRUE_CELL)
+        stored = np.array([[1, 0, 1, 0]], dtype=np.uint8)
+        mask = injector.error_mask(stored, np.random.default_rng(0))
+        assert mask.tolist() == [[True, False, True, False]]
+
+    def test_retention_injector_anti_cells_only_flip_zeros(self):
+        injector = DataRetentionInjector(1.0, CellType.ANTI_CELL)
+        stored = np.array([[1, 0, 1, 0]], dtype=np.uint8)
+        mask = injector.error_mask(stored, np.random.default_rng(0))
+        assert mask.tolist() == [[False, True, False, True]]
+
+    def test_retention_injector_rate(self):
+        injector = DataRetentionInjector(0.5)
+        stored = np.ones((200, 50), dtype=np.uint8)
+        mask = injector.error_mask(stored, np.random.default_rng(1))
+        assert mask.mean() == pytest.approx(0.5, abs=0.05)
+
+    def test_fixed_count_injector_exact_count(self):
+        injector = FixedErrorCountInjector(3)
+        stored = np.zeros((50, 20), dtype=np.uint8)
+        mask = injector.error_mask(stored, np.random.default_rng(2))
+        assert (mask.sum(axis=1) == 3).all()
+
+    def test_fixed_count_injector_candidate_restriction(self):
+        injector = FixedErrorCountInjector(2, candidate_positions=[0, 1, 2])
+        stored = np.zeros((20, 10), dtype=np.uint8)
+        mask = injector.error_mask(stored, np.random.default_rng(3))
+        assert not mask[:, 3:].any()
+
+    def test_fixed_count_injector_per_bit_probability(self):
+        injector = FixedErrorCountInjector(4, per_bit_probability=0.0)
+        stored = np.zeros((10, 10), dtype=np.uint8)
+        mask = injector.error_mask(stored, np.random.default_rng(4))
+        assert not mask.any()
+
+    def test_fixed_count_injector_validation(self):
+        with pytest.raises(ChipConfigurationError):
+            FixedErrorCountInjector(-1)
+        with pytest.raises(ChipConfigurationError):
+            FixedErrorCountInjector(5, candidate_positions=[0, 1]).error_mask(
+                np.zeros((1, 4), dtype=np.uint8), np.random.default_rng(0)
+            )
+
+    def test_per_bit_injector(self):
+        probabilities = [0.0, 1.0, 0.0, 1.0]
+        injector = PerBitBernoulliInjector(probabilities)
+        stored = np.zeros((10, 4), dtype=np.uint8)
+        mask = injector.error_mask(stored, np.random.default_rng(5))
+        assert not mask[:, 0].any() and mask[:, 1].all()
+
+    def test_per_bit_injector_validation(self):
+        with pytest.raises(ChipConfigurationError):
+            PerBitBernoulliInjector([[0.1]])
+        with pytest.raises(ChipConfigurationError):
+            PerBitBernoulliInjector([0.5, 1.2])
+        with pytest.raises(ChipConfigurationError):
+            PerBitBernoulliInjector([0.5]).error_mask(
+                np.zeros((1, 3), dtype=np.uint8), np.random.default_rng(0)
+            )
+
+
+class TestBulkDecode:
+    def test_bulk_decode_matches_scalar_decoder(self):
+        code = example_7_4_code()
+        decoder = SyndromeDecoder(code)
+        rng = np.random.default_rng(7)
+        received = rng.integers(0, 2, size=(64, 7)).astype(np.uint8)
+        bulk = bulk_decode(code, received)
+        for row in range(received.shape[0]):
+            expected = decoder.decode(GF2Vector(received[row])).corrected_codeword
+            assert GF2Vector(bulk[row]) == expected
+
+    def test_bulk_decode_shape_validation(self):
+        with pytest.raises(DimensionError):
+            bulk_decode(example_7_4_code(), np.zeros((4, 5), dtype=np.uint8))
+
+
+class TestSimulator:
+    def test_no_errors_no_post_correction_errors(self):
+        simulator = EinsimSimulator(hamming_code(16), seed=0)
+        result = simulator.simulate([1] * 16, 100, UniformRandomInjector(0.0))
+        assert result.post_correction_error_counts.sum() == 0
+        assert result.uncorrectable_words == 0
+        assert result.miscorrected_words == 0
+
+    def test_single_error_words_never_produce_post_correction_errors(self):
+        code = hamming_code(16)
+        simulator = EinsimSimulator(code, seed=1)
+        result = simulator.simulate([1] * 16, 200, FixedErrorCountInjector(1))
+        assert result.post_correction_error_counts.sum() == 0
+        assert result.uncorrectable_words == 0
+
+    def test_double_errors_are_uncorrectable(self):
+        code = hamming_code(16)
+        simulator = EinsimSimulator(code, seed=2)
+        result = simulator.simulate([0] * 16, 300, FixedErrorCountInjector(2))
+        assert result.uncorrectable_words == 300
+        # A full-length-ish code miscorrects most double errors.
+        assert result.miscorrected_words > 0
+        assert result.post_correction_error_counts.sum() > 0
+
+    def test_pre_correction_counts_match_injection_rate(self):
+        code = hamming_code(8)
+        simulator = EinsimSimulator(code, seed=3)
+        result = simulator.simulate([1] * 8, 2000, UniformRandomInjector(0.05))
+        per_bit = result.pre_correction_error_probabilities
+        assert per_bit.shape == (code.codeword_length,)
+        assert per_bit.mean() == pytest.approx(0.05, rel=0.2)
+
+    def test_retention_injector_all_zero_pattern_is_error_free(self):
+        # All data bits DISCHARGED (true cells): with an all-zero dataword the
+        # parity bits are zero too, so no retention errors can occur at all.
+        code = hamming_code(16)
+        simulator = EinsimSimulator(code, seed=4)
+        result = simulator.simulate(
+            [0] * 16, 500, DataRetentionInjector(0.5, CellType.TRUE_CELL)
+        )
+        assert result.pre_correction_error_counts.sum() == 0
+        assert result.post_correction_error_counts.sum() == 0
+
+    def test_miscorrection_positions_reported(self):
+        code = example_7_4_code()
+        simulator = EinsimSimulator(code, seed=5)
+        result = simulator.simulate([0, 0, 0, 0], 2000, UniformRandomInjector(0.2))
+        assert result.miscorrected_words > 0
+        assert all(0 <= p < 4 for p in result.miscorrection_positions)
+
+    def test_batching_gives_same_totals(self):
+        code = hamming_code(8)
+        big_batch = EinsimSimulator(code, seed=6).simulate(
+            [1] * 8, 1000, UniformRandomInjector(0.02), batch_size=1000
+        )
+        small_batch = EinsimSimulator(code, seed=6).simulate(
+            [1] * 8, 1000, UniformRandomInjector(0.02), batch_size=64
+        )
+        assert big_batch.num_words == small_batch.num_words == 1000
+        # Different RNG consumption order, so compare only coarse statistics.
+        assert big_batch.pre_correction_error_counts.sum() == pytest.approx(
+            small_batch.pre_correction_error_counts.sum(), rel=0.35
+        )
+
+    def test_dataword_validation(self):
+        simulator = EinsimSimulator(hamming_code(8))
+        with pytest.raises(DimensionError):
+            simulator.simulate([1] * 9, 10, UniformRandomInjector(0.1))
+
+    def test_per_bit_error_probability_wrapper(self):
+        simulator = EinsimSimulator(hamming_code(8), seed=7)
+        probabilities = simulator.per_bit_error_probability(
+            [1] * 8, 100, UniformRandomInjector(0.0)
+        )
+        assert probabilities.shape == (8,)
+        assert (probabilities == 0).all()
+
+    def test_different_ecc_functions_produce_different_profiles(self):
+        # The essence of Figure 1: same pre-correction behaviour, different
+        # post-correction profiles for different ECC functions.
+        rng = np.random.default_rng(8)
+        first_code = random_hamming_code(16, rng=rng)
+        second_code = random_hamming_code(16, rng=rng)
+        injector = UniformRandomInjector(0.05)
+        first = EinsimSimulator(first_code, seed=9).simulate([1] * 16, 3000, injector)
+        second = EinsimSimulator(second_code, seed=9).simulate([1] * 16, 3000, injector)
+        assert not np.array_equal(
+            first.post_correction_error_counts, second.post_correction_error_counts
+        )
+
+
+class TestStatistics:
+    def test_bootstrap_interval_contains_estimate(self):
+        samples = np.random.default_rng(0).normal(10, 1, size=200)
+        interval = bootstrap_confidence_interval(samples, rng=np.random.default_rng(1))
+        assert isinstance(interval, BootstrapInterval)
+        assert interval.lower <= interval.estimate <= interval.upper
+        assert interval.contains(interval.estimate)
+
+    def test_bootstrap_interval_narrows_with_more_data(self):
+        rng = np.random.default_rng(2)
+        small = bootstrap_confidence_interval(rng.normal(0, 1, 20), rng=np.random.default_rng(3))
+        large = bootstrap_confidence_interval(rng.normal(0, 1, 2000), rng=np.random.default_rng(4))
+        assert (large.upper - large.lower) < (small.upper - small.lower)
+
+    def test_bootstrap_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_confidence_interval([])
+        with pytest.raises(ValueError):
+            bootstrap_confidence_interval([1.0], confidence=1.5)
+        with pytest.raises(ValueError):
+            bootstrap_confidence_interval([1.0], num_resamples=0)
+
+    def test_relative_probabilities(self):
+        relative = relative_probabilities([1, 1, 2])
+        assert relative.sum() == pytest.approx(1.0)
+        assert relative[2] == pytest.approx(0.5)
+
+    def test_relative_probabilities_all_zero(self):
+        assert (relative_probabilities([0, 0, 0]) == 0).all()
+
+    def test_empirical_rate(self):
+        assert empirical_rate(3, 10) == 0.3
+        assert empirical_rate(0, 0) == 0.0
+        with pytest.raises(ValueError):
+            empirical_rate(5, 3)
+
+
+class TestSimulatorProperties:
+    @given(st.integers(min_value=0, max_value=1000), st.integers(min_value=4, max_value=16))
+    @settings(max_examples=15, deadline=None)
+    def test_post_correction_errors_only_with_uncorrectable_words(self, seed, k):
+        code = random_hamming_code(k, rng=np.random.default_rng(seed))
+        simulator = EinsimSimulator(code, seed=seed)
+        result = simulator.simulate([1] * k, 200, UniformRandomInjector(0.05))
+        if result.uncorrectable_words == 0:
+            assert result.post_correction_error_counts.sum() == 0

@@ -1,0 +1,34 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import exceptions
+
+
+class TestExceptionHierarchy:
+    def test_all_library_errors_derive_from_repro_error(self):
+        derived = [
+            exceptions.DimensionError,
+            exceptions.SingularMatrixError,
+            exceptions.CodeConstructionError,
+            exceptions.DecodingError,
+            exceptions.ChipConfigurationError,
+            exceptions.AddressError,
+            exceptions.ProfileError,
+            exceptions.SolverError,
+            exceptions.UnsatisfiableError,
+            exceptions.PatternCraftingError,
+        ]
+        for error_type in derived:
+            assert issubclass(error_type, exceptions.ReproError)
+
+    def test_unsatisfiable_is_a_solver_error(self):
+        assert issubclass(exceptions.UnsatisfiableError, exceptions.SolverError)
+
+    def test_catching_the_base_class_catches_specific_errors(self):
+        with pytest.raises(exceptions.ReproError):
+            raise exceptions.ProfileError("profile is malformed")
+
+    def test_messages_are_preserved(self):
+        error = exceptions.SolverError("node budget exhausted")
+        assert "node budget exhausted" in str(error)

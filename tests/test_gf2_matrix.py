@@ -1,0 +1,221 @@
+"""Unit tests for the GF(2) matrix and vector types."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionError
+from repro.gf2 import GF2Matrix, GF2Vector
+
+
+class TestGF2VectorConstruction:
+    def test_from_list_reduces_mod_2(self):
+        vec = GF2Vector([0, 1, 2, 3, 4])
+        assert vec.to_list() == [0, 1, 0, 1, 0]
+
+    def test_zeros_and_ones(self):
+        assert GF2Vector.zeros(4).to_list() == [0, 0, 0, 0]
+        assert GF2Vector.ones(3).to_list() == [1, 1, 1]
+
+    def test_unit_vector(self):
+        vec = GF2Vector.unit(5, 2)
+        assert vec.to_list() == [0, 0, 1, 0, 0]
+
+    def test_unit_vector_out_of_range(self):
+        with pytest.raises(DimensionError):
+            GF2Vector.unit(3, 3)
+
+    def test_from_support(self):
+        vec = GF2Vector.from_support(6, [1, 4])
+        assert vec.support == (1, 4)
+
+    def test_from_support_out_of_range(self):
+        with pytest.raises(DimensionError):
+            GF2Vector.from_support(4, [4])
+
+    def test_from_int_round_trip(self):
+        for value in [0, 1, 5, 13, 255]:
+            vec = GF2Vector.from_int(value, 8)
+            assert vec.to_int() == value
+
+    def test_from_int_too_large(self):
+        with pytest.raises(DimensionError):
+            GF2Vector.from_int(16, 4)
+
+    def test_from_int_negative(self):
+        with pytest.raises(ValueError):
+            GF2Vector.from_int(-1, 4)
+
+    def test_rejects_two_dimensional_input(self):
+        with pytest.raises(DimensionError):
+            GF2Vector([[1, 0], [0, 1]])
+
+
+class TestGF2VectorOperations:
+    def test_addition_is_xor(self):
+        left = GF2Vector([1, 0, 1, 1])
+        right = GF2Vector([1, 1, 0, 1])
+        assert (left + right).to_list() == [0, 1, 1, 0]
+
+    def test_addition_length_mismatch(self):
+        with pytest.raises(DimensionError):
+            GF2Vector([1, 0]) + GF2Vector([1, 0, 1])
+
+    def test_inner_product(self):
+        left = GF2Vector([1, 1, 0, 1])
+        right = GF2Vector([1, 0, 1, 1])
+        assert left * right == 0
+        assert left * GF2Vector([1, 0, 0, 0]) == 1
+
+    def test_weight_and_support(self):
+        vec = GF2Vector([1, 0, 1, 1, 0])
+        assert vec.weight == 3
+        assert vec.support == (0, 2, 3)
+
+    def test_is_zero(self):
+        assert GF2Vector.zeros(3).is_zero()
+        assert not GF2Vector([0, 1, 0]).is_zero()
+
+    def test_flip(self):
+        vec = GF2Vector([0, 0, 1])
+        assert vec.flip(0).to_list() == [1, 0, 1]
+        assert vec.flip(2).to_list() == [0, 0, 0]
+        # flip returns a copy
+        assert vec.to_list() == [0, 0, 1]
+
+    def test_equality_and_hash(self):
+        assert GF2Vector([1, 0, 1]) == GF2Vector([1, 0, 1])
+        assert GF2Vector([1, 0, 1]) != GF2Vector([1, 0, 0])
+        assert hash(GF2Vector([1, 0, 1])) == hash(GF2Vector([1, 0, 1]))
+
+    def test_slicing_returns_vector(self):
+        vec = GF2Vector([1, 0, 1, 1])
+        sliced = vec[0:2]
+        assert isinstance(sliced, GF2Vector)
+        assert sliced.to_list() == [1, 0]
+
+    def test_indexing_returns_int(self):
+        vec = GF2Vector([1, 0, 1])
+        assert vec[0] == 1
+        assert vec[1] == 0
+
+    def test_iteration(self):
+        assert list(GF2Vector([1, 0, 1])) == [1, 0, 1]
+
+    def test_repr_shows_bits(self):
+        assert "101" in repr(GF2Vector([1, 0, 1]))
+
+
+class TestGF2MatrixConstruction:
+    def test_identity(self):
+        identity = GF2Matrix.identity(3)
+        assert identity.shape == (3, 3)
+        for i in range(3):
+            for j in range(3):
+                assert identity[i, j] == (1 if i == j else 0)
+
+    def test_zeros(self):
+        assert GF2Matrix.zeros(2, 3).shape == (2, 3)
+        assert GF2Matrix.zeros(2, 3).is_zero()
+
+    def test_from_rows(self):
+        matrix = GF2Matrix.from_rows([[1, 0], [0, 1], [1, 1]])
+        assert matrix.shape == (3, 2)
+        assert matrix.row(2).to_list() == [1, 1]
+
+    def test_from_rows_inconsistent_lengths(self):
+        with pytest.raises(DimensionError):
+            GF2Matrix.from_rows([[1, 0], [1]])
+
+    def test_from_rows_empty(self):
+        with pytest.raises(DimensionError):
+            GF2Matrix.from_rows([])
+
+    def test_from_columns(self):
+        matrix = GF2Matrix.from_columns([[1, 0, 1], [0, 1, 1]])
+        assert matrix.shape == (3, 2)
+        assert matrix.column(0).to_list() == [1, 0, 1]
+        assert matrix.column(1).to_list() == [0, 1, 1]
+
+    def test_values_reduced_mod_2(self):
+        matrix = GF2Matrix([[2, 3], [4, 5]])
+        assert matrix == GF2Matrix([[0, 1], [0, 1]])
+
+    def test_rejects_one_dimensional_input(self):
+        with pytest.raises(DimensionError):
+            GF2Matrix([1, 0, 1])
+
+
+class TestGF2MatrixOperations:
+    def test_addition_is_xor(self):
+        left = GF2Matrix([[1, 0], [1, 1]])
+        right = GF2Matrix([[1, 1], [0, 1]])
+        assert (left + right) == GF2Matrix([[0, 1], [1, 0]])
+
+    def test_addition_shape_mismatch(self):
+        with pytest.raises(DimensionError):
+            GF2Matrix([[1, 0]]) + GF2Matrix([[1], [0]])
+
+    def test_matrix_vector_product(self):
+        matrix = GF2Matrix([[1, 1, 0], [0, 1, 1]])
+        vec = GF2Vector([1, 1, 1])
+        assert (matrix @ vec).to_list() == [0, 0]
+
+    def test_matrix_matrix_product(self):
+        left = GF2Matrix([[1, 1], [0, 1]])
+        right = GF2Matrix([[1, 0], [1, 1]])
+        assert (left @ right) == GF2Matrix([[0, 1], [1, 1]])
+
+    def test_product_dimension_mismatch(self):
+        with pytest.raises(DimensionError):
+            GF2Matrix([[1, 0]]) @ GF2Vector([1, 0, 1])
+
+    def test_transpose(self):
+        matrix = GF2Matrix([[1, 0, 1], [0, 1, 1]])
+        assert matrix.T.shape == (3, 2)
+        assert matrix.T.column(0).to_list() == [1, 0, 1]
+
+    def test_hstack_vstack(self):
+        left = GF2Matrix([[1], [0]])
+        right = GF2Matrix([[0], [1]])
+        assert left.hstack(right) == GF2Matrix([[1, 0], [0, 1]])
+        assert left.vstack(right) == GF2Matrix([[1], [0], [0], [1]])
+
+    def test_hstack_mismatch(self):
+        with pytest.raises(DimensionError):
+            GF2Matrix([[1]]).hstack(GF2Matrix([[1], [0]]))
+
+    def test_vstack_mismatch(self):
+        with pytest.raises(DimensionError):
+            GF2Matrix([[1]]).vstack(GF2Matrix([[1, 0]]))
+
+    def test_submatrix(self):
+        matrix = GF2Matrix([[1, 0, 1], [0, 1, 1], [1, 1, 0]])
+        sub = matrix.submatrix(rows=[0, 2], cols=[1, 2])
+        assert sub == GF2Matrix([[0, 1], [1, 0]])
+
+    def test_column_and_row_orderings(self):
+        matrix = GF2Matrix([[1, 0], [0, 1]])
+        assert matrix.with_column_order([1, 0]) == GF2Matrix([[0, 1], [1, 0]])
+        assert matrix.with_row_order([1, 0]) == GF2Matrix([[0, 1], [1, 0]])
+
+    def test_column_order_must_be_permutation(self):
+        with pytest.raises(DimensionError):
+            GF2Matrix([[1, 0], [0, 1]]).with_column_order([0, 0])
+
+    def test_equality_and_hash(self):
+        first = GF2Matrix([[1, 0], [0, 1]])
+        second = GF2Matrix.identity(2)
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_rows_and_columns_lists(self):
+        matrix = GF2Matrix([[1, 0], [1, 1]])
+        assert [r.to_list() for r in matrix.rows()] == [[1, 0], [1, 1]]
+        assert [c.to_list() for c in matrix.columns()] == [[1, 1], [0, 1]]
+
+    def test_to_numpy_returns_copy(self):
+        matrix = GF2Matrix([[1, 0], [0, 1]])
+        array = matrix.to_numpy()
+        array[0, 0] = 0
+        assert matrix[0, 0] == 1
+        assert array.dtype == np.uint8

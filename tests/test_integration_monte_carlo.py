@@ -1,0 +1,139 @@
+"""Integration tests: Monte-Carlo (EINSim-style) miscorrection profiles + BEER.
+
+These tests mirror the paper's own correctness methodology (Section 6.1):
+simulate many ECC words per test pattern with data-retention errors, build the
+measured miscorrection profile, and confirm that BEER recovers the original
+ECC function from it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ProfileError
+from repro.dram import CellType
+from repro.ecc import codes_equivalent, example_7_4_code, random_hamming_code
+from repro.core import (
+    BeerSolver,
+    charged_patterns,
+    expected_miscorrection_profile,
+    monte_carlo_miscorrection_profile,
+    one_charged_patterns,
+)
+
+
+class TestMonteCarloProfileValidity:
+    def test_validation(self):
+        code = example_7_4_code()
+        patterns = one_charged_patterns(4)
+        with pytest.raises(ProfileError):
+            monte_carlo_miscorrection_profile(code, patterns, 0.1, 0)
+        with pytest.raises(ProfileError):
+            monte_carlo_miscorrection_profile(code, patterns, 1.5, 10)
+
+    def test_zero_error_rate_measures_empty_profile(self):
+        code = example_7_4_code()
+        profile = monte_carlo_miscorrection_profile(
+            code, one_charged_patterns(4), 0.0, 100, rng=np.random.default_rng(0)
+        )
+        assert profile.total_miscorrections == 0
+
+    def test_measured_profile_is_subset_of_analytic(self):
+        # Every observed miscorrection must be analytically possible,
+        # regardless of how few words are simulated.
+        rng = np.random.default_rng(1)
+        for seed in range(4):
+            code = random_hamming_code(8, rng=np.random.default_rng(seed))
+            patterns = list(charged_patterns(8, [1, 2]))
+            measured = monte_carlo_miscorrection_profile(
+                code, patterns, bit_error_rate=0.3, words_per_pattern=50, rng=rng
+            )
+            analytic = expected_miscorrection_profile(code, patterns)
+            for pattern in patterns:
+                assert measured.miscorrections(pattern) <= analytic.miscorrections(pattern)
+
+    def test_measured_profile_converges_to_analytic(self):
+        code = random_hamming_code(8, rng=np.random.default_rng(7))
+        patterns = list(charged_patterns(8, [1, 2]))
+        measured = monte_carlo_miscorrection_profile(
+            code,
+            patterns,
+            bit_error_rate=0.5,
+            words_per_pattern=4000,
+            rng=np.random.default_rng(3),
+        )
+        analytic = expected_miscorrection_profile(code, patterns)
+        assert measured == analytic
+
+    def test_anti_cell_measurement_matches_anti_cell_analytic(self):
+        code = random_hamming_code(6, rng=np.random.default_rng(9))
+        patterns = list(charged_patterns(6, [1, 2]))
+        measured = monte_carlo_miscorrection_profile(
+            code,
+            patterns,
+            bit_error_rate=0.5,
+            words_per_pattern=4000,
+            cell_type=CellType.ANTI_CELL,
+            rng=np.random.default_rng(4),
+        )
+        analytic = expected_miscorrection_profile(code, patterns, CellType.ANTI_CELL)
+        assert measured == analytic
+
+    def test_low_error_rate_observes_fewer_miscorrections(self):
+        code = random_hamming_code(8, rng=np.random.default_rng(11))
+        patterns = list(charged_patterns(8, [1]))
+        sparse = monte_carlo_miscorrection_profile(
+            code, patterns, bit_error_rate=0.02, words_per_pattern=200,
+            rng=np.random.default_rng(5),
+        )
+        dense = monte_carlo_miscorrection_profile(
+            code, patterns, bit_error_rate=0.5, words_per_pattern=200,
+            rng=np.random.default_rng(5),
+        )
+        assert sparse.total_miscorrections <= dense.total_miscorrections
+
+
+class TestPaperSection61Methodology:
+    """Simulate → measure profile → solve → compare against the original code."""
+
+    @pytest.mark.parametrize("num_data_bits,seed", [(4, 0), (8, 1), (11, 2), (16, 3)])
+    def test_beer_recovers_codes_from_simulated_profiles(self, num_data_bits, seed):
+        code = random_hamming_code(num_data_bits, rng=np.random.default_rng(seed))
+        patterns = list(charged_patterns(num_data_bits, [1, 2]))
+        measured = monte_carlo_miscorrection_profile(
+            code,
+            patterns,
+            bit_error_rate=0.5,
+            words_per_pattern=3000,
+            rng=np.random.default_rng(seed + 100),
+        )
+        solution = BeerSolver(num_data_bits).solve(measured)
+        assert solution.unique
+        assert codes_equivalent(solution.code, code)
+
+    def test_full_length_code_recovered_from_one_charged_simulation(self):
+        code = random_hamming_code(11, rng=np.random.default_rng(42))
+        measured = monte_carlo_miscorrection_profile(
+            code,
+            one_charged_patterns(11),
+            bit_error_rate=0.5,
+            words_per_pattern=3000,
+            rng=np.random.default_rng(43),
+        )
+        solution = BeerSolver(11).solve(measured)
+        assert solution.unique
+        assert codes_equivalent(solution.code, code)
+
+    def test_insufficient_sampling_never_yields_a_wrong_unique_answer(self):
+        # With too few words the profile may be incomplete, in which case BEER
+        # either still finds the right code or (more likely) finds no code or
+        # several codes — but it must never settle uniquely on a wrong one
+        # whose profile would contradict the observations we did make.
+        code = random_hamming_code(8, rng=np.random.default_rng(21))
+        patterns = list(charged_patterns(8, [1, 2]))
+        measured = monte_carlo_miscorrection_profile(
+            code, patterns, bit_error_rate=0.2, words_per_pattern=30,
+            rng=np.random.default_rng(22),
+        )
+        solution = BeerSolver(8).solve(measured, max_solutions=5)
+        for candidate in solution.codes:
+            assert BeerSolver.verify(candidate, measured)

@@ -1,0 +1,130 @@
+"""Unit tests for the CNF container and DIMACS IO."""
+
+import io
+
+import pytest
+
+from repro.exceptions import SolverError
+from repro.sat import CNF, read_dimacs, write_dimacs
+
+
+class TestCNF:
+    def test_variable_allocation(self):
+        formula = CNF()
+        assert formula.new_variable() == 1
+        assert formula.new_variable() == 2
+        assert formula.new_variables(3) == [3, 4, 5]
+        assert formula.num_variables == 5
+
+    def test_negative_initial_variables_rejected(self):
+        with pytest.raises(SolverError):
+            CNF(-1)
+
+    def test_negative_allocation_rejected(self):
+        with pytest.raises(SolverError):
+            CNF().new_variables(-1)
+
+    def test_add_clause_extends_variable_pool(self):
+        formula = CNF()
+        formula.add_clause([1, -4])
+        assert formula.num_variables == 4
+        assert formula.clauses == [(1, -4)]
+
+    def test_empty_clause_rejected(self):
+        with pytest.raises(SolverError):
+            CNF().add_clause([])
+
+    def test_zero_literal_rejected(self):
+        with pytest.raises(SolverError):
+            CNF().add_clause([1, 0])
+
+    def test_add_unit_and_clauses(self):
+        formula = CNF()
+        formula.add_unit(3)
+        formula.add_clauses([[1, 2], [-1, -2]])
+        assert formula.num_clauses == 3
+
+    def test_evaluate(self):
+        formula = CNF()
+        formula.add_clauses([[1, 2], [-1, 2]])
+        assert formula.evaluate([False, True])
+        assert not formula.evaluate([True, False])
+
+    def test_evaluate_short_assignment_rejected(self):
+        formula = CNF()
+        formula.add_clause([1, 2, 3])
+        with pytest.raises(SolverError):
+            formula.evaluate([True])
+
+    def test_copy_is_independent(self):
+        formula = CNF()
+        formula.add_clause([1, 2])
+        duplicate = formula.copy()
+        duplicate.add_clause([-1])
+        assert formula.num_clauses == 1
+        assert duplicate.num_clauses == 2
+
+    def test_repr(self):
+        formula = CNF()
+        formula.add_clause([1, -2])
+        assert "clauses=1" in repr(formula)
+
+
+class TestDimacs:
+    EXAMPLE = """c example instance
+p cnf 3 2
+1 -2 0
+2 3 0
+"""
+
+    def test_read_from_string(self):
+        formula = read_dimacs(self.EXAMPLE)
+        assert formula.num_variables == 3
+        assert formula.clauses == [(1, -2), (2, 3)]
+
+    def test_read_from_stream(self):
+        formula = read_dimacs(io.StringIO(self.EXAMPLE))
+        assert formula.num_clauses == 2
+
+    def test_read_from_file(self, tmp_path):
+        path = tmp_path / "instance.cnf"
+        path.write_text(self.EXAMPLE)
+        formula = read_dimacs(path)
+        assert formula.num_variables == 3
+
+    def test_round_trip(self):
+        formula = read_dimacs(self.EXAMPLE)
+        text = write_dimacs(formula)
+        again = read_dimacs(text)
+        assert again.clauses == formula.clauses
+        assert again.num_variables == formula.num_variables
+
+    def test_write_to_file(self, tmp_path):
+        formula = read_dimacs(self.EXAMPLE)
+        path = tmp_path / "out.cnf"
+        write_dimacs(formula, path)
+        assert read_dimacs(path).clauses == formula.clauses
+
+    def test_missing_problem_line_rejected(self):
+        with pytest.raises(SolverError):
+            read_dimacs("1 2 0\n")
+
+    def test_malformed_problem_line_rejected(self):
+        with pytest.raises(SolverError):
+            read_dimacs("p sat 3 2\n1 2 0\n")
+
+    def test_clause_count_mismatch_rejected(self):
+        with pytest.raises(SolverError):
+            read_dimacs("p cnf 2 5\n1 2 0\n")
+
+    def test_variable_overflow_rejected(self):
+        with pytest.raises(SolverError):
+            read_dimacs("p cnf 1 1\n1 2 0\n")
+
+    def test_header_declares_unused_variables(self):
+        formula = read_dimacs("p cnf 5 1\n1 2 0\n")
+        assert formula.num_variables == 5
+
+    def test_clause_spanning_multiple_lines(self):
+        formula = read_dimacs("p cnf 3 1\n1 2\n3 0\n")
+        assert formula.clauses == [(1, 2, 3)]

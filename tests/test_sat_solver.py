@@ -1,0 +1,303 @@
+"""Unit, integration, and property tests for the CDCL SAT solver."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SolverError
+from repro.sat import (
+    CNF,
+    CDCLSolver,
+    encode_at_most_one,
+    encode_exactly_one,
+    encode_iff,
+    encode_implies,
+    encode_xor,
+    iterate_models,
+    solve,
+)
+from repro.sat.encoders import (
+    bits_of_integer,
+    encode_conjunction,
+    encode_disjunction,
+    integer_of_bits,
+)
+
+
+def brute_force_satisfiable(formula: CNF) -> bool:
+    """Reference check by exhaustive enumeration (small formulas only)."""
+    for bits in itertools.product([False, True], repeat=formula.num_variables):
+        if formula.evaluate(list(bits)):
+            return True
+    return False
+
+
+def pigeonhole(num_pigeons: int, num_holes: int) -> CNF:
+    """The classic pigeonhole principle instance (UNSAT when pigeons > holes)."""
+    formula = CNF()
+    variables = {
+        (pigeon, hole): formula.new_variable()
+        for pigeon in range(num_pigeons)
+        for hole in range(num_holes)
+    }
+    for pigeon in range(num_pigeons):
+        formula.add_clause([variables[(pigeon, hole)] for hole in range(num_holes)])
+    for hole in range(num_holes):
+        encode_at_most_one(
+            formula, [variables[(pigeon, hole)] for pigeon in range(num_pigeons)]
+        )
+    return formula
+
+
+class TestBasicSolving:
+    def test_single_unit(self):
+        formula = CNF()
+        formula.add_unit(1)
+        result = solve(formula)
+        assert result.satisfiable
+        assert result.value(1) is True
+
+    def test_contradictory_units(self):
+        formula = CNF()
+        formula.add_unit(1)
+        formula.add_unit(-1)
+        assert not solve(formula).satisfiable
+
+    def test_simple_satisfiable(self):
+        formula = CNF()
+        formula.add_clauses([[1, 2], [-1, 2], [1, -2]])
+        result = solve(formula)
+        assert result.satisfiable
+        assert formula.evaluate(
+            [result.assignment[v] for v in range(1, formula.num_variables + 1)]
+        )
+
+    def test_simple_unsatisfiable(self):
+        formula = CNF()
+        formula.add_clauses([[1, 2], [-1, 2], [1, -2], [-1, -2]])
+        assert not solve(formula).satisfiable
+
+    def test_model_satisfies_formula(self):
+        formula = CNF()
+        formula.add_clauses([[1, -2, 3], [-1, 2], [2, -3], [-2, -3], [1, 3, -4], [4, 2]])
+        result = solve(formula)
+        assert result.satisfiable
+        assignment = [result.assignment[v] for v in range(1, formula.num_variables + 1)]
+        assert formula.evaluate(assignment)
+
+    def test_value_on_unsat_raises(self):
+        formula = CNF()
+        formula.add_unit(1)
+        formula.add_unit(-1)
+        result = solve(formula)
+        with pytest.raises(SolverError):
+            result.value(1)
+
+    def test_assumptions(self):
+        formula = CNF()
+        formula.add_clause([1, 2])
+        assert solve(formula, assumptions=[-1]).value(2) is True
+        assert not solve(formula, assumptions=[-1, -2]).satisfiable
+
+    def test_statistics_reported(self):
+        formula = pigeonhole(4, 3)
+        result = solve(formula)
+        assert not result.satisfiable
+        assert result.conflicts > 0
+
+    def test_conflict_budget(self):
+        formula = pigeonhole(7, 6)
+        with pytest.raises(SolverError):
+            CDCLSolver(formula, max_conflicts=1).solve()
+
+
+class TestStructuredInstances:
+    def test_pigeonhole_unsat(self):
+        for pigeons in range(2, 6):
+            assert not solve(pigeonhole(pigeons, pigeons - 1)).satisfiable
+
+    def test_pigeonhole_sat_when_holes_sufficient(self):
+        result = solve(pigeonhole(4, 4))
+        assert result.satisfiable
+
+    def test_graph_coloring(self):
+        # A 5-cycle is 3-colourable but not 2-colourable.
+        edges = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]
+
+        def coloring_formula(num_colors):
+            formula = CNF()
+            variables = {
+                (node, color): formula.new_variable()
+                for node in range(5)
+                for color in range(num_colors)
+            }
+            for node in range(5):
+                encode_exactly_one(
+                    formula, [variables[(node, c)] for c in range(num_colors)]
+                )
+            for first, second in edges:
+                for color in range(num_colors):
+                    formula.add_clause(
+                        [-variables[(first, color)], -variables[(second, color)]]
+                    )
+            return formula
+
+        assert not solve(coloring_formula(2)).satisfiable
+        assert solve(coloring_formula(3)).satisfiable
+
+    def test_xor_chain_sat_and_unsat(self):
+        formula = CNF()
+        variables = formula.new_variables(6)
+        encode_xor(formula, variables, True)
+        result = solve(formula)
+        assert result.satisfiable
+        assert sum(result.assignment[v] for v in variables) % 2 == 1
+
+        # Adding the opposite parity over the same variables makes it UNSAT.
+        encode_xor(formula, variables, False)
+        assert not solve(formula).satisfiable
+
+    def test_gf2_system_via_xor(self):
+        # x1 ^ x2 = 1, x2 ^ x3 = 0, x1 ^ x3 = 1  => consistent
+        formula = CNF()
+        x1, x2, x3 = formula.new_variables(3)
+        encode_xor(formula, [x1, x2], True)
+        encode_xor(formula, [x2, x3], False)
+        encode_xor(formula, [x1, x3], True)
+        result = solve(formula)
+        assert result.satisfiable
+        assert result.assignment[x1] != result.assignment[x2]
+        assert result.assignment[x2] == result.assignment[x3]
+
+
+class TestModelEnumeration:
+    def test_enumerate_all_models(self):
+        formula = CNF()
+        formula.add_clause([1, 2])
+        models = list(iterate_models(formula))
+        assert len(models) == 3
+        assert all(model[1] or model[2] for model in models)
+
+    def test_enumeration_respects_limit(self):
+        formula = CNF()
+        formula.new_variables(4)
+        formula.add_clause([1, -1])
+        assert len(list(iterate_models(formula, limit=5))) == 5
+
+    def test_enumeration_over_projection(self):
+        formula = CNF()
+        x1, x2, x3 = formula.new_variables(3)
+        formula.add_clause([x1, x2])
+        models = list(iterate_models(formula, over_variables=[x1, x2]))
+        assert len(models) == 3
+        assert all(set(model) == {x1, x2} for model in models)
+        del x3
+
+    def test_enumeration_of_unsat_formula_is_empty(self):
+        formula = CNF()
+        formula.add_unit(1)
+        formula.add_unit(-1)
+        assert list(iterate_models(formula)) == []
+
+
+class TestEncoders:
+    def test_exactly_one(self):
+        formula = CNF()
+        variables = formula.new_variables(4)
+        encode_exactly_one(formula, variables)
+        for model in iterate_models(formula, over_variables=variables):
+            assert sum(model[v] for v in variables) == 1
+
+    def test_exactly_one_empty_rejected(self):
+        with pytest.raises(SolverError):
+            encode_exactly_one(CNF(), [])
+
+    def test_at_most_one_allows_zero(self):
+        formula = CNF()
+        variables = formula.new_variables(3)
+        encode_at_most_one(formula, variables)
+        models = list(iterate_models(formula, over_variables=variables))
+        assert len(models) == 4  # none true, or exactly one of three
+
+    def test_implies(self):
+        formula = CNF()
+        a, b, c = formula.new_variables(3)
+        encode_implies(formula, a, [b, c])
+        formula.add_unit(a)
+        result = solve(formula)
+        assert result.assignment[b] and result.assignment[c]
+
+    def test_iff(self):
+        formula = CNF()
+        a, b = formula.new_variables(2)
+        encode_iff(formula, a, b)
+        for model in iterate_models(formula, over_variables=[a, b]):
+            assert model[a] == model[b]
+
+    def test_conjunction_gate(self):
+        formula = CNF()
+        a, b, out = formula.new_variables(3)
+        encode_conjunction(formula, out, [a, b])
+        for model in iterate_models(formula, over_variables=[a, b, out]):
+            assert model[out] == (model[a] and model[b])
+
+    def test_disjunction_gate(self):
+        formula = CNF()
+        a, b, out = formula.new_variables(3)
+        encode_disjunction(formula, out, [a, b])
+        for model in iterate_models(formula, over_variables=[a, b, out]):
+            assert model[out] == (model[a] or model[b])
+
+    def test_empty_xor_with_odd_parity_rejected(self):
+        with pytest.raises(SolverError):
+            encode_xor(CNF(), [], True)
+
+    def test_empty_xor_with_even_parity_is_noop(self):
+        formula = CNF()
+        encode_xor(formula, [], False)
+        assert formula.num_clauses == 0
+
+    def test_bit_helpers(self):
+        formula = CNF()
+        variables = formula.new_variables(4)
+        model = dict(zip(variables, bits_of_integer(0b1010, 4)))
+        assert integer_of_bits(model, variables) == 0b1010
+        with pytest.raises(SolverError):
+            bits_of_integer(16, 4)
+
+
+class TestRandomInstances:
+    @given(st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=40, deadline=None)
+    def test_agrees_with_brute_force_on_random_3sat(self, seed):
+        rng = np.random.default_rng(seed)
+        num_variables = int(rng.integers(3, 9))
+        num_clauses = int(rng.integers(1, 4 * num_variables))
+        formula = CNF(num_variables)
+        for _ in range(num_clauses):
+            width = int(rng.integers(1, 4))
+            variables = rng.choice(num_variables, size=width, replace=False) + 1
+            signs = rng.integers(0, 2, size=width) * 2 - 1
+            formula.add_clause(list(variables * signs))
+        assert solve(formula).satisfiable == brute_force_satisfiable(formula)
+
+    @given(st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=30, deadline=None)
+    def test_returned_models_always_satisfy(self, seed):
+        rng = np.random.default_rng(seed)
+        num_variables = int(rng.integers(3, 12))
+        formula = CNF(num_variables)
+        for _ in range(3 * num_variables):
+            width = int(rng.integers(2, 4))
+            variables = rng.choice(num_variables, size=width, replace=False) + 1
+            signs = rng.integers(0, 2, size=width) * 2 - 1
+            formula.add_clause(list(variables * signs))
+        result = solve(formula)
+        if result.satisfiable:
+            assignment = [
+                result.assignment[v] for v in range(1, formula.num_variables + 1)
+            ]
+            assert formula.evaluate(assignment)
