@@ -8,6 +8,12 @@ This module provides the same workflow as a console script::
     beer-tool solve --profile profile.json [--backend fast|sat] [--max-solutions N]
     beer-tool verify --profile profile.json --columns 7,11,19,...
     beer-tool beep --data-bits 16 --error-positions 2,9 [--passes 2]
+    beer-tool einsim --data-bits 32 --num-words 100000 --backend packed
+
+Simulation-heavy commands (``einsim``, ``simulate-profile``) accept
+``--backend {reference,packed,auto}`` selecting the GF(2) kernel
+implementation; both backends produce bit-identical output for the same
+seed, the packed one is simply faster.
 
 Profiles are exchanged as JSON in the format produced by
 :meth:`repro.core.profile.MiscorrectionProfile.to_dict`.
@@ -22,6 +28,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.gf2 import GF2Vector
 from repro.ecc import SystematicLinearCode, random_hamming_code
 from repro.ecc.hamming import min_parity_bits
 from repro.dram import ChipGeometry, DataRetentionModel, all_vendors
@@ -77,7 +84,29 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--data-bits", type=int, default=8)
     simulate.add_argument("--seed", type=int, default=0)
     simulate.add_argument("--rounds", type=int, default=8)
+    simulate.add_argument("--backend", choices=("reference", "packed", "auto"),
+                          default="reference",
+                          help="GF(2) kernel backend for the simulated chip's on-die ECC")
     simulate.add_argument("--output", required=True, help="where to write the profile JSON")
+
+    einsim = subparsers.add_parser(
+        "einsim",
+        help="run a Monte-Carlo ECC-word simulation and emit per-bit error statistics",
+    )
+    einsim.add_argument("--data-bits", type=int, default=32)
+    einsim.add_argument("--num-words", type=int, default=100_000)
+    einsim.add_argument("--ber", type=float, default=1e-3,
+                        help="uniform-random pre-correction bit error rate")
+    einsim.add_argument("--seed", type=int, default=0)
+    einsim.add_argument("--backend", choices=("reference", "packed", "auto"),
+                        default="reference",
+                        help="GF(2) kernel backend for encode/decode")
+    einsim.add_argument("--chunk-size", type=int, default=65536,
+                        help="ECC words simulated per batch")
+    einsim.add_argument("--processes", type=int, default=1,
+                        help="worker processes for the chunked campaign runner")
+    einsim.add_argument("--output", default=None,
+                        help="write the per-bit figure data to a JSON file")
 
     beep = subparsers.add_parser(
         "beep", help="demonstrate BEEP on a simulated ECC word with known weak cells"
@@ -101,6 +130,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "verify": _run_verify,
         "simulate-profile": _run_simulate_profile,
         "beep": _run_beep,
+        "einsim": _run_einsim,
     }
     return handlers[args.command](args)
 
@@ -155,6 +185,7 @@ def _run_simulate_profile(args) -> int:
         geometry=ChipGeometry(num_rows=32, words_per_row=8),
         seed=args.seed,
         retention_model=_FAST_RETENTION,
+        backend=args.backend,
     )
     config = ExperimentConfig(
         pattern_weights=(1, 2),
@@ -187,6 +218,54 @@ def _run_beep(args) -> int:
     print(f"patterns tested: {result.patterns_tested}, "
           f"miscorrections observed: {result.miscorrections_observed}")
     return 0 if set(identified) == set(positions) else 1
+
+
+def _run_einsim(args) -> int:
+    from repro.core import MonteCarloCampaign
+    from repro.einsim import UniformRandomInjector
+
+    code = random_hamming_code(args.data_bits, rng=np.random.default_rng(args.seed))
+    campaign = MonteCarloCampaign(
+        code,
+        chunk_size=args.chunk_size,
+        processes=args.processes,
+        backend=args.backend,
+        base_seed=args.seed,
+    )
+    injector = UniformRandomInjector(args.ber)
+    result = campaign.simulate(
+        GF2Vector.ones(code.num_data_bits), injector, args.num_words
+    )
+
+    payload = {
+        "codeword_length": code.codeword_length,
+        "num_data_bits": code.num_data_bits,
+        "parity_columns": list(code.parity_column_ints),
+        "num_words": result.num_words,
+        "bit_error_rate": args.ber,
+        "backend": campaign.backend,
+        "post_correction_error_counts": [
+            int(c) for c in result.post_correction_error_counts
+        ],
+        "pre_correction_error_counts": [
+            int(c) for c in result.pre_correction_error_counts
+        ],
+        "uncorrectable_words": result.uncorrectable_words,
+        "miscorrected_words": result.miscorrected_words,
+        "miscorrection_positions": list(result.miscorrection_positions),
+    }
+    print(f"simulated {result.num_words} words of a "
+          f"({code.codeword_length}, {code.num_data_bits}) SEC Hamming code "
+          f"[{campaign.backend} backend]")
+    print(f"uncorrectable words: {result.uncorrectable_words}, "
+          f"miscorrected words: {result.miscorrected_words}")
+    print("per-data-bit post-correction error counts: "
+          + ",".join(str(int(c)) for c in result.post_correction_error_counts))
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote figure data to {args.output}")
+    return 0
 
 
 # -- helpers -----------------------------------------------------------------------

@@ -30,7 +30,7 @@ from repro.core.profile import (
 from repro.core.beer import BeerSolver, BeerSolution
 from repro.core.beer_sat import SatBeerSolver
 from repro.core.beep import BeepProfiler, BeepResult
-from repro.core.experiment import BeerExperiment, ExperimentConfig
+from repro.core.experiment import BeerExperiment, ExperimentConfig, MonteCarloCampaign
 from repro.core.layout_re import (
     discover_cell_types,
     discover_dataword_layout,
@@ -52,6 +52,7 @@ __all__ = [
     "BeepResult",
     "BeerExperiment",
     "ExperimentConfig",
+    "MonteCarloCampaign",
     "discover_cell_types",
     "discover_dataword_layout",
 ]

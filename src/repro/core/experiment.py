@@ -14,6 +14,8 @@ black box that only supports write / pause-refresh / read:
 
 from __future__ import annotations
 
+import functools
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -22,7 +24,10 @@ import numpy as np
 from repro.exceptions import ChipConfigurationError
 from repro.dram.cell import CellType
 from repro.dram.chip import SimulatedDramChip
+from repro.ecc.code import SystematicLinearCode
 from repro.ecc.hamming import min_parity_bits
+from repro.einsim.engine import resolve_backend
+from repro.einsim.simulator import EinsimSimulator, SimulationResult
 from repro.core.beer import BeerSolution, BeerSolver
 from repro.core.layout_re import discover_cell_types
 from repro.core.patterns import ChargedPattern, charged_patterns
@@ -212,3 +217,182 @@ class BeerExperiment:
             counts.record_observations(
                 pattern, errors_per_pattern.get(pattern, []), words_observed
             )
+
+
+# ---------------------------------------------------------------------------
+# Chunked / multiprocessing Monte-Carlo campaign runner
+# ---------------------------------------------------------------------------
+
+#: Per-process cache of rebuilt codes so multiprocessing workers do not pay
+#: the code-construction cost for every chunk they receive.
+_WORKER_CODE_CACHE: Dict[Tuple[Tuple[int, ...], int], SystematicLinearCode] = {}
+
+
+def _worker_code(
+    parity_columns: Tuple[int, ...], num_parity_bits: int
+) -> SystematicLinearCode:
+    key = (parity_columns, num_parity_bits)
+    if key not in _WORKER_CODE_CACHE:
+        _WORKER_CODE_CACHE[key] = SystematicLinearCode.from_parity_columns(
+            parity_columns, num_parity_bits
+        )
+    return _WORKER_CODE_CACHE[key]
+
+
+def _run_simulation_chunk(job) -> SimulationResult:
+    """Simulate one chunk of ECC words (module-level so it pickles cleanly)."""
+    (parity_columns, num_parity_bits, dataword_bits, injector, chunk_words,
+     base_seed, dataword_value, chunk_index, backend) = job
+    code = _worker_code(tuple(parity_columns), num_parity_bits)
+    # Seeding on (base_seed, dataword content, chunk within that dataword)
+    # makes each dataword's result independent of its position in a batch, so
+    # simulate_many(ds)[i] == simulate(ds[i]) for every batch composition.
+    simulator = EinsimSimulator(
+        code, seed=[base_seed, dataword_value, chunk_index], backend=backend
+    )
+    return simulator.simulate(np.asarray(dataword_bits, dtype=np.uint8), chunk_words, injector)
+
+
+class MonteCarloCampaign:
+    """Chunked — and optionally multiprocessing — EINSim campaign runner.
+
+    Splits a large word count into fixed-size chunks, simulates each chunk
+    with its own deterministic seed (derived from ``base_seed`` and the chunk
+    index) and merges the per-chunk :class:`SimulationResult` objects.  For a
+    fixed ``chunk_size`` the result is bit-identical regardless of the number
+    of worker processes, and identical between the ``reference`` and
+    ``packed`` backends.
+
+    Parameters
+    ----------
+    code:
+        The ECC function under simulation.
+    chunk_size:
+        Number of ECC words simulated per chunk (also the batch size handed
+        to the vectorised kernels).
+    processes:
+        ``1`` runs every chunk inline; larger values distribute the chunks
+        over a :class:`~concurrent.futures.ProcessPoolExecutor`.
+    backend:
+        GF(2) kernel backend: ``"reference"``, ``"packed"`` or ``"auto"``.
+    base_seed:
+        Root seed for the per-chunk RNG streams.
+    """
+
+    def __init__(
+        self,
+        code: SystematicLinearCode,
+        chunk_size: int = 65536,
+        processes: int = 1,
+        backend: str = "reference",
+        base_seed: int = 0,
+    ):
+        if chunk_size < 1:
+            raise ChipConfigurationError("chunk size must be at least one word")
+        if processes < 1:
+            raise ChipConfigurationError("at least one process is required")
+        self._code = code
+        self._chunk_size = int(chunk_size)
+        self._processes = int(processes)
+        self._backend = resolve_backend(backend)
+        self._base_seed = int(base_seed)
+
+    @property
+    def code(self) -> SystematicLinearCode:
+        """The code under simulation."""
+        return self._code
+
+    @property
+    def backend(self) -> str:
+        """The GF(2) kernel backend in use."""
+        return self._backend
+
+    def simulate(self, dataword, injector, num_words: int) -> SimulationResult:
+        """Simulate ``num_words`` ECC words storing ``dataword``, in chunks."""
+        results = self.simulate_many([dataword], injector, num_words)
+        return results[0]
+
+    def simulate_many(
+        self, datawords: Sequence, injector, words_per_dataword: int
+    ) -> List[SimulationResult]:
+        """Simulate several datawords, ``words_per_dataword`` words each.
+
+        Every (dataword, chunk) pair becomes one job; jobs are distributed
+        over the worker pool (when ``processes > 1``) and the per-dataword
+        results are merged in deterministic chunk order.  Chunk RNG streams
+        are seeded from (base seed, dataword content, chunk index), so each
+        dataword's result is independent of its position in the batch —
+        ``simulate_many(ds, ...)[i]`` equals ``simulate(ds[i], ...)``.  The
+        flip side: duplicate datawords in one batch receive identical RNG
+        streams, not independent samples.
+        """
+        if words_per_dataword < 1:
+            raise ChipConfigurationError("at least one word per dataword is required")
+        jobs = []
+        boundaries: List[Tuple[int, int]] = []
+        parity_columns = tuple(self._code.parity_column_ints)
+        num_parity_bits = self._code.num_parity_bits
+        for dataword in datawords:
+            bits = self._dataword_bits(dataword)
+            # LSB-first integer encoding of the dataword, used as seed entropy.
+            dataword_value = sum(bit << i for i, bit in enumerate(bits))
+            start = len(jobs)
+            remaining = words_per_dataword
+            chunk_index = 0
+            while remaining > 0:
+                chunk_words = min(self._chunk_size, remaining)
+                remaining -= chunk_words
+                jobs.append(
+                    (parity_columns, num_parity_bits, bits, injector, chunk_words,
+                     self._base_seed, dataword_value, chunk_index, self._backend)
+                )
+                chunk_index += 1
+            boundaries.append((start, len(jobs)))
+
+        if self._processes == 1 or len(jobs) == 1:
+            chunk_results = [_run_simulation_chunk(job) for job in jobs]
+        else:
+            with ProcessPoolExecutor(max_workers=self._processes) as pool:
+                chunk_results = list(pool.map(_run_simulation_chunk, jobs))
+
+        return [
+            functools.reduce(SimulationResult.merge, chunk_results[start:stop])
+            for start, stop in boundaries
+        ]
+
+    def miscorrection_profile(
+        self,
+        patterns: Sequence[ChargedPattern],
+        bit_error_rate: float,
+        words_per_pattern: int,
+        cell_type: CellType = CellType.TRUE_CELL,
+    ) -> MiscorrectionProfile:
+        """Measure a miscorrection profile with chunked data-retention runs.
+
+        Convenience wrapper: simulates every pattern's dataword under a
+        data-retention injector and records post-correction errors observed
+        at DISCHARGED data bits, exactly like
+        :func:`repro.core.profile.monte_carlo_miscorrection_profile` but
+        through the chunked (and optionally parallel) campaign machinery.
+        """
+        from repro.einsim.injectors import DataRetentionInjector
+
+        injector = DataRetentionInjector(bit_error_rate, cell_type)
+        datawords = [pattern.dataword(cell_type) for pattern in patterns]
+        results = self.simulate_many(datawords, injector, words_per_pattern)
+        profile = MiscorrectionProfile(self._code.num_data_bits)
+        for pattern, result in zip(patterns, results):
+            discharged = pattern.discharged_bits
+            observed = np.flatnonzero(result.post_correction_error_counts > 0)
+            profile.record(
+                pattern, [int(b) for b in observed if int(b) in discharged]
+            )
+        return profile
+
+    def _dataword_bits(self, dataword) -> Tuple[int, ...]:
+        from repro.gf2 import GF2Vector
+
+        if isinstance(dataword, GF2Vector):
+            return tuple(dataword.to_list())
+        bits = np.asarray(dataword, dtype=np.uint8) % 2
+        return tuple(int(b) for b in bits)

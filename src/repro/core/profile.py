@@ -92,6 +92,7 @@ def monte_carlo_miscorrection_profile(
     words_per_pattern: int,
     cell_type: CellType = CellType.TRUE_CELL,
     rng: Optional[np.random.Generator] = None,
+    backend: str = "reference",
 ) -> "MiscorrectionProfile":
     """Measure a miscorrection profile by Monte-Carlo simulation (EINSim-style).
 
@@ -102,8 +103,9 @@ def monte_carlo_miscorrection_profile(
     enough words per pattern the measured profile converges to the exact
     profile of :func:`expected_miscorrection_profile`.
     """
-    from repro.einsim.simulator import bulk_decode
+    from repro.einsim.engine import bulk_decode, bulk_encode, resolve_backend
 
+    backend = resolve_backend(backend)
     if words_per_pattern < 1:
         raise ProfileError("at least one word per pattern is required")
     if not 0.0 <= bit_error_rate <= 1.0:
@@ -114,12 +116,12 @@ def monte_carlo_miscorrection_profile(
     profile = MiscorrectionProfile(code.num_data_bits)
     for pattern in patterns:
         dataword = pattern.dataword(cell_type)
-        codeword = code.encode(dataword).to_numpy()
+        codeword = bulk_encode(code, dataword.to_numpy().reshape(1, -1), backend)[0]
         stored = np.tile(codeword, (words_per_pattern, 1))
         charged_cells = stored == charged_value
         failures = charged_cells & (generator.random(stored.shape) < bit_error_rate)
         received = np.where(failures, stored ^ 1, stored).astype(np.uint8)
-        corrected = bulk_decode(code, received)
+        corrected = bulk_decode(code, received, backend)
         data_errors = corrected[:, : code.num_data_bits] != stored[:, : code.num_data_bits]
         observed_bits = np.flatnonzero(data_errors.any(axis=0))
         discharged = pattern.discharged_bits

@@ -61,8 +61,12 @@ class SimulatedDramChip:
         retention_model: Optional[DataRetentionModel] = None,
         transient_faults: Optional[TransientFaultModel] = None,
         seed: int = 0,
+        backend: str = "reference",
     ):
+        from repro.einsim.engine import resolve_backend
+
         self._code = code
+        self._backend = resolve_backend(backend)
         self._geometry = geometry if geometry is not None else ChipGeometry()
         self._cell_layout = (
             cell_layout
@@ -100,19 +104,17 @@ class SimulatedDramChip:
             dtype=bool,
         )
 
-        # Vectorised ECC machinery.
-        self._h_matrix = code.parity_check_matrix.to_numpy()
-        self._syndrome_weights = (1 << np.arange(code.num_parity_bits)).astype(np.int64)
-        position_lookup = np.full(1 << code.num_parity_bits, -1, dtype=np.int64)
-        for position in range(codeword_length):
-            position_lookup[code.column_int(position)] = position
-        self._syndrome_to_position = position_lookup
 
     # -- basic properties ----------------------------------------------------
     @property
     def code(self) -> SystematicLinearCode:
         """The on-die ECC function (ground truth; hidden from BEER itself)."""
         return self._code
+
+    @property
+    def backend(self) -> str:
+        """GF(2) kernel backend used by the on-die encode/decode machinery."""
+        return self._backend
 
     @property
     def geometry(self) -> ChipGeometry:
@@ -173,9 +175,9 @@ class SimulatedDramChip:
             raise AddressError(
                 f"expected dataword array of shape ({len(indices)}, {self.num_data_bits})"
             )
-        parity_submatrix = self._code.parity_submatrix.to_numpy()
-        parity = (data.astype(np.int64) @ parity_submatrix.T.astype(np.int64)) % 2
-        codewords = np.hstack([data, parity.astype(np.uint8)])
+        from repro.einsim.engine import bulk_encode
+
+        codewords = bulk_encode(self._code, data, self._backend)
         self._stored[indices] = codewords
         self._current[indices] = codewords
 
@@ -297,13 +299,9 @@ class SimulatedDramChip:
 
     # -- internals ----------------------------------------------------------------
     def _decode_bulk(self, raw: np.ndarray) -> np.ndarray:
-        syndromes = (raw.astype(np.int64) @ self._h_matrix.T.astype(np.int64)) % 2
-        syndrome_values = syndromes @ self._syndrome_weights
-        positions = self._syndrome_to_position[syndrome_values]
-        corrected = raw.copy()
-        rows_to_fix = np.flatnonzero(positions >= 0)
-        corrected[rows_to_fix, positions[rows_to_fix]] ^= 1
-        return corrected
+        from repro.einsim.engine import bulk_decode
+
+        return bulk_decode(self._code, raw, self._backend)
 
     def _require_layout(self):
         if self._word_layout is None:

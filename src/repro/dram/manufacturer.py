@@ -92,6 +92,7 @@ class ManufacturerProfile:
         seed: int = 0,
         transient_fault_probability: float = 0.0,
         retention_model: Optional[DataRetentionModel] = None,
+        backend: str = "reference",
     ) -> SimulatedDramChip:
         """Build a simulated chip of this manufacturer.
 
@@ -113,6 +114,7 @@ class ManufacturerProfile:
             retention_model=retention_model,
             transient_faults=TransientFaultModel(transient_fault_probability),
             seed=seed,
+            backend=backend,
         )
 
 

@@ -19,8 +19,11 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.exceptions import CodeConstructionError, DimensionError
 from repro.gf2 import GF2Matrix, GF2Vector
+from repro.gf2.bitpack import byte_fold_table
 
 
 class SystematicLinearCode:
@@ -56,6 +59,13 @@ class SystematicLinearCode:
             self._parity_check_matrix.column(j).to_int()
             for j in range(self.codeword_length)
         )
+        # Lazily-built decode/encode artefacts shared by every batched
+        # operation on this code (see the cached-table accessors below).
+        self._syndrome_position_table: Optional[np.ndarray] = None
+        self._h_transpose_int64: Optional[np.ndarray] = None
+        self._syndrome_weights: Optional[np.ndarray] = None
+        self._syndrome_fold_table: Optional[np.ndarray] = None
+        self._parity_fold_table: Optional[np.ndarray] = None
 
     # -- constructors -----------------------------------------------------
     @classmethod
@@ -148,6 +158,56 @@ class SystematicLinearCode:
     def parity_column_ints(self) -> Tuple[int, ...]:
         """The ``k`` data-bit columns of ``H`` (i.e. the columns of ``P``) as integers."""
         return self._column_ints[: self._num_data_bits]
+
+    # -- cached batched-decode artefacts ------------------------------------
+    def syndrome_position_table(self) -> np.ndarray:
+        """Map syndrome integer → corrected codeword position (``-1`` = none).
+
+        Built once per code and cached; every batched decode (both backends)
+        indexes into the same array.  Callers must not mutate the result.
+        """
+        if self._syndrome_position_table is None:
+            self._syndrome_position_table = self._build_syndrome_position_table()
+        return self._syndrome_position_table
+
+    def _build_syndrome_position_table(self) -> np.ndarray:
+        table = np.full(1 << self._num_parity_bits, -1, dtype=np.int64)
+        # Iterate in reverse so that, in the degenerate case of duplicate
+        # columns, the *lowest* position wins — matching syndrome_to_position.
+        for position in range(self.codeword_length - 1, -1, -1):
+            table[self._column_ints[position]] = position
+        table[0] = -1
+        return table
+
+    def h_transpose_int64(self) -> np.ndarray:
+        """``H.T`` as a cached ``int64`` array (reference-backend syndromes)."""
+        if self._h_transpose_int64 is None:
+            self._h_transpose_int64 = (
+                self._parity_check_matrix.to_numpy().T.astype(np.int64)
+            )
+        return self._h_transpose_int64
+
+    def syndrome_weights(self) -> np.ndarray:
+        """Cached powers of two converting syndrome bit rows to integers."""
+        if self._syndrome_weights is None:
+            self._syndrome_weights = (
+                1 << np.arange(self._num_parity_bits, dtype=np.int64)
+            )
+        return self._syndrome_weights
+
+    def syndrome_fold_table(self) -> np.ndarray:
+        """Per-byte partial-syndrome table over all ``n`` columns of ``H`` (cached)."""
+        if self._syndrome_fold_table is None:
+            self._syndrome_fold_table = byte_fold_table(self._column_ints)
+        return self._syndrome_fold_table
+
+    def parity_fold_table(self) -> np.ndarray:
+        """Per-byte partial-parity table over the ``k`` columns of ``P`` (cached)."""
+        if self._parity_fold_table is None:
+            self._parity_fold_table = byte_fold_table(
+                self._column_ints[: self._num_data_bits]
+            )
+        return self._parity_fold_table
 
     # -- encoding / syndromes ----------------------------------------------
     def encode(self, dataword: GF2Vector) -> GF2Vector:

@@ -7,6 +7,9 @@ machinery in Python:
 * :mod:`repro.einsim.injectors` — pre-correction error models (uniform-random
   bit errors, data-retention errors restricted to CHARGED cells, fixed error
   counts, arbitrary per-bit probabilities);
+* :mod:`repro.einsim.engine` — batched encode/syndrome/decode kernels with
+  selectable GF(2) backends (``reference`` uint8 oracle vs ``packed`` uint64
+  bit-packed fast path);
 * :mod:`repro.einsim.simulator` — vectorised simulation of large numbers of
   ECC words through encode → inject → decode, with per-bit post-correction
   statistics and miscorrection bookkeeping;
@@ -20,7 +23,14 @@ from repro.einsim.injectors import (
     PerBitBernoulliInjector,
     UniformRandomInjector,
 )
-from repro.einsim.simulator import EinsimSimulator, SimulationResult, bulk_decode
+from repro.einsim.engine import (
+    BACKENDS,
+    bulk_decode,
+    bulk_encode,
+    bulk_syndrome_values,
+    resolve_backend,
+)
+from repro.einsim.simulator import EinsimSimulator, SimulationResult
 from repro.einsim.statistics import (
     bootstrap_confidence_interval,
     BootstrapInterval,
@@ -34,7 +44,11 @@ __all__ = [
     "UniformRandomInjector",
     "EinsimSimulator",
     "SimulationResult",
+    "BACKENDS",
     "bulk_decode",
+    "bulk_encode",
+    "bulk_syndrome_values",
+    "resolve_backend",
     "bootstrap_confidence_interval",
     "BootstrapInterval",
     "relative_probabilities",

@@ -1,0 +1,109 @@
+"""Batched encode / syndrome / decode kernels with selectable backends.
+
+Every bulk operation in the library funnels through this module.  Two
+backends implement each kernel:
+
+* ``"reference"`` — the original one-bit-per-``uint8`` arithmetic (integer
+  matmuls mod 2).  Simple, slow, and the oracle the differential test suite
+  measures everything against.
+* ``"packed"`` — words bit-packed with :mod:`repro.gf2.bitpack` machinery:
+  each batch is packed eight columns per byte and folded through cached
+  per-byte XOR tables (:func:`repro.gf2.bitpack.byte_fold_table`), turning
+  the per-word syndrome into a handful of table lookups; an order of
+  magnitude faster than the reference on realistic code sizes.
+
+Both backends are bit-exact: for any code, any batch and any input, they
+return identical arrays (``tests/test_differential_backends.py`` enforces
+this).  Per-code artefacts (syndrome lookup table, transposed ``H``, packed
+rows) are built once and cached on the code object itself.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import DimensionError
+from repro.gf2.bitpack import fold_bytes
+from repro.ecc.code import SystematicLinearCode
+
+#: The valid values of every ``backend=`` selector in the library.
+BACKENDS: Tuple[str, ...] = ("reference", "packed")
+
+#: Backend used when callers pass ``"auto"``.
+DEFAULT_BACKEND = "packed"
+
+
+def resolve_backend(backend: str) -> str:
+    """Validate a backend name, resolving ``"auto"`` to the fast path."""
+    if backend == "auto":
+        return DEFAULT_BACKEND
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS + ('auto',)}"
+        )
+    return backend
+
+
+def _validate_batch(
+    array: np.ndarray, expected_cols: int, what: str
+) -> np.ndarray:
+    array = np.asarray(array, dtype=np.uint8)
+    if array.ndim != 2 or array.shape[1] != expected_cols:
+        raise DimensionError(
+            f"expected {what} of shape (*, {expected_cols}), got {array.shape}"
+        )
+    return array
+
+
+def bulk_encode(
+    code: SystematicLinearCode, datawords: np.ndarray, backend: str = "reference"
+) -> np.ndarray:
+    """Encode a batch of datawords (rows) into codewords ``[d | p]``."""
+    backend = resolve_backend(backend)
+    data = _validate_batch(datawords, code.num_data_bits, "dataword array")
+    if backend == "packed":
+        parity_values = fold_bytes(
+            code.parity_fold_table(), np.packbits(data, axis=1, bitorder="little")
+        )
+        shifts = np.arange(code.num_parity_bits, dtype=np.int64)
+        parity = ((parity_values[:, np.newaxis] >> shifts) & 1).astype(np.uint8)
+    else:
+        # P.T is the first k rows of the cached H.T (H = [P | I]).
+        p_transpose = code.h_transpose_int64()[: code.num_data_bits]
+        parity = ((data.astype(np.int64) @ p_transpose) % 2).astype(np.uint8)
+    return np.hstack([data, parity])
+
+
+def bulk_syndrome_values(
+    code: SystematicLinearCode, received: np.ndarray, backend: str = "reference"
+) -> np.ndarray:
+    """Return the integer syndrome of every received codeword (row)."""
+    backend = resolve_backend(backend)
+    words = _validate_batch(received, code.codeword_length, "codeword array")
+    if backend == "packed":
+        return fold_bytes(
+            code.syndrome_fold_table(), np.packbits(words, axis=1, bitorder="little")
+        )
+    syndromes = (words.astype(np.int64) @ code.h_transpose_int64()) % 2
+    return syndromes @ code.syndrome_weights()
+
+
+def bulk_decode(
+    code: SystematicLinearCode, received: np.ndarray, backend: str = "reference"
+) -> np.ndarray:
+    """Syndrome-decode a batch of codewords (rows of ``received``) at once.
+
+    Mirrors :class:`repro.ecc.decoder.SyndromeDecoder` exactly: the bit the
+    syndrome points at (lowest matching column of ``H``, zero syndrome → no
+    correction) is flipped in every word.
+    """
+    backend = resolve_backend(backend)
+    words = _validate_batch(received, code.codeword_length, "codeword array")
+    values = bulk_syndrome_values(code, words, backend)
+    positions = code.syndrome_position_table()[values]
+    corrected = words.copy()
+    rows = np.flatnonzero(positions >= 0)
+    corrected[rows, positions[rows]] ^= 1
+    return corrected

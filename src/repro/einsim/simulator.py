@@ -16,27 +16,7 @@ import numpy as np
 from repro.exceptions import DimensionError
 from repro.gf2 import GF2Vector
 from repro.ecc.code import SystematicLinearCode
-
-
-def bulk_decode(code: SystematicLinearCode, received: np.ndarray) -> np.ndarray:
-    """Syndrome-decode a batch of codewords (rows of ``received``) at once."""
-    received = np.asarray(received, dtype=np.uint8)
-    if received.ndim != 2 or received.shape[1] != code.codeword_length:
-        raise DimensionError(
-            f"expected an array of shape (*, {code.codeword_length}), got {received.shape}"
-        )
-    h_matrix = code.parity_check_matrix.to_numpy().astype(np.int64)
-    syndromes = (received.astype(np.int64) @ h_matrix.T) % 2
-    weights = (1 << np.arange(code.num_parity_bits)).astype(np.int64)
-    syndrome_values = syndromes @ weights
-    lookup = np.full(1 << code.num_parity_bits, -1, dtype=np.int64)
-    for position in range(code.codeword_length):
-        lookup[code.column_int(position)] = position
-    positions = lookup[syndrome_values]
-    corrected = received.copy()
-    rows = np.flatnonzero(positions >= 0)
-    corrected[rows, positions[rows]] ^= 1
-    return corrected
+from repro.einsim.engine import bulk_decode, bulk_encode, resolve_backend
 
 
 @dataclass
@@ -68,18 +48,58 @@ class SimulationResult:
         """Per-codeword-bit pre-correction error probability."""
         return self.pre_correction_error_counts / max(self.num_words, 1)
 
+    def merge(self, other: "SimulationResult") -> "SimulationResult":
+        """Combine two results for the same dataword (used by chunked runs)."""
+        if self.dataword != other.dataword:
+            raise DimensionError("cannot merge results for different datawords")
+        return SimulationResult(
+            dataword=self.dataword,
+            num_words=self.num_words + other.num_words,
+            post_correction_error_counts=(
+                self.post_correction_error_counts + other.post_correction_error_counts
+            ),
+            pre_correction_error_counts=(
+                self.pre_correction_error_counts + other.pre_correction_error_counts
+            ),
+            uncorrectable_words=self.uncorrectable_words + other.uncorrectable_words,
+            miscorrected_words=self.miscorrected_words + other.miscorrected_words,
+            miscorrection_positions=tuple(
+                sorted(
+                    set(self.miscorrection_positions)
+                    | set(other.miscorrection_positions)
+                )
+            ),
+        )
+
 
 class EinsimSimulator:
-    """Monte-Carlo ECC-word simulator for a fixed code."""
+    """Monte-Carlo ECC-word simulator for a fixed code.
 
-    def __init__(self, code: SystematicLinearCode, seed: Optional[int] = None):
+    ``backend`` selects the GF(2) kernels used for the batched decode:
+    ``"reference"`` (uint8 oracle), ``"packed"`` (uint64 bit-packed fast
+    path) or ``"auto"``.  Both produce bit-identical results for the same
+    seed.
+    """
+
+    def __init__(
+        self,
+        code: SystematicLinearCode,
+        seed: Optional[int] = None,
+        backend: str = "reference",
+    ):
         self._code = code
         self._rng = np.random.default_rng(seed)
+        self._backend = resolve_backend(backend)
 
     @property
     def code(self) -> SystematicLinearCode:
         """The code under simulation."""
         return self._code
+
+    @property
+    def backend(self) -> str:
+        """The GF(2) kernel backend in use."""
+        return self._backend
 
     def simulate(
         self,
@@ -90,7 +110,7 @@ class EinsimSimulator:
     ) -> SimulationResult:
         """Simulate ``num_words`` ECC words storing ``dataword`` with ``injector`` errors."""
         data_bits = _as_dataword(dataword, self._code.num_data_bits)
-        codeword = self._code.encode(GF2Vector(data_bits)).to_numpy()
+        codeword = bulk_encode(self._code, data_bits.reshape(1, -1), self._backend)[0]
         codeword_length = self._code.codeword_length
         num_data_bits = self._code.num_data_bits
 
@@ -107,7 +127,7 @@ class EinsimSimulator:
             stored = np.tile(codeword, (batch, 1))
             mask = injector.error_mask(stored, self._rng)
             received = np.bitwise_xor(stored, mask.astype(np.uint8))
-            corrected = bulk_decode(self._code, received)
+            corrected = bulk_decode(self._code, received, self._backend)
 
             pre_counts += mask.sum(axis=0)
             data_errors = corrected[:, :num_data_bits] != stored[:, :num_data_bits]

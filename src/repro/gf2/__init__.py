@@ -7,10 +7,27 @@ solves used by BEEP's test-pattern crafting.
 
 The central type is :class:`~repro.gf2.matrix.GF2Matrix`, a thin wrapper
 around a ``numpy`` ``uint8`` array whose entries are always 0 or 1 and whose
-arithmetic is performed modulo 2.
+arithmetic is performed modulo 2.  :mod:`repro.gf2.bitpack` provides an
+equivalent bit-packed fast path (rows packed into ``uint64`` lanes with
+AND/XOR/popcount kernels) selected through the ``packed`` simulation backend;
+the uint8 implementation remains the reference oracle.
 """
 
 from repro.gf2.matrix import GF2Matrix, GF2Vector
+from repro.gf2.bitpack import (
+    PackedGF2Matrix,
+    batched_syndrome_values,
+    pack_rows,
+    pack_vector,
+    packed_gf2_null_space,
+    packed_gf2_rank,
+    packed_gf2_rref,
+    packed_gf2_solve,
+    packed_matmul,
+    popcount_u64,
+    unpack_rows,
+    unpack_vector,
+)
 from repro.gf2.linalg import (
     gf2_rank,
     gf2_rref,
@@ -41,4 +58,16 @@ __all__ = [
     "int_from_vector",
     "popcount",
     "support",
+    "PackedGF2Matrix",
+    "batched_syndrome_values",
+    "pack_rows",
+    "pack_vector",
+    "packed_gf2_null_space",
+    "packed_gf2_rank",
+    "packed_gf2_rref",
+    "packed_gf2_solve",
+    "packed_matmul",
+    "popcount_u64",
+    "unpack_rows",
+    "unpack_vector",
 ]

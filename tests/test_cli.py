@@ -134,3 +134,77 @@ class TestSimulateAndBeepCommands:
         )
         assert exit_code == 1
         assert "identified weak cells: []" in capsys.readouterr().out
+
+
+class TestEinsimCommand:
+    def test_parser_defaults_and_backend_choices(self):
+        args = build_parser().parse_args(["einsim"])
+        assert args.command == "einsim"
+        assert args.backend == "reference"
+        args = build_parser().parse_args(["einsim", "--backend", "packed"])
+        assert args.backend == "packed"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["einsim", "--backend", "gpu"])
+
+    def test_einsim_writes_figure_data(self, tmp_path, capsys):
+        output = tmp_path / "einsim.json"
+        exit_code = main(
+            [
+                "einsim",
+                "--data-bits", "8",
+                "--num-words", "500",
+                "--ber", "0.01",
+                "--backend", "packed",
+                "--chunk-size", "128",
+                "--output", str(output),
+            ]
+        )
+        assert exit_code == 0
+        assert "packed backend" in capsys.readouterr().out
+        payload = json.loads(output.read_text())
+        assert payload["num_words"] == 500
+        assert payload["backend"] == "packed"
+        assert len(payload["post_correction_error_counts"]) == 8
+        assert len(payload["pre_correction_error_counts"]) == payload["codeword_length"]
+
+    def test_backends_emit_identical_figure_data(self, tmp_path):
+        """Smoke test: reference and packed produce identical figure data."""
+        payloads = {}
+        for backend in ("reference", "packed"):
+            output = tmp_path / f"einsim_{backend}.json"
+            exit_code = main(
+                [
+                    "einsim",
+                    "--data-bits", "8",
+                    "--num-words", "400",
+                    "--ber", "0.02",
+                    "--seed", "3",
+                    "--backend", backend,
+                    "--output", str(output),
+                ]
+            )
+            assert exit_code == 0
+            payloads[backend] = json.loads(output.read_text())
+            payloads[backend].pop("backend")
+        assert payloads["reference"] == payloads["packed"]
+
+
+class TestSimulateProfileBackend:
+    def test_backends_emit_identical_profiles(self, tmp_path):
+        """The simulated chip campaign is backend-invariant bit for bit."""
+        payloads = {}
+        for backend in ("reference", "packed"):
+            output = tmp_path / f"profile_{backend}.json"
+            exit_code = main(
+                [
+                    "simulate-profile",
+                    "--vendor", "A",
+                    "--data-bits", "8",
+                    "--rounds", "4",
+                    "--backend", backend,
+                    "--output", str(output),
+                ]
+            )
+            assert exit_code == 0
+            payloads[backend] = json.loads(output.read_text())
+        assert payloads["reference"] == payloads["packed"]

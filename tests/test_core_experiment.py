@@ -170,3 +170,107 @@ class TestEndToEndRecovery:
             result = BeerExperiment(chip, TEST_CONFIG).run(solve=True)
             codes.append(result.recovered_code)
         assert codes_equivalent(codes[0], codes[1])
+
+
+class TestMonteCarloCampaign:
+    """The chunked / multiprocessing Monte-Carlo campaign runner."""
+
+    def _campaign(self, **kwargs):
+        from repro.core import MonteCarloCampaign
+
+        code = random_hamming_code(16, rng=np.random.default_rng(0))
+        return code, MonteCarloCampaign(code, **kwargs)
+
+    def test_validation(self):
+        from repro.core import MonteCarloCampaign
+
+        code = random_hamming_code(8, rng=np.random.default_rng(0))
+        with pytest.raises(ChipConfigurationError):
+            MonteCarloCampaign(code, chunk_size=0)
+        with pytest.raises(ChipConfigurationError):
+            MonteCarloCampaign(code, processes=0)
+        with pytest.raises(ValueError):
+            MonteCarloCampaign(code, backend="gpu")
+        campaign = MonteCarloCampaign(code)
+        from repro.einsim import UniformRandomInjector
+
+        with pytest.raises(ChipConfigurationError):
+            campaign.simulate_many([[1] * 8], UniformRandomInjector(0.1), 0)
+
+    def test_chunked_totals(self):
+        from repro.einsim import UniformRandomInjector
+
+        code, campaign = self._campaign(chunk_size=700, base_seed=3)
+        result = campaign.simulate([1] * 16, UniformRandomInjector(0.01), 2500)
+        assert result.num_words == 2500
+        assert result.dataword == [1] * 16
+        assert result.pre_correction_error_counts.sum() > 0
+
+    def test_processes_do_not_change_results(self):
+        from repro.einsim import UniformRandomInjector
+
+        injector = UniformRandomInjector(0.02)
+        code, serial = self._campaign(chunk_size=500, processes=1, base_seed=5)
+        _, parallel = self._campaign(chunk_size=500, processes=2, base_seed=5)
+        first = serial.simulate([1] * 16, injector, 2000)
+        second = parallel.simulate([1] * 16, injector, 2000)
+        assert first.num_words == second.num_words
+        assert np.array_equal(
+            first.post_correction_error_counts, second.post_correction_error_counts
+        )
+        assert np.array_equal(
+            first.pre_correction_error_counts, second.pre_correction_error_counts
+        )
+        assert first.miscorrection_positions == second.miscorrection_positions
+
+    def test_backends_do_not_change_results(self):
+        from repro.einsim import DataRetentionInjector
+
+        injector = DataRetentionInjector(0.05)
+        code, reference = self._campaign(chunk_size=512, backend="reference", base_seed=9)
+        _, packed = self._campaign(chunk_size=512, backend="packed", base_seed=9)
+        first = reference.simulate([1] * 16, injector, 3000)
+        second = packed.simulate([1] * 16, injector, 3000)
+        assert np.array_equal(
+            first.post_correction_error_counts, second.post_correction_error_counts
+        )
+        assert first.uncorrectable_words == second.uncorrectable_words
+
+    def test_simulate_many_matches_individual_runs(self):
+        from repro.einsim import UniformRandomInjector
+
+        injector = UniformRandomInjector(0.02)
+        code, campaign = self._campaign(chunk_size=400, base_seed=11)
+        batch = campaign.simulate_many([[0] * 16, [1] * 16], injector, 900)
+        assert len(batch) == 2
+        assert batch[0].dataword == [0] * 16
+        assert batch[1].dataword == [1] * 16
+        assert all(result.num_words == 900 for result in batch)
+        # Batch composition must not change any dataword's result: each entry
+        # equals the corresponding standalone simulate() run bit for bit.
+        for dataword, batched in zip([[0] * 16, [1] * 16], batch):
+            alone = campaign.simulate(dataword, injector, 900)
+            assert np.array_equal(
+                alone.post_correction_error_counts,
+                batched.post_correction_error_counts,
+            )
+            assert np.array_equal(
+                alone.pre_correction_error_counts,
+                batched.pre_correction_error_counts,
+            )
+            assert alone.miscorrected_words == batched.miscorrected_words
+            assert alone.uncorrectable_words == batched.uncorrectable_words
+            assert alone.miscorrection_positions == batched.miscorrection_positions
+
+    def test_campaign_profile_recovers_code(self):
+        from repro.core import MonteCarloCampaign
+        from repro.ecc.hamming import min_parity_bits
+
+        code = random_hamming_code(8, rng=np.random.default_rng(21))
+        campaign = MonteCarloCampaign(code, chunk_size=1024, backend="packed", base_seed=1)
+        patterns = list(charged_patterns(8, [1, 2]))
+        profile = campaign.miscorrection_profile(patterns, 0.5, 4000)
+        assert profile == expected_miscorrection_profile(code, patterns)
+        solution = BeerSolver(8, min_parity_bits(8)).solve(profile)
+        assert solution.unique
+        assert codes_equivalent(solution.code, code)

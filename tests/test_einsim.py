@@ -250,3 +250,78 @@ class TestSimulatorProperties:
         result = simulator.simulate([1] * k, 200, UniformRandomInjector(0.05))
         if result.uncorrectable_words == 0:
             assert result.post_correction_error_counts.sum() == 0
+
+
+class TestSyndromeLookupCache:
+    """Regression tests: the bulk-decode syndrome table is built once per code."""
+
+    def test_bulk_decode_hits_cached_table(self, monkeypatch):
+        from repro.ecc.code import SystematicLinearCode
+
+        code = random_hamming_code(16, rng=np.random.default_rng(0))
+        builds = []
+        original = SystematicLinearCode._build_syndrome_position_table
+
+        def counting_build(self):
+            builds.append(self)
+            return original(self)
+
+        monkeypatch.setattr(
+            SystematicLinearCode, "_build_syndrome_position_table", counting_build
+        )
+        words = np.random.default_rng(1).integers(
+            0, 2, size=(64, code.codeword_length)
+        ).astype(np.uint8)
+        first = bulk_decode(code, words)
+        second = bulk_decode(code, words)
+        third = bulk_decode(code, words, backend="packed")
+        assert len(builds) == 1  # built on first use, cached afterwards
+        assert np.array_equal(first, second)
+        assert np.array_equal(first, third)
+
+    def test_table_identity_is_stable(self):
+        code = random_hamming_code(8, rng=np.random.default_rng(2))
+        assert code.syndrome_position_table() is code.syndrome_position_table()
+        assert code.syndrome_fold_table() is code.syndrome_fold_table()
+        assert code.parity_fold_table() is code.parity_fold_table()
+        assert code.h_transpose_int64() is code.h_transpose_int64()
+
+    def test_distinct_codes_do_not_share_tables(self):
+        first = random_hamming_code(8, rng=np.random.default_rng(3))
+        second = random_hamming_code(8, rng=np.random.default_rng(4))
+        assert first.syndrome_position_table() is not second.syndrome_position_table()
+
+
+class TestSimulatorBackends:
+    def test_backend_property_and_validation(self):
+        code = example_7_4_code()
+        assert EinsimSimulator(code).backend == "reference"
+        assert EinsimSimulator(code, backend="packed").backend == "packed"
+        assert EinsimSimulator(code, backend="auto").backend in ("reference", "packed")
+        with pytest.raises(ValueError):
+            EinsimSimulator(code, backend="turbo")
+
+    def test_merge_accumulates_counts(self):
+        code = example_7_4_code()
+        simulator = EinsimSimulator(code, seed=0)
+        injector = UniformRandomInjector(0.02)
+        first = simulator.simulate([1, 0, 1, 1], 500, injector)
+        second = simulator.simulate([1, 0, 1, 1], 300, injector)
+        merged = first.merge(second)
+        assert merged.num_words == 800
+        assert np.array_equal(
+            merged.pre_correction_error_counts,
+            first.pre_correction_error_counts + second.pre_correction_error_counts,
+        )
+        assert merged.miscorrected_words == (
+            first.miscorrected_words + second.miscorrected_words
+        )
+
+    def test_merge_rejects_different_datawords(self):
+        code = example_7_4_code()
+        simulator = EinsimSimulator(code, seed=0)
+        injector = UniformRandomInjector(0.02)
+        first = simulator.simulate([1, 0, 1, 1], 100, injector)
+        second = simulator.simulate([0, 0, 1, 1], 100, injector)
+        with pytest.raises(DimensionError):
+            first.merge(second)

@@ -1,0 +1,253 @@
+"""Unit and differential tests for the bit-packed GF(2) backend.
+
+The packed implementation must be bit-for-bit equivalent to the uint8
+reference implementation for every operation; these tests sweep seeded random
+matrices across lane-boundary sizes plus degenerate edge cases.
+"""
+
+import numpy as np
+import pytest
+
+import repro.gf2.bitpack as bitpack
+from repro.exceptions import DimensionError, SingularMatrixError
+from repro.gf2 import (
+    GF2Matrix,
+    GF2Vector,
+    gf2_null_space,
+    gf2_rank,
+    gf2_rref,
+    gf2_solve,
+    pack_rows,
+    pack_vector,
+    packed_gf2_null_space,
+    packed_gf2_rank,
+    packed_gf2_rref,
+    packed_gf2_solve,
+    packed_matmul,
+    popcount_u64,
+    unpack_rows,
+    unpack_vector,
+)
+from repro.gf2.bitpack import PackedGF2Matrix, batched_syndrome_values
+
+# Widths straddling the uint64 lane boundaries.
+LANE_EDGE_WIDTHS = [1, 2, 7, 63, 64, 65, 127, 128, 129, 136]
+
+
+class TestPacking:
+    @pytest.mark.parametrize("num_cols", LANE_EDGE_WIDTHS)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_pack_unpack_round_trip(self, num_cols, seed):
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, size=(5, num_cols)).astype(np.uint8)
+        packed = pack_rows(bits)
+        assert packed.dtype == np.uint64
+        assert packed.shape == (5, (num_cols + 63) // 64)
+        assert np.array_equal(unpack_rows(packed, num_cols), bits)
+
+    def test_pack_vector_round_trip(self):
+        rng = np.random.default_rng(3)
+        bits = rng.integers(0, 2, size=130).astype(np.uint8)
+        assert np.array_equal(unpack_vector(pack_vector(bits), 130), bits)
+
+    def test_bit_positions_are_lsb_first(self):
+        bits = np.zeros((1, 70), dtype=np.uint8)
+        bits[0, 0] = 1
+        bits[0, 65] = 1
+        packed = pack_rows(bits)
+        assert packed[0, 0] == 1
+        assert packed[0, 1] == 2  # bit 65 → lane 1, bit 1
+
+    def test_zero_width_matrix(self):
+        packed = pack_rows(np.zeros((3, 0), dtype=np.uint8))
+        assert packed.shape == (3, 0)
+        assert unpack_rows(packed, 0).shape == (3, 0)
+
+    def test_pack_rejects_wrong_rank(self):
+        with pytest.raises(DimensionError):
+            pack_rows(np.zeros(4, dtype=np.uint8))
+        with pytest.raises(DimensionError):
+            pack_vector(np.zeros((2, 2), dtype=np.uint8))
+
+    def test_unpack_rejects_lane_mismatch(self):
+        with pytest.raises(DimensionError):
+            unpack_rows(np.zeros((2, 2), dtype=np.uint64), 64)
+
+
+class TestPopcount:
+    def test_matches_python_popcount(self):
+        rng = np.random.default_rng(4)
+        values = rng.integers(0, 2**63, size=100, dtype=np.uint64)
+        expected = np.array([bin(int(v)).count("1") for v in values])
+        assert np.array_equal(popcount_u64(values), expected)
+
+    def test_table_fallback_matches(self, monkeypatch):
+        monkeypatch.setattr(bitpack, "_HAS_BITWISE_COUNT", False)
+        rng = np.random.default_rng(5)
+        values = rng.integers(0, 2**63, size=64, dtype=np.uint64)
+        expected = np.array([bin(int(v)).count("1") for v in values])
+        assert np.array_equal(bitpack.popcount_u64(values), expected)
+
+    def test_fallback_handles_all_ones(self, monkeypatch):
+        monkeypatch.setattr(bitpack, "_HAS_BITWISE_COUNT", False)
+        assert bitpack.popcount_u64(np.array([2**64 - 1], dtype=np.uint64))[0] == 64
+
+
+class TestPackedMatrixBasics:
+    def test_from_dense_round_trip(self):
+        rng = np.random.default_rng(6)
+        dense = GF2Matrix(rng.integers(0, 2, size=(9, 70)))
+        packed = PackedGF2Matrix.from_dense(dense)
+        assert packed.shape == (9, 70)
+        assert packed.to_dense() == dense
+
+    def test_get_bit(self):
+        dense = np.zeros((2, 66), dtype=np.uint8)
+        dense[1, 65] = 1
+        packed = PackedGF2Matrix.from_dense(dense)
+        assert packed.get_bit(1, 65) == 1
+        assert packed.get_bit(0, 65) == 0
+        with pytest.raises(DimensionError):
+            packed.get_bit(2, 0)
+
+    def test_equality_and_hash(self):
+        rng = np.random.default_rng(7)
+        dense = rng.integers(0, 2, size=(3, 40))
+        first = PackedGF2Matrix.from_dense(dense)
+        second = PackedGF2Matrix.from_dense(dense)
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_matvec_accepts_dense_and_packed(self):
+        rng = np.random.default_rng(8)
+        matrix = GF2Matrix(rng.integers(0, 2, size=(11, 90)))
+        vector = GF2Vector(rng.integers(0, 2, size=90))
+        packed = PackedGF2Matrix.from_dense(matrix)
+        expected = (matrix @ vector).to_numpy()
+        assert np.array_equal(packed.matvec(vector), expected)
+        assert np.array_equal(packed.matvec(pack_vector(vector.to_numpy())), expected)
+
+    def test_matvec_rejects_bad_length(self):
+        packed = PackedGF2Matrix.from_dense(np.zeros((2, 10), dtype=np.uint8))
+        with pytest.raises(DimensionError):
+            packed.matvec(np.zeros(11, dtype=np.uint8))
+
+
+def _random_matrix(rng, rows, cols, density=0.5):
+    return GF2Matrix((rng.random((rows, cols)) < density).astype(np.uint8))
+
+
+DIFFERENTIAL_SHAPES = [
+    (1, 1),
+    (1, 64),
+    (3, 63),
+    (5, 65),
+    (8, 8),
+    (8, 136),
+    (16, 16),
+    (20, 7),
+    (32, 129),
+]
+
+
+class TestDifferentialLinalg:
+    """Packed vs reference equivalence for every public linalg operation."""
+
+    @pytest.mark.parametrize("shape", DIFFERENTIAL_SHAPES)
+    @pytest.mark.parametrize("seed", range(5))
+    def test_rref_rank_null_space_match_reference(self, shape, seed):
+        rng = np.random.default_rng(seed * 1000 + shape[0] * 31 + shape[1])
+        matrix = _random_matrix(rng, *shape)
+        ref_rref, ref_pivots = gf2_rref(matrix)
+        packed_rref, packed_pivots = packed_gf2_rref(matrix)
+        assert ref_rref == packed_rref
+        assert ref_pivots == packed_pivots
+        assert gf2_rank(matrix) == packed_gf2_rank(matrix)
+        assert gf2_null_space(matrix) == packed_gf2_null_space(matrix)
+
+    @pytest.mark.parametrize("shape", DIFFERENTIAL_SHAPES)
+    @pytest.mark.parametrize("seed", range(5))
+    def test_solve_matches_reference(self, shape, seed):
+        rng = np.random.default_rng(seed * 7919 + shape[0] + shape[1])
+        matrix = _random_matrix(rng, *shape)
+        rhs = GF2Vector(rng.integers(0, 2, size=shape[0]))
+        try:
+            reference = gf2_solve(matrix, rhs)
+            reference_ok = True
+        except SingularMatrixError:
+            reference_ok = False
+        try:
+            packed = packed_gf2_solve(matrix, rhs)
+            packed_ok = True
+        except SingularMatrixError:
+            packed_ok = False
+        assert reference_ok == packed_ok
+        if reference_ok:
+            assert reference == packed
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matmul_matches_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        m, k, p = (int(v) for v in rng.integers(1, 80, size=3))
+        first = _random_matrix(rng, m, k)
+        second = _random_matrix(rng, k, p)
+        assert packed_matmul(first, second) == (first @ second)
+
+    def test_degenerate_all_zero(self):
+        matrix = GF2Matrix.zeros(4, 70)
+        assert packed_gf2_rank(matrix) == 0
+        rref, pivots = packed_gf2_rref(matrix)
+        assert pivots == ()
+        assert rref == matrix
+        assert len(packed_gf2_null_space(matrix)) == 70
+
+    def test_degenerate_identity(self):
+        matrix = GF2Matrix.identity(65)
+        assert packed_gf2_rank(matrix) == 65
+        assert packed_gf2_null_space(matrix) == []
+        rhs = GF2Vector.ones(65)
+        assert packed_gf2_solve(matrix, rhs) == rhs
+
+    def test_single_row_and_column(self):
+        row = GF2Matrix([[1, 0, 1, 1]])
+        assert packed_gf2_rank(row) == gf2_rank(row) == 1
+        col = GF2Matrix([[1], [0], [1]])
+        assert packed_gf2_rank(col) == gf2_rank(col) == 1
+        assert gf2_null_space(col) == packed_gf2_null_space(col)
+
+
+class TestBatchedSyndromes:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("codeword_length", [7, 22, 64, 72, 136])
+    def test_matches_reference_formula(self, seed, codeword_length):
+        rng = np.random.default_rng(seed + codeword_length)
+        num_rows = int(rng.integers(2, 9))
+        check = rng.integers(0, 2, size=(num_rows, codeword_length)).astype(np.uint8)
+        words = rng.integers(0, 2, size=(50, codeword_length)).astype(np.uint8)
+        reference = (
+            (words.astype(np.int64) @ check.T.astype(np.int64)) % 2
+        ) @ (1 << np.arange(num_rows))
+        packed = batched_syndrome_values(pack_rows(check), pack_rows(words))
+        assert np.array_equal(reference, packed)
+
+    def test_empty_batch(self):
+        check = pack_rows(np.ones((3, 10), dtype=np.uint8))
+        words = pack_rows(np.zeros((0, 10), dtype=np.uint8))
+        assert batched_syndrome_values(check, words).shape == (0,)
+
+    def test_chunking_does_not_change_results(self, monkeypatch):
+        monkeypatch.setattr(bitpack, "_SYNDROME_CHUNK_ELEMENTS", 16)
+        rng = np.random.default_rng(11)
+        check = rng.integers(0, 2, size=(5, 40)).astype(np.uint8)
+        words = rng.integers(0, 2, size=(33, 40)).astype(np.uint8)
+        reference = (
+            (words.astype(np.int64) @ check.T.astype(np.int64)) % 2
+        ) @ (1 << np.arange(5))
+        packed = batched_syndrome_values(pack_rows(check), pack_rows(words))
+        assert np.array_equal(reference, packed)
+
+    def test_rejects_lane_mismatch(self):
+        with pytest.raises(DimensionError):
+            batched_syndrome_values(
+                np.zeros((2, 1), dtype=np.uint64), np.zeros((4, 2), dtype=np.uint64)
+            )
