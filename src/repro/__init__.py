@@ -47,6 +47,15 @@ from repro.dram import (
 )
 from repro.einsim import EinsimSimulator, UniformRandomInjector, DataRetentionInjector
 from repro.sat import CNF, CDCLSolver, solve as sat_solve
+from repro.scenarios import (
+    ExperimentCell,
+    SweepReport,
+    SweepRunner,
+    SweepSpec,
+    build_injector,
+    scenario_names,
+)
+from repro.store import CampaignStore, ResultRecord, content_key
 from repro.core import (
     BeepProfiler,
     BeepResult,
@@ -110,5 +119,14 @@ __all__ = [
     "expected_miscorrection_profile",
     "miscorrections_possible",
     "one_charged_patterns",
+    "ExperimentCell",
+    "SweepReport",
+    "SweepRunner",
+    "SweepSpec",
+    "build_injector",
+    "scenario_names",
+    "CampaignStore",
+    "ResultRecord",
+    "content_key",
     "__version__",
 ]

@@ -22,6 +22,7 @@ from repro.analysis.backends import (
     gf2_backend_comparison_data,
     solver_input_comparison_data,
 )
+from repro.analysis.campaigns import campaign_report_data, load_simulation_results
 from repro.analysis.runtime import ExperimentRuntimeModel
 from repro.analysis.secondary_ecc import SecondaryEccDesigner, SecondaryEccPlan
 
@@ -41,4 +42,6 @@ __all__ = [
     "ExperimentRuntimeModel",
     "SecondaryEccDesigner",
     "SecondaryEccPlan",
+    "campaign_report_data",
+    "load_simulation_results",
 ]

@@ -1,0 +1,113 @@
+"""Typed loading and reporting over persistent campaign stores.
+
+The campaign store keeps raw JSON records; analysis code wants typed results
+(:class:`~repro.einsim.simulator.SimulationResult`) and aggregate summaries.
+These helpers bridge the two — they power ``beer-tool scenario report`` and
+give figure/notebook code a one-call path from a store directory to numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.gf2 import GF2Vector
+from repro.einsim.simulator import SimulationResult
+from repro.scenarios.sweep import resolve_dataword
+from repro.store.store import CampaignStore, ResultRecord
+
+
+def load_simulation_results(
+    store: CampaignStore, **config_filters
+) -> List[Tuple[Dict[str, Any], SimulationResult]]:
+    """Rehydrate every matching ``einsim`` record into a typed result.
+
+    Returns ``(config, SimulationResult)`` pairs in store order; filters are
+    equality constraints on top-level config fields (e.g.
+    ``scenario="burst"``, ``backend="packed"``).
+    """
+    pairs = []
+    for record in store.query(kind="einsim", **config_filters):
+        pairs.append((record.config, _to_simulation_result(record)))
+    return pairs
+
+
+def campaign_report_data(store: CampaignStore) -> Dict[str, Any]:
+    """Aggregate a campaign store into per-scenario summary rows.
+
+    For ``einsim`` cells: cells, words simulated, uncorrectable/miscorrected
+    word fractions, and the mean per-data-bit post-correction error rate.
+    ``beer`` cells are summarised per vendor with their profile sizes.
+    """
+    scenario_rows: Dict[str, Dict[str, Any]] = {}
+    beer_rows: Dict[str, Dict[str, Any]] = {}
+    for record in store.records():
+        config, result = record.config, record.result
+        if config.get("kind") == "einsim":
+            row = scenario_rows.setdefault(
+                config["scenario"],
+                {
+                    "scenario": config["scenario"],
+                    "cells": 0,
+                    "num_words": 0,
+                    "uncorrectable_words": 0,
+                    "miscorrected_words": 0,
+                    "post_correction_errors": 0,
+                    "data_bits_observed": 0,
+                },
+            )
+            row["cells"] += 1
+            row["num_words"] += result["num_words"]
+            row["uncorrectable_words"] += result["uncorrectable_words"]
+            row["miscorrected_words"] += result["miscorrected_words"]
+            row["post_correction_errors"] += int(
+                np.sum(result["post_correction_error_counts"])
+            )
+            row["data_bits_observed"] += (
+                result["num_words"] * result["num_data_bits"]
+            )
+        elif config.get("kind") == "beer":
+            row = beer_rows.setdefault(
+                config["vendor"],
+                {
+                    "vendor": config["vendor"],
+                    "cells": 0,
+                    "num_patterns": 0,
+                    "total_miscorrections": 0,
+                },
+            )
+            row["cells"] += 1
+            row["num_patterns"] += result["num_patterns"]
+            row["total_miscorrections"] += result["total_miscorrections"]
+
+    for row in scenario_rows.values():
+        words = max(row["num_words"], 1)
+        bits = max(row["data_bits_observed"], 1)
+        row["uncorrectable_fraction"] = row["uncorrectable_words"] / words
+        row["miscorrected_fraction"] = row["miscorrected_words"] / words
+        row["post_correction_ber"] = row["post_correction_errors"] / bits
+
+    return {
+        "num_records": len(store),
+        "scenarios": [scenario_rows[name] for name in sorted(scenario_rows)],
+        "beer_campaigns": [beer_rows[name] for name in sorted(beer_rows)],
+    }
+
+
+def _to_simulation_result(record: ResultRecord) -> SimulationResult:
+    config, result = record.config, record.result
+    dataword_bits = resolve_dataword(config["dataword"], result["num_data_bits"])
+    return SimulationResult(
+        dataword=GF2Vector(dataword_bits),
+        num_words=result["num_words"],
+        post_correction_error_counts=np.asarray(
+            result["post_correction_error_counts"], dtype=np.int64
+        ),
+        pre_correction_error_counts=np.asarray(
+            result["pre_correction_error_counts"], dtype=np.int64
+        ),
+        uncorrectable_words=result["uncorrectable_words"],
+        miscorrected_words=result["miscorrected_words"],
+        miscorrection_positions=tuple(result["miscorrection_positions"]),
+    )

@@ -10,10 +10,20 @@ This module provides the same workflow as a console script::
     beer-tool beep --data-bits 16 --error-positions 2,9 [--passes 2]
     beer-tool einsim --data-bits 32 --num-words 100000 --backend packed
 
-Simulation-heavy commands (``einsim``, ``simulate-profile``) accept
-``--backend {reference,packed,auto}`` selecting the GF(2) kernel
+The ``scenario`` command group drives the declarative fault-scenario
+subsystem (:mod:`repro.scenarios`) with its persistent, content-addressed
+campaign store (:mod:`repro.store`)::
+
+    beer-tool scenario list
+    beer-tool scenario run --scenario burst --param burst_probability=0.05 ...
+    beer-tool scenario sweep --spec sweep.json --store campaign/ [--resume]
+    beer-tool scenario report --store campaign/
+
+Simulation-heavy commands (``einsim``, ``simulate-profile``, ``scenario``)
+accept ``--backend {reference,packed,auto}`` selecting the GF(2) kernel
 implementation; both backends produce bit-identical output for the same
-seed, the packed one is simply faster.
+seed, the packed one is simply faster.  Result-producing commands accept
+``--json`` to emit a single machine-readable JSON document on stdout.
 
 Profiles are exchanged as JSON in the format produced by
 :meth:`repro.core.profile.MiscorrectionProfile.to_dict`.
@@ -67,6 +77,8 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--backend", choices=("fast", "sat"), default="fast",
                        help="constraint-propagation backend (fast) or CNF/CDCL backend (sat)")
     solve.add_argument("--output", default=None, help="write the solutions to a JSON file")
+    solve.add_argument("--json", action="store_true",
+                       help="print a machine-readable JSON document instead of text")
 
     verify = subparsers.add_parser(
         "verify", help="check that a parity-check matrix reproduces a profile"
@@ -88,6 +100,8 @@ def build_parser() -> argparse.ArgumentParser:
                           default="reference",
                           help="GF(2) kernel backend for the simulated chip's on-die ECC")
     simulate.add_argument("--output", required=True, help="where to write the profile JSON")
+    simulate.add_argument("--json", action="store_true",
+                          help="print a machine-readable JSON document instead of text")
 
     einsim = subparsers.add_parser(
         "einsim",
@@ -107,6 +121,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="worker processes for the chunked campaign runner")
     einsim.add_argument("--output", default=None,
                         help="write the per-bit figure data to a JSON file")
+    einsim.add_argument("--json", action="store_true",
+                        help="print the figure data as JSON on stdout instead of text")
 
     beep = subparsers.add_parser(
         "beep", help="demonstrate BEEP on a simulated ECC word with known weak cells"
@@ -118,8 +134,68 @@ def build_parser() -> argparse.ArgumentParser:
     beep.add_argument("--probability", type=float, default=1.0,
                       help="per-bit failure probability of the weak cells")
     beep.add_argument("--seed", type=int, default=0)
+    beep.add_argument("--json", action="store_true",
+                      help="print a machine-readable JSON document instead of text")
+
+    _add_scenario_parser(subparsers)
 
     return parser
+
+
+def _add_scenario_parser(subparsers) -> None:
+    scenario = subparsers.add_parser(
+        "scenario",
+        help="declarative fault-scenario sweeps with a persistent campaign store",
+    )
+    commands = scenario.add_subparsers(dest="scenario_command", required=True)
+
+    listing = commands.add_parser("list", help="list the registered fault scenarios")
+    listing.add_argument("--json", action="store_true",
+                         help="print the registry as JSON")
+
+    run = commands.add_parser(
+        "run", help="run a single scenario cell (optionally cached in a store)"
+    )
+    run.add_argument("--scenario", required=True, help="registered scenario name")
+    run.add_argument("--param", action="append", default=[], metavar="KEY=VALUE",
+                     help="scenario parameter (repeatable; values parsed as JSON)")
+    run.add_argument("--data-bits", type=int, default=16)
+    run.add_argument("--code-seed", type=int, default=None,
+                     help="sample a random code with this seed (default: deterministic code)")
+    run.add_argument("--dataword", default="ones",
+                     help="dataword pattern: ones, zeros or alternating")
+    run.add_argument("--num-words", type=int, default=10_000)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--backend", choices=("reference", "packed", "auto"),
+                     default="packed")
+    run.add_argument("--chunk-size", type=int, default=65536)
+    run.add_argument("--processes", type=int, default=1)
+    run.add_argument("--store", default=None,
+                     help="campaign directory; hits are served from the cache")
+    run.add_argument("--json", action="store_true",
+                     help="print the cell result as JSON")
+
+    sweep = commands.add_parser(
+        "sweep", help="expand a sweep spec and run its full experiment matrix"
+    )
+    sweep.add_argument("--spec", required=True, help="path to a sweep-spec JSON file")
+    sweep.add_argument("--store", required=True, help="campaign directory")
+    sweep.add_argument("--resume", action="store_true",
+                       help="continue a partially-completed sweep (sweeps are "
+                            "content-addressed, so completed cells are never re-run)")
+    sweep.add_argument("--processes", type=int, default=1)
+    sweep.add_argument("--max-cells", type=int, default=None,
+                       help="stop after this many fresh simulations (checkpointing; "
+                            "exits 3 when the sweep is left incomplete)")
+    sweep.add_argument("--json", action="store_true",
+                       help="print the sweep report as JSON")
+
+    report = commands.add_parser(
+        "report", help="summarise the contents of a campaign store"
+    )
+    report.add_argument("--store", required=True, help="campaign directory")
+    report.add_argument("--json", action="store_true",
+                        help="print the report as JSON")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -131,6 +207,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "simulate-profile": _run_simulate_profile,
         "beep": _run_beep,
         "einsim": _run_einsim,
+        "scenario": _run_scenario,
     }
     return handlers[args.command](args)
 
@@ -145,26 +222,31 @@ def _run_solve(args) -> int:
         solver = BeerSolver(profile.num_data_bits, parity_bits)
     solution = solver.solve(profile, max_solutions=args.max_solutions)
 
-    print(f"profile: k={profile.num_data_bits}, {len(profile.patterns)} patterns, "
-          f"{profile.total_miscorrections} miscorrection entries")
-    print(f"solver backend: {args.backend}")
-    print(f"candidate ECC functions found: {solution.num_solutions}"
-          + (" (search truncated)" if solution.truncated else ""))
-    for index, code in enumerate(solution.codes):
-        print(f"\ncandidate {index}: parity columns {list(code.parity_column_ints)}")
-        print(code.parity_check_matrix)
+    payload = {
+        "num_data_bits": profile.num_data_bits,
+        "num_parity_bits": parity_bits,
+        "backend": args.backend,
+        "truncated": solution.truncated,
+        "num_solutions": solution.num_solutions,
+        "candidates": [list(code.parity_column_ints) for code in solution.codes],
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"profile: k={profile.num_data_bits}, {len(profile.patterns)} patterns, "
+              f"{profile.total_miscorrections} miscorrection entries")
+        print(f"solver backend: {args.backend}")
+        print(f"candidate ECC functions found: {solution.num_solutions}"
+              + (" (search truncated)" if solution.truncated else ""))
+        for index, code in enumerate(solution.codes):
+            print(f"\ncandidate {index}: parity columns {list(code.parity_column_ints)}")
+            print(code.parity_check_matrix)
 
     if args.output:
-        payload = {
-            "num_data_bits": profile.num_data_bits,
-            "num_parity_bits": parity_bits,
-            "backend": args.backend,
-            "truncated": solution.truncated,
-            "candidates": [list(code.parity_column_ints) for code in solution.codes],
-        }
         with open(args.output, "w") as handle:
             json.dump(payload, handle, indent=2)
-        print(f"\nwrote solutions to {args.output}")
+        if not args.json:
+            print(f"\nwrote solutions to {args.output}")
     return 0 if solution.num_solutions > 0 else 1
 
 
@@ -198,8 +280,17 @@ def _run_simulate_profile(args) -> int:
     result = BeerExperiment(chip, config).run(solve=False)
     with open(args.output, "w") as handle:
         json.dump(result.profile.to_dict(), handle, indent=2)
-    print(f"simulated a vendor-{vendor.name} chip with k={args.data_bits} and wrote "
-          f"{len(result.profile.patterns)} pattern entries to {args.output}")
+    if args.json:
+        print(json.dumps({
+            "vendor": vendor.name,
+            "num_data_bits": args.data_bits,
+            "backend": args.backend,
+            "num_entries": len(result.profile.patterns),
+            "output": args.output,
+        }, indent=2))
+    else:
+        print(f"simulated a vendor-{vendor.name} chip with k={args.data_bits} and wrote "
+              f"{len(result.profile.patterns)} pattern entries to {args.output}")
     return 0
 
 
@@ -212,12 +303,24 @@ def _run_beep(args) -> int:
     )
     result = BeepProfiler(code).profile(word, num_passes=args.passes)
     identified = sorted(result.identified_errors)
-    print(f"ECC function: ({code.codeword_length}, {code.num_data_bits}) SEC Hamming code")
-    print(f"true weak cells:       {sorted(positions)}")
-    print(f"identified weak cells: {identified}")
-    print(f"patterns tested: {result.patterns_tested}, "
-          f"miscorrections observed: {result.miscorrections_observed}")
-    return 0 if set(identified) == set(positions) else 1
+    fully_identified = set(identified) == set(positions)
+    if args.json:
+        print(json.dumps({
+            "codeword_length": code.codeword_length,
+            "num_data_bits": code.num_data_bits,
+            "true_positions": sorted(positions),
+            "identified_positions": identified,
+            "patterns_tested": result.patterns_tested,
+            "miscorrections_observed": result.miscorrections_observed,
+            "fully_identified": fully_identified,
+        }, indent=2))
+    else:
+        print(f"ECC function: ({code.codeword_length}, {code.num_data_bits}) SEC Hamming code")
+        print(f"true weak cells:       {sorted(positions)}")
+        print(f"identified weak cells: {identified}")
+        print(f"patterns tested: {result.patterns_tested}, "
+              f"miscorrections observed: {result.miscorrections_observed}")
+    return 0 if fully_identified else 1
 
 
 def _run_einsim(args) -> int:
@@ -254,17 +357,153 @@ def _run_einsim(args) -> int:
         "miscorrected_words": result.miscorrected_words,
         "miscorrection_positions": list(result.miscorrection_positions),
     }
-    print(f"simulated {result.num_words} words of a "
-          f"({code.codeword_length}, {code.num_data_bits}) SEC Hamming code "
-          f"[{campaign.backend} backend]")
-    print(f"uncorrectable words: {result.uncorrectable_words}, "
-          f"miscorrected words: {result.miscorrected_words}")
-    print("per-data-bit post-correction error counts: "
-          + ",".join(str(int(c)) for c in result.post_correction_error_counts))
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"simulated {result.num_words} words of a "
+              f"({code.codeword_length}, {code.num_data_bits}) SEC Hamming code "
+              f"[{campaign.backend} backend]")
+        print(f"uncorrectable words: {result.uncorrectable_words}, "
+              f"miscorrected words: {result.miscorrected_words}")
+        print("per-data-bit post-correction error counts: "
+              + ",".join(str(int(c)) for c in result.post_correction_error_counts))
     if args.output:
         with open(args.output, "w") as handle:
             json.dump(payload, handle, indent=2)
-        print(f"wrote figure data to {args.output}")
+        if not args.json:
+            print(f"wrote figure data to {args.output}")
+    return 0
+
+
+# -- scenario command group ---------------------------------------------------------
+def _run_scenario(args) -> int:
+    handlers = {
+        "list": _run_scenario_list,
+        "run": _run_scenario_run,
+        "sweep": _run_scenario_sweep,
+        "report": _run_scenario_report,
+    }
+    return handlers[args.scenario_command](args)
+
+
+def _run_scenario_list(args) -> int:
+    from repro.scenarios import all_scenarios, REQUIRED
+
+    definitions = all_scenarios()
+    if args.json:
+        print(json.dumps([
+            {
+                "name": definition.name,
+                "description": definition.description,
+                "parameters": {
+                    key: ("<required>" if value is REQUIRED else value)
+                    for key, value in sorted(definition.defaults.items())
+                },
+            }
+            for definition in definitions
+        ], indent=2))
+        return 0
+    for definition in definitions:
+        print(f"{definition.name}: {definition.description}")
+        for key, value in sorted(definition.defaults.items()):
+            rendered = "<required>" if value is REQUIRED else repr(value)
+            print(f"    {key} = {rendered}")
+    return 0
+
+
+def _run_scenario_run(args) -> int:
+    from repro.scenarios import SweepRunner, make_einsim_cell
+    from repro.store import CampaignStore
+
+    params = {}
+    for item in args.param:
+        if "=" not in item:
+            raise SystemExit(f"--param expects KEY=VALUE, got {item!r}")
+        key, _, raw = item.partition("=")
+        try:
+            params[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            params[key] = raw
+
+    code_spec = {"data_bits": args.data_bits}
+    if args.code_seed is not None:
+        code_spec["code_seed"] = args.code_seed
+    cell = make_einsim_cell(
+        scenario=args.scenario,
+        params=params,
+        code=code_spec,
+        num_words=args.num_words,
+        seed=args.seed,
+        backend=args.backend,
+        dataword=args.dataword,
+        chunk_size=args.chunk_size,
+    )
+    store = CampaignStore(args.store) if args.store else None
+    runner = SweepRunner(store=store, processes=args.processes)
+    outcome = runner.run_one(cell)
+    cached, result = outcome.cached, outcome.record.result
+
+    if args.json:
+        print(json.dumps(
+            {"key": cell.key(), "cached": cached, "config": cell.config(),
+             "result": result},
+            indent=2, sort_keys=True,
+        ))
+    else:
+        source = "cache" if cached else "simulation"
+        print(f"scenario {args.scenario} [{source}]: "
+              f"{result['num_words']} words of a "
+              f"({result['codeword_length']}, {result['num_data_bits']}) code")
+        print(f"uncorrectable words: {result['uncorrectable_words']}, "
+              f"miscorrected words: {result['miscorrected_words']}")
+        print(f"store key: {cell.key()}")
+    return 0
+
+
+def _run_scenario_sweep(args) -> int:
+    from repro.scenarios import SweepRunner, SweepSpec
+    from repro.store import CampaignStore
+
+    spec = SweepSpec.from_json_file(args.spec)
+    store = CampaignStore(args.store)
+    runner = SweepRunner(store=store, processes=args.processes)
+    report = runner.run(spec, max_new_simulations=args.max_cells)
+
+    if args.json:
+        payload = report.to_dict()
+        payload["store"] = store.directory
+        print(json.dumps(payload, indent=2))
+    else:
+        status = "completed" if report.completed else "interrupted (resume to finish)"
+        print(f"sweep {report.spec_name}: {report.total_cells} cells, "
+              f"{report.simulated} simulated, {report.cached} served from cache")
+        print(f"store: {store.directory} [{status}]")
+        if report.cached and not args.resume:
+            print("note: cells already present in the store were served from "
+                  "cache (pass --resume to mark this as an intentional "
+                  "continuation)")
+    return 0 if report.completed else 3
+
+
+def _run_scenario_report(args) -> int:
+    from repro.analysis import campaign_report_data
+    from repro.store import CampaignStore
+
+    store = CampaignStore(args.store)
+    data = campaign_report_data(store)
+    if args.json:
+        print(json.dumps(data, indent=2))
+        return 0
+    print(f"campaign store {store.directory}: {data['num_records']} records")
+    for row in data["scenarios"]:
+        print(f"  scenario {row['scenario']}: {row['cells']} cells, "
+              f"{row['num_words']} words, "
+              f"post-correction BER {row['post_correction_ber']:.3e}, "
+              f"uncorrectable {row['uncorrectable_fraction']:.3%}")
+    for row in data["beer_campaigns"]:
+        print(f"  BEER vendor {row['vendor']}: {row['cells']} campaigns, "
+              f"{row['num_patterns']} patterns, "
+              f"{row['total_miscorrections']} miscorrection entries")
     return 0
 
 

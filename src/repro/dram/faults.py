@@ -10,7 +10,7 @@ exactly that kind of interference so the filtering path can be exercised.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -62,15 +62,24 @@ class StuckAtFaultModel:
         stuck_fraction: float = 0.0,
         stuck_value: int = 0,
         rng: Optional[np.random.Generator] = None,
+        seed: Optional[int] = None,
     ):
         if not 0 <= stuck_fraction <= 1:
             raise ChipConfigurationError("stuck fraction must be in [0, 1]")
         if stuck_value not in (0, 1):
             raise ChipConfigurationError("stuck value must be 0 or 1")
+        if rng is not None and seed is not None:
+            raise ChipConfigurationError("pass either rng or seed, not both")
         self._stuck_fraction = stuck_fraction
         self._stuck_value = stuck_value
+        # ``seed`` derives each shape's mask independently of the order shapes
+        # are encountered (and of process boundaries); ``rng`` keeps the
+        # legacy sequential-stream behaviour.
+        self._seed = seed
         self._rng = rng if rng is not None else np.random.default_rng()
-        self._mask_cache: Optional[Tuple[Tuple[int, ...], np.ndarray]] = None
+        # Keyed by batch shape: stuck cells are permanent, so every shape's
+        # mask must survive interleaved calls with other shapes.
+        self._mask_cache: Dict[Tuple[int, ...], np.ndarray] = {}
 
     @property
     def stuck_fraction(self) -> float:
@@ -78,10 +87,14 @@ class StuckAtFaultModel:
         return self._stuck_fraction
 
     def _mask_for_shape(self, shape: Tuple[int, ...]) -> np.ndarray:
-        if self._mask_cache is None or self._mask_cache[0] != tuple(shape):
-            mask = self._rng.random(shape) < self._stuck_fraction
-            self._mask_cache = (tuple(shape), mask)
-        return self._mask_cache[1]
+        key = tuple(shape)
+        if key not in self._mask_cache:
+            if self._seed is not None:
+                generator = np.random.default_rng([self._seed, *key])
+            else:
+                generator = self._rng
+            self._mask_cache[key] = generator.random(shape) < self._stuck_fraction
+        return self._mask_cache[key]
 
     def corrupt(self, bits: np.ndarray, rng: Optional[np.random.Generator] = None) -> np.ndarray:
         """Return a copy of ``bits`` with stuck cells forced to the stuck value."""

@@ -18,9 +18,14 @@ machinery in Python:
 """
 
 from repro.einsim.injectors import (
+    BurstErrorInjector,
+    CompositeInjector,
     DataRetentionInjector,
+    FaultModelInjector,
     FixedErrorCountInjector,
+    MixedCellRetentionInjector,
     PerBitBernoulliInjector,
+    RowStripeInjector,
     UniformRandomInjector,
 )
 from repro.einsim.engine import (
@@ -38,9 +43,14 @@ from repro.einsim.statistics import (
 )
 
 __all__ = [
+    "BurstErrorInjector",
+    "CompositeInjector",
     "DataRetentionInjector",
+    "FaultModelInjector",
     "FixedErrorCountInjector",
+    "MixedCellRetentionInjector",
     "PerBitBernoulliInjector",
+    "RowStripeInjector",
     "UniformRandomInjector",
     "EinsimSimulator",
     "SimulationResult",

@@ -92,6 +92,12 @@ class FixedErrorCountInjector:
         self._candidate_positions = (
             None if candidate_positions is None else list(candidate_positions)
         )
+        if self._candidate_positions is not None and len(
+            set(self._candidate_positions)
+        ) != len(self._candidate_positions):
+            # The without-replacement draw (and the flat mask assignment in
+            # error_mask) both assume distinct positions.
+            raise ChipConfigurationError("candidate positions must be distinct")
         self._per_bit_probability = per_bit_probability
 
     @property
@@ -100,7 +106,13 @@ class FixedErrorCountInjector:
         return self._num_errors
 
     def error_mask(self, stored_codewords: np.ndarray, rng: np.random.Generator) -> np.ndarray:
-        """Return a boolean mask with up to ``num_errors`` flips per word."""
+        """Return a boolean mask with up to ``num_errors`` flips per word.
+
+        Vectorised: a uniform sort key per (word, candidate) pair turns the
+        per-word without-replacement draw into one :func:`numpy.argpartition`
+        over the batch — the ``num_errors`` smallest keys of each row are a
+        uniformly random candidate subset.
+        """
         stored = np.asarray(stored_codewords)
         num_words, codeword_length = stored.shape
         candidates = (
@@ -113,10 +125,23 @@ class FixedErrorCountInjector:
                 f"cannot place {self._num_errors} errors among {candidates.size} candidates"
             )
         mask = np.zeros((num_words, codeword_length), dtype=bool)
-        for word in range(num_words):
-            chosen = rng.choice(candidates, size=self._num_errors, replace=False)
-            fires = rng.random(self._num_errors) < self._per_bit_probability
-            mask[word, chosen[fires]] = True
+        if self._num_errors == 0 or num_words == 0:
+            return mask
+        keys = rng.random((num_words, candidates.size))
+        if self._num_errors < candidates.size:
+            chosen = np.argpartition(keys, self._num_errors - 1, axis=1)[
+                :, : self._num_errors
+            ]
+        else:
+            chosen = np.broadcast_to(
+                np.arange(candidates.size), (num_words, candidates.size)
+            )
+        positions = candidates[chosen]
+        fires = rng.random((num_words, self._num_errors)) < self._per_bit_probability
+        rows = np.repeat(np.arange(num_words), self._num_errors)
+        # Positions within a row are distinct, so the flat fancy assignment
+        # writes each (word, bit) pair exactly once.
+        mask[rows, positions.ravel()] = fires.ravel()
         return mask
 
 
@@ -145,6 +170,211 @@ class PerBitBernoulliInjector:
                 f"{self._probabilities.shape[0]} per-bit probabilities"
             )
         return rng.random(stored.shape) < self._probabilities[np.newaxis, :]
+
+
+class MixedCellRetentionInjector:
+    """Data-retention errors on a word mixing true- and anti-cell columns.
+
+    Real chips can interleave true- and anti-cell regions (manufacturer C in
+    paper Section 5.1.1).  Each column is assigned a cell convention; only
+    CHARGED cells under that convention can decay: true-cell columns flip
+    stored 1s, anti-cell columns flip stored 0s.
+
+    Parameters
+    ----------
+    bit_error_rate:
+        Per-CHARGED-cell flip probability.
+    anti_cell_columns:
+        Codeword columns using the anti-cell convention.  ``None`` assigns
+        every odd column to anti-cells (an alternating layout).
+    """
+
+    def __init__(
+        self,
+        bit_error_rate: float,
+        anti_cell_columns: Optional[Sequence[int]] = None,
+    ):
+        _validate_probability(bit_error_rate)
+        self._bit_error_rate = bit_error_rate
+        self._anti_cell_columns = (
+            None if anti_cell_columns is None else tuple(int(c) for c in anti_cell_columns)
+        )
+
+    @property
+    def bit_error_rate(self) -> float:
+        """Per-CHARGED-cell flip probability."""
+        return self._bit_error_rate
+
+    def anti_cell_mask(self, codeword_length: int) -> np.ndarray:
+        """Boolean per-column mask; True marks anti-cell columns."""
+        anti = np.zeros(codeword_length, dtype=bool)
+        if self._anti_cell_columns is None:
+            anti[1::2] = True
+        else:
+            for column in self._anti_cell_columns:
+                if not 0 <= column < codeword_length:
+                    raise ChipConfigurationError(
+                        f"anti-cell column {column} out of range for "
+                        f"codeword length {codeword_length}"
+                    )
+                anti[column] = True
+        return anti
+
+    def error_mask(self, stored_codewords: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Return a boolean mask of injected errors (CHARGED cells only)."""
+        stored = np.asarray(stored_codewords)
+        anti = self.anti_cell_mask(stored.shape[1])
+        charged = np.where(anti[np.newaxis, :], stored == 0, stored == 1)
+        return charged & (rng.random(stored.shape) < self._bit_error_rate)
+
+
+class BurstErrorInjector:
+    """Multi-bit burst errors: a contiguous run of flips within a word.
+
+    Models coupling-style failure modes where one event disturbs several
+    physically adjacent cells at once (the paper's Section 7.1.5 extension of
+    BEEP beyond single-cell retention faults).  Each word independently
+    suffers a burst with probability ``burst_probability``; the burst starts
+    at a uniformly random position and each cell inside it flips with
+    probability ``bit_flip_probability``.
+    """
+
+    def __init__(
+        self,
+        burst_probability: float,
+        burst_length: int,
+        bit_flip_probability: float = 1.0,
+    ):
+        _validate_probability(burst_probability)
+        _validate_probability(bit_flip_probability)
+        if burst_length < 1:
+            raise ChipConfigurationError("burst length must be at least one bit")
+        self._burst_probability = burst_probability
+        self._burst_length = int(burst_length)
+        self._bit_flip_probability = bit_flip_probability
+
+    @property
+    def burst_length(self) -> int:
+        """Number of contiguous cells disturbed by one burst."""
+        return self._burst_length
+
+    def error_mask(self, stored_codewords: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Return a boolean mask of injected errors."""
+        stored = np.asarray(stored_codewords)
+        num_words, codeword_length = stored.shape
+        length = min(self._burst_length, codeword_length)
+        mask = np.zeros((num_words, codeword_length), dtype=bool)
+        if num_words == 0:
+            return mask
+        bursty = rng.random(num_words) < self._burst_probability
+        starts = rng.integers(0, codeword_length - length + 1, size=num_words)
+        fires = rng.random((num_words, length)) < self._bit_flip_probability
+        columns = starts[:, np.newaxis] + np.arange(length)[np.newaxis, :]
+        rows = np.repeat(np.arange(num_words), length)
+        mask[rows, columns.ravel()] = fires.ravel()
+        mask[~bursty] = False
+        return mask
+
+
+class RowStripeInjector:
+    """RowHammer-like disturbance: victim words see flips on a column stripe.
+
+    Aggressor activity disturbs entire rows, and within a disturbed row the
+    vulnerable cells follow the physical column topology — modelled here as a
+    periodic stripe (e.g. every other column).  Each word is independently a
+    victim with probability ``row_probability``; within a victim word, cells
+    on the stripe flip with probability ``bit_flip_probability``.
+    """
+
+    def __init__(
+        self,
+        row_probability: float,
+        stripe_period: int = 2,
+        stripe_phase: int = 0,
+        bit_flip_probability: float = 1.0,
+    ):
+        _validate_probability(row_probability)
+        _validate_probability(bit_flip_probability)
+        if stripe_period < 1:
+            raise ChipConfigurationError("stripe period must be at least one column")
+        if not 0 <= stripe_phase < stripe_period:
+            raise ChipConfigurationError(
+                f"stripe phase {stripe_phase} must lie in [0, {stripe_period})"
+            )
+        self._row_probability = row_probability
+        self._stripe_period = int(stripe_period)
+        self._stripe_phase = int(stripe_phase)
+        self._bit_flip_probability = bit_flip_probability
+
+    def stripe_mask(self, codeword_length: int) -> np.ndarray:
+        """Boolean per-column mask; True marks columns on the stripe."""
+        return np.arange(codeword_length) % self._stripe_period == self._stripe_phase
+
+    def error_mask(self, stored_codewords: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Return a boolean mask of injected errors."""
+        stored = np.asarray(stored_codewords)
+        num_words, codeword_length = stored.shape
+        victims = rng.random(num_words) < self._row_probability
+        stripe = self.stripe_mask(codeword_length)
+        fires = rng.random(stored.shape) < self._bit_flip_probability
+        return victims[:, np.newaxis] & stripe[np.newaxis, :] & fires
+
+
+class FaultModelInjector:
+    """Adapt a :mod:`repro.dram.faults` model into a pre-correction injector.
+
+    The chip-level fault models expose ``corrupt(bits, rng)``; the injector
+    protocol wants an error *mask*.  The mask is simply the diff between the
+    stored bits and their corrupted read-back, so any chip fault model (e.g.
+    :class:`~repro.dram.faults.TransientFaultModel` or
+    :class:`~repro.dram.faults.StuckAtFaultModel`) plugs straight into the
+    batched simulation engine.
+    """
+
+    def __init__(self, fault_model):
+        if not hasattr(fault_model, "corrupt"):
+            raise ChipConfigurationError(
+                "fault model must expose a corrupt(bits, rng) method"
+            )
+        self._fault_model = fault_model
+
+    @property
+    def fault_model(self):
+        """The wrapped chip-level fault model."""
+        return self._fault_model
+
+    def error_mask(self, stored_codewords: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Return the mask of bits the fault model corrupts on read-back."""
+        stored = np.asarray(stored_codewords, dtype=np.uint8)
+        return self._fault_model.corrupt(stored, rng) != stored
+
+
+class CompositeInjector:
+    """OR-combination of several injectors (overlaid error mechanisms).
+
+    Masks are drawn in member order from the shared RNG stream, so a
+    composite is deterministic for a given seed.  A bit is in error if *any*
+    member flips it — matching how independent physical mechanisms combine.
+    """
+
+    def __init__(self, injectors: Sequence):
+        members = list(injectors)
+        if not members:
+            raise ChipConfigurationError("composite injector needs at least one member")
+        self._injectors = members
+
+    @property
+    def injectors(self) -> Sequence:
+        """The member injectors, in application order."""
+        return tuple(self._injectors)
+
+    def error_mask(self, stored_codewords: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Return the union of every member's error mask."""
+        stored = np.asarray(stored_codewords)
+        mask = np.zeros(stored.shape, dtype=bool)
+        for injector in self._injectors:
+            mask |= injector.error_mask(stored, rng)
+        return mask
 
 
 def _validate_probability(value: float) -> None:

@@ -50,3 +50,7 @@ class UnsatisfiableError(SolverError):
 
 class PatternCraftingError(ReproError):
     """Raised when BEEP cannot craft a test pattern for a target bit."""
+
+
+class ScenarioError(ReproError):
+    """Raised when a fault scenario or sweep specification is invalid."""

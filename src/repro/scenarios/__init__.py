@@ -1,0 +1,56 @@
+"""Declarative fault-scenario registry, sweep specs, and campaign runner.
+
+The paper's evaluation is a matrix of scenarios — code lengths × error
+mechanisms × refresh windows × cell layouts (Sections 5–7).  This package
+turns that matrix into data:
+
+* :mod:`repro.scenarios.registry` — named fault scenarios mapping parameter
+  dictionaries to :mod:`repro.einsim` injectors;
+* :mod:`repro.scenarios.sweep` — declarative sweep specs (JSON/dict) that
+  expand into a deterministic matrix of experiment cells;
+* :mod:`repro.scenarios.runner` — cache-aware execution against the
+  content-addressed :mod:`repro.store`, with per-cell checkpointing and
+  resumable interrupted sweeps.
+"""
+
+from repro.scenarios.registry import (
+    REQUIRED,
+    ScenarioDefinition,
+    all_scenarios,
+    build_injector,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
+from repro.scenarios.sweep import (
+    ExperimentCell,
+    SweepSpec,
+    make_beer_cell,
+    make_einsim_cell,
+    resolve_code,
+    resolve_dataword,
+)
+from repro.scenarios.runner import (
+    CellOutcome,
+    SweepReport,
+    SweepRunner,
+)
+
+__all__ = [
+    "REQUIRED",
+    "ScenarioDefinition",
+    "all_scenarios",
+    "build_injector",
+    "get_scenario",
+    "register_scenario",
+    "scenario_names",
+    "ExperimentCell",
+    "SweepSpec",
+    "make_beer_cell",
+    "make_einsim_cell",
+    "resolve_code",
+    "resolve_dataword",
+    "CellOutcome",
+    "SweepReport",
+    "SweepRunner",
+]

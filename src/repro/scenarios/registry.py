@@ -1,0 +1,218 @@
+"""Registry of named, composable fault scenarios.
+
+A *scenario* is a named recipe that turns a flat parameter dictionary into a
+pre-correction error injector (:mod:`repro.einsim.injectors`).  The registry
+gives sweeps, the CLI and tests one shared vocabulary for the paper's error
+mechanisms — uniform-random (Figure 1), data-retention in true/anti/mixed
+cell layouts (Section 3.2), fixed-error-count (Figure 9), per-bit Bernoulli,
+plus the Section 7.1.5-style extensions: multi-bit bursts, RowHammer-like
+row stripes, and transient + stuck-at overlays built on
+:mod:`repro.dram.faults`.
+
+Scenarios are registered with :func:`register_scenario`; downstream code
+builds injectors through :func:`build_injector` and never touches concrete
+injector classes directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping
+
+from repro.exceptions import ScenarioError
+from repro.dram.cell import CellType
+from repro.dram.faults import StuckAtFaultModel, TransientFaultModel
+from repro.einsim.injectors import (
+    BurstErrorInjector,
+    CompositeInjector,
+    DataRetentionInjector,
+    FaultModelInjector,
+    FixedErrorCountInjector,
+    MixedCellRetentionInjector,
+    PerBitBernoulliInjector,
+    RowStripeInjector,
+    UniformRandomInjector,
+)
+
+#: Sentinel default marking a parameter the caller must supply.
+REQUIRED = object()
+
+
+@dataclass(frozen=True)
+class ScenarioDefinition:
+    """A named fault scenario: description, parameter schema, and builder."""
+
+    name: str
+    description: str
+    defaults: Mapping[str, Any]
+    builder: Callable[..., Any]
+
+    def resolve_params(self, params: Mapping[str, Any]) -> Dict[str, Any]:
+        """Merge ``params`` over the defaults, rejecting unknown/missing keys."""
+        unknown = sorted(set(params) - set(self.defaults))
+        if unknown:
+            raise ScenarioError(
+                f"scenario {self.name!r} got unknown parameter(s) {unknown}; "
+                f"valid parameters are {sorted(self.defaults)}"
+            )
+        merged = dict(self.defaults)
+        merged.update(params)
+        missing = sorted(key for key, value in merged.items() if value is REQUIRED)
+        if missing:
+            raise ScenarioError(
+                f"scenario {self.name!r} requires parameter(s) {missing}"
+            )
+        return merged
+
+    def build(self, params: Mapping[str, Any]):
+        """Instantiate this scenario's injector for the given parameters."""
+        return self.builder(**self.resolve_params(params))
+
+
+_REGISTRY: Dict[str, ScenarioDefinition] = {}
+
+
+def register_scenario(
+    name: str, description: str, defaults: Mapping[str, Any]
+) -> Callable[[Callable], Callable]:
+    """Decorator registering ``fn`` as the builder of scenario ``name``."""
+
+    def decorate(fn: Callable) -> Callable:
+        if name in _REGISTRY:
+            raise ScenarioError(f"scenario {name!r} is already registered")
+        _REGISTRY[name] = ScenarioDefinition(
+            name=name, description=description, defaults=dict(defaults), builder=fn
+        )
+        return fn
+
+    return decorate
+
+
+def get_scenario(name: str) -> ScenarioDefinition:
+    """Look up a scenario definition by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ScenarioError(
+            f"unknown scenario {name!r}; registered scenarios: {scenario_names()}"
+        ) from None
+
+
+def scenario_names() -> List[str]:
+    """Names of every registered scenario, sorted."""
+    return sorted(_REGISTRY)
+
+
+def all_scenarios() -> List[ScenarioDefinition]:
+    """Every registered scenario definition, sorted by name."""
+    return [_REGISTRY[name] for name in scenario_names()]
+
+
+def build_injector(name: str, params: Mapping[str, Any]):
+    """Build the injector for scenario ``name`` with the given parameters."""
+    return get_scenario(name).build(params)
+
+
+# ---------------------------------------------------------------------------
+# Built-in scenarios
+# ---------------------------------------------------------------------------
+
+@register_scenario(
+    "uniform-random",
+    "uniform-random pre-correction errors at a fixed raw BER (paper Fig. 1)",
+    {"bit_error_rate": REQUIRED},
+)
+def _uniform_random(bit_error_rate):
+    return UniformRandomInjector(bit_error_rate)
+
+
+@register_scenario(
+    "data-retention-true",
+    "data-retention decay in an all-true-cell layout (CHARGED 1s flip to 0)",
+    {"bit_error_rate": REQUIRED},
+)
+def _data_retention_true(bit_error_rate):
+    return DataRetentionInjector(bit_error_rate, CellType.TRUE_CELL)
+
+
+@register_scenario(
+    "data-retention-anti",
+    "data-retention decay in an all-anti-cell layout (CHARGED 0s flip to 1)",
+    {"bit_error_rate": REQUIRED},
+)
+def _data_retention_anti(bit_error_rate):
+    return DataRetentionInjector(bit_error_rate, CellType.ANTI_CELL)
+
+
+@register_scenario(
+    "data-retention-mixed",
+    "data-retention decay with interleaved true/anti-cell columns",
+    {"bit_error_rate": REQUIRED, "anti_cell_columns": None},
+)
+def _data_retention_mixed(bit_error_rate, anti_cell_columns):
+    return MixedCellRetentionInjector(bit_error_rate, anti_cell_columns)
+
+
+@register_scenario(
+    "fixed-error-count",
+    "exactly N error-prone cells per word, thinned per bit (paper Fig. 9)",
+    {"num_errors": REQUIRED, "per_bit_probability": 1.0, "candidate_positions": None},
+)
+def _fixed_error_count(num_errors, per_bit_probability, candidate_positions):
+    return FixedErrorCountInjector(num_errors, candidate_positions, per_bit_probability)
+
+
+@register_scenario(
+    "per-bit-bernoulli",
+    "independent per-bit flip probabilities (arbitrary spatial profile)",
+    {"probabilities": REQUIRED},
+)
+def _per_bit_bernoulli(probabilities):
+    return PerBitBernoulliInjector(probabilities)
+
+
+@register_scenario(
+    "burst",
+    "contiguous multi-bit bursts within a word (coupling-style faults)",
+    {"burst_probability": REQUIRED, "burst_length": 4, "bit_flip_probability": 1.0},
+)
+def _burst(burst_probability, burst_length, bit_flip_probability):
+    return BurstErrorInjector(burst_probability, burst_length, bit_flip_probability)
+
+
+@register_scenario(
+    "row-stripe",
+    "RowHammer-like row-wide disturbance on a periodic column stripe",
+    {
+        "row_probability": REQUIRED,
+        "stripe_period": 2,
+        "stripe_phase": 0,
+        "bit_flip_probability": 1.0,
+    },
+)
+def _row_stripe(row_probability, stripe_period, stripe_phase, bit_flip_probability):
+    return RowStripeInjector(
+        row_probability, stripe_period, stripe_phase, bit_flip_probability
+    )
+
+
+@register_scenario(
+    "transient-stuck-overlay",
+    "transient soft errors overlaid on permanently stuck cells (Sec. 7.1.5)",
+    {
+        "transient_probability": REQUIRED,
+        "stuck_fraction": REQUIRED,
+        "stuck_value": 0,
+        "stuck_seed": 0,
+    },
+)
+def _transient_stuck_overlay(transient_probability, stuck_fraction, stuck_value, stuck_seed):
+    # Seed-derived stuck masks are independent of batch order and process
+    # boundaries, so campaigns stay bit-identical for any chunking/pool size.
+    stuck = StuckAtFaultModel(stuck_fraction, stuck_value, seed=stuck_seed)
+    return CompositeInjector(
+        [
+            FaultModelInjector(TransientFaultModel(transient_probability)),
+            FaultModelInjector(stuck),
+        ]
+    )

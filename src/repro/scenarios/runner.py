@@ -1,0 +1,207 @@
+"""Sweep execution: cache-aware, resumable campaign running.
+
+The runner walks a :class:`~repro.scenarios.sweep.SweepSpec`'s cell matrix in
+deterministic order.  For each cell it consults the campaign store first —
+a hit is served without simulating anything; a miss is executed through the
+chunked :class:`~repro.core.experiment.MonteCarloCampaign` (``einsim`` cells)
+or a full :class:`~repro.core.experiment.BeerExperiment` against a simulated
+vendor chip (``beer`` cells) and checkpointed to the store immediately.
+Interrupting a sweep therefore loses at most the in-flight cell; re-running
+the same spec completes exactly the missing cells and produces a store
+byte-identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.dram import ChipGeometry, DataRetentionModel, all_vendors
+from repro.dram.retention import RetentionCalibration
+from repro.core.experiment import BeerExperiment, ExperimentConfig, MonteCarloCampaign
+from repro.scenarios.registry import build_injector
+from repro.scenarios.sweep import (
+    ExperimentCell,
+    SweepSpec,
+    resolve_code,
+    resolve_dataword,
+)
+from repro.store.store import CampaignStore, ResultRecord
+
+#: Accelerated retention calibration so simulated refresh-window sweeps finish
+#: in seconds instead of the paper's hours of real refresh pauses (the CLI's
+#: ``simulate-profile`` uses the same trick).
+FAST_RETENTION_CALIBRATION = RetentionCalibration(1.0, 0.02, 60.0, 0.5)
+
+
+@dataclass
+class CellOutcome:
+    """What happened to one cell during a sweep run."""
+
+    cell: ExperimentCell
+    record: ResultRecord
+    cached: bool
+
+
+@dataclass
+class SweepReport:
+    """Summary of one sweep invocation."""
+
+    spec_name: str
+    total_cells: int
+    simulated: int
+    cached: int
+    completed: bool
+    outcomes: List[CellOutcome] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly summary (used by ``scenario sweep --json``)."""
+        return {
+            "name": self.spec_name,
+            "total_cells": self.total_cells,
+            "simulated": self.simulated,
+            "cached": self.cached,
+            "completed": self.completed,
+        }
+
+
+class SweepRunner:
+    """Executes sweep specs against an (optional) persistent campaign store.
+
+    Parameters
+    ----------
+    store:
+        Campaign store consulted before and written after every cell;
+        ``None`` runs everything fresh with no persistence.
+    processes:
+        Worker processes handed to :class:`MonteCarloCampaign` for ``einsim``
+        cells.  Results are bit-identical for any value.
+    """
+
+    def __init__(self, store: Optional[CampaignStore] = None, processes: int = 1):
+        self._store = store
+        self._processes = int(processes)
+
+    @property
+    def store(self) -> Optional[CampaignStore]:
+        """The campaign store, if any."""
+        return self._store
+
+    def run(
+        self,
+        spec: SweepSpec,
+        max_new_simulations: Optional[int] = None,
+        progress: Optional[Callable[[CellOutcome], None]] = None,
+    ) -> SweepReport:
+        """Run every cell of ``spec``, serving cached cells from the store.
+
+        ``max_new_simulations`` stops the sweep after that many fresh
+        simulations (cached cells do not count) — the hook used to exercise
+        interruption/resume behaviour deterministically.
+        """
+        report = SweepReport(
+            spec_name=spec.name,
+            total_cells=spec.num_cells,
+            simulated=0,
+            cached=0,
+            completed=True,
+        )
+        for cell in spec.cells:
+            is_cached = self._store is not None and cell.key() in self._store
+            if (
+                not is_cached
+                and max_new_simulations is not None
+                and report.simulated >= max_new_simulations
+            ):
+                report.completed = False
+                break
+            outcome = self.run_one(cell)
+            if outcome.cached:
+                report.cached += 1
+            else:
+                report.simulated += 1
+            report.outcomes.append(outcome)
+            if progress is not None:
+                progress(outcome)
+        return report
+
+    def run_one(self, cell: ExperimentCell) -> CellOutcome:
+        """Run a single cell, serving it from the store when possible."""
+        key = cell.key()
+        if self._store is not None:
+            cached_record = self._store.get(key)
+            if cached_record is not None:
+                return CellOutcome(cell=cell, record=cached_record, cached=True)
+        result = self.run_cell(cell)
+        config = cell.config()
+        if self._store is not None:
+            record = self._store.put(config, result)
+        else:
+            record = ResultRecord(key=key, config=config, result=result)
+        return CellOutcome(cell=cell, record=record, cached=False)
+
+    # -- cell execution -----------------------------------------------------
+    def run_cell(self, cell: ExperimentCell) -> Dict[str, Any]:
+        """Execute one cell from scratch and return its canonical result dict."""
+        config = cell.config()
+        if cell.kind == "einsim":
+            return self._run_einsim_cell(config)
+        return self._run_beer_cell(config)
+
+    def _run_einsim_cell(self, config: Dict[str, Any]) -> Dict[str, Any]:
+        code = resolve_code(config["code"])
+        dataword = resolve_dataword(config["dataword"], code.num_data_bits)
+        injector = build_injector(config["scenario"], config["params"])
+        campaign = MonteCarloCampaign(
+            code,
+            chunk_size=config["chunk_size"],
+            processes=self._processes,
+            backend=config["backend"],
+            base_seed=config["seed"],
+        )
+        result = campaign.simulate(dataword, injector, config["num_words"])
+        return {
+            "codeword_length": code.codeword_length,
+            "num_data_bits": code.num_data_bits,
+            "parity_columns": [int(c) for c in code.parity_column_ints],
+            "num_words": int(result.num_words),
+            "post_correction_error_counts": [
+                int(c) for c in result.post_correction_error_counts
+            ],
+            "pre_correction_error_counts": [
+                int(c) for c in result.pre_correction_error_counts
+            ],
+            "uncorrectable_words": int(result.uncorrectable_words),
+            "miscorrected_words": int(result.miscorrected_words),
+            "miscorrection_positions": [
+                int(p) for p in result.miscorrection_positions
+            ],
+        }
+
+    def _run_beer_cell(self, config: Dict[str, Any]) -> Dict[str, Any]:
+        vendor = next(v for v in all_vendors() if v.name == config["vendor"])
+        chip = vendor.make_chip(
+            num_data_bits=config["data_bits"],
+            geometry=ChipGeometry(
+                num_rows=config["num_rows"], words_per_row=config["words_per_row"]
+            ),
+            seed=config["seed"],
+            retention_model=DataRetentionModel(FAST_RETENTION_CALIBRATION),
+            backend=config["backend"],
+        )
+        experiment_config = ExperimentConfig(
+            pattern_weights=tuple(config["pattern_weights"]),
+            refresh_windows_s=tuple(config["refresh_windows_s"]),
+            rounds_per_window=config["rounds_per_window"],
+            threshold=config["threshold"],
+            discover_cell_encoding=True,
+            discovery_pause_s=max(config["refresh_windows_s"]),
+        )
+        result = BeerExperiment(chip, experiment_config).run(solve=False)
+        profile = result.profile
+        return {
+            "num_data_bits": profile.num_data_bits,
+            "num_patterns": len(profile.patterns),
+            "total_miscorrections": int(profile.total_miscorrections),
+            "profile": profile.to_dict(),
+        }

@@ -1,0 +1,31 @@
+"""Persistent, content-addressed result store for experiment campaigns.
+
+Every simulated experiment cell is identified by a canonical hash of its full
+configuration (scenario, code, simulation config, seed, backend); results are
+appended to a JSONL file under a campaign directory as they complete.  This
+gives three properties the scenario subsystem is built on:
+
+* **cache hits** — re-running a sweep never recomputes a cell whose key is
+  already in the store;
+* **resumability** — an interrupted sweep checkpoints per cell, so rerunning
+  it completes exactly the missing cells and yields a store byte-identical
+  to an uninterrupted run;
+* **queryability** — typed load/query APIs for :mod:`repro.analysis` and the
+  CLI's ``scenario report``.
+"""
+
+from repro.store.store import (
+    CampaignStore,
+    ResultRecord,
+    StoreIntegrityError,
+    canonical_json,
+    content_key,
+)
+
+__all__ = [
+    "CampaignStore",
+    "ResultRecord",
+    "StoreIntegrityError",
+    "canonical_json",
+    "content_key",
+]

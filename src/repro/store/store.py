@@ -1,0 +1,173 @@
+"""Content-addressed JSONL campaign store.
+
+Layout: a campaign directory holding a single append-only ``records.jsonl``.
+Each line is one completed experiment cell::
+
+    {"key": "<sha256>", "config": {...}, "result": {...}}
+
+serialised canonically (sorted keys, compact separators), so that a
+deterministic campaign produces byte-identical store files run after run.
+The key is the SHA-256 of the canonical JSON of ``config`` — the content
+address every cache/resume decision is made on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.exceptions import ReproError
+
+
+class StoreIntegrityError(ReproError):
+    """A store record conflicts with what the campaign is trying to write."""
+
+
+def canonical_json(payload) -> str:
+    """Serialise ``payload`` to a canonical JSON string (sorted, compact).
+
+    Canonical form makes hashing and byte-level store comparison meaningful:
+    two equal configurations always serialise identically.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def content_key(config: Dict) -> str:
+    """Return the SHA-256 content address of a cell configuration."""
+    return hashlib.sha256(canonical_json(config).encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class ResultRecord:
+    """One completed experiment cell: its key, configuration, and result."""
+
+    key: str
+    config: Dict
+    result: Dict
+
+    def to_json_line(self) -> str:
+        """Serialise to the canonical single-line store representation."""
+        return canonical_json(
+            {"config": self.config, "key": self.key, "result": self.result}
+        )
+
+    @classmethod
+    def from_json_line(cls, line: str) -> "ResultRecord":
+        """Parse a store line back into a record."""
+        payload = json.loads(line)
+        return cls(key=payload["key"], config=payload["config"], result=payload["result"])
+
+
+class CampaignStore:
+    """Append-only, content-addressed result store under a directory.
+
+    Opening a store scans ``records.jsonl`` (if present) and indexes every
+    record by key; :meth:`put` appends and flushes one line per completed
+    cell, which is the per-cell checkpoint that makes interrupted sweeps
+    resumable.
+    """
+
+    RECORDS_FILENAME = "records.jsonl"
+
+    def __init__(self, directory: str):
+        self._directory = str(directory)
+        os.makedirs(self._directory, exist_ok=True)
+        self._records: Dict[str, ResultRecord] = {}
+        self._order: List[str] = []
+        self._load_existing()
+
+    # -- basic properties ---------------------------------------------------
+    @property
+    def directory(self) -> str:
+        """The campaign directory this store persists under."""
+        return self._directory
+
+    @property
+    def records_path(self) -> str:
+        """Path of the JSONL records file."""
+        return os.path.join(self._directory, self.RECORDS_FILENAME)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def keys(self) -> List[str]:
+        """All stored keys, in insertion order."""
+        return list(self._order)
+
+    # -- read API -----------------------------------------------------------
+    def get(self, key: str) -> Optional[ResultRecord]:
+        """Return the record stored under ``key``, or ``None``."""
+        return self._records.get(key)
+
+    def records(self) -> Iterator[ResultRecord]:
+        """Iterate over every record in insertion order."""
+        for key in self._order:
+            yield self._records[key]
+
+    def query(
+        self,
+        predicate: Optional[Callable[[ResultRecord], bool]] = None,
+        **config_equals,
+    ) -> List[ResultRecord]:
+        """Return records whose config matches every ``field=value`` filter.
+
+        ``predicate`` (if given) additionally filters on the full record.
+        """
+        matches = []
+        for record in self.records():
+            if any(
+                record.config.get(field) != value
+                for field, value in config_equals.items()
+            ):
+                continue
+            if predicate is not None and not predicate(record):
+                continue
+            matches.append(record)
+        return matches
+
+    # -- write API ----------------------------------------------------------
+    def put(self, config: Dict, result: Dict) -> ResultRecord:
+        """Store one completed cell (checkpointing it to disk immediately).
+
+        Idempotent for identical results; storing a *different* result under
+        an existing key raises :class:`StoreIntegrityError` — that means the
+        simulation is not deterministic in something the key does not cover.
+        """
+        key = content_key(config)
+        record = ResultRecord(key=key, config=config, result=result)
+        existing = self._records.get(key)
+        if existing is not None:
+            if existing.to_json_line() != record.to_json_line():
+                raise StoreIntegrityError(
+                    f"key {key} already stored with a different result; "
+                    "the configuration hash does not capture all sources of "
+                    "variation"
+                )
+            return existing
+        with open(self.records_path, "a", encoding="utf-8") as handle:
+            handle.write(record.to_json_line() + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._records[key] = record
+        self._order.append(key)
+        return record
+
+    # -- internals ----------------------------------------------------------
+    def _load_existing(self) -> None:
+        if not os.path.exists(self.records_path):
+            return
+        with open(self.records_path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                record = ResultRecord.from_json_line(line)
+                if record.key not in self._records:
+                    self._order.append(record.key)
+                self._records[record.key] = record

@@ -189,6 +189,142 @@ class TestEinsimCommand:
         assert payloads["reference"] == payloads["packed"]
 
 
+class TestJsonOutput:
+    """--json turns each subcommand's stdout into one machine-readable document."""
+
+    def test_solve_json(self, profile_file, capsys):
+        path, code = profile_file
+        exit_code = main(["solve", "--profile", str(path), "--json"])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["num_solutions"] == 1
+        recovered = SystematicLinearCode.from_parity_columns(
+            payload["candidates"][0], payload["num_parity_bits"]
+        )
+        assert codes_equivalent(recovered, code)
+
+    def test_simulate_profile_json(self, tmp_path, capsys):
+        output = tmp_path / "profile.json"
+        exit_code = main(
+            ["simulate-profile", "--vendor", "B", "--data-bits", "8",
+             "--rounds", "4", "--output", str(output), "--json"]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["vendor"] == "B"
+        assert payload["num_data_bits"] == 8
+        assert payload["num_entries"] == 8 + 28
+        assert json.loads(output.read_text())["num_data_bits"] == 8
+
+    def test_einsim_json(self, capsys):
+        exit_code = main(
+            ["einsim", "--data-bits", "8", "--num-words", "300",
+             "--ber", "0.01", "--json"]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["num_words"] == 300
+        assert len(payload["post_correction_error_counts"]) == 8
+
+    def test_beep_json(self, capsys):
+        exit_code = main(
+            ["beep", "--data-bits", "16", "--error-positions", "2,9", "--json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["true_positions"] == [2, 9]
+        assert payload["fully_identified"] == (exit_code == 0)
+
+
+class TestScenarioCommands:
+    SWEEP = {
+        "name": "cli-sweep",
+        "num_words": 200,
+        "chunk_size": 64,
+        "seeds": [0],
+        "backends": ["packed"],
+        "codes": [{"data_bits": 8}],
+        "scenarios": [
+            {"name": "uniform-random", "params": {"bit_error_rate": [0.005, 0.02]}},
+            {"name": "burst", "params": {"burst_probability": 0.1}},
+        ],
+    }
+
+    @pytest.fixture
+    def spec_file(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps(self.SWEEP))
+        return path
+
+    def test_scenario_list_mentions_every_registered_scenario(self, capsys):
+        from repro.scenarios import scenario_names
+
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in scenario_names():
+            assert name in out
+
+    def test_scenario_list_json(self, capsys):
+        assert main(["scenario", "list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = [entry["name"] for entry in payload]
+        assert "transient-stuck-overlay" in names
+
+    def test_scenario_run_with_store_caches(self, tmp_path, capsys):
+        store = tmp_path / "camp"
+        args = ["scenario", "run", "--scenario", "uniform-random",
+                "--param", "bit_error_rate=0.01", "--data-bits", "8",
+                "--num-words", "200", "--store", str(store), "--json"]
+        assert main(args) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["cached"] is False
+        assert main(args) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["cached"] is True
+        assert first["result"] == second["result"]
+
+    def test_scenario_sweep_second_run_fully_cached(self, spec_file, tmp_path, capsys):
+        store = tmp_path / "camp"
+        args = ["scenario", "sweep", "--spec", str(spec_file),
+                "--store", str(store), "--json"]
+        assert main(args) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["simulated"] == 3 and first["cached"] == 0
+        assert main(args + ["--resume"]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["simulated"] == 0 and second["cached"] == 3
+
+    def test_scenario_sweep_interrupt_and_resume(self, spec_file, tmp_path, capsys):
+        store = tmp_path / "camp"
+        exit_code = main(
+            ["scenario", "sweep", "--spec", str(spec_file), "--store", str(store),
+             "--max-cells", "1", "--json"]
+        )
+        assert exit_code == 3
+        partial = json.loads(capsys.readouterr().out)
+        assert partial["simulated"] == 1 and not partial["completed"]
+        assert main(
+            ["scenario", "sweep", "--spec", str(spec_file), "--store", str(store),
+             "--resume", "--json"]
+        ) == 0
+        resumed = json.loads(capsys.readouterr().out)
+        assert resumed["completed"]
+        assert resumed["simulated"] == 2 and resumed["cached"] == 1
+
+    def test_scenario_report(self, spec_file, tmp_path, capsys):
+        store = tmp_path / "camp"
+        main(["scenario", "sweep", "--spec", str(spec_file), "--store", str(store)])
+        capsys.readouterr()
+        assert main(["scenario", "report", "--store", str(store), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["num_records"] == 3
+        scenarios = {row["scenario"] for row in payload["scenarios"]}
+        assert scenarios == {"uniform-random", "burst"}
+
+    def test_scenario_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenario"])
+
+
 class TestSimulateProfileBackend:
     def test_backends_emit_identical_profiles(self, tmp_path):
         """The simulated chip campaign is backend-invariant bit for bit."""

@@ -11,10 +11,15 @@ from repro.ecc import SyndromeDecoder, example_7_4_code, hamming_code, random_ha
 from repro.dram import CellType
 from repro.einsim import (
     BootstrapInterval,
+    BurstErrorInjector,
+    CompositeInjector,
     DataRetentionInjector,
     EinsimSimulator,
+    FaultModelInjector,
     FixedErrorCountInjector,
+    MixedCellRetentionInjector,
     PerBitBernoulliInjector,
+    RowStripeInjector,
     UniformRandomInjector,
     bootstrap_confidence_interval,
     bulk_decode,
@@ -95,6 +100,145 @@ class TestInjectors:
             PerBitBernoulliInjector([0.5]).error_mask(
                 np.zeros((1, 3), dtype=np.uint8), np.random.default_rng(0)
             )
+
+
+class TestFixedCountVectorisedContract:
+    """Seeded regression tests for the vectorised without-replacement draw."""
+
+    def test_exactly_num_errors_candidates_per_word(self):
+        # With per_bit_probability == 1 every selected candidate fires, so
+        # every word must carry exactly num_errors flips.
+        injector = FixedErrorCountInjector(4)
+        stored = np.zeros((2000, 24), dtype=np.uint8)
+        mask = injector.error_mask(stored, np.random.default_rng(10))
+        assert (mask.sum(axis=1) == 4).all()
+
+    def test_candidate_selection_is_uniform(self):
+        # Each of the 12 candidate positions must be chosen with probability
+        # num_errors / num_candidates = 1/4.
+        injector = FixedErrorCountInjector(3, candidate_positions=list(range(12)))
+        stored = np.zeros((6000, 16), dtype=np.uint8)
+        mask = injector.error_mask(stored, np.random.default_rng(11))
+        per_position = mask.mean(axis=0)
+        assert not mask[:, 12:].any()
+        np.testing.assert_allclose(per_position[:12], 3 / 12, atol=0.02)
+
+    def test_per_bit_probability_thins_selected_candidates(self):
+        # Selected candidates fire independently with probability p, so the
+        # per-word flip count is Binomial(num_errors, p).
+        injector = FixedErrorCountInjector(6, per_bit_probability=0.5)
+        stored = np.zeros((4000, 20), dtype=np.uint8)
+        mask = injector.error_mask(stored, np.random.default_rng(12))
+        counts = mask.sum(axis=1)
+        assert counts.max() <= 6
+        assert counts.mean() == pytest.approx(3.0, abs=0.1)
+        assert counts.var() == pytest.approx(6 * 0.5 * 0.5, abs=0.15)
+
+    def test_all_candidates_selected_when_count_equals_candidates(self):
+        injector = FixedErrorCountInjector(3, candidate_positions=[1, 4, 7])
+        stored = np.zeros((50, 10), dtype=np.uint8)
+        mask = injector.error_mask(stored, np.random.default_rng(13))
+        assert mask[:, [1, 4, 7]].all()
+        assert mask.sum() == 150
+
+    def test_zero_errors_gives_empty_mask(self):
+        injector = FixedErrorCountInjector(0)
+        stored = np.zeros((10, 8), dtype=np.uint8)
+        assert not injector.error_mask(stored, np.random.default_rng(14)).any()
+
+    def test_seeded_mask_is_reproducible(self):
+        injector = FixedErrorCountInjector(2)
+        stored = np.zeros((100, 12), dtype=np.uint8)
+        first = injector.error_mask(stored, np.random.default_rng(15))
+        second = injector.error_mask(stored, np.random.default_rng(15))
+        assert np.array_equal(first, second)
+
+    def test_duplicate_candidate_positions_rejected(self):
+        # Duplicates would let a non-firing copy overwrite a firing one in
+        # the flat mask assignment, breaking the exactly-num_errors contract.
+        with pytest.raises(ChipConfigurationError):
+            FixedErrorCountInjector(2, candidate_positions=[3, 3, 5])
+
+
+class TestNewInjectors:
+    def test_mixed_cell_retention_default_alternating(self):
+        injector = MixedCellRetentionInjector(1.0)
+        # Even columns are true-cells (1s flip); odd columns anti (0s flip).
+        stored = np.array([[1, 1, 0, 0]], dtype=np.uint8)
+        mask = injector.error_mask(stored, np.random.default_rng(0))
+        assert mask.tolist() == [[True, False, False, True]]
+
+    def test_mixed_cell_retention_explicit_columns(self):
+        injector = MixedCellRetentionInjector(1.0, anti_cell_columns=[0, 1])
+        stored = np.array([[0, 1, 0, 1]], dtype=np.uint8)
+        mask = injector.error_mask(stored, np.random.default_rng(0))
+        assert mask.tolist() == [[True, False, False, True]]
+
+    def test_mixed_cell_retention_out_of_range_column(self):
+        injector = MixedCellRetentionInjector(0.5, anti_cell_columns=[9])
+        with pytest.raises(ChipConfigurationError):
+            injector.error_mask(np.zeros((1, 4), dtype=np.uint8), np.random.default_rng(0))
+
+    def test_burst_injector_is_contiguous(self):
+        injector = BurstErrorInjector(1.0, burst_length=3)
+        stored = np.zeros((200, 16), dtype=np.uint8)
+        mask = injector.error_mask(stored, np.random.default_rng(1))
+        for row in mask:
+            positions = np.flatnonzero(row)
+            assert len(positions) == 3
+            assert positions[-1] - positions[0] == 2
+
+    def test_burst_injector_probability_gates_words(self):
+        injector = BurstErrorInjector(0.0, burst_length=4)
+        stored = np.zeros((50, 16), dtype=np.uint8)
+        assert not injector.error_mask(stored, np.random.default_rng(2)).any()
+
+    def test_burst_longer_than_word_is_clamped(self):
+        injector = BurstErrorInjector(1.0, burst_length=100)
+        stored = np.zeros((10, 8), dtype=np.uint8)
+        mask = injector.error_mask(stored, np.random.default_rng(3))
+        assert mask.all()
+
+    def test_burst_validation(self):
+        with pytest.raises(ChipConfigurationError):
+            BurstErrorInjector(0.5, burst_length=0)
+
+    def test_row_stripe_hits_only_stripe_columns(self):
+        injector = RowStripeInjector(1.0, stripe_period=2, stripe_phase=1)
+        stored = np.zeros((100, 8), dtype=np.uint8)
+        mask = injector.error_mask(stored, np.random.default_rng(4))
+        assert mask[:, 1::2].all()
+        assert not mask[:, 0::2].any()
+
+    def test_row_stripe_victim_rate(self):
+        injector = RowStripeInjector(0.25, stripe_period=1)
+        stored = np.zeros((4000, 8), dtype=np.uint8)
+        mask = injector.error_mask(stored, np.random.default_rng(5))
+        victim_fraction = mask.any(axis=1).mean()
+        assert victim_fraction == pytest.approx(0.25, abs=0.03)
+
+    def test_row_stripe_validation(self):
+        with pytest.raises(ChipConfigurationError):
+            RowStripeInjector(0.5, stripe_period=0)
+        with pytest.raises(ChipConfigurationError):
+            RowStripeInjector(0.5, stripe_period=2, stripe_phase=2)
+
+    def test_composite_is_union_of_members(self):
+        composite = CompositeInjector(
+            [PerBitBernoulliInjector([1, 0, 0, 0]), PerBitBernoulliInjector([0, 0, 0, 1])]
+        )
+        stored = np.zeros((10, 4), dtype=np.uint8)
+        mask = composite.error_mask(stored, np.random.default_rng(6))
+        assert mask[:, 0].all() and mask[:, 3].all()
+        assert not mask[:, 1:3].any()
+
+    def test_composite_requires_members(self):
+        with pytest.raises(ChipConfigurationError):
+            CompositeInjector([])
+
+    def test_fault_model_injector_requires_corrupt(self):
+        with pytest.raises(ChipConfigurationError):
+            FaultModelInjector(object())
 
 
 class TestBulkDecode:

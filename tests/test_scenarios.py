@@ -1,0 +1,301 @@
+"""Tests for the scenario registry, sweep expansion, and cache-aware runner."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ScenarioError
+from repro.einsim import (
+    BurstErrorInjector,
+    CompositeInjector,
+    UniformRandomInjector,
+)
+from repro.scenarios import (
+    SweepRunner,
+    SweepSpec,
+    build_injector,
+    get_scenario,
+    make_einsim_cell,
+    resolve_code,
+    resolve_dataword,
+    scenario_names,
+)
+from repro.store import CampaignStore
+
+
+BASE_SWEEP = {
+    "name": "unit",
+    "num_words": 300,
+    "chunk_size": 128,
+    "seeds": [0],
+    "backends": ["packed"],
+    "codes": [{"data_bits": 8}],
+    "scenarios": [
+        {"name": "uniform-random", "params": {"bit_error_rate": [0.005, 0.02]}},
+        {"name": "burst", "params": {"burst_probability": 0.1, "burst_length": 3}},
+    ],
+}
+
+
+class TestRegistry:
+    def test_all_paper_mechanisms_registered(self):
+        names = scenario_names()
+        for expected in (
+            "uniform-random",
+            "data-retention-true",
+            "data-retention-anti",
+            "data-retention-mixed",
+            "fixed-error-count",
+            "per-bit-bernoulli",
+            "burst",
+            "row-stripe",
+            "transient-stuck-overlay",
+        ):
+            assert expected in names
+
+    def test_build_injector_returns_configured_instance(self):
+        injector = build_injector("uniform-random", {"bit_error_rate": 0.25})
+        assert isinstance(injector, UniformRandomInjector)
+        assert injector.bit_error_rate == 0.25
+
+    def test_defaults_are_applied(self):
+        injector = build_injector("burst", {"burst_probability": 0.5})
+        assert isinstance(injector, BurstErrorInjector)
+        assert injector.burst_length == 4
+
+    def test_overlay_builds_composite(self):
+        injector = build_injector(
+            "transient-stuck-overlay",
+            {"transient_probability": 0.001, "stuck_fraction": 0.01},
+        )
+        assert isinstance(injector, CompositeInjector)
+        assert len(injector.injectors) == 2
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ScenarioError):
+            build_injector("no-such-scenario", {})
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ScenarioError):
+            build_injector("uniform-random", {"bit_error_rate": 0.1, "bogus": 1})
+
+    def test_missing_required_parameter_rejected(self):
+        with pytest.raises(ScenarioError):
+            build_injector("uniform-random", {})
+
+    def test_scenario_description_available(self):
+        definition = get_scenario("row-stripe")
+        assert "RowHammer" in definition.description
+
+
+class TestSweepExpansion:
+    def test_grid_axes_expand_as_cartesian_product(self):
+        spec = SweepSpec.from_dict(BASE_SWEEP)
+        # 2 BERs x 1 burst = 3 cells.
+        assert spec.num_cells == 3
+        scenarios = [cell.config()["scenario"] for cell in spec.cells]
+        assert scenarios == ["uniform-random", "uniform-random", "burst"]
+
+    def test_expansion_is_deterministic(self):
+        first = SweepSpec.from_dict(BASE_SWEEP)
+        second = SweepSpec.from_dict(BASE_SWEEP)
+        assert [c.config_json for c in first.cells] == [
+            c.config_json for c in second.cells
+        ]
+
+    def test_duplicate_cells_are_deduplicated(self):
+        payload = dict(BASE_SWEEP)
+        payload["scenarios"] = [
+            {"name": "uniform-random", "params": {"bit_error_rate": 0.01}},
+            {"name": "uniform-random", "params": {"bit_error_rate": 0.01}},
+        ]
+        assert SweepSpec.from_dict(payload).num_cells == 1
+
+    def test_unknown_spec_field_rejected(self):
+        payload = dict(BASE_SWEEP)
+        payload["bogus_field"] = 1
+        with pytest.raises(ScenarioError):
+            SweepSpec.from_dict(payload)
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ScenarioError):
+            SweepSpec.from_dict({"name": "empty"})
+
+    def test_beer_experiment_cells_expand(self):
+        payload = dict(BASE_SWEEP)
+        payload["experiments"] = [
+            {"vendor": "A", "data_bits": 8, "rounds_per_window": [2, 4]}
+        ]
+        spec = SweepSpec.from_dict(payload)
+        beer_cells = [cell for cell in spec.cells if cell.kind == "beer"]
+        assert len(beer_cells) == 2
+        assert {c.config()["rounds_per_window"] for c in beer_cells} == {2, 4}
+
+    def test_beer_experiments_expand_over_seeds_and_backends(self):
+        payload = dict(BASE_SWEEP)
+        payload["seeds"] = [0, 1, 2]
+        payload["backends"] = ["reference", "packed"]
+        payload["experiments"] = [{"vendor": "A", "data_bits": 8}]
+        spec = SweepSpec.from_dict(payload)
+        beer_cells = [cell for cell in spec.cells if cell.kind == "beer"]
+        assert len(beer_cells) == 6
+        combos = {
+            (c.config()["seed"], c.config()["backend"]) for c in beer_cells
+        }
+        assert combos == {(s, b) for s in (0, 1, 2) for b in ("reference", "packed")}
+
+    def test_cell_key_covers_every_config_field(self):
+        base = make_einsim_cell(
+            "uniform-random", {"bit_error_rate": 0.01}, {"data_bits": 8}, 100
+        )
+        for override in (
+            {"seed": 1},
+            {"backend": "reference"},
+            {"num_words": 101},
+            {"chunk_size": 32},
+            {"dataword": "zeros"},
+            {"code": {"data_bits": 16}},
+            {"params": {"bit_error_rate": 0.02}},
+        ):
+            kwargs = dict(
+                scenario="uniform-random",
+                params={"bit_error_rate": 0.01},
+                code={"data_bits": 8},
+                num_words=100,
+            )
+            kwargs.update(override)
+            assert make_einsim_cell(**kwargs).key() != base.key()
+
+
+class TestCellResolution:
+    def test_deterministic_code_from_data_bits(self):
+        assert resolve_code({"data_bits": 8}) == resolve_code({"data_bits": 8})
+
+    def test_seeded_code_is_reproducible(self):
+        first = resolve_code({"data_bits": 8, "code_seed": 3})
+        second = resolve_code({"data_bits": 8, "code_seed": 3})
+        assert first == second
+        assert first != resolve_code({"data_bits": 8, "code_seed": 4})
+
+    def test_explicit_parity_columns(self):
+        code = resolve_code({"parity_columns": [3, 5, 6], "parity_bits": 3})
+        assert code.parity_column_ints == (3, 5, 6)
+
+    def test_dataword_patterns(self):
+        assert resolve_dataword("ones", 4).tolist() == [1, 1, 1, 1]
+        assert resolve_dataword("zeros", 4).tolist() == [0, 0, 0, 0]
+        assert resolve_dataword("alternating", 4).tolist() == [0, 1, 0, 1]
+        assert resolve_dataword([1, 0, 1, 1], 4).tolist() == [1, 0, 1, 1]
+
+    def test_bad_dataword_rejected(self):
+        with pytest.raises(ScenarioError):
+            resolve_dataword("rainbow", 4)
+        with pytest.raises(ScenarioError):
+            resolve_dataword([1, 0], 4)
+
+
+class TestSweepRunner:
+    def test_same_seed_produces_byte_identical_stores(self, tmp_path):
+        spec = SweepSpec.from_dict(BASE_SWEEP)
+        contents = []
+        for name in ("first", "second"):
+            store = CampaignStore(tmp_path / name)
+            SweepRunner(store=store).run(spec)
+            contents.append((tmp_path / name / "records.jsonl").read_bytes())
+        assert contents[0] == contents[1]
+
+    def test_second_invocation_served_entirely_from_cache(self, tmp_path):
+        spec = SweepSpec.from_dict(BASE_SWEEP)
+        store = CampaignStore(tmp_path / "camp")
+        first = SweepRunner(store=store).run(spec)
+        assert first.simulated == spec.num_cells and first.cached == 0
+
+        # Re-open the store (fresh process simulation) and re-run: zero cells
+        # may be simulated again.
+        reopened = CampaignStore(tmp_path / "camp")
+        second = SweepRunner(store=reopened).run(spec)
+        assert second.simulated == 0
+        assert second.cached == spec.num_cells
+        assert second.completed
+
+    def test_interrupted_sweep_resumes_to_identical_store(self, tmp_path):
+        spec = SweepSpec.from_dict(BASE_SWEEP)
+
+        uninterrupted = CampaignStore(tmp_path / "full")
+        SweepRunner(store=uninterrupted).run(spec)
+
+        interrupted = CampaignStore(tmp_path / "partial")
+        partial = SweepRunner(store=interrupted).run(spec, max_new_simulations=1)
+        assert not partial.completed
+        assert partial.simulated == 1
+
+        resumed = SweepRunner(store=CampaignStore(tmp_path / "partial")).run(spec)
+        assert resumed.completed
+        assert resumed.simulated == spec.num_cells - 1
+        assert (tmp_path / "partial" / "records.jsonl").read_bytes() == (
+            tmp_path / "full" / "records.jsonl"
+        ).read_bytes()
+
+    def test_results_identical_across_process_counts(self, tmp_path):
+        spec = SweepSpec.from_dict(BASE_SWEEP)
+        serial = SweepRunner(store=CampaignStore(tmp_path / "serial"))
+        parallel = SweepRunner(store=CampaignStore(tmp_path / "parallel"), processes=2)
+        serial.run(spec)
+        parallel.run(spec)
+        assert (tmp_path / "serial" / "records.jsonl").read_bytes() == (
+            tmp_path / "parallel" / "records.jsonl"
+        ).read_bytes()
+
+    def test_backends_produce_identical_results(self, tmp_path):
+        payload = dict(BASE_SWEEP)
+        payload["backends"] = ["reference", "packed"]
+        payload["scenarios"] = [
+            {
+                "name": "transient-stuck-overlay",
+                "params": {"transient_probability": 0.01, "stuck_fraction": 0.05},
+            },
+            {"name": "data-retention-mixed", "params": {"bit_error_rate": 0.02}},
+        ]
+        spec = SweepSpec.from_dict(payload)
+        store = CampaignStore(tmp_path / "camp")
+        SweepRunner(store=store).run(spec)
+        by_config = {}
+        for record in store.records():
+            config = dict(record.config)
+            backend = config.pop("backend")
+            by_config.setdefault(str(sorted(config.items())), {})[backend] = (
+                record.result
+            )
+        assert len(by_config) == 2
+        for results in by_config.values():
+            assert results["reference"] == results["packed"]
+
+    def test_runner_without_store_still_runs(self):
+        spec = SweepSpec.from_dict(BASE_SWEEP)
+        report = SweepRunner().run(spec)
+        assert report.simulated == spec.num_cells
+        assert report.cached == 0
+
+    def test_beer_cell_produces_solvable_profile(self, tmp_path):
+        from repro.core import BeerSolver
+        from repro.core.profile import MiscorrectionProfile
+        from repro.scenarios import make_beer_cell
+
+        cell = make_beer_cell(vendor="B", data_bits=8, rounds_per_window=6)
+        result = SweepRunner().run_cell(cell)
+        profile = MiscorrectionProfile.from_dict(result["profile"])
+        solution = BeerSolver(8).solve(profile)
+        assert solution.num_solutions >= 1
+
+    def test_fixed_error_count_statistics_through_runner(self):
+        # A scenario with exactly two errors per word makes every word
+        # uncorrectable under SEC decoding — visible end to end.
+        cell = make_einsim_cell(
+            "fixed-error-count",
+            {"num_errors": 2},
+            {"data_bits": 8},
+            num_words=200,
+            chunk_size=64,
+        )
+        result = SweepRunner().run_cell(cell)
+        assert result["uncorrectable_words"] == 200
+        assert sum(result["pre_correction_error_counts"]) == 400

@@ -1,0 +1,85 @@
+"""Tests for the content-addressed campaign store."""
+
+import json
+import os
+
+import pytest
+
+from repro.store import (
+    CampaignStore,
+    ResultRecord,
+    StoreIntegrityError,
+    canonical_json,
+    content_key,
+)
+
+
+class TestCanonicalisation:
+    def test_canonical_json_is_sorted_and_compact(self):
+        assert canonical_json({"b": 1, "a": [1, 2]}) == '{"a":[1,2],"b":1}'
+
+    def test_key_independent_of_insertion_order(self):
+        assert content_key({"a": 1, "b": 2}) == content_key({"b": 2, "a": 1})
+
+    def test_key_sensitive_to_values(self):
+        assert content_key({"a": 1}) != content_key({"a": 2})
+
+    def test_record_round_trips_through_json_line(self):
+        record = ResultRecord(
+            key="k", config={"x": 1}, result={"counts": [1, 2, 3]}
+        )
+        assert ResultRecord.from_json_line(record.to_json_line()) == record
+
+
+class TestCampaignStore:
+    def test_put_and_get(self, tmp_path):
+        store = CampaignStore(tmp_path / "camp")
+        record = store.put({"a": 1}, {"r": 2})
+        assert record.key == content_key({"a": 1})
+        assert store.get(record.key) == record
+        assert record.key in store
+        assert len(store) == 1
+
+    def test_records_persist_across_reopen(self, tmp_path):
+        directory = tmp_path / "camp"
+        store = CampaignStore(directory)
+        store.put({"a": 1}, {"r": 1})
+        store.put({"a": 2}, {"r": 2})
+        reopened = CampaignStore(directory)
+        assert len(reopened) == 2
+        assert reopened.keys() == store.keys()
+        assert [r.result for r in reopened.records()] == [{"r": 1}, {"r": 2}]
+
+    def test_put_is_idempotent_for_identical_results(self, tmp_path):
+        store = CampaignStore(tmp_path / "camp")
+        store.put({"a": 1}, {"r": 1})
+        store.put({"a": 1}, {"r": 1})
+        assert len(store) == 1
+        lines = (tmp_path / "camp" / "records.jsonl").read_text().splitlines()
+        assert len(lines) == 1
+
+    def test_conflicting_result_raises(self, tmp_path):
+        store = CampaignStore(tmp_path / "camp")
+        store.put({"a": 1}, {"r": 1})
+        with pytest.raises(StoreIntegrityError):
+            store.put({"a": 1}, {"r": 999})
+
+    def test_query_filters_on_config_fields(self, tmp_path):
+        store = CampaignStore(tmp_path / "camp")
+        store.put({"scenario": "burst", "seed": 0}, {"r": 1})
+        store.put({"scenario": "burst", "seed": 1}, {"r": 2})
+        store.put({"scenario": "uniform-random", "seed": 0}, {"r": 3})
+        assert len(store.query(scenario="burst")) == 2
+        assert len(store.query(scenario="burst", seed=1)) == 1
+        assert len(store.query(predicate=lambda r: r.result["r"] > 1)) == 2
+
+    def test_store_file_is_canonical_json_lines(self, tmp_path):
+        store = CampaignStore(tmp_path / "camp")
+        store.put({"b": 2, "a": 1}, {"z": 1, "y": 2})
+        line = (tmp_path / "camp" / "records.jsonl").read_text().strip()
+        assert line == canonical_json(json.loads(line))
+
+    def test_directory_created_on_open(self, tmp_path):
+        target = tmp_path / "nested" / "camp"
+        CampaignStore(target)
+        assert os.path.isdir(target)
