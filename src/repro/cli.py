@@ -77,6 +77,9 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--backend", choices=("fast", "sat"), default="fast",
                        help="constraint-propagation backend (fast) or CNF/CDCL backend (sat)")
     solve.add_argument("--output", default=None, help="write the solutions to a JSON file")
+    solve.add_argument("--sat-stats", action="store_true",
+                       help="report incremental CDCL solver statistics "
+                            "(requires --backend sat)")
     solve.add_argument("--json", action="store_true",
                        help="print a machine-readable JSON document instead of text")
 
@@ -134,6 +137,12 @@ def build_parser() -> argparse.ArgumentParser:
     beep.add_argument("--probability", type=float, default=1.0,
                       help="per-bit failure probability of the weak cells")
     beep.add_argument("--seed", type=int, default=0)
+    beep.add_argument("--pattern-backend", choices=("gf2", "sat"), default="gf2",
+                      help="charge-constraint backend for pattern crafting: "
+                           "GF(2) elimination or the incremental CDCL solver")
+    beep.add_argument("--sat-stats", action="store_true",
+                      help="report the incremental solver's statistics "
+                           "(requires --pattern-backend sat)")
     beep.add_argument("--json", action="store_true",
                       help="print a machine-readable JSON document instead of text")
 
@@ -214,6 +223,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
 # -- subcommand implementations -------------------------------------------------
 def _run_solve(args) -> int:
+    if args.sat_stats and args.backend != "sat":
+        print("--sat-stats requires --backend sat", file=sys.stderr)
+        return 2
     profile = _load_profile(args.profile)
     parity_bits = args.parity_bits or min_parity_bits(profile.num_data_bits)
     if args.backend == "sat":
@@ -230,6 +242,8 @@ def _run_solve(args) -> int:
         "num_solutions": solution.num_solutions,
         "candidates": [list(code.parity_column_ints) for code in solution.codes],
     }
+    if args.sat_stats:
+        payload["solver_stats"] = solution.solver_stats
     if args.json:
         print(json.dumps(payload, indent=2))
     else:
@@ -241,6 +255,8 @@ def _run_solve(args) -> int:
         for index, code in enumerate(solution.codes):
             print(f"\ncandidate {index}: parity columns {list(code.parity_column_ints)}")
             print(code.parity_check_matrix)
+        if args.sat_stats:
+            _print_sat_stats(solution.solver_stats)
 
     if args.output:
         with open(args.output, "w") as handle:
@@ -295,17 +311,21 @@ def _run_simulate_profile(args) -> int:
 
 
 def _run_beep(args) -> int:
+    if args.sat_stats and args.pattern_backend != "sat":
+        print("--sat-stats requires --pattern-backend sat", file=sys.stderr)
+        return 2
     code = random_hamming_code(args.data_bits, rng=np.random.default_rng(args.seed))
     positions = _parse_int_list(args.error_positions)
     word = SimulatedWordUnderTest(
         code, positions, per_bit_probability=args.probability,
         rng=np.random.default_rng(args.seed + 1),
     )
-    result = BeepProfiler(code).profile(word, num_passes=args.passes)
+    profiler = BeepProfiler(code, pattern_backend=args.pattern_backend)
+    result = profiler.profile(word, num_passes=args.passes)
     identified = sorted(result.identified_errors)
     fully_identified = set(identified) == set(positions)
     if args.json:
-        print(json.dumps({
+        payload = {
             "codeword_length": code.codeword_length,
             "num_data_bits": code.num_data_bits,
             "true_positions": sorted(positions),
@@ -313,14 +333,26 @@ def _run_beep(args) -> int:
             "patterns_tested": result.patterns_tested,
             "miscorrections_observed": result.miscorrections_observed,
             "fully_identified": fully_identified,
-        }, indent=2))
+            "pattern_backend": profiler.pattern_backend,
+        }
+        if args.sat_stats:
+            payload["sat_solver_stats"] = profiler.sat_solver_stats()
+        print(json.dumps(payload, indent=2))
     else:
         print(f"ECC function: ({code.codeword_length}, {code.num_data_bits}) SEC Hamming code")
         print(f"true weak cells:       {sorted(positions)}")
         print(f"identified weak cells: {identified}")
         print(f"patterns tested: {result.patterns_tested}, "
               f"miscorrections observed: {result.miscorrections_observed}")
+        if args.sat_stats:
+            _print_sat_stats(profiler.sat_solver_stats())
     return 0 if fully_identified else 1
+
+
+def _print_sat_stats(stats) -> None:
+    print("\nSAT solver statistics (incremental CDCL):")
+    for key, value in sorted((stats or {}).items()):
+        print(f"  {key}: {value}")
 
 
 def _run_einsim(args) -> int:

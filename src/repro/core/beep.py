@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -35,6 +35,8 @@ from repro.exceptions import SingularMatrixError
 from repro.ecc.code import SystematicLinearCode
 from repro.ecc.decoder import SyndromeDecoder
 from repro.dram.cell import CellType
+from repro.sat import CNF, CDCLSolver
+from repro.sat.encoders import encode_xor
 
 
 @dataclass(frozen=True)
@@ -142,6 +144,77 @@ class ChipWordUnderTest(WordUnderTest):
         return self._chip.read_dataword(self._word_index)
 
 
+class IncrementalChargeSolver:
+    """Charge-constraint solving on the persistent, incremental CDCL solver.
+
+    BEEP crafts each test pattern by solving a small affine system over the
+    dataword (every codeword bit is a GF(2) linear function of the data
+    bits).  This backend keeps ONE persistent :class:`CDCLSolver` for the
+    lifetime of a profiler: dataword bits are SAT variables ``1..k``, each
+    codeword position gets a lazily-encoded auxiliary literal equal (mod 2)
+    to its generator row, and each craft query is then a single assumption
+    solve — learned clauses, activities, and saved phases carry over between
+    the hundreds of queries one profiling pass makes, with no CNF copying.
+    """
+
+    def __init__(self, code: SystematicLinearCode):
+        self._code = code
+        self._formula = CNF(code.num_data_bits)
+        self._solver = CDCLSolver(self._formula)
+        self._fed_clauses = self._formula.num_clauses
+        #: codeword position -> defining literal (None for a constant-zero bit)
+        self._position_literals: Dict[int, Optional[int]] = {}
+
+    def solve_bits(self, bit_by_position: Dict[int, int]) -> Optional[GF2Vector]:
+        """Return a dataword whose codeword matches ``bit_by_position``, or None."""
+        assumptions: List[int] = []
+        for position, bit_value in bit_by_position.items():
+            literal = self._position_literal(position)
+            if literal is None:  # codeword bit is constant zero
+                if bit_value:
+                    return None
+                continue
+            assumptions.append(literal if bit_value else -literal)
+        result = self._solver.solve(assumptions=assumptions)
+        if not result.satisfiable:
+            return None
+        return GF2Vector(
+            [
+                1 if result.assignment[variable] else 0
+                for variable in range(1, self._code.num_data_bits + 1)
+            ]
+        )
+
+    def stats(self) -> Dict[str, int]:
+        """Cumulative statistics of the underlying incremental solver."""
+        return self._solver.stats().as_dict()
+
+    def _position_literal(self, position: int) -> Optional[int]:
+        if position not in self._position_literals:
+            support = self._code.generator_matrix.row(position).support
+            if not support:
+                literal: Optional[int] = None
+            elif len(support) == 1:
+                literal = support[0] + 1
+            else:
+                literal = self._formula.new_variable()
+                # literal <-> XOR of the row's data bits (even overall parity).
+                encode_xor(
+                    self._formula,
+                    [data_bit + 1 for data_bit in support] + [literal],
+                    False,
+                )
+                self._feed_new_clauses()
+            self._position_literals[position] = literal
+        return self._position_literals[position]
+
+    def _feed_new_clauses(self) -> None:
+        clauses = self._formula.clauses
+        for clause in clauses[self._fed_clauses :]:
+            self._solver.add_clause(clause)
+        self._fed_clauses = len(clauses)
+
+
 class BeepProfiler:
     """Infers pre-correction error locations using a known ECC function."""
 
@@ -150,6 +223,7 @@ class BeepProfiler:
         code: SystematicLinearCode,
         cell_type: CellType = CellType.TRUE_CELL,
         max_combination_size: int = 2,
+        pattern_backend: str = "gf2",
     ):
         self._code = code
         self._cell_type = cell_type
@@ -157,6 +231,23 @@ class BeepProfiler:
         if max_combination_size < 1:
             raise PatternCraftingError("combination size must be at least 1")
         self._max_combination_size = max_combination_size
+        if pattern_backend not in ("gf2", "sat"):
+            raise PatternCraftingError(
+                f"unknown pattern backend {pattern_backend!r} (expected 'gf2' or 'sat')"
+            )
+        self._pattern_backend = pattern_backend
+        self._charge_solver: Optional[IncrementalChargeSolver] = (
+            IncrementalChargeSolver(code) if pattern_backend == "sat" else None
+        )
+
+    @property
+    def pattern_backend(self) -> str:
+        """The charge-constraint backend: 'gf2' (elimination) or 'sat' (incremental CDCL)."""
+        return self._pattern_backend
+
+    def sat_solver_stats(self) -> Optional[Dict[str, int]]:
+        """Statistics of the incremental SAT crafter (None for the gf2 backend)."""
+        return self._charge_solver.stats() if self._charge_solver is not None else None
 
     @property
     def code(self) -> SystematicLinearCode:
@@ -288,21 +379,24 @@ class BeepProfiler:
 
         Charge states translate into bit values through the cell convention;
         each codeword bit is an affine (linear) function of the dataword, so
-        the constraints form a GF(2) linear system ``A d = b``.
+        the constraints form a GF(2) linear system ``A d = b``.  The system is
+        solved either by Gaussian elimination ('gf2' backend) or by an
+        assumption query against the persistent incremental CDCL solver
+        ('sat' backend); both return a valid dataword or None if infeasible.
         """
-        generator = self._code.generator_matrix
-        rows = []
-        rhs = []
+        bit_by_position: Dict[int, int] = {}
         for position, charge in charge_by_position.items():
-            bit_value = charge if self._charged_value == 1 else 1 - charge
-            rows.append(generator.row(position).to_list())
-            rhs.append(bit_value)
+            bit_by_position[position] = charge if self._charged_value == 1 else 1 - charge
         if fill_charged:
             constrained = set(charge_by_position)
             for data_bit in self._code.data_bit_positions:
                 if data_bit not in constrained:
-                    rows.append(generator.row(data_bit).to_list())
-                    rhs.append(self._charged_value)
+                    bit_by_position[data_bit] = self._charged_value
+        if self._charge_solver is not None:
+            return self._charge_solver.solve_bits(bit_by_position)
+        generator = self._code.generator_matrix
+        rows = [generator.row(position).to_list() for position in bit_by_position]
+        rhs = list(bit_by_position.values())
         try:
             solution = gf2_solve(GF2Matrix(rows), GF2Vector(rhs))
         except SingularMatrixError:

@@ -46,18 +46,24 @@ class BeerSolution:
         Candidate ECC functions consistent with the profile, one representative
         per equivalence class, in the order found.
     nodes_visited:
-        Number of partial assignments explored by the backtracking search.
+        Number of partial assignments explored by the backtracking search
+        (for the SAT backend: number of models examined).
     runtime_seconds:
         Wall-clock time spent searching.
     truncated:
         True if the search stopped at ``max_solutions`` rather than exhausting
         the space (the count is then a lower bound).
+    solver_stats:
+        CDCL solver statistics (conflicts, decisions, propagations, restarts,
+        learned/deleted clauses, ...) when produced by the SAT backend's
+        incremental path; None otherwise.
     """
 
     codes: List[SystematicLinearCode]
     nodes_visited: int
     runtime_seconds: float
     truncated: bool = False
+    solver_stats: Optional[Dict[str, int]] = None
 
     @property
     def num_solutions(self) -> int:

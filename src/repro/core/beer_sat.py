@@ -19,21 +19,26 @@ The profile conditions have closed forms for the pattern weights BEER uses
   ``supp(P_j ⊕ P_a) ⊆ U`` where ``U = supp(P_a ⊕ P_b)``.
 
 Solving and model enumeration use the library's own CDCL solver
-(:mod:`repro.sat`).  This backend is the reference implementation used to
-cross-validate the faster specialised solver in :mod:`repro.core.beer`; it is
-practical for the small-to-moderate code sizes used in tests.
+(:mod:`repro.sat`).  Enumeration runs on one *persistent* incremental solver:
+learned clauses, watch lists, activities, and saved phases survive across the
+blocking-clause iterations, so the n-th model costs incremental work instead
+of a full re-propagation (pass ``incremental=False`` to
+:meth:`SatBeerSolver.solve` for the historical one-shot oracle).  This backend
+is the reference implementation used to cross-validate the faster specialised
+solver in :mod:`repro.core.beer`; it is practical for the small-to-moderate
+code sizes used in tests.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.exceptions import ProfileError, SolverError
 from repro.ecc.code import SystematicLinearCode
 from repro.ecc.codespace import canonical_parity_columns
 from repro.ecc.hamming import min_parity_bits
-from repro.sat import CNF, iterate_models
+from repro.sat import CNF, CDCLSolver, iterate_models
 from repro.sat.encoders import encode_xor
 from repro.core.beer import BeerSolution
 from repro.core.profile import MiscorrectionProfile
@@ -65,8 +70,22 @@ class SatBeerSolver:
         self,
         profile: MiscorrectionProfile,
         max_solutions: Optional[int] = None,
+        incremental: bool = True,
+        known_columns: Optional[Mapping[int, int]] = None,
     ) -> BeerSolution:
-        """Enumerate the ECC functions consistent with ``profile`` (up to equivalence)."""
+        """Enumerate the ECC functions consistent with ``profile`` (up to equivalence).
+
+        ``incremental=True`` (the default) enumerates on one persistent CDCL
+        solver and reports its statistics in ``BeerSolution.solver_stats``;
+        ``incremental=False`` is the historical one-shot oracle (fresh solver
+        per model) kept for differential validation and benchmarking.
+
+        ``known_columns`` optionally fixes parity-check columns that are
+        already known (``{data column index: column integer, ...}``, LSB =
+        parity row 0) — the partial-knowledge scenario where a datasheet or a
+        previous BEER run pins part of ``P``; it also collapses the
+        row-permutation symmetry of the remaining search space.
+        """
         if profile.num_data_bits != self._num_data_bits:
             raise ProfileError(
                 f"profile is for k={profile.num_data_bits}, solver expects "
@@ -74,13 +93,23 @@ class SatBeerSolver:
             )
         start_time = time.perf_counter()
         formula, column_variables = self._build_formula(profile)
+        if known_columns:
+            self._pin_known_columns(formula, column_variables, known_columns)
         flat_variables = [v for column in column_variables for v in column]
+
+        solver: Optional[CDCLSolver] = CDCLSolver(formula) if incremental else None
+        models = iterate_models(
+            formula,
+            over_variables=flat_variables,
+            incremental=incremental,
+            solver=solver,
+        )
 
         codes: List[SystematicLinearCode] = []
         seen_canonical = set()
         truncated = False
         models_examined = 0
-        for model in iterate_models(formula, over_variables=flat_variables):
+        for model in models:
             models_examined += 1
             columns = self._columns_from_model(model, column_variables)
             canonical = canonical_parity_columns(columns, self._num_parity_bits)
@@ -92,13 +121,35 @@ class SatBeerSolver:
                 if max_solutions is not None and len(codes) >= max_solutions:
                     truncated = True
                     break
+        models.close()
         runtime = time.perf_counter() - start_time
         return BeerSolution(
             codes=codes,
             nodes_visited=models_examined,
             runtime_seconds=runtime,
             truncated=truncated,
+            solver_stats=solver.stats().as_dict() if solver is not None else None,
         )
+
+    def _pin_known_columns(
+        self,
+        formula: CNF,
+        column_variables: List[List[int]],
+        known_columns: Mapping[int, int],
+    ) -> None:
+        """Fix already-known parity-check columns with unit clauses."""
+        for column_index, value in known_columns.items():
+            if not 0 <= column_index < self._num_data_bits:
+                raise SolverError(
+                    f"known column {column_index} out of range for k={self._num_data_bits}"
+                )
+            if not 0 <= value < (1 << self._num_parity_bits):
+                raise SolverError(
+                    f"known column value {value} does not fit in "
+                    f"{self._num_parity_bits} parity bits"
+                )
+            for row, variable in enumerate(column_variables[column_index]):
+                formula.add_unit(variable if (value >> row) & 1 else -variable)
 
     # -- CNF construction -----------------------------------------------------
     def _build_formula(self, profile: MiscorrectionProfile) -> Tuple[CNF, List[List[int]]]:

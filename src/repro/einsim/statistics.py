@@ -7,6 +7,7 @@ machinery for the reproduction's figures.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
@@ -27,6 +28,19 @@ class BootstrapInterval:
         return self.lower <= value <= self.upper
 
 
+def _derived_rng(data: np.ndarray) -> np.random.Generator:
+    """A deterministic generator seeded from the sample bytes.
+
+    Campaign records must be byte-identical and resumable (see
+    :mod:`repro.store`), so falling back to an *unseeded*
+    ``np.random.default_rng()`` is not acceptable: when the caller does not
+    inject a generator, the bootstrap seed is derived from the data itself,
+    making the interval a pure function of its inputs.
+    """
+    digest = hashlib.blake2b(data.tobytes(), digest_size=8).digest()
+    return np.random.default_rng(int.from_bytes(digest, "little"))
+
+
 def bootstrap_confidence_interval(
     samples: Sequence[float],
     statistic: Callable[[np.ndarray], float] = np.median,
@@ -34,7 +48,12 @@ def bootstrap_confidence_interval(
     confidence: float = 0.95,
     rng: Optional[np.random.Generator] = None,
 ) -> BootstrapInterval:
-    """Bootstrap a confidence interval for ``statistic`` over ``samples``."""
+    """Bootstrap a confidence interval for ``statistic`` over ``samples``.
+
+    Without an explicit ``rng`` the resampling generator is derived
+    deterministically from the sample bytes, so repeated calls on the same
+    data reproduce the same interval (required on all campaign paths).
+    """
     data = np.asarray(list(samples), dtype=float)
     if data.size == 0:
         raise ValueError("cannot bootstrap an empty sample")
@@ -42,7 +61,7 @@ def bootstrap_confidence_interval(
         raise ValueError("confidence must lie strictly between 0 and 1")
     if num_resamples < 1:
         raise ValueError("at least one resample is required")
-    generator = rng if rng is not None else np.random.default_rng()
+    generator = rng if rng is not None else _derived_rng(data)
     resample_statistics = np.empty(num_resamples, dtype=float)
     for index in range(num_resamples):
         resample = generator.choice(data, size=data.size, replace=True)

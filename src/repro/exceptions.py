@@ -48,6 +48,26 @@ class UnsatisfiableError(SolverError):
     """Raised when constraints admit no solution and one was required."""
 
 
+class BudgetExhaustedError(SolverError):
+    """Raised when a solver's conflict budget runs out before a verdict.
+
+    This is the *indeterminate* outcome: the formula may be SAT or UNSAT, the
+    solver simply was not allowed enough conflicts to decide.  It is a
+    distinct type so callers can tell a resource limit apart from the
+    encoding/usage errors that also raise :class:`SolverError`.
+    """
+
+    def __init__(self, budget: int, conflicts: int):
+        super().__init__(
+            f"conflict budget exhausted: no verdict after {conflicts} conflicts "
+            f"(budget {budget})"
+        )
+        #: The conflict budget that was in effect.
+        self.budget = budget
+        #: Conflicts consumed by this solve call when the budget ran out.
+        self.conflicts = conflicts
+
+
 class PatternCraftingError(ReproError):
     """Raised when BEEP cannot craft a test pattern for a target bit."""
 

@@ -4,11 +4,13 @@ The paper solves the BEER constraint problem with the Z3 solver; this package
 provides the equivalent capability from scratch (see DESIGN.md substitution
 table):
 
-* :mod:`repro.sat.cnf` — CNF formula container and variable allocation,
+* :mod:`repro.sat.cnf` — CNF formula container with clause hygiene
+  (duplicate-literal removal, tautology dropping) and variable allocation,
 * :mod:`repro.sat.dimacs` — DIMACS CNF reading/writing,
-* :mod:`repro.sat.solver` — a CDCL solver (two-watched-literal propagation,
-  first-UIP clause learning, activity-based branching, restarts) with model
-  enumeration support,
+* :mod:`repro.sat.solver` — a persistent, incremental CDCL solver
+  (two-watched-literal propagation, first-UIP clause learning, heap-based
+  VSIDS branching, native assumption solving, Luby restarts, learned-clause
+  deletion) with incremental model enumeration support,
 * :mod:`repro.sat.encoders` — helper encodings (XOR/parity chains, at-most-one,
   implications) used to express GF(2) constraints in CNF.
 
@@ -17,8 +19,14 @@ pieces; everything here is also usable independently as a general-purpose SAT
 toolkit.
 """
 
-from repro.sat.cnf import CNF
-from repro.sat.solver import CDCLSolver, SATResult, solve, iterate_models
+from repro.sat.cnf import CNF, simplify_literals
+from repro.sat.solver import (
+    CDCLSolver,
+    SATResult,
+    SolverStats,
+    solve,
+    iterate_models,
+)
 from repro.sat.dimacs import read_dimacs, write_dimacs
 from repro.sat.encoders import (
     encode_xor,
@@ -30,8 +38,10 @@ from repro.sat.encoders import (
 
 __all__ = [
     "CNF",
+    "simplify_literals",
     "CDCLSolver",
     "SATResult",
+    "SolverStats",
     "solve",
     "iterate_models",
     "read_dimacs",

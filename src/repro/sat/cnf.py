@@ -8,9 +8,35 @@ literals, and a formula is a conjunction of clauses.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.exceptions import SolverError
+
+
+def simplify_literals(literals: Iterable[int]) -> Optional[Tuple[int, ...]]:
+    """Validate and clean one clause: dedupe literals, detect tautologies.
+
+    Returns the literals with duplicates removed (first-occurrence order), or
+    ``None`` when the clause contains a complementary pair ``x, -x`` and is a
+    tautology that may be dropped.  Duplicate literals are a correctness
+    hazard downstream, not just noise: a two-watched-literal scheme would put
+    both watch slots of ``[x, x]`` on the same literal and misreport a unit
+    clause as a conflict.
+    """
+    seen: set = set()
+    cleaned: List[int] = []
+    for raw in literals:
+        literal = int(raw)
+        if literal == 0:
+            raise SolverError("0 is not a valid literal")
+        if -literal in seen:
+            return None
+        if literal not in seen:
+            seen.add(literal)
+            cleaned.append(literal)
+    if not cleaned:
+        raise SolverError("cannot add an empty clause (formula would be trivially UNSAT)")
+    return tuple(cleaned)
 
 
 class CNF:
@@ -51,14 +77,19 @@ class CNF:
         return len(self._clauses)
 
     def add_clause(self, literals: Iterable[int]) -> None:
-        """Add one clause; literals referencing unallocated variables extend the pool."""
-        clause = tuple(int(lit) for lit in literals)
-        if not clause:
-            raise SolverError("cannot add an empty clause (formula would be trivially UNSAT)")
-        for literal in clause:
-            if literal == 0:
-                raise SolverError("0 is not a valid literal")
+        """Add one clause; literals referencing unallocated variables extend the pool.
+
+        Clause hygiene is applied at add time: duplicate literals are removed
+        and tautologies (clauses containing both ``x`` and ``-x``) are
+        silently dropped, so the stored formula is always watchable by a
+        two-watched-literal solver.
+        """
+        raw = [int(literal) for literal in literals]
+        clause = simplify_literals(raw)
+        for literal in raw:
             self._num_variables = max(self._num_variables, abs(literal))
+        if clause is None:
+            return
         self._clauses.append(clause)
 
     def add_clauses(self, clauses: Iterable[Iterable[int]]) -> None:

@@ -35,6 +35,7 @@ def read_dimacs(source: Union[str, Path, io.TextIOBase]) -> CNF:
     declared_clauses = None
     formula = CNF()
     pending: list = []
+    clauses_read = 0
 
     for raw_line in text.splitlines():
         line = raw_line.strip()
@@ -53,13 +54,17 @@ def read_dimacs(source: Union[str, Path, io.TextIOBase]) -> CNF:
                 if pending:
                     formula.add_clause(pending)
                     pending = []
+                    clauses_read += 1
             else:
                 pending.append(literal)
     if pending:
         formula.add_clause(pending)
+        clauses_read += 1
 
     if declared_variables is None:
         raise SolverError("missing 'p cnf' problem line")
+    # add_clause grows the variable pool from the raw literals even for
+    # clauses dropped as tautologies, so this covers every referenced variable.
     if formula.num_variables > declared_variables:
         raise SolverError(
             f"clauses reference variable {formula.num_variables} but the header "
@@ -67,9 +72,9 @@ def read_dimacs(source: Union[str, Path, io.TextIOBase]) -> CNF:
         )
     while formula.num_variables < declared_variables:
         formula.new_variable()
-    if declared_clauses is not None and formula.num_clauses != declared_clauses:
+    if declared_clauses is not None and clauses_read != declared_clauses:
         raise SolverError(
-            f"header declares {declared_clauses} clauses but {formula.num_clauses} were read"
+            f"header declares {declared_clauses} clauses but {clauses_read} were read"
         )
     return formula
 

@@ -1,29 +1,84 @@
-"""A conflict-driven clause-learning (CDCL) SAT solver.
+"""An incremental conflict-driven clause-learning (CDCL) SAT solver.
 
-The solver implements the standard modern architecture:
+The solver implements the standard modern architecture and is designed to be
+*persistent*: one :class:`CDCLSolver` instance survives across many queries,
+which is exactly the shape of BEER's workload (enumerate every ECC function
+consistent with a miscorrection profile by repeatedly re-solving under
+freshly-added blocking clauses).
 
 * two-watched-literal unit propagation,
 * first-UIP conflict analysis with non-chronological backjumping,
-* activity-based (VSIDS-style) branching with phase saving,
-* geometric restarts.
+* activity-based (VSIDS-style) branching backed by an indexed binary max-heap
+  (O(log V) decisions instead of an O(V) scan) with phase saving,
+* native assumption solving (MiniSat-style: assumptions become pseudo-decision
+  levels, so no CNF copy is needed per query),
+* incremental clause addition via :meth:`CDCLSolver.add_clause` with
+  root-level simplification,
+* Luby restarts,
+* learned-clause deletion (reduceDB) so long model enumerations do not grow
+  memory without bound.
 
-It is deliberately free of micro-optimisation tricks so the algorithm stays
-readable; the problem sizes produced by the BEER SAT backend (thousands of
-variables, tens of thousands of clauses) are well within its reach.
+Learned clauses, variable activities, and saved phases are all kept alive
+between :meth:`CDCLSolver.solve` calls; :func:`iterate_models` exploits this
+so that enumerating the *n*-th model costs incremental work instead of a full
+re-propagation of the whole formula.  The historical one-shot enumeration
+(fresh solver per model) is retained behind ``incremental=False`` as the
+differential oracle for the incremental path.
+
+A per-call conflict budget is supported; exhausting it raises
+:class:`repro.exceptions.BudgetExhaustedError`, a dedicated indeterminate
+outcome distinct from encoding errors.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
-from repro.exceptions import SolverError
-from repro.sat.cnf import CNF
+from repro.exceptions import BudgetExhaustedError, SolverError
+from repro.sat.cnf import CNF, simplify_literals
+
+
+class Clause(list):
+    """A clause attached to the solver: a literal list plus solver metadata.
+
+    Clauses are distinguished by identity, not value: two learned clauses
+    with the same literals are distinct objects, so watch lists and reason
+    pointers must be compared with ``is`` (see ``_remove_watch``).
+    """
+
+    __slots__ = ("learnt", "activity")
+
+    def __init__(self, literals: Iterable[int], learnt: bool = False):
+        super().__init__(literals)
+        self.learnt = learnt
+        self.activity = 0.0
+
+
+@dataclass
+class SolverStats:
+    """Cumulative statistics of one :class:`CDCLSolver` instance."""
+
+    variables: int = 0
+    clauses: int = 0
+    learnt: int = 0
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+    restarts: int = 0
+    learnt_total: int = 0
+    deleted: int = 0
+    solve_calls: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """The statistics as a plain JSON-serialisable dict."""
+        return dataclasses.asdict(self)
 
 
 @dataclass
 class SATResult:
-    """Outcome of one SAT solver invocation."""
+    """Outcome of one SAT solver invocation (counters are per solve call)."""
 
     satisfiable: bool
     #: Variable assignment (``assignment[v]`` for variable ``v``); empty if UNSAT.
@@ -32,6 +87,10 @@ class SATResult:
     conflicts: int
     #: Number of decisions made while solving.
     decisions: int
+    #: Number of literals propagated while solving.
+    propagations: int = 0
+    #: Number of restarts performed while solving.
+    restarts: int = 0
 
     def value(self, variable: int) -> bool:
         """Return the value assigned to ``variable`` (only valid when satisfiable)."""
@@ -40,98 +99,360 @@ class SATResult:
         return self.assignment[variable]
 
 
+def _luby(index: int) -> int:
+    """The ``index``-th term (0-based) of the Luby sequence 1,1,2,1,1,2,4,..."""
+    size = 1
+    sequence = 0
+    while size < index + 1:
+        sequence += 1
+        size = 2 * size + 1
+    while size - 1 != index:
+        size = (size - 1) >> 1
+        sequence -= 1
+        index %= size
+    return 1 << sequence
+
+
+class _VariableHeap:
+    """Indexed binary max-heap of variables ordered by VSIDS activity.
+
+    Replaces the O(V) linear scan per decision with O(log V) pops; ``update``
+    restores heap order after an activity bump (activities only grow between
+    rescales, and rescaling is uniform, so sift-up suffices).
+    """
+
+    __slots__ = ("_activity", "_heap", "_position")
+
+    def __init__(self, activity: List[float]):
+        self._activity = activity  # shared with the solver; never rebound
+        self._heap: List[int] = []
+        self._position: List[int] = [-1]  # var -> heap index, -1 if absent
+
+    def grow_one(self) -> None:
+        self._position.append(-1)
+
+    def push(self, variable: int) -> None:
+        if self._position[variable] != -1:
+            return
+        self._heap.append(variable)
+        self._sift_up(len(self._heap) - 1)
+
+    def pop(self) -> Optional[int]:
+        if not self._heap:
+            return None
+        top = self._heap[0]
+        last = self._heap.pop()
+        self._position[top] = -1
+        if self._heap:
+            self._heap[0] = last
+            self._position[last] = 0
+            self._sift_down(0)
+        return top
+
+    def update(self, variable: int) -> None:
+        position = self._position[variable]
+        if position != -1:
+            self._sift_up(position)
+
+    def _sift_up(self, index: int) -> None:
+        heap, activity, position = self._heap, self._activity, self._position
+        variable = heap[index]
+        key = activity[variable]
+        while index > 0:
+            parent = (index - 1) >> 1
+            parent_var = heap[parent]
+            if activity[parent_var] >= key:
+                break
+            heap[index] = parent_var
+            position[parent_var] = index
+            index = parent
+        heap[index] = variable
+        position[variable] = index
+
+    def _sift_down(self, index: int) -> None:
+        heap, activity, position = self._heap, self._activity, self._position
+        size = len(heap)
+        variable = heap[index]
+        key = activity[variable]
+        while True:
+            child = 2 * index + 1
+            if child >= size:
+                break
+            right = child + 1
+            if right < size and activity[heap[right]] > activity[heap[child]]:
+                child = right
+            child_var = heap[child]
+            if key >= activity[child_var]:
+                break
+            heap[index] = child_var
+            position[child_var] = index
+            index = child
+        heap[index] = variable
+        position[variable] = index
+
+
+#: Sentinel distinguishing "no budget override" from an explicit None.
+_UNSET = object()
+#: Sentinel returned by the assumption scheduler when an assumption is false.
+_ASSUMPTION_CONFLICT = object()
+
+#: Conflicts per Luby unit; restart interval is ``_RESTART_BASE * luby(i)``.
+_RESTART_BASE = 100
+
+
 class CDCLSolver:
-    """Conflict-driven clause-learning solver for a fixed CNF formula."""
+    """Persistent, incremental CDCL solver.
 
-    def __init__(self, formula: CNF, max_conflicts: Optional[int] = None):
-        self._num_variables = formula.num_variables
-        self._clauses: List[List[int]] = [list(clause) for clause in formula.clauses]
+    The solver outlives individual queries: call :meth:`solve` repeatedly
+    (optionally under assumptions), interleaved with :meth:`add_clause`.
+    Learned clauses, activities, and saved phases carry over between calls.
+    """
+
+    def __init__(self, formula: Optional[CNF] = None, max_conflicts: Optional[int] = None):
         self._max_conflicts = max_conflicts
+        self._num_variables = 0
 
-        size = self._num_variables + 1
-        self._assignment: List[Optional[bool]] = [None] * size
-        self._level: List[int] = [0] * size
-        self._reason: List[Optional[int]] = [None] * size
-        self._activity: List[float] = [0.0] * size
-        self._saved_phase: List[bool] = [False] * size
+        # Variable-indexed state (slot 0 unused).
+        self._assignment: List[Optional[bool]] = [None]
+        self._level: List[int] = [0]
+        self._reason: List[Optional[Clause]] = [None]
+        self._activity: List[float] = [0.0]
+        self._saved_phase: List[bool] = [False]
+
         self._activity_increment = 1.0
         self._activity_decay = 0.95
+        self._clause_increment = 1.0
+        self._clause_decay = 0.999
 
         self._trail: List[int] = []
         self._trail_limits: List[int] = []
         self._propagation_head = 0
 
-        self._watches: Dict[int, List[int]] = {}
-        self._conflicts = 0
-        self._decisions = 0
-        self._initial_units: List[int] = []
+        self._watches: Dict[int, List[Clause]] = {}
+        self._clauses: List[Clause] = []
+        self._learnt: List[Clause] = []
+        self._heap = _VariableHeap(self._activity)
+        self._seen = bytearray(1)  # persistent conflict-analysis scratch
+        self._unsat = False
+        self._stats = SolverStats()
 
-        for index, clause in enumerate(self._clauses):
-            if len(clause) == 1:
-                self._initial_units.append(clause[0])
-            else:
-                self._watch_clause(index)
+        self._restart_base = _RESTART_BASE
+        self._max_learnt_growth = 1.3
 
-    # -- public API -------------------------------------------------------------
-    def solve(self) -> SATResult:
-        """Run the CDCL loop and return the result."""
-        if not self._place_initial_units():
-            return SATResult(False, {}, self._conflicts, self._decisions)
+        if formula is not None:
+            self._ensure_variables(formula.num_variables)
+            for clause in formula.clauses:
+                self.add_clause(clause)
+        self._max_learnt = max(1000, len(self._clauses) // 2)
 
-        conflict_limit = 128.0
+    # -- incremental clause API ---------------------------------------------------
+    def add_clause(self, literals: Iterable[int]) -> None:
+        """Attach one clause to the live solver.
+
+        The solver backtracks to the root level and applies root-level
+        simplification: satisfied clauses are dropped, root-false literals
+        removed, and a resulting unit is enqueued immediately.  An empty
+        residual marks the formula permanently unsatisfiable.
+        """
+        clause = simplify_literals(literals)
+        if clause is None:
+            return  # tautology
+        self._ensure_variables(max(abs(literal) for literal in clause))
+        self._backtrack(0)
+        remaining: List[int] = []
+        for literal in clause:
+            value = self._literal_value(literal)
+            if value is True:
+                return  # satisfied at the root level forever
+            if value is None:
+                remaining.append(literal)
+        if not remaining:
+            self._unsat = True
+            return
+        if len(remaining) == 1:
+            self._enqueue(remaining[0], reason=None)
+            return
+        attached = Clause(remaining)
+        self._clauses.append(attached)
+        self._watch(attached)
+
+    def stats(self) -> SolverStats:
+        """A snapshot of the solver's cumulative statistics."""
+        snapshot = dataclasses.replace(self._stats)
+        snapshot.variables = self._num_variables
+        snapshot.clauses = len(self._clauses)
+        snapshot.learnt = len(self._learnt)
+        return snapshot
+
+    # -- public solving API -------------------------------------------------------
+    def solve(
+        self,
+        assumptions: Optional[Iterable[int]] = None,
+        max_conflicts=_UNSET,
+    ) -> SATResult:
+        """Run the CDCL loop, optionally under unit assumptions.
+
+        Assumptions are placed as pseudo-decisions at the first decision
+        levels (no CNF copy); they hold for this call only.  ``max_conflicts``
+        overrides the constructor's per-call conflict budget; exhausting the
+        budget raises :class:`BudgetExhaustedError`.
+        """
+        budget = self._max_conflicts if max_conflicts is _UNSET else max_conflicts
+        self._stats.solve_calls += 1
+        self._backtrack(0)
+
+        start_conflicts = self._stats.conflicts
+        start_decisions = self._stats.decisions
+        start_propagations = self._stats.propagations
+        start_restarts = self._stats.restarts
+
+        def result(satisfiable: bool, model: Optional[Dict[int, bool]] = None) -> SATResult:
+            return SATResult(
+                satisfiable,
+                model if model is not None else {},
+                self._stats.conflicts - start_conflicts,
+                self._stats.decisions - start_decisions,
+                self._stats.propagations - start_propagations,
+                self._stats.restarts - start_restarts,
+            )
+
+        if self._unsat:
+            return result(False)
+        assumption_list = self._prepare_assumptions(assumptions)
+        if assumption_list is None:
+            return result(False)  # assumptions contain x and -x
+
+        restart_number = 0
+        conflicts_until_restart = self._restart_base * _luby(restart_number)
+
         while True:
             conflict = self._propagate()
             if conflict is not None:
-                self._conflicts += 1
-                if self._max_conflicts is not None and self._conflicts > self._max_conflicts:
-                    raise SolverError("conflict budget exhausted before a result was found")
+                consumed = self._stats.conflicts - start_conflicts
+                if budget is not None and consumed >= budget:
+                    raise BudgetExhaustedError(budget=budget, conflicts=consumed)
+                self._stats.conflicts += 1
+                conflicts_until_restart -= 1
                 if self._decision_level() == 0:
-                    return SATResult(False, {}, self._conflicts, self._decisions)
+                    self._unsat = True
+                    return result(False)
                 learnt_clause, backjump_level = self._analyze(conflict)
                 self._backtrack(backjump_level)
                 self._attach_learnt(learnt_clause)
                 self._decay_activities()
-                conflict_limit -= 1
-                if conflict_limit <= 0:
-                    conflict_limit = 128.0 + 0.1 * self._conflicts
-                    self._backtrack(0)
                 continue
 
-            variable = self._pick_branch_variable()
-            if variable is None:
-                assignment = {
-                    v: bool(self._assignment[v]) for v in range(1, self._num_variables + 1)
-                }
-                return SATResult(True, assignment, self._conflicts, self._decisions)
-            self._decisions += 1
+            if conflicts_until_restart <= 0 and self._decision_level() > 0:
+                restart_number += 1
+                conflicts_until_restart = self._restart_base * _luby(restart_number)
+                self._stats.restarts += 1
+                self._backtrack(0)
+                continue
+
+            if self._decision_level() == 0 and len(self._learnt) >= self._max_learnt:
+                self._reduce_learnt()
+
+            step = self._next_assumption(assumption_list)
+            if step is _ASSUMPTION_CONFLICT:
+                return result(False)  # UNSAT under these assumptions
+            literal: Optional[int] = step
+            if literal is None:
+                variable = self._pick_branch_variable()
+                if variable is None:
+                    model = {
+                        v: bool(self._assignment[v])
+                        for v in range(1, self._num_variables + 1)
+                    }
+                    return result(True, model)
+                self._stats.decisions += 1
+                literal = variable if self._saved_phase[variable] else -variable
             self._trail_limits.append(len(self._trail))
-            literal = variable if self._saved_phase[variable] else -variable
             self._enqueue(literal, reason=None)
 
-    # -- clause bookkeeping -----------------------------------------------------
-    def _watch_clause(self, index: int) -> None:
-        clause = self._clauses[index]
-        for literal in clause[:2]:
-            self._watches.setdefault(literal, []).append(index)
+    # -- assumptions --------------------------------------------------------------
+    def _prepare_assumptions(self, assumptions) -> Optional[List[int]]:
+        """Deduped assumption literals; None when they contain ``x`` and ``-x``."""
+        literals = list(assumptions) if assumptions is not None else []
+        if not literals:
+            return []
+        cleaned = simplify_literals(literals)
+        if cleaned is None:
+            return None
+        self._ensure_variables(max(abs(literal) for literal in cleaned))
+        return list(cleaned)
 
-    def _attach_learnt(self, clause: List[int]) -> None:
-        if len(clause) == 1:
-            self._enqueue(clause[0], reason=None)
-            return
-        self._clauses.append(clause)
-        index = len(self._clauses) - 1
-        self._watch_clause(index)
-        self._enqueue(clause[0], reason=index)
-
-    # -- assignment machinery ------------------------------------------------------
-    def _place_initial_units(self) -> bool:
-        for literal in self._initial_units:
+    def _next_assumption(self, assumptions: List[int]):
+        """The next assumption to decide, None when done, or a conflict marker."""
+        while self._decision_level() < len(assumptions):
+            literal = assumptions[self._decision_level()]
             value = self._literal_value(literal)
+            if value is True:
+                # Already implied: open an empty level so assumption indices
+                # and decision levels stay aligned.
+                self._trail_limits.append(len(self._trail))
+                continue
             if value is False:
-                return False
-            if value is None:
-                self._enqueue(literal, reason=None)
-        return True
+                return _ASSUMPTION_CONFLICT
+            return literal
+        return None
+
+    # -- clause bookkeeping -------------------------------------------------------
+    def _watch(self, clause: Clause) -> None:
+        for literal in (clause[0], clause[1]):
+            self._watches.setdefault(literal, []).append(clause)
+
+    def _remove_watch(self, literal: int, clause: Clause) -> None:
+        watchers = self._watches.get(literal, [])
+        for index, candidate in enumerate(watchers):
+            if candidate is clause:
+                watchers[index] = watchers[-1]
+                watchers.pop()
+                return
+
+    def _attach_learnt(self, literals: List[int]) -> None:
+        if len(literals) == 1:
+            self._enqueue(literals[0], reason=None)
+            return
+        clause = Clause(literals, learnt=True)
+        clause.activity = self._clause_increment
+        self._learnt.append(clause)
+        self._stats.learnt_total += 1
+        self._watch(clause)
+        self._enqueue(literals[0], reason=clause)
+
+    def _is_locked(self, clause: Clause) -> bool:
+        variable = abs(clause[0])
+        return self._assignment[variable] is not None and self._reason[variable] is clause
+
+    def _reduce_learnt(self) -> None:
+        """Delete the lowest-activity half of the learned clauses (reduceDB)."""
+        self._learnt.sort(key=lambda clause: clause.activity)
+        target = len(self._learnt) // 2
+        kept: List[Clause] = []
+        deleted = 0
+        for clause in self._learnt:
+            if deleted >= target or len(clause) == 2 or self._is_locked(clause):
+                kept.append(clause)
+                continue
+            self._remove_watch(clause[0], clause)
+            self._remove_watch(clause[1], clause)
+            deleted += 1
+        self._learnt = kept
+        self._stats.deleted += deleted
+        self._max_learnt = int(self._max_learnt * self._max_learnt_growth) + 1
+
+    # -- assignment machinery -----------------------------------------------------
+    def _ensure_variables(self, count: int) -> None:
+        while self._num_variables < count:
+            self._num_variables += 1
+            self._assignment.append(None)
+            self._level.append(0)
+            self._reason.append(None)
+            self._activity.append(0.0)
+            self._saved_phase.append(False)
+            self._seen.append(0)
+            self._heap.grow_one()
+            self._heap.push(self._num_variables)
 
     def _decision_level(self) -> int:
         return len(self._trail_limits)
@@ -142,7 +463,7 @@ class CDCLSolver:
             return None
         return value if literal > 0 else not value
 
-    def _enqueue(self, literal: int, reason: Optional[int]) -> None:
+    def _enqueue(self, literal: int, reason: Optional[Clause]) -> None:
         variable = abs(literal)
         self._assignment[variable] = literal > 0
         self._level[variable] = self._decision_level()
@@ -158,41 +479,44 @@ class CDCLSolver:
             variable = abs(literal)
             self._assignment[variable] = None
             self._reason[variable] = None
+            self._heap.push(variable)
         del self._trail[cutoff:]
         del self._trail_limits[target_level:]
         self._propagation_head = min(self._propagation_head, len(self._trail))
 
-    # -- propagation ---------------------------------------------------------------
-    def _propagate(self) -> Optional[int]:
+    # -- propagation --------------------------------------------------------------
+    def _propagate(self) -> Optional[Clause]:
         while self._propagation_head < len(self._trail):
             literal = self._trail[self._propagation_head]
             self._propagation_head += 1
+            self._stats.propagations += 1
             false_literal = -literal
-            watching = self._watches.get(false_literal, [])
-            retained: List[int] = []
-            conflict: Optional[int] = None
-            for position, clause_index in enumerate(watching):
-                clause = self._clauses[clause_index]
+            watching = self._watches.get(false_literal)
+            if not watching:
+                continue
+            retained: List[Clause] = []
+            conflict: Optional[Clause] = None
+            for position, clause in enumerate(watching):
                 if clause[0] == false_literal:
                     clause[0], clause[1] = clause[1], clause[0]
                 first_value = self._literal_value(clause[0])
                 if first_value is True:
-                    retained.append(clause_index)
+                    retained.append(clause)
                     continue
                 moved = False
                 for alternative in range(2, len(clause)):
                     if self._literal_value(clause[alternative]) is not False:
                         clause[1], clause[alternative] = clause[alternative], clause[1]
-                        self._watches.setdefault(clause[1], []).append(clause_index)
+                        self._watches.setdefault(clause[1], []).append(clause)
                         moved = True
                         break
                 if moved:
                     continue
-                retained.append(clause_index)
+                retained.append(clause)
                 if first_value is None:
-                    self._enqueue(clause[0], reason=clause_index)
+                    self._enqueue(clause[0], reason=clause)
                 else:
-                    conflict = clause_index
+                    conflict = clause
                     retained.extend(watching[position + 1 :])
                     break
             self._watches[false_literal] = retained
@@ -200,17 +524,22 @@ class CDCLSolver:
                 return conflict
         return None
 
-    # -- conflict analysis ----------------------------------------------------------
-    def _analyze(self, conflict_index: int) -> tuple:
+    # -- conflict analysis --------------------------------------------------------
+    def _analyze(self, conflict: Clause) -> tuple:
         learnt: List[int] = []
-        seen = [False] * (self._num_variables + 1)
+        # Persistent scratch: current-level marks are all cleared by the trail
+        # walk below (one per counter decrement), lower-level marks explicitly
+        # at the end, keeping analysis O(clause sizes) instead of O(V).
+        seen = self._seen
         counter = 0
         literal: Optional[int] = None
-        clause: List[int] = list(self._clauses[conflict_index])
+        clause: Clause = conflict
         trail_index = len(self._trail) - 1
         current_level = self._decision_level()
 
         while True:
+            if clause.learnt:
+                self._bump_clause_activity(clause)
             for clause_literal in clause:
                 # Skip the literal this clause propagated (the resolvent pivot).
                 if literal is not None and clause_literal == literal:
@@ -234,9 +563,12 @@ class CDCLSolver:
             counter -= 1
             if counter == 0:
                 break
-            reason_index = self._reason[variable]
-            assert reason_index is not None, "UIP literal must have a reason clause"
-            clause = list(self._clauses[reason_index])
+            reason = self._reason[variable]
+            assert reason is not None, "UIP literal must have a reason clause"
+            clause = reason
+
+        for lower_literal in learnt:
+            seen[abs(lower_literal)] = 0
 
         learnt_clause = [-literal] + learnt
         if len(learnt_clause) == 1:
@@ -254,25 +586,33 @@ class CDCLSolver:
                     break
         return learnt_clause, backjump_level
 
-    # -- branching heuristics -----------------------------------------------------------
+    # -- branching heuristics -----------------------------------------------------
     def _bump_activity(self, variable: int) -> None:
         self._activity[variable] += self._activity_increment
         if self._activity[variable] > 1e100:
             for index in range(1, self._num_variables + 1):
                 self._activity[index] *= 1e-100
             self._activity_increment *= 1e-100
+        self._heap.update(variable)
+
+    def _bump_clause_activity(self, clause: Clause) -> None:
+        clause.activity += self._clause_increment
+        if clause.activity > 1e20:
+            for learnt in self._learnt:
+                learnt.activity *= 1e-20
+            self._clause_increment *= 1e-20
 
     def _decay_activities(self) -> None:
         self._activity_increment /= self._activity_decay
+        self._clause_increment /= self._clause_decay
 
     def _pick_branch_variable(self) -> Optional[int]:
-        best_variable = None
-        best_activity = -1.0
-        for variable in range(1, self._num_variables + 1):
-            if self._assignment[variable] is None and self._activity[variable] > best_activity:
-                best_variable = variable
-                best_activity = self._activity[variable]
-        return best_variable
+        while True:
+            variable = self._heap.pop()
+            if variable is None:
+                return None
+            if self._assignment[variable] is None:
+                return variable
 
 
 def solve(
@@ -280,36 +620,69 @@ def solve(
     assumptions: Optional[Iterable[int]] = None,
     max_conflicts: Optional[int] = None,
 ) -> SATResult:
-    """Solve ``formula`` (optionally under unit assumptions)."""
-    if assumptions:
-        working = formula.copy()
-        for literal in assumptions:
-            working.add_unit(literal)
-    else:
-        working = formula
-    return CDCLSolver(working, max_conflicts=max_conflicts).solve()
+    """Solve ``formula`` (optionally under unit assumptions).
+
+    Assumptions are handled natively by the solver (pseudo-decision levels);
+    the CNF is never copied.
+    """
+    return CDCLSolver(formula).solve(assumptions=assumptions, max_conflicts=max_conflicts)
 
 
 def iterate_models(
     formula: CNF,
     over_variables: Optional[Sequence[int]] = None,
     limit: Optional[int] = None,
+    incremental: bool = True,
+    solver: Optional[CDCLSolver] = None,
 ) -> Iterator[Dict[int, bool]]:
     """Enumerate models of ``formula``.
 
     ``over_variables`` restricts both the reported assignment and the blocking
     clauses to a subset of variables, so models are enumerated up to their
     projection onto those variables.  ``limit`` bounds the number of models.
+
+    With ``incremental=True`` (the default) one persistent :class:`CDCLSolver`
+    is kept alive across blocking clauses, retaining learned clauses, watch
+    lists, activities, and saved phases between models; pass ``solver`` to
+    reuse/inspect that solver (e.g. to read its statistics afterwards).
+    A supplied solver MUST have been constructed from ``formula`` (possibly
+    with extra clauses already added) — enumeration runs entirely on the
+    solver's own clause database.  ``incremental=False`` restores the
+    historical one-shot behaviour — a fresh solver and a CNF copy per model —
+    and serves as the differential oracle for the incremental path.
     """
     variables = (
         list(over_variables)
         if over_variables is not None
         else list(range(1, formula.num_variables + 1))
     )
-    working = formula.copy()
+    if not incremental:
+        if solver is not None:
+            raise SolverError("a persistent solver requires incremental mode")
+        working = formula.copy()
+        found = 0
+        while limit is None or found < limit:
+            result = CDCLSolver(working).solve()
+            if not result.satisfiable:
+                return
+            model = {v: result.assignment[v] for v in variables}
+            yield model
+            found += 1
+            blocking_clause = [(-v if model[v] else v) for v in variables]
+            if not blocking_clause:
+                return
+            working.add_clause(blocking_clause)
+        return
+
+    if solver is not None and solver.stats().variables < formula.num_variables:
+        raise SolverError(
+            "the supplied solver does not cover the formula's variables; "
+            "construct it as CDCLSolver(formula)"
+        )
+    active = solver if solver is not None else CDCLSolver(formula)
     found = 0
     while limit is None or found < limit:
-        result = CDCLSolver(working).solve()
+        result = active.solve()
         if not result.satisfiable:
             return
         model = {v: result.assignment[v] for v in variables}
@@ -318,4 +691,4 @@ def iterate_models(
         blocking_clause = [(-v if model[v] else v) for v in variables]
         if not blocking_clause:
             return
-        working.add_clause(blocking_clause)
+        active.add_clause(blocking_clause)

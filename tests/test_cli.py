@@ -344,3 +344,66 @@ class TestSimulateProfileBackend:
             assert exit_code == 0
             payloads[backend] = json.loads(output.read_text())
         assert payloads["reference"] == payloads["packed"]
+
+
+class TestSatStatsFlag:
+    def test_solve_sat_stats_requires_sat_backend(self, profile_file, capsys):
+        path, _ = profile_file
+        exit_code = main(["solve", "--profile", str(path), "--sat-stats"])
+        assert exit_code == 2
+        assert "--backend sat" in capsys.readouterr().err
+
+    def test_solve_sat_stats_json(self, profile_file, capsys):
+        path, _ = profile_file
+        exit_code = main([
+            "solve", "--profile", str(path), "--backend", "sat", "--sat-stats", "--json",
+        ])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        stats = payload["solver_stats"]
+        assert stats["solve_calls"] > 0
+        assert stats["decisions"] > 0
+
+    def test_solve_sat_stats_text(self, profile_file, capsys):
+        path, _ = profile_file
+        exit_code = main([
+            "solve", "--profile", str(path), "--backend", "sat", "--sat-stats",
+        ])
+        assert exit_code == 0
+        assert "SAT solver statistics" in capsys.readouterr().out
+
+    def test_beep_sat_stats_requires_sat_pattern_backend(self, capsys):
+        exit_code = main([
+            "beep", "--data-bits", "16", "--error-positions", "2,9", "--sat-stats",
+        ])
+        assert exit_code == 2
+        assert "--pattern-backend sat" in capsys.readouterr().err
+
+    def test_beep_sat_stats_json(self, capsys):
+        exit_code = main([
+            "beep", "--data-bits", "16", "--error-positions", "2,9",
+            "--pattern-backend", "sat", "--sat-stats", "--json",
+        ])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["fully_identified"]
+        assert payload["pattern_backend"] == "sat"
+        assert payload["sat_solver_stats"]["solve_calls"] > 0
+
+    def test_beep_sat_pattern_backend_identifies_errors(self, capsys):
+        exit_code = main([
+            "beep", "--data-bits", "16", "--error-positions", "2,9",
+            "--pattern-backend", "sat", "--json",
+        ])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["fully_identified"]
+        assert "sat_solver_stats" not in payload
+
+    def test_beep_sat_stats_text(self, capsys):
+        exit_code = main([
+            "beep", "--data-bits", "16", "--error-positions", "2,9",
+            "--pattern-backend", "sat", "--sat-stats",
+        ])
+        assert exit_code == 0
+        assert "SAT solver statistics" in capsys.readouterr().out

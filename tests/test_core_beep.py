@@ -202,3 +202,44 @@ class TestChipWordUnderTest:
         word = ChipWordUnderTest(chip, word_index=1, refresh_pause_s=50.0)
         observed = word.test(GF2Vector([1] * 16))
         assert len(observed) == 16
+
+
+class TestSatPatternBackend:
+    """The incremental-SAT charge crafter against the GF(2) elimination path."""
+
+    def test_unknown_backend_rejected(self, code_16):
+        with pytest.raises(PatternCraftingError):
+            BeepProfiler(code_16, pattern_backend="z3")
+
+    def test_sat_crafted_patterns_satisfy_the_charge_constraints(self, code_16):
+        code = code_16
+        gf2 = BeepProfiler(code)
+        sat = BeepProfiler(code, pattern_backend="sat")
+        for target in range(code.codeword_length):
+            for known in ([], [2, 9]):
+                reference = gf2.craft_pattern(target, known_errors=known)
+                crafted = sat.craft_pattern(target, known_errors=known)
+                # Both must arm the same way and charge the target identically.
+                assert crafted.miscorrection_armed == reference.miscorrection_armed
+                assert crafted.codeword[target] == reference.codeword[target]
+                assert crafted.codeword == code.encode(crafted.dataword)
+
+    def test_sat_backend_identifies_deterministic_errors(self, code_16):
+        code = code_16
+        word = SimulatedWordUnderTest(
+            code, [2, 9], per_bit_probability=1.0, rng=np.random.default_rng(1)
+        )
+        profiler = BeepProfiler(code, pattern_backend="sat")
+        result = profiler.profile(word, num_passes=2)
+        assert result.identified_set() == {2, 9}
+
+    def test_sat_stats_exposed_only_for_sat_backend(self, code_16):
+        code = code_16
+        gf2 = BeepProfiler(code)
+        assert gf2.pattern_backend == "gf2"
+        assert gf2.sat_solver_stats() is None
+        sat = BeepProfiler(code, pattern_backend="sat")
+        assert sat.pattern_backend == "sat"
+        sat.craft_pattern(0, known_errors=[2, 9])
+        stats = sat.sat_solver_stats()
+        assert stats is not None and stats["solve_calls"] > 0

@@ -112,3 +112,53 @@ class TestBackendAgreement:
         solution = SatBeerSolver(6).solve(profile, max_solutions=4)
         for candidate in solution.codes:
             assert expected_miscorrection_profile(candidate, patterns) == profile
+
+
+class TestIncrementalEnumeration:
+    """The persistent-solver path against the historical one-shot oracle."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_incremental_and_one_shot_find_identical_canonical_sets(self, seed):
+        from repro.ecc.codespace import canonical_form
+
+        code = random_hamming_code(5, num_parity_bits=4, rng=np.random.default_rng(seed))
+        profile = profile_for(code, [1, 2])
+        solver = SatBeerSolver(5, 4)
+        incremental = solver.solve(profile)
+        one_shot = solver.solve(profile, incremental=False)
+        assert {canonical_form(c) for c in incremental.codes} == {
+            canonical_form(c) for c in one_shot.codes
+        }
+
+    def test_incremental_solve_reports_solver_stats(self):
+        code = example_7_4_code()
+        solution = SatBeerSolver(4, 3).solve(profile_for(code, [1]))
+        stats = solution.solver_stats
+        assert stats is not None
+        assert stats["solve_calls"] == solution.nodes_visited + 1  # final UNSAT call
+        assert stats["decisions"] > 0
+
+    def test_one_shot_oracle_reports_no_stats(self):
+        code = example_7_4_code()
+        solution = SatBeerSolver(4, 3).solve(profile_for(code, [1]), incremental=False)
+        assert solution.solver_stats is None
+
+    def test_known_columns_restrict_the_search(self):
+        code = random_hamming_code(6, rng=np.random.default_rng(3))
+        profile = profile_for(code, [1, 2])
+        pinned = {0: code.parity_column_ints[0], 1: code.parity_column_ints[1]}
+        solution = SatBeerSolver(6).solve(profile, known_columns=pinned)
+        assert solution.num_solutions == 1
+        # Pinning collapses row-permutation symmetry: the surviving models
+        # are a subset of the unpinned enumeration.
+        unpinned = SatBeerSolver(6).solve(profile)
+        assert solution.nodes_visited <= unpinned.nodes_visited
+        assert solution.codes[0].parity_column_ints[:2] == tuple(pinned.values())
+
+    def test_known_columns_validation(self):
+        code = example_7_4_code()
+        profile = profile_for(code, [1])
+        with pytest.raises(SolverError):
+            SatBeerSolver(4, 3).solve(profile, known_columns={9: 1})
+        with pytest.raises(SolverError):
+            SatBeerSolver(4, 3).solve(profile, known_columns={0: 1 << 7})

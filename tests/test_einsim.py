@@ -370,6 +370,26 @@ class TestStatistics:
         with pytest.raises(ValueError):
             bootstrap_confidence_interval([1.0], num_resamples=0)
 
+    def test_bootstrap_is_deterministic_without_explicit_rng(self):
+        # Regression: the default used to be an unseeded generator, which
+        # broke the byte-identical campaign-store guarantee.
+        samples = list(np.random.default_rng(5).normal(3, 1, size=100))
+        first = bootstrap_confidence_interval(samples)
+        second = bootstrap_confidence_interval(samples)
+        assert first == second
+
+    def test_bootstrap_default_rng_depends_on_the_data(self):
+        rng = np.random.default_rng(6)
+        first = bootstrap_confidence_interval(rng.normal(0, 1, 50))
+        second = bootstrap_confidence_interval(rng.normal(0, 1, 50))
+        assert first != second
+
+    def test_bootstrap_explicit_seeded_rng_reproducible(self):
+        samples = [1.0, 2.0, 5.0, 9.0, 2.5, 3.5]
+        first = bootstrap_confidence_interval(samples, rng=np.random.default_rng(7))
+        second = bootstrap_confidence_interval(samples, rng=np.random.default_rng(7))
+        assert first == second
+
     def test_relative_probabilities(self):
         relative = relative_probabilities([1, 1, 2])
         assert relative.sum() == pytest.approx(1.0)

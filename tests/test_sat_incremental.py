@@ -1,0 +1,327 @@
+"""Tests for the incremental CDCL core: persistence, assumptions, hygiene.
+
+Covers the three regression bugs fixed alongside the incremental rewrite
+(duplicate-literal clauses, the conflict-budget boundary, bootstrap
+determinism lives in test_einsim) plus differential tests of the incremental
+solver against brute force and against the historical one-shot oracle.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.exceptions import BudgetExhaustedError, SolverError
+from repro.sat import (
+    CNF,
+    CDCLSolver,
+    encode_at_most_one,
+    iterate_models,
+    simplify_literals,
+    solve,
+)
+
+
+def brute_force_models(formula: CNF, variables):
+    """Reference projected-model enumeration by exhaustive search."""
+    models = set()
+    for bits in itertools.product([False, True], repeat=formula.num_variables):
+        if formula.evaluate(list(bits)):
+            models.add(tuple((v, bits[v - 1]) for v in variables))
+    return models
+
+
+def pigeonhole(num_pigeons: int, num_holes: int) -> CNF:
+    formula = CNF()
+    variables = {
+        (pigeon, hole): formula.new_variable()
+        for pigeon in range(num_pigeons)
+        for hole in range(num_holes)
+    }
+    for pigeon in range(num_pigeons):
+        formula.add_clause([variables[(pigeon, hole)] for hole in range(num_holes)])
+    for hole in range(num_holes):
+        encode_at_most_one(
+            formula, [variables[(pigeon, hole)] for pigeon in range(num_pigeons)]
+        )
+    return formula
+
+
+def random_formula(seed: int, with_dirty_clauses: bool = False) -> CNF:
+    """A random small CNF; optionally with duplicate literals and tautologies."""
+    rng = np.random.default_rng(seed)
+    num_variables = int(rng.integers(3, 9))
+    num_clauses = int(rng.integers(1, 4 * num_variables))
+    formula = CNF(num_variables)
+    for _ in range(num_clauses):
+        width = int(rng.integers(1, 4))
+        variables = rng.choice(num_variables, size=width, replace=False) + 1
+        signs = rng.integers(0, 2, size=width) * 2 - 1
+        clause = list(variables * signs)
+        if with_dirty_clauses and rng.random() < 0.3:
+            clause.append(clause[0])  # duplicate literal
+        if with_dirty_clauses and rng.random() < 0.15:
+            pivot = int(rng.integers(1, num_variables + 1))
+            clause.extend([pivot, -pivot])  # tautology
+        formula.add_clause(clause)
+    return formula
+
+
+class TestClauseHygiene:
+    """Regression tests for CNF.add_clause clause hygiene."""
+
+    def test_duplicate_literal_clause_propagates_as_unit(self):
+        # Historically [x, x] put both watch slots on the same literal and
+        # was misreported as a conflict instead of propagating x.
+        formula = CNF()
+        formula.add_clause([1, 1])
+        result = CDCLSolver(formula).solve()
+        assert result.satisfiable
+        assert result.value(1) is True
+
+    def test_duplicate_literals_are_deduped_in_storage(self):
+        formula = CNF()
+        formula.add_clause([2, 2, -3, 2])
+        assert formula.clauses == [(2, -3)]
+
+    def test_tautology_is_dropped(self):
+        formula = CNF()
+        formula.add_clause([1, -1])
+        assert formula.num_clauses == 0
+        # The formula is unconstrained: both polarities of 1 are models.
+        assert len(list(iterate_models(formula, over_variables=[1]))) == 2
+
+    def test_tautology_with_extra_literals_is_dropped(self):
+        formula = CNF()
+        formula.add_clause([4, 2, -4])
+        assert formula.num_clauses == 0
+
+    def test_duplicate_then_negation_still_unsat(self):
+        formula = CNF()
+        formula.add_clause([1, 1])
+        formula.add_clause([-1, -1])
+        assert not CDCLSolver(formula).solve().satisfiable
+
+    def test_simplify_literals_helper(self):
+        assert simplify_literals([1, 1, 2]) == (1, 2)
+        assert simplify_literals([1, -1]) is None
+        with pytest.raises(SolverError):
+            simplify_literals([])
+        with pytest.raises(SolverError):
+            simplify_literals([0])
+
+    def test_solver_add_clause_applies_hygiene(self):
+        solver = CDCLSolver(CNF(2))
+        solver.add_clause([1, -1])  # tautology: no constraint
+        solver.add_clause([2, 2])  # unit after dedup
+        result = solver.solve()
+        assert result.satisfiable
+        assert result.value(2) is True
+
+
+class TestConflictBudget:
+    """Regression tests for the dedicated indeterminate outcome."""
+
+    def test_budget_exhaustion_is_distinguishable(self):
+        formula = pigeonhole(7, 6)
+        with pytest.raises(BudgetExhaustedError) as excinfo:
+            CDCLSolver(formula, max_conflicts=1).solve()
+        assert isinstance(excinfo.value, SolverError)  # backwards compatible
+        assert excinfo.value.budget == 1
+        assert excinfo.value.conflicts == 1
+
+    def test_budget_boundary_is_exact(self):
+        # Measure the conflicts a full solve needs, then check that exactly
+        # that budget suffices and one less is indeterminate.
+        formula = pigeonhole(4, 3)
+        reference = CDCLSolver(formula).solve()
+        assert not reference.satisfiable
+        needed = reference.conflicts
+        assert needed > 1
+
+        exact = CDCLSolver(formula, max_conflicts=needed).solve()
+        assert not exact.satisfiable
+        assert exact.conflicts == needed
+
+        with pytest.raises(BudgetExhaustedError) as excinfo:
+            CDCLSolver(formula, max_conflicts=needed - 1).solve()
+        assert excinfo.value.conflicts == needed - 1
+
+    def test_budget_never_exceeded_on_raise(self):
+        for budget in (1, 2, 5, 20):
+            solver = CDCLSolver(pigeonhole(6, 5), max_conflicts=budget)
+            with pytest.raises(BudgetExhaustedError) as excinfo:
+                solver.solve()
+            assert excinfo.value.conflicts <= budget
+
+    def test_solver_usable_after_budget_exhaustion(self):
+        solver = CDCLSolver(pigeonhole(5, 4), max_conflicts=1)
+        with pytest.raises(BudgetExhaustedError):
+            solver.solve()
+        result = solver.solve(max_conflicts=None)
+        assert not result.satisfiable
+
+    def test_per_call_budget_overrides_constructor(self):
+        solver = CDCLSolver(pigeonhole(5, 4), max_conflicts=1)
+        assert not solver.solve(max_conflicts=None).satisfiable
+
+
+class TestIncrementalSolving:
+    def test_solver_persists_across_added_clauses(self):
+        formula = CNF()
+        formula.add_clause([1, 2])
+        solver = CDCLSolver(formula)
+        assert solver.solve().satisfiable
+        solver.add_clause([-1])
+        result = solver.solve()
+        assert result.satisfiable
+        assert result.value(2) is True
+        solver.add_clause([-2])
+        assert not solver.solve().satisfiable
+        # UNSAT is permanent once derived at the root level.
+        assert not solver.solve().satisfiable
+        assert solver.stats().solve_calls == 4
+
+    def test_assumptions_do_not_persist(self):
+        formula = CNF()
+        formula.add_clause([1, 2])
+        solver = CDCLSolver(formula)
+        assert not solver.solve(assumptions=[-1, -2]).satisfiable
+        assert solver.solve().satisfiable
+
+    def test_contradictory_assumptions_unsat(self):
+        formula = CNF(2)
+        formula.add_clause([1, 2])
+        assert not CDCLSolver(formula).solve(assumptions=[1, -1]).satisfiable
+
+    def test_assumptions_on_fresh_variables(self):
+        formula = CNF()
+        formula.add_clause([1, 2])
+        solver = CDCLSolver(formula)
+        result = solver.solve(assumptions=[5])
+        assert result.satisfiable
+        assert result.value(5) is True
+
+    def test_statistics_accumulate_across_calls(self):
+        solver = CDCLSolver(pigeonhole(4, 3))
+        first = solver.solve()
+        second = solver.solve()
+        stats = solver.stats()
+        assert stats.solve_calls == 2
+        assert stats.conflicts >= first.conflicts
+        assert second.conflicts == 0  # permanently UNSAT: no new work
+        payload = stats.as_dict()
+        assert payload["variables"] == 12
+        assert set(payload) >= {"conflicts", "decisions", "propagations", "restarts"}
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_assumption_solving_matches_unit_oracle(self, seed):
+        formula = random_formula(seed, with_dirty_clauses=True)
+        rng = np.random.default_rng(seed + 1)
+        solver = CDCLSolver(formula)
+        for _ in range(4):
+            width = int(rng.integers(0, formula.num_variables + 1))
+            variables = rng.choice(formula.num_variables, size=width, replace=False) + 1
+            signs = rng.integers(0, 2, size=width) * 2 - 1
+            assumptions = list(variables * signs)
+            oracle = formula.copy()
+            for literal in assumptions:
+                oracle.add_unit(int(literal))
+            expected = CDCLSolver(oracle).solve().satisfiable
+            assert solver.solve(assumptions=assumptions).satisfiable == expected
+
+
+class TestEnumerationDifferential:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_incremental_enumeration_matches_brute_force(self, seed):
+        formula = random_formula(seed, with_dirty_clauses=True)
+        rng = np.random.default_rng(seed)
+        width = int(rng.integers(1, formula.num_variables + 1))
+        projection = sorted(rng.choice(formula.num_variables, size=width, replace=False) + 1)
+        expected = brute_force_models(formula, projection)
+        observed = {
+            tuple(sorted(model.items()))
+            for model in iterate_models(formula, over_variables=projection)
+        }
+        assert observed == expected
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_incremental_matches_one_shot_oracle(self, seed):
+        formula = random_formula(seed)
+        incremental = {
+            tuple(sorted(model.items())) for model in iterate_models(formula)
+        }
+        one_shot = {
+            tuple(sorted(model.items()))
+            for model in iterate_models(formula, incremental=False)
+        }
+        assert incremental == one_shot
+
+    def test_enumeration_with_explicit_solver_reports_stats(self):
+        formula = CNF()
+        formula.add_clause([1, 2, 3])
+        solver = CDCLSolver(formula)
+        models = list(iterate_models(formula, over_variables=[1, 2, 3], solver=solver))
+        assert len(models) == 7
+        assert solver.stats().solve_calls == 8  # 7 models + final UNSAT
+
+    def test_one_shot_oracle_rejects_solver_argument(self):
+        formula = CNF(1)
+        formula.add_clause([1])
+        with pytest.raises(SolverError):
+            list(iterate_models(formula, incremental=False, solver=CDCLSolver(formula)))
+
+    def test_one_shot_oracle_does_not_mutate_formula(self):
+        formula = CNF()
+        formula.add_clause([1, 2])
+        before = formula.num_clauses
+        list(iterate_models(formula, incremental=False))
+        assert formula.num_clauses == before
+
+
+class TestRestartsAndReduceDB:
+    def test_luby_restarts_fire_on_hard_instances(self):
+        formula = pigeonhole(7, 6)
+        solver = CDCLSolver(formula)
+        solver._restart_base = 8  # shrink the interval to exercise restarts
+        result = solver.solve()
+        assert not result.satisfiable
+        assert solver.stats().restarts > 0
+
+    def test_reduce_db_deletes_learned_clauses_and_stays_correct(self):
+        formula = pigeonhole(7, 6)
+        solver = CDCLSolver(formula)
+        solver._restart_base = 8  # restarts return to level 0 where reduceDB runs
+        solver._max_learnt = 16
+        result = solver.solve()
+        assert not result.satisfiable
+        stats = solver.stats()
+        assert stats.deleted > 0
+        assert stats.learnt_total > stats.deleted
+
+    def test_reduce_db_preserves_enumeration_semantics(self):
+        formula = random_formula(7)
+        solver = CDCLSolver(formula)
+        solver._max_learnt = 2
+        observed = {
+            tuple(sorted(model.items()))
+            for model in iterate_models(formula, solver=solver)
+        }
+        expected = brute_force_models(formula, range(1, formula.num_variables + 1))
+        assert observed == expected
+
+
+class TestModuleLevelSolve:
+    def test_solve_with_assumptions_does_not_copy(self):
+        formula = CNF()
+        formula.add_clause([1, 2])
+        before = formula.num_clauses
+        result = solve(formula, assumptions=[-1])
+        assert result.satisfiable and result.value(2) is True
+        assert formula.num_clauses == before
+
+    def test_mismatched_solver_rejected(self):
+        formula = CNF()
+        formula.add_clause([1, 2])
+        with pytest.raises(SolverError):
+            list(iterate_models(formula, over_variables=[1, 2], solver=CDCLSolver()))
