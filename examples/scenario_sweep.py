@@ -4,10 +4,12 @@ Expands a sweep spec — error mechanisms × BERs × code sizes × backends — 
 a deterministic experiment matrix, runs it through the chunked Monte-Carlo
 campaign machinery, and persists every cell in a content-addressed campaign
 store.  Running the script a second time serves the whole matrix from cache;
-deleting the store directory starts fresh.
+deleting the store directory starts fresh.  Pass a job count to fan the
+cache-miss cells out over worker processes — the store bytes are identical
+either way.
 
 Run me:
-    PYTHONPATH=src python examples/scenario_sweep.py [store_dir]
+    PYTHONPATH=src python examples/scenario_sweep.py [store_dir] [jobs]
 """
 
 import sys
@@ -41,11 +43,13 @@ SWEEP = {
 
 def main() -> None:
     store_dir = sys.argv[1] if len(sys.argv) > 1 else "scenario_campaign"
+    jobs = int(sys.argv[2]) if len(sys.argv) > 2 else 1
     spec = SweepSpec.from_dict(SWEEP)
     store = CampaignStore(store_dir)
-    runner = SweepRunner(store=store)
+    runner = SweepRunner(store=store, jobs=jobs)
 
-    print(f"sweep {spec.name!r}: {spec.num_cells} cells -> store {store_dir!r}")
+    print(f"sweep {spec.name!r}: {spec.num_cells} cells -> store {store_dir!r} "
+          f"(jobs={jobs})")
     report = runner.run(
         spec,
         progress=lambda outcome: print(

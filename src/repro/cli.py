@@ -16,7 +16,7 @@ campaign store (:mod:`repro.store`)::
 
     beer-tool scenario list
     beer-tool scenario run --scenario burst --param burst_probability=0.05 ...
-    beer-tool scenario sweep --spec sweep.json --store campaign/ [--resume]
+    beer-tool scenario sweep --spec sweep.json --store campaign/ [--resume] [--jobs N]
     beer-tool scenario report --store campaign/
 
 Simulation-heavy commands (``einsim``, ``simulate-profile``, ``scenario``)
@@ -179,6 +179,10 @@ def _add_scenario_parser(subparsers) -> None:
                      default="packed")
     run.add_argument("--chunk-size", type=int, default=65536)
     run.add_argument("--processes", type=int, default=1)
+    run.add_argument("--jobs", type=int, default=1,
+                     help="accepted for symmetry with `scenario sweep`; a "
+                          "single cell always runs in-process (use "
+                          "--processes for intra-cell parallelism)")
     run.add_argument("--store", default=None,
                      help="campaign directory; hits are served from the cache")
     run.add_argument("--json", action="store_true",
@@ -193,6 +197,9 @@ def _add_scenario_parser(subparsers) -> None:
                        help="continue a partially-completed sweep (sweeps are "
                             "content-addressed, so completed cells are never re-run)")
     sweep.add_argument("--processes", type=int, default=1)
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="cells executed concurrently, one worker process "
+                            "each (results are byte-identical for any value)")
     sweep.add_argument("--max-cells", type=int, default=None,
                        help="stop after this many fresh simulations (checkpointing; "
                             "exits 3 when the sweep is left incomplete)")
@@ -471,7 +478,7 @@ def _run_scenario_run(args) -> int:
         chunk_size=args.chunk_size,
     )
     store = CampaignStore(args.store) if args.store else None
-    runner = SweepRunner(store=store, processes=args.processes)
+    runner = SweepRunner(store=store, processes=args.processes, jobs=args.jobs)
     outcome = runner.run_one(cell)
     cached, result = outcome.cached, outcome.record.result
 
@@ -498,7 +505,7 @@ def _run_scenario_sweep(args) -> int:
 
     spec = SweepSpec.from_json_file(args.spec)
     store = CampaignStore(args.store)
-    runner = SweepRunner(store=store, processes=args.processes)
+    runner = SweepRunner(store=store, processes=args.processes, jobs=args.jobs)
     report = runner.run(spec, max_new_simulations=args.max_cells)
 
     if args.json:

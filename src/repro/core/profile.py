@@ -299,8 +299,20 @@ class MiscorrectionCounts:
             raise ProfileError("pattern dataword length does not match the counts")
         if words_observed < 0:
             raise ProfileError("words observed cannot be negative")
+        positions = list(error_positions)
+        if words_observed == 0:
+            if positions:
+                raise ProfileError(
+                    f"{len(positions)} error position(s) supplied with zero "
+                    "words observed; errors cannot come from words that were "
+                    "never read"
+                )
+            # Nothing observed: do not register the pattern at all, so that
+            # ``patterns`` (and hence ``to_profile``) only ever sees patterns
+            # with defined probabilities.
+            return
         counts = self._counts.setdefault(pattern, np.zeros(self._num_data_bits, dtype=np.int64))
-        for position in error_positions:
+        for position in positions:
             if not 0 <= position < self._num_data_bits:
                 raise ProfileError(f"error position {position} out of range")
             counts[position] += 1
@@ -317,9 +329,19 @@ class MiscorrectionCounts:
         return self._words_observed.get(pattern, 0)
 
     def error_probabilities(self, pattern: ChargedPattern) -> np.ndarray:
-        """Return per-bit post-correction error probabilities for ``pattern``."""
+        """Return per-bit post-correction error probabilities for ``pattern``.
+
+        Raises :class:`ProfileError` when no words were observed — raw counts
+        over zero observations are not probabilities, and silently reporting
+        them as such used to poison threshold filtering downstream.
+        """
         counts = self.counts_for(pattern)
-        words = max(self._words_observed.get(pattern, 0), 1)
+        words = self._words_observed.get(pattern, 0)
+        if words == 0:
+            raise ProfileError(
+                f"pattern {pattern!r} has zero observed words; its error "
+                "probabilities are undefined"
+            )
         return counts / words
 
     def merge(self, other: "MiscorrectionCounts") -> "MiscorrectionCounts":

@@ -9,8 +9,10 @@ turns that matrix into data:
 * :mod:`repro.scenarios.sweep` — declarative sweep specs (JSON/dict) that
   expand into a deterministic matrix of experiment cells;
 * :mod:`repro.scenarios.runner` — cache-aware execution against the
-  content-addressed :mod:`repro.store`, with per-cell checkpointing and
-  resumable interrupted sweeps.
+  content-addressed :mod:`repro.store`, with per-cell checkpointing,
+  resumable interrupted sweeps, and process-parallel cell execution
+  (``SweepRunner(jobs=N)``) whose store stays byte-identical to a serial
+  run.
 """
 
 from repro.scenarios.registry import (
@@ -34,6 +36,7 @@ from repro.scenarios.runner import (
     CellOutcome,
     SweepReport,
     SweepRunner,
+    execute_cell,
 )
 
 __all__ = [
@@ -53,4 +56,5 @@ __all__ = [
     "CellOutcome",
     "SweepReport",
     "SweepRunner",
+    "execute_cell",
 ]

@@ -1,23 +1,30 @@
-"""Sweep execution: cache-aware, resumable campaign running.
+"""Sweep execution: cache-aware, resumable, optionally process-parallel.
 
 The runner walks a :class:`~repro.scenarios.sweep.SweepSpec`'s cell matrix in
 deterministic order.  For each cell it consults the campaign store first —
 a hit is served without simulating anything; a miss is executed through the
 chunked :class:`~repro.core.experiment.MonteCarloCampaign` (``einsim`` cells)
 or a full :class:`~repro.core.experiment.BeerExperiment` against a simulated
-vendor chip (``beer`` cells) and checkpointed to the store immediately.
-Interrupting a sweep therefore loses at most the in-flight cell; re-running
-the same spec completes exactly the missing cells and produces a store
-byte-identical to an uninterrupted run.
+vendor chip (``beer`` cells) and checkpointed to the store.
+
+With ``jobs > 1`` the cache-miss cells are fanned out over a process pool.
+Every cell's configuration carries its own deterministic seed, so workers
+are fully independent; results are *committed in spec order* regardless of
+completion order, which keeps the store byte-identical to a serial run of
+the same spec.  Interrupting a sweep loses at most the not-yet-committed
+cells; re-running the same spec completes exactly the missing cells and
+produces a store byte-identical to an uninterrupted run.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import Future, ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.dram import ChipGeometry, DataRetentionModel, all_vendors
 from repro.dram.retention import RetentionCalibration
+from repro.exceptions import ScenarioError
 from repro.core.experiment import BeerExperiment, ExperimentConfig, MonteCarloCampaign
 from repro.scenarios.registry import build_injector
 from repro.scenarios.sweep import (
@@ -65,6 +72,101 @@ class SweepReport:
         }
 
 
+# ---------------------------------------------------------------------------
+# Stateless cell execution (module level so process-pool workers pickle it)
+# ---------------------------------------------------------------------------
+
+def execute_cell(cell: ExperimentCell, processes: int = 1) -> Dict[str, Any]:
+    """Execute one cell from scratch and return its canonical result dict.
+
+    Pure function of the cell's configuration (every source of variation,
+    including the seed, lives in the config), which is what makes both the
+    content-addressed cache and the process-parallel fan-out sound.
+    """
+    config = cell.config()
+    if cell.kind == "einsim":
+        return _execute_einsim_cell(config, processes)
+    return _execute_beer_cell(config)
+
+
+def _execute_cell_job(job: Tuple[str, str]) -> Dict[str, Any]:
+    """Worker entry point: rebuild the cell and run it single-process.
+
+    Workers always run their inner campaign with ``processes=1`` — the
+    parallelism budget is spent at the cell level, and campaign results are
+    bit-identical for any process count anyway.
+    """
+    kind, config_json = job
+    return execute_cell(ExperimentCell(kind=kind, config_json=config_json))
+
+
+def _execute_einsim_cell(config: Dict[str, Any], processes: int) -> Dict[str, Any]:
+    code = resolve_code(config["code"])
+    dataword = resolve_dataword(config["dataword"], code.num_data_bits)
+    injector = build_injector(config["scenario"], config["params"])
+    campaign = MonteCarloCampaign(
+        code,
+        chunk_size=config["chunk_size"],
+        processes=processes,
+        backend=config["backend"],
+        base_seed=config["seed"],
+    )
+    result = campaign.simulate(dataword, injector, config["num_words"])
+    return {
+        "codeword_length": code.codeword_length,
+        "num_data_bits": code.num_data_bits,
+        "parity_columns": [int(c) for c in code.parity_column_ints],
+        "num_words": int(result.num_words),
+        "post_correction_error_counts": [
+            int(c) for c in result.post_correction_error_counts
+        ],
+        "pre_correction_error_counts": [
+            int(c) for c in result.pre_correction_error_counts
+        ],
+        "uncorrectable_words": int(result.uncorrectable_words),
+        "miscorrected_words": int(result.miscorrected_words),
+        "miscorrection_positions": [
+            int(p) for p in result.miscorrection_positions
+        ],
+    }
+
+
+def _execute_beer_cell(config: Dict[str, Any]) -> Dict[str, Any]:
+    vendors = {vendor.name: vendor for vendor in all_vendors()}
+    try:
+        vendor = vendors[config["vendor"]]
+    except KeyError:
+        raise ScenarioError(
+            f"unknown vendor {config['vendor']!r}; known vendors: "
+            f"{sorted(vendors)}"
+        ) from None
+    chip = vendor.make_chip(
+        num_data_bits=config["data_bits"],
+        geometry=ChipGeometry(
+            num_rows=config["num_rows"], words_per_row=config["words_per_row"]
+        ),
+        seed=config["seed"],
+        retention_model=DataRetentionModel(FAST_RETENTION_CALIBRATION),
+        backend=config["backend"],
+    )
+    experiment_config = ExperimentConfig(
+        pattern_weights=tuple(config["pattern_weights"]),
+        refresh_windows_s=tuple(config["refresh_windows_s"]),
+        rounds_per_window=config["rounds_per_window"],
+        threshold=config["threshold"],
+        discover_cell_encoding=True,
+        discovery_pause_s=max(config["refresh_windows_s"]),
+    )
+    result = BeerExperiment(chip, experiment_config).run(solve=False)
+    profile = result.profile
+    return {
+        "num_data_bits": profile.num_data_bits,
+        "num_patterns": len(profile.patterns),
+        "total_miscorrections": int(profile.total_miscorrections),
+        "profile": profile.to_dict(),
+    }
+
+
 class SweepRunner:
     """Executes sweep specs against an (optional) persistent campaign store.
 
@@ -74,18 +176,38 @@ class SweepRunner:
         Campaign store consulted before and written after every cell;
         ``None`` runs everything fresh with no persistence.
     processes:
-        Worker processes handed to :class:`MonteCarloCampaign` for ``einsim``
-        cells.  Results are bit-identical for any value.
+        Worker processes handed to :class:`MonteCarloCampaign` *within* a
+        single ``einsim`` cell.  Results are bit-identical for any value.
+        Ignored while ``jobs > 1`` (workers run their campaigns inline so
+        pools never nest).
+    jobs:
+        Number of cells executed concurrently, each in its own worker
+        process.  ``1`` (the default) keeps the historical strictly-serial
+        behaviour.  Any value produces a byte-identical store: results are
+        committed in spec order no matter when workers finish.
     """
 
-    def __init__(self, store: Optional[CampaignStore] = None, processes: int = 1):
+    def __init__(
+        self,
+        store: Optional[CampaignStore] = None,
+        processes: int = 1,
+        jobs: int = 1,
+    ):
+        if int(jobs) < 1:
+            raise ScenarioError("jobs must be at least 1")
         self._store = store
         self._processes = int(processes)
+        self._jobs = int(jobs)
 
     @property
     def store(self) -> Optional[CampaignStore]:
         """The campaign store, if any."""
         return self._store
+
+    @property
+    def jobs(self) -> int:
+        """Number of cells executed concurrently."""
+        return self._jobs
 
     def run(
         self,
@@ -106,102 +228,93 @@ class SweepRunner:
             cached=0,
             completed=True,
         )
+        # Partition pass: decide, in spec order, which cells are served from
+        # cache and which must be simulated — stopping (exactly like the
+        # serial walk always has) at the first miss beyond the budget.  A
+        # later duplicate of a cell this run will already have committed is
+        # neither a miss nor submitted to a worker: by the time the commit
+        # loop reaches it, the store serves it as a cache hit.
+        plan: List[Tuple[ExperimentCell, Optional[ResultRecord]]] = []
+        miss_indices: List[int] = []
+        planned_keys = set()
         for cell in spec.cells:
-            is_cached = self._store is not None and cell.key() in self._store
-            if (
-                not is_cached
-                and max_new_simulations is not None
-                and report.simulated >= max_new_simulations
+            key = cell.key()
+            cached = self._store.get(key) if self._store is not None else None
+            if cached is None and not (
+                self._store is not None and key in planned_keys
             ):
-                report.completed = False
-                break
-            outcome = self.run_one(cell)
-            if outcome.cached:
-                report.cached += 1
-            else:
-                report.simulated += 1
-            report.outcomes.append(outcome)
-            if progress is not None:
-                progress(outcome)
+                if max_new_simulations is not None and len(miss_indices) >= (
+                    max_new_simulations
+                ):
+                    report.completed = False
+                    break
+                miss_indices.append(len(plan))
+                planned_keys.add(key)
+            plan.append((cell, cached))
+        misses = len(miss_indices)
+
+        pool: Optional[ProcessPoolExecutor] = None
+        futures: Dict[int, "Future[Dict[str, Any]]"] = {}
+        submit_cursor = 0
+
+        def submit_up_to(limit: int) -> None:
+            # Keep a bounded window of cells in flight ahead of the commit
+            # cursor, so a slow early cell cannot make every later result
+            # buffer in memory at once.
+            nonlocal submit_cursor
+            while submit_cursor < len(miss_indices) and len(futures) < limit:
+                index = miss_indices[submit_cursor]
+                cell = plan[index][0]
+                futures[index] = pool.submit(
+                    _execute_cell_job, (cell.kind, cell.config_json)
+                )
+                submit_cursor += 1
+
+        if self._jobs > 1 and misses > 1:
+            pool = ProcessPoolExecutor(max_workers=min(self._jobs, misses))
+            submit_up_to(2 * self._jobs)
+        try:
+            for index, (cell, cached) in enumerate(plan):
+                if cached is None and self._store is not None and index not in futures:
+                    # A duplicate planned behind its first occurrence (or a
+                    # serial miss): the earlier commit may have landed by now.
+                    cached = self._store.get(cell.key())
+                if cached is not None:
+                    outcome = CellOutcome(cell=cell, record=cached, cached=True)
+                    report.cached += 1
+                else:
+                    if index in futures:
+                        result = futures.pop(index).result()
+                        submit_up_to(2 * self._jobs)
+                    else:
+                        result = execute_cell(cell, self._processes)
+                    outcome = CellOutcome(
+                        cell=cell, record=self._commit(cell, result), cached=False
+                    )
+                    report.simulated += 1
+                report.outcomes.append(outcome)
+                if progress is not None:
+                    progress(outcome)
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
         return report
 
     def run_one(self, cell: ExperimentCell) -> CellOutcome:
         """Run a single cell, serving it from the store when possible."""
-        key = cell.key()
         if self._store is not None:
-            cached_record = self._store.get(key)
+            cached_record = self._store.get(cell.key())
             if cached_record is not None:
                 return CellOutcome(cell=cell, record=cached_record, cached=True)
         result = self.run_cell(cell)
-        config = cell.config()
-        if self._store is not None:
-            record = self._store.put(config, result)
-        else:
-            record = ResultRecord(key=key, config=config, result=result)
-        return CellOutcome(cell=cell, record=record, cached=False)
+        return CellOutcome(cell=cell, record=self._commit(cell, result), cached=False)
 
-    # -- cell execution -----------------------------------------------------
     def run_cell(self, cell: ExperimentCell) -> Dict[str, Any]:
         """Execute one cell from scratch and return its canonical result dict."""
+        return execute_cell(cell, self._processes)
+
+    def _commit(self, cell: ExperimentCell, result: Dict[str, Any]) -> ResultRecord:
         config = cell.config()
-        if cell.kind == "einsim":
-            return self._run_einsim_cell(config)
-        return self._run_beer_cell(config)
-
-    def _run_einsim_cell(self, config: Dict[str, Any]) -> Dict[str, Any]:
-        code = resolve_code(config["code"])
-        dataword = resolve_dataword(config["dataword"], code.num_data_bits)
-        injector = build_injector(config["scenario"], config["params"])
-        campaign = MonteCarloCampaign(
-            code,
-            chunk_size=config["chunk_size"],
-            processes=self._processes,
-            backend=config["backend"],
-            base_seed=config["seed"],
-        )
-        result = campaign.simulate(dataword, injector, config["num_words"])
-        return {
-            "codeword_length": code.codeword_length,
-            "num_data_bits": code.num_data_bits,
-            "parity_columns": [int(c) for c in code.parity_column_ints],
-            "num_words": int(result.num_words),
-            "post_correction_error_counts": [
-                int(c) for c in result.post_correction_error_counts
-            ],
-            "pre_correction_error_counts": [
-                int(c) for c in result.pre_correction_error_counts
-            ],
-            "uncorrectable_words": int(result.uncorrectable_words),
-            "miscorrected_words": int(result.miscorrected_words),
-            "miscorrection_positions": [
-                int(p) for p in result.miscorrection_positions
-            ],
-        }
-
-    def _run_beer_cell(self, config: Dict[str, Any]) -> Dict[str, Any]:
-        vendor = next(v for v in all_vendors() if v.name == config["vendor"])
-        chip = vendor.make_chip(
-            num_data_bits=config["data_bits"],
-            geometry=ChipGeometry(
-                num_rows=config["num_rows"], words_per_row=config["words_per_row"]
-            ),
-            seed=config["seed"],
-            retention_model=DataRetentionModel(FAST_RETENTION_CALIBRATION),
-            backend=config["backend"],
-        )
-        experiment_config = ExperimentConfig(
-            pattern_weights=tuple(config["pattern_weights"]),
-            refresh_windows_s=tuple(config["refresh_windows_s"]),
-            rounds_per_window=config["rounds_per_window"],
-            threshold=config["threshold"],
-            discover_cell_encoding=True,
-            discovery_pause_s=max(config["refresh_windows_s"]),
-        )
-        result = BeerExperiment(chip, experiment_config).run(solve=False)
-        profile = result.profile
-        return {
-            "num_data_bits": profile.num_data_bits,
-            "num_patterns": len(profile.patterns),
-            "total_miscorrections": int(profile.total_miscorrections),
-            "profile": profile.to_dict(),
-        }
+        if self._store is not None:
+            return self._store.put(config, result)
+        return ResultRecord(key=cell.key(), config=config, result=result)

@@ -11,7 +11,11 @@ gives three properties the scenario subsystem is built on:
   it completes exactly the missing cells and yields a store byte-identical
   to an uninterrupted run;
 * **queryability** — typed load/query APIs for :mod:`repro.analysis` and the
-  CLI's ``scenario report``.
+  CLI's ``scenario report``;
+* **crash/concurrency safety** — appends are atomic under an advisory lock
+  (so multiple writer processes can share one store), a torn trailing line
+  left by a killed writer is repaired on open, and every record's content
+  address is verified on load.
 """
 
 from repro.store.store import (
@@ -20,6 +24,7 @@ from repro.store.store import (
     StoreIntegrityError,
     canonical_json,
     content_key,
+    store_lock,
 )
 
 __all__ = [
@@ -28,4 +33,5 @@ __all__ = [
     "StoreIntegrityError",
     "canonical_json",
     "content_key",
+    "store_lock",
 ]

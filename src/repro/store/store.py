@@ -1,4 +1,4 @@
-"""Content-addressed JSONL campaign store.
+"""Content-addressed JSONL campaign store, safe for crashes and co-writers.
 
 Layout: a campaign directory holding a single append-only ``records.jsonl``.
 Each line is one completed experiment cell::
@@ -9,21 +9,49 @@ serialised canonically (sorted keys, compact separators), so that a
 deterministic campaign produces byte-identical store files run after run.
 The key is the SHA-256 of the canonical JSON of ``config`` — the content
 address every cache/resume decision is made on.
+
+Durability model
+----------------
+
+* **Atomic appends** — every record is written as one ``write``/``fsync``
+  to a file opened ``O_APPEND``, while holding an exclusive advisory lock
+  (``fcntl.flock`` on a sidecar ``records.lock``; an ``O_EXCL`` lockfile
+  where ``fcntl`` is unavailable).  Concurrent writer processes therefore
+  never interleave bytes within a record.
+* **Multi-writer dedupe** — before appending, a store re-scans whatever
+  other writers appended since its last look (under the same lock), so two
+  processes racing on the same cell commit exactly one line.
+* **Crash repair** — a process killed mid-append can leave a torn trailing
+  line.  Opening the store detects it, truncates the torn tail, and resumes;
+  the interrupted cell is simply re-simulated.  A torn line anywhere *except*
+  the tail cannot be produced by a crash of this writer and raises
+  :class:`StoreIntegrityError`.
+* **Verification on load** — every record's ``key`` is re-derived from its
+  ``config``; a mismatch (bit rot, hand editing) fails loudly instead of
+  silently poisoning the cache.
 """
 
 from __future__ import annotations
 
+import contextlib
+import errno
 import hashlib
 import json
 import os
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional
 
 from repro.exceptions import ReproError
 
+try:  # POSIX; absent on some platforms — the lockfile fallback covers those.
+    import fcntl
+except ImportError:  # pragma: no cover - exercised only on non-POSIX hosts
+    fcntl = None  # type: ignore[assignment]
+
 
 class StoreIntegrityError(ReproError):
-    """A store record conflicts with what the campaign is trying to write."""
+    """A store record is corrupt or conflicts with what is being written."""
 
 
 def canonical_json(payload) -> str:
@@ -61,22 +89,71 @@ class ResultRecord:
         return cls(key=payload["key"], config=payload["config"], result=payload["result"])
 
 
+@contextlib.contextmanager
+def store_lock(directory: str, timeout_s: float = 60.0):
+    """Exclusive advisory lock guarding one campaign directory's records file.
+
+    Uses ``fcntl.flock`` on ``<directory>/records.lock`` where available
+    (released automatically by the kernel if the holder dies), otherwise an
+    ``O_CREAT|O_EXCL`` lockfile polled until ``timeout_s``.  Reentrant use
+    within one process is *not* supported — the store acquires it only in
+    leaf methods.
+    """
+    lock_path = os.path.join(directory, CampaignStore.LOCK_FILENAME)
+    if fcntl is not None:
+        fd = os.open(lock_path, os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
+        return
+    # Portable fallback: existence of the lockfile is the lock.
+    deadline = time.monotonic() + timeout_s
+    while True:  # pragma: no cover - exercised only on non-POSIX hosts
+        try:
+            fd = os.open(lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+            break
+        except OSError as error:
+            if error.errno != errno.EEXIST:
+                raise
+            if time.monotonic() >= deadline:
+                raise StoreIntegrityError(
+                    f"could not acquire store lock {lock_path} within "
+                    f"{timeout_s:.0f}s; remove it if its holder is dead"
+                )
+            time.sleep(0.01)
+    try:
+        yield
+    finally:
+        os.close(fd)
+        os.unlink(lock_path)
+
+
 class CampaignStore:
     """Append-only, content-addressed result store under a directory.
 
-    Opening a store scans ``records.jsonl`` (if present) and indexes every
-    record by key; :meth:`put` appends and flushes one line per completed
-    cell, which is the per-cell checkpoint that makes interrupted sweeps
-    resumable.
+    Opening a store scans ``records.jsonl`` (if present) under the store
+    lock, verifying every record's content address and repairing a torn
+    trailing line left by a crashed writer; :meth:`put` appends and fsyncs
+    one line per completed cell — the per-cell checkpoint that makes
+    interrupted sweeps resumable.  Multiple processes may write to the same
+    directory concurrently: appends are serialised by the advisory lock and
+    deduplicated by content address.
     """
 
     RECORDS_FILENAME = "records.jsonl"
+    LOCK_FILENAME = "records.lock"
 
     def __init__(self, directory: str):
         self._directory = str(directory)
         os.makedirs(self._directory, exist_ok=True)
         self._records: Dict[str, ResultRecord] = {}
         self._order: List[str] = []
+        #: Byte offset up to which ``records.jsonl`` has been indexed; bytes
+        #: past it were appended by other writers since our last look.
+        self._scan_offset = 0
         self._load_existing()
 
     # -- basic properties ---------------------------------------------------
@@ -138,36 +215,153 @@ class CampaignStore:
         Idempotent for identical results; storing a *different* result under
         an existing key raises :class:`StoreIntegrityError` — that means the
         simulation is not deterministic in something the key does not cover.
+        Safe against concurrent writers: the append happens under the store
+        lock, after indexing whatever other processes committed meanwhile.
         """
         key = content_key(config)
         record = ResultRecord(key=key, config=config, result=result)
         existing = self._records.get(key)
         if existing is not None:
-            if existing.to_json_line() != record.to_json_line():
-                raise StoreIntegrityError(
-                    f"key {key} already stored with a different result; "
-                    "the configuration hash does not capture all sources of "
-                    "variation"
-                )
-            return existing
-        with open(self.records_path, "a", encoding="utf-8") as handle:
-            handle.write(record.to_json_line() + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+            return self._reconcile(existing, record)
+        with store_lock(self._directory):
+            # Another process may have committed this cell (or others) since
+            # we last looked; index the new tail before deciding to append.
+            self._refresh_from_disk()
+            existing = self._records.get(key)
+            if existing is not None:
+                return self._reconcile(existing, record)
+            payload = (record.to_json_line() + "\n").encode("utf-8")
+            fd = os.open(
+                self.records_path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+            )
+            try:
+                start = os.fstat(fd).st_size
+                try:
+                    written = 0
+                    while written < len(payload):
+                        chunk = os.write(fd, payload[written:])
+                        if chunk == 0:
+                            raise OSError(
+                                f"zero-byte write appending to {self.records_path}"
+                            )
+                        written += chunk
+                    os.fsync(fd)
+                except BaseException:
+                    # A short/failed write leaves a torn fragment that later
+                    # appends would turn into unrepairable *mid-file*
+                    # corruption; roll it back while we still hold the lock.
+                    with contextlib.suppress(OSError):
+                        os.ftruncate(fd, start)
+                    raise
+            finally:
+                os.close(fd)
+            self._scan_offset += len(payload)
         self._records[key] = record
         self._order.append(key)
         return record
+
+    @staticmethod
+    def _reconcile(existing: ResultRecord, incoming: ResultRecord) -> ResultRecord:
+        if existing.to_json_line() != incoming.to_json_line():
+            raise StoreIntegrityError(
+                f"key {existing.key} already stored with a different result; "
+                "the configuration hash does not capture all sources of "
+                "variation"
+            )
+        return existing
 
     # -- internals ----------------------------------------------------------
     def _load_existing(self) -> None:
         if not os.path.exists(self.records_path):
             return
-        with open(self.records_path, encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                record = ResultRecord.from_json_line(line)
-                if record.key not in self._records:
-                    self._order.append(record.key)
-                self._records[record.key] = record
+        with store_lock(self._directory):
+            self._refresh_from_disk()
+
+    def _refresh_from_disk(self) -> None:
+        """Index records appended since the last scan.  Caller holds the lock.
+
+        Because every writer appends only while holding the lock, a partial
+        trailing line observed *under the lock* can only be a crash artifact:
+        it is repaired in place (truncated, or completed with its missing
+        newline when the record itself survived intact).
+        """
+        if not os.path.exists(self.records_path):
+            return
+        with open(self.records_path, "rb") as handle:
+            handle.seek(self._scan_offset)
+            data = handle.read()
+        position = 0
+        while position < len(data):
+            newline = data.find(b"\n", position)
+            if newline == -1:
+                self._repair_tail(data[position:], self._scan_offset + position)
+                return
+            line = data[position:newline]
+            if line.strip():
+                self._index_line(line, self._scan_offset + position)
+            position = newline + 1
+        self._scan_offset += position
+
+    def _index_line(self, line: bytes, offset: int) -> None:
+        record = self._parse_record(line, offset)
+        existing = self._records.get(record.key)
+        if existing is not None:
+            if existing.to_json_line() != record.to_json_line():
+                raise StoreIntegrityError(
+                    f"{self.records_path} holds two different results for key "
+                    f"{record.key} (second at byte {offset}); refusing to "
+                    "pick one silently"
+                )
+            return
+        self._records[record.key] = record
+        self._order.append(record.key)
+
+    def _parse_record(self, line: bytes, offset: int) -> ResultRecord:
+        try:
+            record = ResultRecord.from_json_line(line.decode("utf-8"))
+        except (ValueError, KeyError, TypeError, UnicodeDecodeError) as error:
+            raise StoreIntegrityError(
+                f"{self.records_path} is corrupt at byte {offset}: "
+                f"unparseable record line ({error}); only a *trailing* torn "
+                "line can be crash damage, so this needs manual inspection"
+            ) from error
+        derived = content_key(record.config)
+        if record.key != derived:
+            raise StoreIntegrityError(
+                f"{self.records_path} is corrupt at byte {offset}: stored key "
+                f"{record.key} does not match the content address {derived} "
+                "of its config"
+            )
+        return record
+
+    def _repair_tail(self, fragment: bytes, offset: int) -> None:
+        """Handle a trailing line with no newline (a crashed writer's append).
+
+        A crash-torn append is a strict prefix of one JSON object and can
+        never parse, so an unparseable fragment is truncated away (the cell
+        is re-simulated on resume).  A fragment that *does* parse is a
+        complete record missing only its newline: it is verified exactly
+        like any other line — failing loudly on a bad content address —
+        and then completed in place.
+        """
+        if not fragment.strip():
+            # Just stray whitespace at the tail; absorb it.
+            self._scan_offset = offset + len(fragment)
+            return
+        try:
+            ResultRecord.from_json_line(fragment.decode("utf-8"))
+        except (ValueError, KeyError, TypeError, UnicodeDecodeError):
+            fd = os.open(self.records_path, os.O_RDWR)
+            try:
+                os.ftruncate(fd, offset)
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+            self._scan_offset = offset
+            return
+        self._index_line(fragment, offset)  # raises on key/config mismatch
+        with open(self.records_path, "ab") as handle:
+            handle.write(b"\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._scan_offset = offset + len(fragment) + 1

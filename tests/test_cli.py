@@ -310,6 +310,19 @@ class TestScenarioCommands:
         assert resumed["completed"]
         assert resumed["simulated"] == 2 and resumed["cached"] == 1
 
+    def test_scenario_sweep_jobs_matches_serial_store(self, spec_file, tmp_path, capsys):
+        serial, parallel = tmp_path / "serial", tmp_path / "parallel"
+        assert main(["scenario", "sweep", "--spec", str(spec_file),
+                     "--store", str(serial), "--json"]) == 0
+        capsys.readouterr()
+        assert main(["scenario", "sweep", "--spec", str(spec_file),
+                     "--store", str(parallel), "--jobs", "2", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["simulated"] == 3
+        assert (serial / "records.jsonl").read_bytes() == (
+            parallel / "records.jsonl"
+        ).read_bytes()
+
     def test_scenario_report(self, spec_file, tmp_path, capsys):
         store = tmp_path / "camp"
         main(["scenario", "sweep", "--spec", str(spec_file), "--store", str(store)])

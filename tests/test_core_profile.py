@@ -185,6 +185,22 @@ class TestMiscorrectionCounts:
         with pytest.raises(ProfileError):
             MiscorrectionCounts(0)
 
+    def test_error_positions_with_zero_words_rejected(self):
+        counts = MiscorrectionCounts(4)
+        with pytest.raises(ProfileError, match="zero words"):
+            counts.record_observations(ChargedPattern(4, [0]), [1, 2], 0)
+
+    def test_zero_word_rounds_do_not_register_the_pattern(self):
+        counts = MiscorrectionCounts(4)
+        pattern = ChargedPattern(4, [0])
+        # A zero-word round is a legal no-op: the pattern is not registered,
+        # so downstream probability/profile computations never divide by it.
+        counts.record_observations(pattern, [], 0)
+        assert counts.patterns == []
+        assert counts.to_profile().patterns == []
+        with pytest.raises(ProfileError, match="no recorded observations"):
+            counts.error_probabilities(pattern)
+
     def test_threshold_filter_removes_rare_events(self):
         # Bit 1 fails often (a real miscorrection), bit 2 fails once
         # (transient noise); a threshold separates them (paper Figure 4).

@@ -299,3 +299,110 @@ class TestSweepRunner:
         result = SweepRunner().run_cell(cell)
         assert result["uncorrectable_words"] == 200
         assert sum(result["pre_correction_error_counts"]) == 400
+
+    def test_unknown_vendor_raises_a_clear_repro_error(self):
+        from repro.exceptions import ReproError
+        from repro.scenarios import ExperimentCell, make_beer_cell
+
+        reference = make_beer_cell(vendor="A", data_bits=8).config()
+        reference["vendor"] = "Z"  # bypass make_beer_cell's own validation
+        cell = ExperimentCell.from_config(reference)
+        with pytest.raises(ReproError, match=r"unknown vendor 'Z'.*'A', 'B', 'C'"):
+            SweepRunner().run_cell(cell)
+
+
+class TestParallelSweepRunner:
+    """jobs=N fan-out must be invisible in the store's bytes."""
+
+    def test_parallel_store_is_byte_identical_to_serial(self, tmp_path):
+        spec = SweepSpec.from_dict(BASE_SWEEP)
+        serial = SweepRunner(store=CampaignStore(tmp_path / "serial"))
+        parallel = SweepRunner(store=CampaignStore(tmp_path / "parallel"), jobs=4)
+        serial_report = serial.run(spec)
+        parallel_report = parallel.run(spec)
+        assert serial_report.to_dict() == parallel_report.to_dict()
+        assert parallel_report.simulated == spec.num_cells
+        assert (tmp_path / "serial" / "records.jsonl").read_bytes() == (
+            tmp_path / "parallel" / "records.jsonl"
+        ).read_bytes()
+
+    def test_parallel_outcomes_arrive_in_spec_order(self, tmp_path):
+        spec = SweepSpec.from_dict(BASE_SWEEP)
+        seen = []
+        report = SweepRunner(store=CampaignStore(tmp_path / "camp"), jobs=3).run(
+            spec, progress=seen.append
+        )
+        assert [o.cell for o in report.outcomes] == list(spec.cells)
+        assert [o.cell for o in seen] == list(spec.cells)
+
+    def test_parallel_run_resumes_an_interrupted_serial_sweep(self, tmp_path):
+        spec = SweepSpec.from_dict(BASE_SWEEP)
+        full = CampaignStore(tmp_path / "full")
+        SweepRunner(store=full).run(spec)
+
+        partial = SweepRunner(store=CampaignStore(tmp_path / "partial"))
+        assert not partial.run(spec, max_new_simulations=1).completed
+
+        resumed = SweepRunner(
+            store=CampaignStore(tmp_path / "partial"), jobs=2
+        ).run(spec)
+        assert resumed.completed
+        assert resumed.cached == 1 and resumed.simulated == spec.num_cells - 1
+        assert (tmp_path / "partial" / "records.jsonl").read_bytes() == (
+            tmp_path / "full" / "records.jsonl"
+        ).read_bytes()
+
+    def test_parallel_sweep_resumes_after_a_torn_tail_crash(self, tmp_path):
+        spec = SweepSpec.from_dict(BASE_SWEEP)
+        full = CampaignStore(tmp_path / "full")
+        SweepRunner(store=full).run(spec)
+        intact = (tmp_path / "full" / "records.jsonl").read_bytes()
+
+        crashed = tmp_path / "crashed" / "records.jsonl"
+        crashed.parent.mkdir()
+        # The sweep died mid-append of its second record.
+        torn_point = intact.find(b"\n") + 1
+        crashed.write_bytes(intact[: torn_point + 40])
+
+        report = SweepRunner(store=CampaignStore(tmp_path / "crashed"), jobs=2).run(
+            spec
+        )
+        assert report.cached == 1 and report.simulated == spec.num_cells - 1
+        assert crashed.read_bytes() == intact
+
+    def test_parallel_rerun_is_fully_cached(self, tmp_path):
+        spec = SweepSpec.from_dict(BASE_SWEEP)
+        store = CampaignStore(tmp_path / "camp")
+        SweepRunner(store=store, jobs=2).run(spec)
+        second = SweepRunner(store=CampaignStore(tmp_path / "camp"), jobs=2).run(spec)
+        assert second.simulated == 0 and second.cached == spec.num_cells
+
+    def test_max_new_simulations_budget_matches_serial_semantics(self, tmp_path):
+        spec = SweepSpec.from_dict(BASE_SWEEP)
+        report = SweepRunner(store=CampaignStore(tmp_path / "camp"), jobs=4).run(
+            spec, max_new_simulations=2
+        )
+        assert not report.completed
+        assert report.simulated == 2
+        assert len(report.outcomes) == 2
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ScenarioError):
+            SweepRunner(jobs=0)
+
+    @pytest.mark.parametrize("jobs", [1, 3])
+    def test_duplicate_cells_in_a_spec_simulate_once(self, tmp_path, jobs):
+        # SweepSpec.from_dict dedupes, but run() must not rely on that: a
+        # hand-built spec repeating one cell simulates it once and serves
+        # the repeat from the just-committed store record.
+        cell = make_einsim_cell(
+            "uniform-random", {"bit_error_rate": 0.01}, {"data_bits": 8}, 200,
+            chunk_size=64,
+        )
+        spec = SweepSpec(name="dup", cells=(cell, cell, cell))
+        report = SweepRunner(
+            store=CampaignStore(tmp_path / f"camp{jobs}"), jobs=jobs
+        ).run(spec)
+        assert report.simulated == 1 and report.cached == 2
+        lines = (tmp_path / f"camp{jobs}" / "records.jsonl").read_bytes()
+        assert lines.count(b"\n") == 1

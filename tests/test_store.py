@@ -1,6 +1,7 @@
 """Tests for the content-addressed campaign store."""
 
 import json
+import multiprocessing
 import os
 
 import pytest
@@ -83,3 +84,145 @@ class TestCampaignStore:
         target = tmp_path / "nested" / "camp"
         CampaignStore(target)
         assert os.path.isdir(target)
+
+
+class TestCrashRecovery:
+    """A writer killed mid-append must not make the store unopenable."""
+
+    @staticmethod
+    def _populated(directory, count=3):
+        store = CampaignStore(directory)
+        for index in range(count):
+            store.put({"cell": index}, {"r": index * 10})
+        return directory / "records.jsonl"
+
+    def test_torn_trailing_line_is_truncated_and_resumes(self, tmp_path):
+        records = self._populated(tmp_path / "camp")
+        intact = records.read_bytes()
+        torn_at = intact.rstrip(b"\n").rfind(b"\n") + 1
+        # Crash mid-append: the last record only half made it to disk.
+        records.write_bytes(intact[: torn_at + 17])
+
+        reopened = CampaignStore(tmp_path / "camp")
+        assert len(reopened) == 2
+        # The torn tail is gone from disk, so a fresh append lands cleanly...
+        assert records.read_bytes() == intact[:torn_at]
+        reopened.put({"cell": 2}, {"r": 20})
+        # ...and the repaired store ends up byte-identical to the uncrashed one.
+        assert records.read_bytes() == intact
+
+    def test_complete_tail_missing_only_newline_is_kept(self, tmp_path):
+        records = self._populated(tmp_path / "camp")
+        intact = records.read_bytes()
+        records.write_bytes(intact[:-1])  # crash ate just the final "\n"
+
+        reopened = CampaignStore(tmp_path / "camp")
+        assert len(reopened) == 3
+        assert reopened.get(content_key({"cell": 2})).result == {"r": 20}
+        assert records.read_bytes() == intact
+
+    def test_torn_line_before_the_tail_is_real_corruption(self, tmp_path):
+        records = self._populated(tmp_path / "camp")
+        lines = records.read_bytes().splitlines(keepends=True)
+        lines[1] = lines[1][:25] + b"\n"
+        records.write_bytes(b"".join(lines))
+        with pytest.raises(StoreIntegrityError, match="unparseable"):
+            CampaignStore(tmp_path / "camp")
+
+    def test_key_config_mismatch_fails_loudly(self, tmp_path):
+        records = self._populated(tmp_path / "camp")
+        payload = json.loads(records.read_bytes().splitlines()[0])
+        payload["config"] = {"cell": "tampered"}
+        doctored = canonical_json(payload).encode() + b"\n"
+        with open(records, "r+b") as handle:
+            original = handle.read()
+        records.write_bytes(doctored + b"".join(original.splitlines(keepends=True)[1:]))
+        with pytest.raises(StoreIntegrityError, match="content address"):
+            CampaignStore(tmp_path / "camp")
+
+    def test_conflicting_results_for_one_key_fail_loudly(self, tmp_path):
+        records = self._populated(tmp_path / "camp")
+        conflicting = ResultRecord(
+            key=content_key({"cell": 0}), config={"cell": 0}, result={"r": 999}
+        )
+        with open(records, "ab") as handle:
+            handle.write(conflicting.to_json_line().encode() + b"\n")
+        with pytest.raises(StoreIntegrityError, match="two different results"):
+            CampaignStore(tmp_path / "camp")
+
+    def test_tampered_tail_without_newline_fails_loudly(self, tmp_path):
+        # A torn append can never fully parse, so a parseable tail whose key
+        # fails verification is tampering, not crash damage — it must not be
+        # silently truncated away.
+        records = self._populated(tmp_path / "camp")
+        lines = records.read_bytes().splitlines(keepends=True)
+        payload = json.loads(lines[-1])
+        payload["config"] = {"cell": "tampered"}
+        records.write_bytes(
+            b"".join(lines[:-1]) + canonical_json(payload).encode()
+        )
+        with pytest.raises(StoreIntegrityError, match="content address"):
+            CampaignStore(tmp_path / "camp")
+
+    def test_non_object_json_line_fails_loudly(self, tmp_path):
+        records = self._populated(tmp_path / "camp")
+        with open(records, "ab") as handle:
+            handle.write(b"null\n")
+        with pytest.raises(StoreIntegrityError, match="unparseable"):
+            CampaignStore(tmp_path / "camp")
+
+    def test_whitespace_tail_is_absorbed(self, tmp_path):
+        records = self._populated(tmp_path / "camp")
+        with open(records, "ab") as handle:
+            handle.write(b"  ")
+        assert len(CampaignStore(tmp_path / "camp")) == 3
+
+
+def _hammer_store(directory, writer_id, keys_per_writer, shared_keys, barrier):
+    """Open an independent store handle and race puts against siblings."""
+    store = CampaignStore(directory)
+    barrier.wait()
+    for index in range(keys_per_writer):
+        store.put({"writer": writer_id, "cell": index}, {"r": index})
+    for index in range(shared_keys):
+        # Every writer also commits the same shared cells with identical
+        # results — the refresh-under-lock protocol must dedupe them.
+        store.put({"shared": index}, {"r": index * 7})
+
+
+class TestConcurrentWriters:
+    def test_two_writers_produce_no_torn_or_duplicate_records(self, tmp_path):
+        directory = tmp_path / "camp"
+        CampaignStore(directory)
+        keys_per_writer, shared_keys = 40, 15
+        barrier = multiprocessing.Barrier(2)
+        workers = [
+            multiprocessing.Process(
+                target=_hammer_store,
+                args=(directory, writer, keys_per_writer, shared_keys, barrier),
+            )
+            for writer in range(2)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+            assert worker.exitcode == 0
+
+        raw = (directory / "records.jsonl").read_bytes()
+        assert raw.endswith(b"\n")
+        lines = raw.splitlines()
+        # Every line parses and key-verifies: nothing interleaved, nothing torn.
+        records = [ResultRecord.from_json_line(line.decode()) for line in lines]
+        for record in records:
+            assert record.key == content_key(record.config)
+        # Exactly one line per unique cell, shared cells included.
+        assert len(lines) == 2 * keys_per_writer + shared_keys
+        assert len({record.key for record in records}) == len(lines)
+
+        reopened = CampaignStore(directory)
+        assert len(reopened) == len(lines)
+        for index in range(shared_keys):
+            assert reopened.get(content_key({"shared": index})).result == {
+                "r": index * 7
+            }
