@@ -25,12 +25,16 @@ DRAM chips and for BEEP-based error profiling.
 
 from repro.gf2 import GF2Matrix, GF2Vector
 from repro.ecc import (
+    FAMILY_NAMES,
+    CodeFamily,
     DecodeOutcome,
     SyndromeDecoder,
     SystematicLinearCode,
     classify_decode,
     codes_equivalent,
     example_7_4_code,
+    family_names,
+    get_family,
     hamming_code,
     min_parity_bits,
     random_hamming_code,
@@ -80,12 +84,16 @@ __version__ = "1.0.0"
 __all__ = [
     "GF2Matrix",
     "GF2Vector",
+    "FAMILY_NAMES",
+    "CodeFamily",
     "DecodeOutcome",
     "SyndromeDecoder",
     "SystematicLinearCode",
     "classify_decode",
     "codes_equivalent",
     "example_7_4_code",
+    "family_names",
+    "get_family",
     "hamming_code",
     "min_parity_bits",
     "random_hamming_code",

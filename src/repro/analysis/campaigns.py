@@ -8,7 +8,7 @@ give figure/notebook code a one-call path from a store directory to numbers.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Tuple
 
 import numpy as np
 
@@ -42,6 +42,7 @@ def campaign_report_data(store: CampaignStore) -> Dict[str, Any]:
     """
     scenario_rows: Dict[str, Dict[str, Any]] = {}
     beer_rows: Dict[str, Dict[str, Any]] = {}
+    family_sets: Dict[str, set] = {}
     for record in store.records():
         config, result = record.config, record.result
         if config.get("kind") == "einsim":
@@ -53,6 +54,7 @@ def campaign_report_data(store: CampaignStore) -> Dict[str, Any]:
                     "num_words": 0,
                     "uncorrectable_words": 0,
                     "miscorrected_words": 0,
+                    "detected_words": 0,
                     "post_correction_errors": 0,
                     "data_bits_observed": 0,
                 },
@@ -61,6 +63,12 @@ def campaign_report_data(store: CampaignStore) -> Dict[str, Any]:
             row["num_words"] += result["num_words"]
             row["uncorrectable_words"] += result["uncorrectable_words"]
             row["miscorrected_words"] += result["miscorrected_words"]
+            # Older stores predate the DUE path and code families; default to
+            # zero detections and the historical single family.
+            row["detected_words"] += result.get("detected_words", 0)
+            family_sets.setdefault(config["scenario"], set()).add(
+                result.get("code_family", "sec-hamming")
+            )
             row["post_correction_errors"] += int(
                 np.sum(result["post_correction_error_counts"])
             )
@@ -81,12 +89,14 @@ def campaign_report_data(store: CampaignStore) -> Dict[str, Any]:
             row["num_patterns"] += result["num_patterns"]
             row["total_miscorrections"] += result["total_miscorrections"]
 
-    for row in scenario_rows.values():
+    for name, row in scenario_rows.items():
         words = max(row["num_words"], 1)
         bits = max(row["data_bits_observed"], 1)
         row["uncorrectable_fraction"] = row["uncorrectable_words"] / words
         row["miscorrected_fraction"] = row["miscorrected_words"] / words
+        row["detected_fraction"] = row["detected_words"] / words
         row["post_correction_ber"] = row["post_correction_errors"] / bits
+        row["code_families"] = sorted(family_sets.get(name, ()))
 
     return {
         "num_records": len(store),
@@ -110,4 +120,5 @@ def _to_simulation_result(record: ResultRecord) -> SimulationResult:
         uncorrectable_words=result["uncorrectable_words"],
         miscorrected_words=result["miscorrected_words"],
         miscorrection_positions=tuple(result["miscorrection_positions"]),
+        detected_words=result.get("detected_words", 0),
     )

@@ -12,7 +12,6 @@ from __future__ import annotations
 import itertools
 import time
 import tracemalloc
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -31,14 +30,12 @@ from repro.einsim import (
 from repro.core import (
     BeerExperiment,
     BeerSolver,
-    ChargedPattern,
     ExperimentConfig,
     charged_patterns,
     expected_miscorrection_profile,
     one_charged_patterns,
 )
 from repro.core.beep import BeepProfiler, SimulatedWordUnderTest
-from repro.core.profile import charged_codeword_positions
 
 
 #: Retention calibration used by figure generators that drive simulated chips;

@@ -22,8 +22,12 @@ campaign store (:mod:`repro.store`)::
 Simulation-heavy commands (``einsim``, ``simulate-profile``, ``scenario``)
 accept ``--backend {reference,packed,auto}`` selecting the GF(2) kernel
 implementation; both backends produce bit-identical output for the same
-seed, the packed one is simply faster.  Result-producing commands accept
-``--json`` to emit a single machine-readable JSON document on stdout.
+seed, the packed one is simply faster.  ``solve``, ``simulate-profile``,
+``einsim``, ``beep`` and ``scenario run`` accept ``--code-family`` choosing
+the ECC code family (:mod:`repro.ecc.family`): SEC Hamming (default),
+SEC-DED extended Hamming, parity-detect, or repetition.  Result-producing
+commands accept ``--json`` to emit a single machine-readable JSON document
+on stdout.
 
 Profiles are exchanged as JSON in the format produced by
 :meth:`repro.core.profile.MiscorrectionProfile.to_dict`.
@@ -38,9 +42,9 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.exceptions import CodeConstructionError
 from repro.gf2 import GF2Vector
-from repro.ecc import SystematicLinearCode, random_hamming_code
-from repro.ecc.hamming import min_parity_bits
+from repro.ecc import FAMILY_NAMES, SystematicLinearCode, get_family
 from repro.dram import ChipGeometry, DataRetentionModel, all_vendors
 from repro.dram.retention import RetentionCalibration
 from repro.core import (
@@ -76,6 +80,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="stop after this many candidate functions")
     solve.add_argument("--backend", choices=("fast", "sat"), default="fast",
                        help="constraint-propagation backend (fast) or CNF/CDCL backend (sat)")
+    solve.add_argument("--code-family", choices=FAMILY_NAMES, default="sec-hamming",
+                       help="code family whose design space is searched "
+                            "(families with a fixed structure cannot be solved for)")
     solve.add_argument("--output", default=None, help="write the solutions to a JSON file")
     solve.add_argument("--sat-stats", action="store_true",
                        help="report incremental CDCL solver statistics "
@@ -97,6 +104,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate.add_argument("--vendor", choices=("A", "B", "C"), default="A")
     simulate.add_argument("--data-bits", type=int, default=8)
+    simulate.add_argument("--code-family", choices=FAMILY_NAMES, default="sec-hamming",
+                          help="code family of the simulated chip's on-die ECC "
+                               "(must have a searchable design space)")
     simulate.add_argument("--seed", type=int, default=0)
     simulate.add_argument("--rounds", type=int, default=8)
     simulate.add_argument("--backend", choices=("reference", "packed", "auto"),
@@ -111,6 +121,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a Monte-Carlo ECC-word simulation and emit per-bit error statistics",
     )
     einsim.add_argument("--data-bits", type=int, default=32)
+    einsim.add_argument("--code-family", choices=FAMILY_NAMES, default="sec-hamming",
+                        help="code family to simulate (detect-only families "
+                             "report DUEs instead of corrections)")
     einsim.add_argument("--num-words", type=int, default=100_000)
     einsim.add_argument("--ber", type=float, default=1e-3,
                         help="uniform-random pre-correction bit error rate")
@@ -131,6 +144,9 @@ def build_parser() -> argparse.ArgumentParser:
         "beep", help="demonstrate BEEP on a simulated ECC word with known weak cells"
     )
     beep.add_argument("--data-bits", type=int, default=16)
+    beep.add_argument("--code-family", choices=FAMILY_NAMES, default="sec-hamming",
+                      help="code family of the word under test (BEEP needs a "
+                           "correcting family: miscorrections are its signal)")
     beep.add_argument("--error-positions", required=True,
                       help="comma-separated codeword positions of the weak cells")
     beep.add_argument("--passes", type=int, default=2)
@@ -169,6 +185,9 @@ def _add_scenario_parser(subparsers) -> None:
     run.add_argument("--param", action="append", default=[], metavar="KEY=VALUE",
                      help="scenario parameter (repeatable; values parsed as JSON)")
     run.add_argument("--data-bits", type=int, default=16)
+    run.add_argument("--code-family", choices=FAMILY_NAMES, default="sec-hamming",
+                     help="code family of the simulated ECC (participates in "
+                          "the cell's content-addressed store key)")
     run.add_argument("--code-seed", type=int, default=None,
                      help="sample a random code with this seed (default: deterministic code)")
     run.add_argument("--dataword", default="ones",
@@ -233,18 +252,25 @@ def _run_solve(args) -> int:
     if args.sat_stats and args.backend != "sat":
         print("--sat-stats requires --backend sat", file=sys.stderr)
         return 2
+    family = get_family(args.code_family)
+    if not family.supports_beer:
+        print(f"code family {family.name!r} has a fixed structure; there is "
+              "no design space to solve for", file=sys.stderr)
+        return 2
     profile = _load_profile(args.profile)
-    parity_bits = args.parity_bits or min_parity_bits(profile.num_data_bits)
+    parity_bits = args.parity_bits or family.min_parity_bits(profile.num_data_bits)
     if args.backend == "sat":
-        solver = SatBeerSolver(profile.num_data_bits, parity_bits)
+        solver = SatBeerSolver(profile.num_data_bits, parity_bits, family=family)
     else:
-        solver = BeerSolver(profile.num_data_bits, parity_bits)
+        solver = BeerSolver(profile.num_data_bits, parity_bits, family=family)
     solution = solver.solve(profile, max_solutions=args.max_solutions)
 
     payload = {
         "num_data_bits": profile.num_data_bits,
         "num_parity_bits": parity_bits,
         "backend": args.backend,
+        "code_family": family.name,
+        "design_space_columns": solution.design_space_columns,
         "truncated": solution.truncated,
         "num_solutions": solution.num_solutions,
         "candidates": [list(code.parity_column_ints) for code in solution.codes],
@@ -257,6 +283,8 @@ def _run_solve(args) -> int:
         print(f"profile: k={profile.num_data_bits}, {len(profile.patterns)} patterns, "
               f"{profile.total_miscorrections} miscorrection entries")
         print(f"solver backend: {args.backend}")
+        print(f"code family: {family.name} "
+              f"({solution.design_space_columns} legal column values)")
         print(f"candidate ECC functions found: {solution.num_solutions}"
               + (" (search truncated)" if solution.truncated else ""))
         for index, code in enumerate(solution.codes):
@@ -276,7 +304,9 @@ def _run_solve(args) -> int:
 def _run_verify(args) -> int:
     profile = _load_profile(args.profile)
     columns = _parse_int_list(args.columns)
-    parity_bits = args.parity_bits or min_parity_bits(profile.num_data_bits)
+    parity_bits = args.parity_bits or get_family("sec-hamming").min_parity_bits(
+        profile.num_data_bits
+    )
     code = SystematicLinearCode.from_parity_columns(columns, parity_bits)
     matches = BeerSolver.verify(code, profile)
     print("MATCH" if matches else "MISMATCH")
@@ -284,6 +314,11 @@ def _run_verify(args) -> int:
 
 
 def _run_simulate_profile(args) -> int:
+    family = get_family(args.code_family)
+    if not family.supports_beer:
+        print(f"code family {family.name!r} has a fixed structure; a BEER "
+              "campaign against it has nothing to recover", file=sys.stderr)
+        return 2
     vendor = next(v for v in all_vendors() if v.name == args.vendor)
     chip = vendor.make_chip(
         num_data_bits=args.data_bits,
@@ -291,6 +326,7 @@ def _run_simulate_profile(args) -> int:
         seed=args.seed,
         retention_model=_FAST_RETENTION,
         backend=args.backend,
+        code_family=family.name,
     )
     config = ExperimentConfig(
         pattern_weights=(1, 2),
@@ -307,12 +343,14 @@ def _run_simulate_profile(args) -> int:
         print(json.dumps({
             "vendor": vendor.name,
             "num_data_bits": args.data_bits,
+            "code_family": family.name,
             "backend": args.backend,
             "num_entries": len(result.profile.patterns),
             "output": args.output,
         }, indent=2))
     else:
-        print(f"simulated a vendor-{vendor.name} chip with k={args.data_bits} and wrote "
+        print(f"simulated a vendor-{vendor.name} chip with k={args.data_bits} "
+              f"({family.name} on-die ECC) and wrote "
               f"{len(result.profile.patterns)} pattern entries to {args.output}")
     return 0
 
@@ -321,7 +359,17 @@ def _run_beep(args) -> int:
     if args.sat_stats and args.pattern_backend != "sat":
         print("--sat-stats requires --pattern-backend sat", file=sys.stderr)
         return 2
-    code = random_hamming_code(args.data_bits, rng=np.random.default_rng(args.seed))
+    family = get_family(args.code_family)
+    try:
+        code = family.random(args.data_bits, rng=np.random.default_rng(args.seed))
+    except CodeConstructionError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    if code.detect_only:
+        print(f"code family {family.name!r} is detect-only; BEEP needs a "
+              "correcting family (miscorrections are its signal)",
+              file=sys.stderr)
+        return 2
     positions = _parse_int_list(args.error_positions)
     word = SimulatedWordUnderTest(
         code, positions, per_bit_probability=args.probability,
@@ -335,6 +383,7 @@ def _run_beep(args) -> int:
         payload = {
             "codeword_length": code.codeword_length,
             "num_data_bits": code.num_data_bits,
+            "code_family": code.family_name,
             "true_positions": sorted(positions),
             "identified_positions": identified,
             "patterns_tested": result.patterns_tested,
@@ -346,7 +395,8 @@ def _run_beep(args) -> int:
             payload["sat_solver_stats"] = profiler.sat_solver_stats()
         print(json.dumps(payload, indent=2))
     else:
-        print(f"ECC function: ({code.codeword_length}, {code.num_data_bits}) SEC Hamming code")
+        print(f"ECC function: ({code.codeword_length}, {code.num_data_bits}) "
+              f"{code.family_name} code")
         print(f"true weak cells:       {sorted(positions)}")
         print(f"identified weak cells: {identified}")
         print(f"patterns tested: {result.patterns_tested}, "
@@ -366,7 +416,12 @@ def _run_einsim(args) -> int:
     from repro.core import MonteCarloCampaign
     from repro.einsim import UniformRandomInjector
 
-    code = random_hamming_code(args.data_bits, rng=np.random.default_rng(args.seed))
+    family = get_family(args.code_family)
+    try:
+        code = family.random(args.data_bits, rng=np.random.default_rng(args.seed))
+    except CodeConstructionError as error:
+        print(str(error), file=sys.stderr)
+        return 2
     campaign = MonteCarloCampaign(
         code,
         chunk_size=args.chunk_size,
@@ -382,6 +437,7 @@ def _run_einsim(args) -> int:
     payload = {
         "codeword_length": code.codeword_length,
         "num_data_bits": code.num_data_bits,
+        "code_family": code.family_name,
         "parity_columns": list(code.parity_column_ints),
         "num_words": result.num_words,
         "bit_error_rate": args.ber,
@@ -394,16 +450,18 @@ def _run_einsim(args) -> int:
         ],
         "uncorrectable_words": result.uncorrectable_words,
         "miscorrected_words": result.miscorrected_words,
+        "detected_words": result.detected_words,
         "miscorrection_positions": list(result.miscorrection_positions),
     }
     if args.json:
         print(json.dumps(payload, indent=2))
     else:
         print(f"simulated {result.num_words} words of a "
-              f"({code.codeword_length}, {code.num_data_bits}) SEC Hamming code "
-              f"[{campaign.backend} backend]")
+              f"({code.codeword_length}, {code.num_data_bits}) {code.family_name} "
+              f"code [{campaign.backend} backend]")
         print(f"uncorrectable words: {result.uncorrectable_words}, "
-              f"miscorrected words: {result.miscorrected_words}")
+              f"miscorrected words: {result.miscorrected_words}, "
+              f"detected (DUE) words: {result.detected_words}")
         print("per-data-bit post-correction error counts: "
               + ",".join(str(int(c)) for c in result.post_correction_error_counts))
     if args.output:
@@ -465,6 +523,10 @@ def _run_scenario_run(args) -> int:
             params[key] = raw
 
     code_spec = {"data_bits": args.data_bits}
+    if args.code_family != "sec-hamming":
+        # Only a non-default family is recorded, keeping historical cell
+        # configurations (and their content-addressed keys) unchanged.
+        code_spec["code_family"] = args.code_family
     if args.code_seed is not None:
         code_spec["code_seed"] = args.code_seed
     cell = make_einsim_cell(
@@ -535,10 +597,12 @@ def _run_scenario_report(args) -> int:
         return 0
     print(f"campaign store {store.directory}: {data['num_records']} records")
     for row in data["scenarios"]:
+        families = ",".join(row["code_families"]) or "sec-hamming"
         print(f"  scenario {row['scenario']}: {row['cells']} cells, "
               f"{row['num_words']} words, "
               f"post-correction BER {row['post_correction_ber']:.3e}, "
-              f"uncorrectable {row['uncorrectable_fraction']:.3%}")
+              f"uncorrectable {row['uncorrectable_fraction']:.3%}, "
+              f"DUE {row['detected_fraction']:.3%} [{families}]")
     for row in data["beer_campaigns"]:
         print(f"  BEER vendor {row['vendor']}: {row['cells']} campaigns, "
               f"{row['num_patterns']} patterns, "

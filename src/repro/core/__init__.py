@@ -26,6 +26,7 @@ from repro.core.profile import (
     expected_miscorrection_profile,
     miscorrections_possible,
     monte_carlo_miscorrection_profile,
+    monte_carlo_observation_counts,
 )
 from repro.core.beer import BeerSolver, BeerSolution
 from repro.core.beer_sat import SatBeerSolver
@@ -45,6 +46,7 @@ __all__ = [
     "expected_miscorrection_profile",
     "miscorrections_possible",
     "monte_carlo_miscorrection_profile",
+    "monte_carlo_observation_counts",
     "BeerSolver",
     "BeerSolution",
     "SatBeerSolver",

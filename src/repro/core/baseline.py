@@ -23,7 +23,7 @@ from typing import Optional
 import numpy as np
 
 from repro.exceptions import SolverError
-from repro.gf2 import GF2Matrix, GF2Vector
+from repro.gf2 import GF2Vector
 from repro.ecc.code import SystematicLinearCode
 from repro.ecc.decoder import SyndromeDecoder
 

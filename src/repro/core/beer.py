@@ -26,14 +26,13 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.exceptions import ProfileError, SolverError
+from repro.exceptions import CodeConstructionError, ProfileError, SolverError
 from repro.ecc.code import SystematicLinearCode
 from repro.ecc.codespace import canonical_parity_columns
-from repro.ecc.hamming import candidate_parity_columns, min_parity_bits
+from repro.ecc.family import CodeFamily, get_family
 from repro.core.profile import MiscorrectionProfile, expected_miscorrection_profile
-from repro.core.patterns import ChargedPattern
 
 
 @dataclass
@@ -57,6 +56,12 @@ class BeerSolution:
         CDCL solver statistics (conflicts, decisions, propagations, restarts,
         learned/deleted clauses, ...) when produced by the SAT backend's
         incremental path; None otherwise.
+    family:
+        Name of the code family whose design space was searched.
+    design_space_columns:
+        Number of legal per-column values in that family's design space for
+        the assumed parity-bit count — e.g. SECDED's odd-weight constraint
+        shrinks this well below SEC's ``2**r - r - 1``.
     """
 
     codes: List[SystematicLinearCode]
@@ -64,6 +69,8 @@ class BeerSolution:
     runtime_seconds: float
     truncated: bool = False
     solver_stats: Optional[Dict[str, int]] = None
+    family: str = "sec-hamming"
+    design_space_columns: Optional[int] = None
 
     @property
     def num_solutions(self) -> int:
@@ -100,19 +107,44 @@ class _Constraint:
 
 
 class BeerSolver:
-    """Backtracking BEER solver over standard-form SEC parity-check columns."""
+    """Backtracking BEER solver over a family's standard-form parity-check columns.
 
-    def __init__(self, num_data_bits: int, num_parity_bits: Optional[int] = None):
+    ``family`` selects the design space searched: ``"sec-hamming"`` (the
+    paper's weight-≥2 columns, the default) or any registered correcting
+    family with a searchable column space such as
+    ``"secded-extended-hamming"`` (odd-weight-≥3 columns).
+    """
+
+    def __init__(
+        self,
+        num_data_bits: int,
+        num_parity_bits: Optional[int] = None,
+        family: str = "sec-hamming",
+    ):
         if num_data_bits < 1:
             raise SolverError("the code must have at least one data bit")
-        self._num_data_bits = num_data_bits
-        self._num_parity_bits = (
-            num_parity_bits if num_parity_bits is not None else min_parity_bits(num_data_bits)
+        self._family: CodeFamily = (
+            family if isinstance(family, CodeFamily) else get_family(family)
         )
-        self._candidates = candidate_parity_columns(self._num_parity_bits)
+        if not self._family.supports_beer:
+            raise SolverError(
+                f"code family {self._family.name!r} has a fixed structure; "
+                "there is no column design space for BEER to search"
+            )
+        self._num_data_bits = num_data_bits
+        try:
+            self._num_parity_bits = (
+                num_parity_bits
+                if num_parity_bits is not None
+                else self._family.min_parity_bits(num_data_bits)
+            )
+            self._candidates = self._family.candidate_columns(self._num_parity_bits)
+        except CodeConstructionError as error:
+            raise SolverError(str(error)) from error
         if num_data_bits > len(self._candidates):
             raise SolverError(
-                f"k={num_data_bits} does not fit in r={self._num_parity_bits} parity bits"
+                f"k={num_data_bits} does not fit in r={self._num_parity_bits} "
+                f"parity bits for family {self._family.name!r}"
             )
 
     # -- public API -----------------------------------------------------------
@@ -125,6 +157,11 @@ class BeerSolver:
     def num_parity_bits(self) -> int:
         """Number of parity bits ``r`` assumed for the code."""
         return self._num_parity_bits
+
+    @property
+    def family(self) -> CodeFamily:
+        """The code family whose design space is searched."""
+        return self._family
 
     def solve(
         self,
@@ -166,7 +203,10 @@ class BeerSolver:
         runtime = time.perf_counter() - start_time
 
         codes = [
-            SystematicLinearCode.from_parity_columns(columns, self._num_parity_bits)
+            SystematicLinearCode.from_parity_columns(
+                columns, self._num_parity_bits, family=self._family.name,
+                detect_only=not self._family.corrects,
+            )
             for columns in state.solutions
         ]
         return BeerSolution(
@@ -174,6 +214,8 @@ class BeerSolver:
             nodes_visited=state.nodes_visited,
             runtime_seconds=runtime,
             truncated=state.truncated,
+            family=self._family.name,
+            design_space_columns=len(self._candidates),
         )
 
     def check_uniqueness(self, profile: MiscorrectionProfile) -> BeerSolution:
@@ -208,11 +250,12 @@ class BeerSolver:
         """Derive per-column candidate lists from cheap 1-CHARGED counting bounds.
 
         If the 1-CHARGED pattern charging data bit ``c`` can miscorrect ``m``
-        other data bits, then those ``m`` columns are distinct weight-≥2
-        subsets of ``supp(P_c)``, so ``2**w - w - 2 >= m`` where ``w`` is the
-        weight of ``P_c``.  This bounds the weight of each column from below
-        and substantially narrows the value choices for heavily-covering
-        columns before the search starts.
+        other data bits, then those ``m`` columns are distinct *legal* subsets
+        of ``supp(P_c)`` other than ``P_c`` itself, so the family's
+        ``legal_subset_count(w) - 1 >= m`` where ``w`` is the weight of
+        ``P_c`` (for SEC Hamming: ``2**w - w - 2 >= m``).  This bounds the
+        weight of each column from below and substantially narrows the value
+        choices for heavily-covering columns before the search starts.
         """
         cover_counts: Dict[int, int] = {}
         for pattern, positions in profile.items():
@@ -221,25 +264,19 @@ class BeerSolver:
             (charged_bit,) = tuple(pattern.charged_bits)
             cover_counts[charged_bit] = len(positions)
 
+        def capacity(value: int) -> int:
+            return self._family.legal_subset_count(bin(value).count("1")) - 1
+
         candidates_per_column: Dict[int, List[int]] = {}
         for column in range(self._num_data_bits):
             cover = cover_counts.get(column)
             if cover is None:
                 candidates_per_column[column] = list(self._candidates)
                 continue
-            allowed = [
-                value
-                for value in self._candidates
-                if (1 << bin(value).count("1")) - bin(value).count("1") - 2 >= cover
-            ]
+            allowed = [value for value in self._candidates if capacity(value) >= cover]
             # Try tightly-fitting weights first: columns that cover many bits
             # are almost certainly high weight, and vice versa.
-            allowed.sort(
-                key=lambda value: (
-                    (1 << bin(value).count("1")) - bin(value).count("1") - 2 - cover,
-                    value,
-                )
-            )
+            allowed.sort(key=lambda value: (capacity(value) - cover, value))
             candidates_per_column[column] = allowed
         return candidates_per_column
 

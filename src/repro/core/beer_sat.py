@@ -34,26 +34,50 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Mapping, Optional, Tuple
 
-from repro.exceptions import ProfileError, SolverError
+from repro.exceptions import CodeConstructionError, ProfileError, SolverError
 from repro.ecc.code import SystematicLinearCode
 from repro.ecc.codespace import canonical_parity_columns
-from repro.ecc.hamming import min_parity_bits
+from repro.ecc.family import CodeFamily, get_family
 from repro.sat import CNF, CDCLSolver, iterate_models
-from repro.sat.encoders import encode_xor
+from repro.sat.encoders import encode_column_design_space, encode_xor
 from repro.core.beer import BeerSolution
 from repro.core.profile import MiscorrectionProfile
 
 
 class SatBeerSolver:
-    """BEER solver backed by the CNF encoding and the CDCL SAT solver."""
+    """BEER solver backed by the CNF encoding and the CDCL SAT solver.
 
-    def __init__(self, num_data_bits: int, num_parity_bits: Optional[int] = None):
+    ``family`` selects the column design space encoded as CNF, exactly
+    mirroring the backtracking backend: ``"sec-hamming"`` columns are
+    non-zero with weight ≥ 2; ``"secded-extended-hamming"`` columns are
+    odd-weight with weight ≥ 3 (encoded with an XOR parity chain).
+    """
+
+    def __init__(
+        self,
+        num_data_bits: int,
+        num_parity_bits: Optional[int] = None,
+        family: str = "sec-hamming",
+    ):
         if num_data_bits < 1:
             raise SolverError("the code must have at least one data bit")
-        self._num_data_bits = num_data_bits
-        self._num_parity_bits = (
-            num_parity_bits if num_parity_bits is not None else min_parity_bits(num_data_bits)
+        self._family: CodeFamily = (
+            family if isinstance(family, CodeFamily) else get_family(family)
         )
+        if not self._family.supports_beer:
+            raise SolverError(
+                f"code family {self._family.name!r} has a fixed structure; "
+                "there is no column design space for BEER to search"
+            )
+        self._num_data_bits = num_data_bits
+        try:
+            self._num_parity_bits = (
+                num_parity_bits
+                if num_parity_bits is not None
+                else self._family.min_parity_bits(num_data_bits)
+            )
+        except CodeConstructionError as error:
+            raise SolverError(str(error)) from error
 
     @property
     def num_data_bits(self) -> int:
@@ -64,6 +88,11 @@ class SatBeerSolver:
     def num_parity_bits(self) -> int:
         """Number of parity bits ``r`` assumed for the code."""
         return self._num_parity_bits
+
+    @property
+    def family(self) -> CodeFamily:
+        """The code family whose design space is encoded."""
+        return self._family
 
     # -- public API ---------------------------------------------------------
     def solve(
@@ -116,7 +145,10 @@ class SatBeerSolver:
             if canonical not in seen_canonical:
                 seen_canonical.add(canonical)
                 codes.append(
-                    SystematicLinearCode.from_parity_columns(columns, self._num_parity_bits)
+                    SystematicLinearCode.from_parity_columns(
+                        columns, self._num_parity_bits, family=self._family.name,
+                        detect_only=not self._family.corrects,
+                    )
                 )
                 if max_solutions is not None and len(codes) >= max_solutions:
                     truncated = True
@@ -129,6 +161,10 @@ class SatBeerSolver:
             runtime_seconds=runtime,
             truncated=truncated,
             solver_stats=solver.stats().as_dict() if solver is not None else None,
+            family=self._family.name,
+            design_space_columns=self._family.num_candidate_columns(
+                self._num_parity_bits
+            ),
         )
 
     def _pin_known_columns(
@@ -187,12 +223,12 @@ class SatBeerSolver:
         return formula, column_variables
 
     def _encode_code_validity(self, formula: CNF, column_variables: List[List[int]]) -> None:
-        """Columns are non-zero, weight >= 2, and pairwise distinct."""
+        """Columns satisfy the family's design-space predicates and are distinct."""
+        constraints = self._family.column_constraints()
         for column in column_variables:
-            formula.add_clause(column)
-            for row, variable in enumerate(column):
-                others = [column[i] for i in range(len(column)) if i != row]
-                formula.add_clause([-variable] + others)
+            encode_column_design_space(
+                formula, column, constraints.min_weight, constraints.odd_weight
+            )
         for first in range(self._num_data_bits):
             for second in range(first + 1, self._num_data_bits):
                 difference_bits = []

@@ -224,26 +224,33 @@ class BeerExperiment:
 # ---------------------------------------------------------------------------
 
 #: Per-process cache of rebuilt codes so multiprocessing workers do not pay
-#: the code-construction cost for every chunk they receive.
-_WORKER_CODE_CACHE: Dict[Tuple[Tuple[int, ...], int], SystematicLinearCode] = {}
+#: the code-construction cost for every chunk they receive.  Keyed on the
+#: full code identity including family tag and decode policy: a detect-only
+#: code must never be rebuilt as a correcting one.
+_WORKER_CODE_CACHE: Dict[
+    Tuple[Tuple[int, ...], int, str, bool], SystematicLinearCode
+] = {}
 
 
 def _worker_code(
-    parity_columns: Tuple[int, ...], num_parity_bits: int
+    parity_columns: Tuple[int, ...],
+    num_parity_bits: int,
+    family: str,
+    detect_only: bool,
 ) -> SystematicLinearCode:
-    key = (parity_columns, num_parity_bits)
+    key = (parity_columns, num_parity_bits, family, detect_only)
     if key not in _WORKER_CODE_CACHE:
         _WORKER_CODE_CACHE[key] = SystematicLinearCode.from_parity_columns(
-            parity_columns, num_parity_bits
+            parity_columns, num_parity_bits, family=family, detect_only=detect_only
         )
     return _WORKER_CODE_CACHE[key]
 
 
 def _run_simulation_chunk(job) -> SimulationResult:
     """Simulate one chunk of ECC words (module-level so it pickles cleanly)."""
-    (parity_columns, num_parity_bits, dataword_bits, injector, chunk_words,
-     base_seed, dataword_value, chunk_index, backend) = job
-    code = _worker_code(tuple(parity_columns), num_parity_bits)
+    (parity_columns, num_parity_bits, family, detect_only, dataword_bits,
+     injector, chunk_words, base_seed, dataword_value, chunk_index, backend) = job
+    code = _worker_code(tuple(parity_columns), num_parity_bits, family, detect_only)
     # Seeding on (base_seed, dataword content, chunk within that dataword)
     # makes each dataword's result independent of its position in a batch, so
     # simulate_many(ds)[i] == simulate(ds[i]) for every batch composition.
@@ -332,6 +339,8 @@ class MonteCarloCampaign:
         boundaries: List[Tuple[int, int]] = []
         parity_columns = tuple(self._code.parity_column_ints)
         num_parity_bits = self._code.num_parity_bits
+        family = self._code.family_name
+        detect_only = self._code.detect_only
         for dataword in datawords:
             bits = self._dataword_bits(dataword)
             # LSB-first integer encoding of the dataword, used as seed entropy.
@@ -343,8 +352,9 @@ class MonteCarloCampaign:
                 chunk_words = min(self._chunk_size, remaining)
                 remaining -= chunk_words
                 jobs.append(
-                    (parity_columns, num_parity_bits, bits, injector, chunk_words,
-                     self._base_seed, dataword_value, chunk_index, self._backend)
+                    (parity_columns, num_parity_bits, family, detect_only, bits,
+                     injector, chunk_words, self._base_seed, dataword_value,
+                     chunk_index, self._backend)
                 )
                 chunk_index += 1
             boundaries.append((start, len(jobs)))

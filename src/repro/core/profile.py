@@ -10,7 +10,9 @@ Two representations are provided:
 
 * :class:`MiscorrectionCounts` — raw experimental observation counts per
   pattern and bit, from which a clean profile is obtained with the threshold
-  filter of Section 5.2 / Figure 4;
+  filter of Section 5.2 / Figure 4.  Counts also track per-pattern
+  *detected-uncorrectable* (DUE) word observations — zero for full-length
+  SEC codes, but the primary signal for SEC-DED and detect-only families;
 * :class:`MiscorrectionProfile` — the boolean profile itself.
 
 For simulation and validation, :func:`miscorrections_possible` computes the
@@ -102,8 +104,43 @@ def monte_carlo_miscorrection_profile(
     observed at a DISCHARGED data bit is recorded as a miscorrection.  With
     enough words per pattern the measured profile converges to the exact
     profile of :func:`expected_miscorrection_profile`.
+
+    Thin wrapper over :func:`monte_carlo_observation_counts` (one shared
+    simulation loop, identical rng draw order): the zero-threshold filter of
+    :meth:`MiscorrectionCounts.to_profile` reproduces the historical
+    any-occurrence-at-a-DISCHARGED-bit semantics exactly.
     """
-    from repro.einsim.engine import bulk_decode, bulk_encode, resolve_backend
+    counts = monte_carlo_observation_counts(
+        code,
+        patterns,
+        bit_error_rate,
+        words_per_pattern,
+        cell_type=cell_type,
+        rng=rng,
+        backend=backend,
+    )
+    return counts.to_profile()
+
+
+def monte_carlo_observation_counts(
+    code: SystematicLinearCode,
+    patterns: Iterable[ChargedPattern],
+    bit_error_rate: float,
+    words_per_pattern: int,
+    cell_type: CellType = CellType.TRUE_CELL,
+    rng: Optional[np.random.Generator] = None,
+    backend: str = "reference",
+) -> "MiscorrectionCounts":
+    """Measure raw observation counts — miscorrections *and* DUEs — per pattern.
+
+    Detection-aware sibling of :func:`monte_carlo_miscorrection_profile`:
+    every post-correction data-bit error is counted per bit, and every word
+    the decoder flags as detected-uncorrectable is tallied, giving the full
+    miscorrection+DUE picture a detection-capable family (SEC-DED, parity,
+    duplication) produces.  ``counts.to_profile()`` recovers the
+    threshold-filtered miscorrection profile BEER consumes.
+    """
+    from repro.einsim.engine import bulk_decode_outcomes, bulk_encode, resolve_backend
 
     backend = resolve_backend(backend)
     if words_per_pattern < 1:
@@ -113,7 +150,7 @@ def monte_carlo_miscorrection_profile(
     generator = rng if rng is not None else np.random.default_rng()
     charged_value = 1 if cell_type is CellType.TRUE_CELL else 0
 
-    profile = MiscorrectionProfile(code.num_data_bits)
+    counts = MiscorrectionCounts(code.num_data_bits)
     for pattern in patterns:
         dataword = pattern.dataword(cell_type)
         codeword = bulk_encode(code, dataword.to_numpy().reshape(1, -1), backend)[0]
@@ -121,14 +158,15 @@ def monte_carlo_miscorrection_profile(
         charged_cells = stored == charged_value
         failures = charged_cells & (generator.random(stored.shape) < bit_error_rate)
         received = np.where(failures, stored ^ 1, stored).astype(np.uint8)
-        corrected = bulk_decode(code, received, backend)
+        corrected, due = bulk_decode_outcomes(code, received, backend)
         data_errors = corrected[:, : code.num_data_bits] != stored[:, : code.num_data_bits]
-        observed_bits = np.flatnonzero(data_errors.any(axis=0))
-        discharged = pattern.discharged_bits
-        profile.record(
-            pattern, [int(bit) for bit in observed_bits if int(bit) in discharged]
+        counts.record_observations(
+            pattern,
+            [int(bit) for bit in np.nonzero(data_errors)[1]],
+            words_observed=words_per_pattern,
+            due_words=int(due.sum()),
         )
-    return profile
+    return counts
 
 
 class MiscorrectionProfile:
@@ -277,6 +315,7 @@ class MiscorrectionCounts:
         self._num_data_bits = num_data_bits
         self._counts: Dict[ChargedPattern, np.ndarray] = {}
         self._words_observed: Dict[ChargedPattern, int] = {}
+        self._due_words: Dict[ChargedPattern, int] = {}
 
     @property
     def num_data_bits(self) -> int:
@@ -293,12 +332,24 @@ class MiscorrectionCounts:
         pattern: ChargedPattern,
         error_positions: Iterable[int],
         words_observed: int,
+        due_words: int = 0,
     ) -> None:
-        """Record post-correction error positions seen over ``words_observed`` words."""
+        """Record post-correction error positions seen over ``words_observed`` words.
+
+        ``due_words`` counts how many of those words the decoder flagged as
+        detected-uncorrectable (non-zero syndrome, nothing corrected) —
+        recorded alongside miscorrections so detection-aware families keep
+        their primary signal.
+        """
         if pattern.num_data_bits != self._num_data_bits:
             raise ProfileError("pattern dataword length does not match the counts")
         if words_observed < 0:
             raise ProfileError("words observed cannot be negative")
+        if not 0 <= due_words <= words_observed:
+            raise ProfileError(
+                f"due_words={due_words} must lie in [0, words_observed="
+                f"{words_observed}]"
+            )
         positions = list(error_positions)
         if words_observed == 0:
             if positions:
@@ -317,6 +368,7 @@ class MiscorrectionCounts:
                 raise ProfileError(f"error position {position} out of range")
             counts[position] += 1
         self._words_observed[pattern] = self._words_observed.get(pattern, 0) + words_observed
+        self._due_words[pattern] = self._due_words.get(pattern, 0) + int(due_words)
 
     def counts_for(self, pattern: ChargedPattern) -> np.ndarray:
         """Return the per-bit error counts recorded for ``pattern``."""
@@ -327,6 +379,25 @@ class MiscorrectionCounts:
     def words_observed(self, pattern: ChargedPattern) -> int:
         """Return the number of word observations recorded for ``pattern``."""
         return self._words_observed.get(pattern, 0)
+
+    def due_words_observed(self, pattern: ChargedPattern) -> int:
+        """Return how many observed words were flagged detected-uncorrectable."""
+        return self._due_words.get(pattern, 0)
+
+    @property
+    def total_due_words(self) -> int:
+        """Total DUE word observations across every pattern."""
+        return sum(self._due_words.values())
+
+    def due_probability(self, pattern: ChargedPattern) -> float:
+        """Per-word DUE probability for ``pattern`` (raises on zero words)."""
+        words = self._words_observed.get(pattern, 0)
+        if words == 0:
+            raise ProfileError(
+                f"pattern {pattern!r} has zero observed words; its DUE "
+                "probability is undefined"
+            )
+        return self._due_words.get(pattern, 0) / words
 
     def error_probabilities(self, pattern: ChargedPattern) -> np.ndarray:
         """Return per-bit post-correction error probabilities for ``pattern``.
@@ -357,6 +428,10 @@ class MiscorrectionCounts:
                 merged._counts[pattern] += source._counts[pattern]
                 merged._words_observed[pattern] = (
                     merged._words_observed.get(pattern, 0) + source._words_observed[pattern]
+                )
+                merged._due_words[pattern] = (
+                    merged._due_words.get(pattern, 0)
+                    + source._due_words.get(pattern, 0)
                 )
         return merged
 

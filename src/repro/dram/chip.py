@@ -28,7 +28,7 @@ from repro.gf2 import GF2Vector
 from repro.ecc.code import SystematicLinearCode
 from repro.dram.cell import CellType
 from repro.dram.faults import TransientFaultModel
-from repro.dram.layout import ByteInterleavedWordLayout, CellTypeLayout, SequentialWordLayout
+from repro.dram.layout import ByteInterleavedWordLayout, CellTypeLayout
 from repro.dram.retention import DataRetentionModel
 
 

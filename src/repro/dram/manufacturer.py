@@ -26,7 +26,7 @@ from typing import Callable, List, Optional, Sequence
 import numpy as np
 
 from repro.ecc.code import SystematicLinearCode
-from repro.ecc.hamming import candidate_parity_columns, min_parity_bits
+from repro.ecc.family import get_family
 from repro.dram.cell import CellType
 from repro.dram.chip import ChipGeometry, SimulatedDramChip
 from repro.dram.faults import TransientFaultModel
@@ -34,29 +34,30 @@ from repro.dram.layout import ByteInterleavedWordLayout, CellTypeLayout
 from repro.dram.retention import DataRetentionModel
 
 
-def _unstructured_columns(num_data_bits: int, num_parity_bits: int, seed: int) -> List[int]:
+def _unstructured_columns(
+    num_data_bits: int, available: Sequence[int], seed: int
+) -> List[int]:
     """Vendor-A style: a pseudo-random arrangement of legal columns."""
     rng = np.random.default_rng(seed)
-    available = candidate_parity_columns(num_parity_bits)
     order = rng.permutation(len(available))[:num_data_bits]
     return [available[int(i)] for i in order]
 
 
-def _ascending_columns(num_data_bits: int, num_parity_bits: int, seed: int) -> List[int]:
+def _ascending_columns(
+    num_data_bits: int, available: Sequence[int], seed: int
+) -> List[int]:
     """Vendor-B style: columns in ascending numeric order (regular structure)."""
     del seed
-    available = candidate_parity_columns(num_parity_bits)
-    return available[:num_data_bits]
+    return list(available[:num_data_bits])
 
 
-def _weight_grouped_columns(num_data_bits: int, num_parity_bits: int, seed: int) -> List[int]:
+def _weight_grouped_columns(
+    num_data_bits: int, available: Sequence[int], seed: int
+) -> List[int]:
     """Vendor-C style: columns grouped by Hamming weight (a different regularity)."""
     del seed
-    available = sorted(
-        candidate_parity_columns(num_parity_bits),
-        key=lambda value: (bin(value).count("1"), value),
-    )
-    return available[:num_data_bits]
+    grouped = sorted(available, key=lambda value: (bin(value).count("1"), value))
+    return grouped[:num_data_bits]
 
 
 @dataclass(frozen=True)
@@ -64,20 +65,35 @@ class ManufacturerProfile:
     """A recipe for building simulated chips from one (anonymised) manufacturer."""
 
     name: str
-    column_strategy: Callable[[int, int, int], List[int]]
+    column_strategy: Callable[[int, Sequence[int], int], List[int]]
     cell_blocks: Optional[Sequence[int]] = None  # None => all true-cells
     default_dataword_bits: int = 32
     description: str = ""
     extra_seed: int = field(default=0)
 
     def ecc_function(
-        self, num_data_bits: Optional[int] = None, num_parity_bits: Optional[int] = None
+        self,
+        num_data_bits: Optional[int] = None,
+        num_parity_bits: Optional[int] = None,
+        code_family: str = "sec-hamming",
     ) -> SystematicLinearCode:
-        """Return this manufacturer's on-die ECC function for the given width."""
+        """Return this manufacturer's on-die ECC function for the given width.
+
+        ``code_family`` selects the design space the vendor's column strategy
+        arranges (any registered family with a searchable column space, e.g.
+        ``"secded-extended-hamming"``); the strategy itself — unstructured,
+        ascending, weight-grouped — stays a vendor property.
+        """
+        family = get_family(code_family)
         data_bits = num_data_bits if num_data_bits is not None else self.default_dataword_bits
-        parity_bits = num_parity_bits if num_parity_bits is not None else min_parity_bits(data_bits)
-        columns = self.column_strategy(data_bits, parity_bits, self.extra_seed)
-        return SystematicLinearCode.from_parity_columns(columns, parity_bits)
+        parity_bits = (
+            num_parity_bits
+            if num_parity_bits is not None
+            else family.min_parity_bits(data_bits)
+        )
+        available = family.candidate_columns(parity_bits)
+        columns = self.column_strategy(data_bits, available, self.extra_seed)
+        return family.construct(data_bits, parity_bits, columns=columns)
 
     def cell_layout(self) -> CellTypeLayout:
         """Return this manufacturer's true/anti-cell row organisation."""
@@ -93,15 +109,17 @@ class ManufacturerProfile:
         transient_fault_probability: float = 0.0,
         retention_model: Optional[DataRetentionModel] = None,
         backend: str = "reference",
+        code_family: str = "sec-hamming",
     ) -> SimulatedDramChip:
         """Build a simulated chip of this manufacturer.
 
         ``seed`` selects the chip instance (its per-cell retention times); the
         ECC function and layouts are manufacturer properties and do not change
         between chips of the same model, matching the paper's observation that
-        chips of the same model share one ECC function.
+        chips of the same model share one ECC function.  ``code_family``
+        selects which family the on-die ECC function is drawn from.
         """
-        code = self.ecc_function(num_data_bits)
+        code = self.ecc_function(num_data_bits, code_family=code_family)
         data_bits = code.num_data_bits
         word_layout = (
             ByteInterleavedWordLayout(data_bits // 8, 2) if data_bits % 8 == 0 else None

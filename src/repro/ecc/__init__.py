@@ -1,16 +1,23 @@
 """Error-correction-code substrate.
 
-This package models the systematic single-error-correcting (SEC) linear block
-codes that DRAM manufacturers use for on-die ECC (Section 3.3 of the paper):
+This package models the systematic linear block codes that DRAM
+manufacturers use for on-die ECC (Section 3.3 of the paper), organised
+around a pluggable code-family registry:
 
 * :mod:`repro.ecc.code` — the :class:`SystematicLinearCode` type holding the
-  generator and parity-check matrices in standard form ``H = [P | I]``.
+  generator and parity-check matrices in standard form ``H = [P | I]``, plus
+  each code's family tag and decode policy.
+* :mod:`repro.ecc.family` — the :class:`CodeFamily` registry: SEC Hamming,
+  Hsiao/extended-Hamming SEC-DED, single-parity detect-only, and per-bit
+  repetition codes, each owning its construction, BEER design-space
+  constraints, and decode semantics.
 * :mod:`repro.ecc.hamming` — construction of SEC Hamming codes (full-length
   and shortened), random sampling of representative on-die ECC functions, and
   the worked (7,4,3) example of the paper's Equation 1.
-* :mod:`repro.ecc.decoder` — syndrome decoding and classification of decode
-  outcomes (no error / corrected / silent corruption / partial correction /
-  miscorrection), mirroring Section 3.3.
+* :mod:`repro.ecc.decoder` — family-dispatched syndrome decoding and
+  classification of decode outcomes (no error / corrected / silent
+  corruption / partial correction / miscorrection / detected-uncorrectable),
+  mirroring Section 3.3.
 * :mod:`repro.ecc.codespace` — code-equivalence (row permutations of the
   parity submatrix), canonical forms, enumeration and counting of the on-die
   ECC design space.
@@ -22,6 +29,15 @@ from repro.ecc.decoder import (
     DecodeResult,
     SyndromeDecoder,
     classify_decode,
+)
+from repro.ecc.family import (
+    FAMILY_NAMES,
+    CodeFamily,
+    ColumnConstraints,
+    all_families,
+    family_names,
+    get_family,
+    register_family,
 )
 from repro.ecc.hamming import (
     example_7_4_code,
@@ -43,6 +59,13 @@ __all__ = [
     "DecodeResult",
     "SyndromeDecoder",
     "classify_decode",
+    "FAMILY_NAMES",
+    "CodeFamily",
+    "ColumnConstraints",
+    "all_families",
+    "family_names",
+    "get_family",
+    "register_family",
     "example_7_4_code",
     "full_length_data_bits",
     "hamming_code",

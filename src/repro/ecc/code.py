@@ -11,8 +11,11 @@ where the first ``k`` columns correspond to the data bits and the trailing
 as ``c = [d | p]`` with ``p = P · d``.
 
 :class:`SystematicLinearCode` captures exactly this representation and is the
-single code type used throughout the library; Hamming-specific construction
-logic lives in :mod:`repro.ecc.hamming`.
+single code type used throughout the library.  Construction logic lives in
+the pluggable code-family registry (:mod:`repro.ecc.family`), with the
+historical SEC-Hamming helpers in :mod:`repro.ecc.hamming`; each code carries
+its family name and decode policy (correct-then-detect vs. detect-only) so
+downstream layers dispatch without further lookups.
 """
 
 from __future__ import annotations
@@ -33,16 +36,33 @@ class SystematicLinearCode:
     ----------
     parity_submatrix:
         The ``r × k`` submatrix ``P`` mapping datawords to parity bits.
+    family:
+        Name of the code family this code belongs to (metadata; see
+        :mod:`repro.ecc.family`).  Defaults to ``"sec-hamming"``, the
+        historical single family of the library.
+    detect_only:
+        Decode policy.  ``False`` (default): the decoder flips the bit the
+        syndrome points at, if any.  ``True``: the decoder never corrects and
+        flags every non-zero syndrome as a detected-uncorrectable error (DUE)
+        — the semantics of parity-check and duplication codes.
 
     Notes
     -----
     * Data bits occupy codeword positions ``0 .. k-1``.
     * Parity bits occupy codeword positions ``k .. n-1``.
     * The code corrects a single bit error iff all columns of ``H`` are
-      distinct and non-zero (:meth:`is_single_error_correcting`).
+      distinct and non-zero (:meth:`is_single_error_correcting`) *and* the
+      decode policy is not detect-only.
+    * Equality and hashing consider only the parity submatrix; the family
+      tag and decode policy are descriptive metadata.
     """
 
-    def __init__(self, parity_submatrix: GF2Matrix):
+    def __init__(
+        self,
+        parity_submatrix: GF2Matrix,
+        family: str = "sec-hamming",
+        detect_only: bool = False,
+    ):
         matrix = (
             parity_submatrix
             if isinstance(parity_submatrix, GF2Matrix)
@@ -51,6 +71,8 @@ class SystematicLinearCode:
         if matrix.num_rows == 0 or matrix.num_cols == 0:
             raise CodeConstructionError("parity submatrix must be non-empty")
         self._parity_submatrix = matrix
+        self._family = str(family)
+        self._detect_only = bool(detect_only)
         self._num_parity_bits = matrix.num_rows
         self._num_data_bits = matrix.num_cols
         identity = GF2Matrix.identity(self._num_parity_bits)
@@ -62,6 +84,7 @@ class SystematicLinearCode:
         # Lazily-built decode/encode artefacts shared by every batched
         # operation on this code (see the cached-table accessors below).
         self._syndrome_position_table: Optional[np.ndarray] = None
+        self._decode_action_table: Optional[np.ndarray] = None
         self._h_transpose_int64: Optional[np.ndarray] = None
         self._syndrome_weights: Optional[np.ndarray] = None
         self._syndrome_fold_table: Optional[np.ndarray] = None
@@ -70,11 +93,15 @@ class SystematicLinearCode:
     # -- constructors -----------------------------------------------------
     @classmethod
     def from_parity_columns(
-        cls, columns: Sequence[int], num_parity_bits: int
+        cls,
+        columns: Sequence[int],
+        num_parity_bits: int,
+        family: str = "sec-hamming",
+        detect_only: bool = False,
     ) -> "SystematicLinearCode":
         """Build a code from integer-encoded columns of ``P`` (LSB = row 0)."""
         vectors = [GF2Vector.from_int(col, num_parity_bits) for col in columns]
-        return cls(GF2Matrix.from_columns(vectors))
+        return cls(GF2Matrix.from_columns(vectors), family=family, detect_only=detect_only)
 
     @classmethod
     def from_parity_check_matrix(cls, matrix: GF2Matrix) -> "SystematicLinearCode":
@@ -97,6 +124,17 @@ class SystematicLinearCode:
             )
         parity_submatrix = full.submatrix(cols=range(num_total - num_parity))
         return cls(parity_submatrix)
+
+    # -- family metadata ---------------------------------------------------
+    @property
+    def family_name(self) -> str:
+        """Name of the code family this code was constructed by (metadata)."""
+        return self._family
+
+    @property
+    def detect_only(self) -> bool:
+        """True when the decoder must never correct, only flag DUEs."""
+        return self._detect_only
 
     # -- dimensions -------------------------------------------------------
     @property
@@ -160,6 +198,12 @@ class SystematicLinearCode:
         return self._column_ints[: self._num_data_bits]
 
     # -- cached batched-decode artefacts ------------------------------------
+    #: Largest parity-bit count for which the dense per-syndrome decode
+    #: tables (``2**r`` entries) are built.  Beyond this the allocation is
+    #: gigabytes; families that can exceed it (repetition) refuse construction
+    #: with a clear error instead of letting numpy crash or the machine OOM.
+    MAX_TABLE_PARITY_BITS = 24
+
     def syndrome_position_table(self) -> np.ndarray:
         """Map syndrome integer → corrected codeword position (``-1`` = none).
 
@@ -167,8 +211,17 @@ class SystematicLinearCode:
         indexes into the same array.  Callers must not mutate the result.
         """
         if self._syndrome_position_table is None:
+            self._check_table_size()
             self._syndrome_position_table = self._build_syndrome_position_table()
         return self._syndrome_position_table
+
+    def _check_table_size(self) -> None:
+        if self._num_parity_bits > self.MAX_TABLE_PARITY_BITS:
+            raise CodeConstructionError(
+                f"r={self._num_parity_bits} parity bits would need a "
+                f"2**{self._num_parity_bits}-entry syndrome table; table-based "
+                f"decoding supports r <= {self.MAX_TABLE_PARITY_BITS}"
+            )
 
     def _build_syndrome_position_table(self) -> np.ndarray:
         table = np.full(1 << self._num_parity_bits, -1, dtype=np.int64)
@@ -178,6 +231,36 @@ class SystematicLinearCode:
             table[self._column_ints[position]] = position
         table[0] = -1
         return table
+
+    #: ``decode_action_table`` entry meaning "no action" (zero syndrome).
+    ACTION_NONE = -1
+    #: ``decode_action_table`` entry meaning "detect, don't flip" (DUE).
+    ACTION_DETECT = -2
+
+    def decode_action_table(self) -> np.ndarray:
+        """Map syndrome integer → decode action, respecting the decode policy.
+
+        Entries: a codeword position ``>= 0`` means "flip that bit"; the
+        sentinel :data:`ACTION_DETECT` (``-2``) means "detect, don't flip" —
+        the detected-uncorrectable (DUE) path; :data:`ACTION_NONE` (``-1``)
+        marks the zero syndrome (no action, no detection).  For a
+        ``detect_only`` code every non-zero syndrome is a DUE; otherwise the
+        table is the syndrome-position table with its unmatched entries
+        encoded as DUEs.  Built once per code and cached; callers must not
+        mutate the result.
+        """
+        if self._decode_action_table is None:
+            self._check_table_size()
+            if self._detect_only:
+                table = np.full(
+                    1 << self._num_parity_bits, self.ACTION_DETECT, dtype=np.int64
+                )
+            else:
+                table = self.syndrome_position_table().copy()
+                table[table < 0] = self.ACTION_DETECT
+            table[0] = self.ACTION_NONE
+            self._decode_action_table = table
+        return self._decode_action_table
 
     def h_transpose_int64(self) -> np.ndarray:
         """``H.T`` as a cached ``int64`` array (reference-backend syndromes)."""
@@ -324,7 +407,8 @@ class SystematicLinearCode:
         return hash(self._parity_submatrix)
 
     def __repr__(self) -> str:
+        suffix = "" if self._family == "sec-hamming" else f", family={self._family!r}"
         return (
             f"SystematicLinearCode(n={self.codeword_length}, "
-            f"k={self.num_data_bits}, r={self.num_parity_bits})"
+            f"k={self.num_data_bits}, r={self.num_parity_bits}{suffix})"
         )

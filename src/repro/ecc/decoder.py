@@ -5,12 +5,21 @@ facing an arbitrary (possibly uncorrectable) error pattern:
 
 * syndrome ``0``       → no correction performed,
 * syndrome = column j  → bit ``j`` is flipped,
-* syndrome matches no column (possible for shortened codes) → no correction.
+* syndrome matches no column (possible for shortened codes, and guaranteed
+  for SEC-DED double errors) → no correction, but the error is *detected* —
+  the detected-uncorrectable error (DUE) path.
+
+Decoding dispatches on the code's family decode policy
+(:attr:`~repro.ecc.code.SystematicLinearCode.detect_only`): detect-only
+families (single parity bit, duplication) never flip a bit and flag every
+non-zero syndrome as a DUE.
 
 When the injected error pattern is uncorrectable, the externally visible
-outcome falls into one of three classes — *silent data corruption*, *partial
-correction*, or *miscorrection* — which :func:`classify_decode` reports.
-Miscorrections are the signal BEER is built on.
+outcome falls into one of the classes of :class:`DecodeOutcome` — *silent
+data corruption*, *partial correction*, *miscorrection*, or *detected
+uncorrectable* — which :func:`classify_decode` reports.  Miscorrections are
+the signal BEER is built on; DUEs are the signal detection-aware profiling
+adds on top.
 """
 
 from __future__ import annotations
@@ -37,7 +46,9 @@ class DecodeOutcome(enum.Enum):
     PARTIAL_CORRECTION = "partial_correction"
     #: Uncorrectable error whose syndrome pointed at a non-erroneous bit.
     MISCORRECTION = "miscorrection"
-    #: Non-zero syndrome matching no column of H (shortened codes only).
+    #: Non-zero syndrome with no correction performed: matched no column of H
+    #: (shortened SEC codes, SEC-DED double errors) or the code is
+    #: detect-only.  This is the DUE path.
     DETECTED_UNCORRECTABLE = "detected_uncorrectable"
 
 
@@ -56,12 +67,17 @@ class DecodeResult:
     syndrome:
         The raw error syndrome ``H · c'`` (never visible to real hosts; kept
         here for simulation and validation).
+    detected_uncorrectable:
+        The DUE sentinel: True when the decoder saw a non-zero syndrome it
+        could not (detect-only policy) or would not (no matching column)
+        correct.
     """
 
     dataword: GF2Vector
     corrected_codeword: GF2Vector
     corrected_position: Optional[int]
     syndrome: GF2Vector
+    detected_uncorrectable: bool = False
 
     @property
     def correction_performed(self) -> bool:
@@ -70,12 +86,14 @@ class DecodeResult:
 
 
 class SyndromeDecoder:
-    """Single-error syndrome decoder for a :class:`SystematicLinearCode`.
+    """Family-dispatched syndrome decoder for a :class:`SystematicLinearCode`.
 
     The decoder mirrors the hardware behaviour described in the paper: it
-    blindly computes the syndrome, flips the bit the syndrome points at (if
-    any), and returns the data portion of the result.  It has no notion of
-    how many errors actually occurred.
+    blindly computes the syndrome and acts on the code's decode policy.  For
+    correcting families it flips the bit the syndrome points at (if any);
+    for detect-only families (parity check, duplication) it never flips and
+    flags every non-zero syndrome as a DUE.  It has no notion of how many
+    errors actually occurred.
     """
 
     def __init__(self, code: SystematicLinearCode):
@@ -99,13 +117,17 @@ class SyndromeDecoder:
                 f"{self._code.codeword_length}"
             )
         syndrome = self._code.syndrome(word)
-        position = self._code.syndrome_to_position(syndrome)
+        if self._code.detect_only:
+            position = None
+        else:
+            position = self._code.syndrome_to_position(syndrome)
         corrected = word if position is None else word.flip(position)
         return DecodeResult(
             dataword=self._code.extract_dataword(corrected),
             corrected_codeword=corrected,
             corrected_position=position,
             syndrome=syndrome,
+            detected_uncorrectable=position is None and not syndrome.is_zero(),
         )
 
     def decode_dataword(self, received_codeword: GF2Vector) -> GF2Vector:
@@ -144,10 +166,11 @@ def classify_decode(
     if not error_positions:
         return DecodeOutcome.NO_ERROR
     if len(error_positions) == 1:
-        # A valid SEC code always corrects a single error exactly.
+        # A valid correcting code fixes a single error exactly.
         if result.corrected_position in error_positions:
             return DecodeOutcome.CORRECTED
-        # A shortened/degenerate code may fail to match the syndrome.
+        # Detect-only codes never correct; a shortened/degenerate code may
+        # fail to match the syndrome.  Either way the error was detected.
         return DecodeOutcome.DETECTED_UNCORRECTABLE
 
     if result.syndrome.is_zero():

@@ -13,9 +13,17 @@ backends implement each kernel:
   magnitude faster than the reference on realistic code sizes.
 
 Both backends are bit-exact: for any code, any batch and any input, they
-return identical arrays (``tests/test_differential_backends.py`` enforces
-this).  Per-code artefacts (syndrome lookup table, transposed ``H``, packed
-rows) are built once and cached on the code object itself.
+return identical arrays (``tests/test_differential_backends.py`` and
+``tests/test_differential_families.py`` enforce this).  Per-code artefacts
+(syndrome lookup table, decode-action table, transposed ``H``, packed rows)
+are built once and cached on the code object itself.
+
+Decoding is family-aware: each code's cached *decode-action table*
+(:meth:`~repro.ecc.code.SystematicLinearCode.decode_action_table`) encodes,
+per syndrome, whether to flip a bit, do nothing, or **detect without
+flipping** — the detected-uncorrectable (DUE) path of SEC-DED double errors
+and detect-only families.  :func:`bulk_decode_outcomes` additionally returns
+the per-word DUE mask.
 """
 
 from __future__ import annotations
@@ -95,15 +103,31 @@ def bulk_decode(
 ) -> np.ndarray:
     """Syndrome-decode a batch of codewords (rows of ``received``) at once.
 
-    Mirrors :class:`repro.ecc.decoder.SyndromeDecoder` exactly: the bit the
-    syndrome points at (lowest matching column of ``H``, zero syndrome → no
-    correction) is flipped in every word.
+    Mirrors :class:`repro.ecc.decoder.SyndromeDecoder` exactly, including the
+    code's family decode policy: for correcting families the bit the syndrome
+    points at (lowest matching column of ``H``, zero syndrome → no
+    correction) is flipped in every word; detect-only families never flip.
+    """
+    return bulk_decode_outcomes(code, received, backend)[0]
+
+
+def bulk_decode_outcomes(
+    code: SystematicLinearCode, received: np.ndarray, backend: str = "reference"
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Decode a batch and also report the per-word DUE mask.
+
+    Returns ``(corrected, due)`` where ``due[i]`` is True when word ``i``'s
+    syndrome was non-zero but nothing was flipped — the decoder *detected* an
+    uncorrectable error (shortened-code syndrome miss, SEC-DED double error,
+    or any non-zero syndrome under a detect-only policy).  Both backends
+    produce bit-identical arrays: they share the cached decode-action table
+    and differ only in how the syndrome integers are computed.
     """
     backend = resolve_backend(backend)
     words = _validate_batch(received, code.codeword_length, "codeword array")
     values = bulk_syndrome_values(code, words, backend)
-    positions = code.syndrome_position_table()[values]
+    actions = code.decode_action_table()[values]
     corrected = words.copy()
-    rows = np.flatnonzero(positions >= 0)
-    corrected[rows, positions[rows]] ^= 1
-    return corrected
+    rows = np.flatnonzero(actions >= 0)
+    corrected[rows, actions[rows]] ^= 1
+    return corrected, actions == SystematicLinearCode.ACTION_DETECT

@@ -16,7 +16,7 @@ import numpy as np
 from repro.exceptions import DimensionError
 from repro.gf2 import GF2Vector
 from repro.ecc.code import SystematicLinearCode
-from repro.einsim.engine import bulk_decode, bulk_encode, resolve_backend
+from repro.einsim.engine import bulk_decode_outcomes, bulk_encode, resolve_backend
 
 
 @dataclass
@@ -37,6 +37,10 @@ class SimulationResult:
     miscorrected_words: int
     #: Data-bit positions where a miscorrection was observed at least once.
     miscorrection_positions: Tuple[int, ...]
+    #: Number of words the decoder flagged as detected-uncorrectable (DUE):
+    #: non-zero syndrome, nothing flipped.  Always 0 for full-length SEC
+    #: codes; the load-bearing signal for SEC-DED and detect-only families.
+    detected_words: int = 0
 
     @property
     def post_correction_error_probabilities(self) -> np.ndarray:
@@ -69,6 +73,7 @@ class SimulationResult:
                     | set(other.miscorrection_positions)
                 )
             ),
+            detected_words=self.detected_words + other.detected_words,
         )
 
 
@@ -118,6 +123,7 @@ class EinsimSimulator:
         pre_counts = np.zeros(codeword_length, dtype=np.int64)
         uncorrectable = 0
         miscorrected = 0
+        detected = 0
         miscorrection_positions: Set[int] = set()
 
         remaining = num_words
@@ -127,14 +133,18 @@ class EinsimSimulator:
             stored = np.tile(codeword, (batch, 1))
             mask = injector.error_mask(stored, self._rng)
             received = np.bitwise_xor(stored, mask.astype(np.uint8))
-            corrected = bulk_decode(self._code, received, self._backend)
+            corrected, due = bulk_decode_outcomes(self._code, received, self._backend)
+            detected += int(due.sum())
 
             pre_counts += mask.sum(axis=0)
             data_errors = corrected[:, :num_data_bits] != stored[:, :num_data_bits]
             post_counts += data_errors.sum(axis=0)
 
             error_counts = mask.sum(axis=1)
-            uncorrectable += int((error_counts >= 2).sum())
+            # A correcting family handles exactly one raw error; a detect-only
+            # family corrects none, so any injected error is uncorrectable.
+            correctable_errors = 0 if self._code.detect_only else 1
+            uncorrectable += int((error_counts > correctable_errors).sum())
 
             flipped = corrected != received
             miscorrection_mask = flipped & ~mask
@@ -150,6 +160,7 @@ class EinsimSimulator:
             uncorrectable_words=uncorrectable,
             miscorrected_words=miscorrected,
             miscorrection_positions=tuple(sorted(miscorrection_positions)),
+            detected_words=detected,
         )
 
     def per_bit_error_probability(

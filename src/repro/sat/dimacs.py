@@ -7,7 +7,16 @@ The DIMACS format is the interchange format for SAT instances::
     1 -2 3 0
     2 3 0
 
-Each clause line lists its literals terminated by ``0``.
+Each clause line lists its literals terminated by ``0``.  The reader is
+deliberately liberal in what it accepts — comments and blank lines anywhere,
+clauses split across lines or sharing one line, a missing trailing ``0`` on
+the final clause, and the SATLIB-style ``%`` end-of-file marker — while
+staying strict about real structural problems: a missing or duplicated
+problem line, an explicit empty clause (which :class:`~repro.sat.cnf.CNF`
+cannot represent), undeclared variables, and clause-count mismatches all
+raise :class:`~repro.exceptions.SolverError`.  ``read_dimacs(write_dimacs(f))``
+preserves ``f``'s clauses and variable count exactly (property-tested in
+``tests/test_sat_cnf.py``).
 """
 
 from __future__ import annotations
@@ -41,23 +50,43 @@ def read_dimacs(source: Union[str, Path, io.TextIOBase]) -> CNF:
         line = raw_line.strip()
         if not line or line.startswith("c"):
             continue
+        if line == "%":
+            # SATLIB benchmark files terminate with a '%' marker (typically
+            # followed by a stray '0' line); everything after it is ignored.
+            if pending:
+                raise SolverError(
+                    "clause not terminated with 0 before the '%' end marker"
+                )
+            break
         if line.startswith("p"):
             parts = line.split()
             if len(parts) != 4 or parts[1] != "cnf":
                 raise SolverError(f"malformed problem line: {line!r}")
+            if declared_variables is not None:
+                raise SolverError(f"duplicate problem line: {line!r}")
             declared_variables = int(parts[2])
             declared_clauses = int(parts[3])
             continue
         for token in line.split():
-            literal = int(token)
+            try:
+                literal = int(token)
+            except ValueError:
+                raise SolverError(
+                    f"invalid literal {token!r} on line {raw_line!r}"
+                ) from None
             if literal == 0:
-                if pending:
-                    formula.add_clause(pending)
-                    pending = []
-                    clauses_read += 1
+                if not pending:
+                    raise SolverError(
+                        "explicit empty clause (bare '0'): the formula is "
+                        "trivially unsatisfiable and cannot be represented"
+                    )
+                formula.add_clause(pending)
+                pending = []
+                clauses_read += 1
             else:
                 pending.append(literal)
     if pending:
+        # A final clause with its trailing '0' cut off at EOF.
         formula.add_clause(pending)
         clauses_read += 1
 

@@ -46,6 +46,52 @@ def _encode_xor_triple(formula: CNF, left: int, right: int, result: int) -> None
     )
 
 
+def encode_odd_weight(formula: CNF, literals: Sequence[int]) -> None:
+    """Constrain an odd number of ``literals`` to be true.
+
+    This is the Hsiao SEC-DED column predicate: every data column of ``H``
+    must have odd parity (which also makes it non-zero).
+    """
+    encode_xor(formula, literals, True)
+
+
+def encode_not_weight_one(formula: CNF, literals: Sequence[int]) -> None:
+    """Forbid exactly one of ``literals`` being true.
+
+    For each literal: if it is true, some other literal must be true too.
+    Combined with a non-zero constraint this yields weight ≥ 2; combined with
+    :func:`encode_odd_weight` it yields weight ≥ 3 — the two column
+    design-space predicates of the built-in BEER-searchable code families.
+    """
+    literals = list(literals)
+    for index, literal in enumerate(literals):
+        others = literals[:index] + literals[index + 1 :]
+        formula.add_clause([-literal] + others)
+
+
+def encode_column_design_space(
+    formula: CNF, literals: Sequence[int], min_weight: int, odd_weight: bool
+) -> None:
+    """Encode a code family's per-column predicates over one column's variables.
+
+    Supports the constraint shapes of
+    :class:`repro.ecc.family.ColumnConstraints` that BEER-searchable families
+    declare: ``min_weight`` in {1, 2, 3} (3 only together with
+    ``odd_weight``, matching SEC-DED) and the odd-parity predicate.
+    """
+    if min_weight >= 4 or (min_weight == 3 and not odd_weight):
+        raise SolverError(
+            f"no CNF encoding registered for min_weight={min_weight} with "
+            f"odd_weight={odd_weight}"
+        )
+    if odd_weight:
+        encode_odd_weight(formula, literals)
+    else:
+        formula.add_clause(literals)  # non-zero
+    if min_weight >= 2:
+        encode_not_weight_one(formula, literals)
+
+
 def encode_at_most_one(formula: CNF, literals: Sequence[int]) -> None:
     """Constrain at most one of ``literals`` to be true (pairwise encoding)."""
     literals = list(literals)

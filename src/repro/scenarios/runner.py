@@ -115,6 +115,7 @@ def _execute_einsim_cell(config: Dict[str, Any], processes: int) -> Dict[str, An
     return {
         "codeword_length": code.codeword_length,
         "num_data_bits": code.num_data_bits,
+        "code_family": code.family_name,
         "parity_columns": [int(c) for c in code.parity_column_ints],
         "num_words": int(result.num_words),
         "post_correction_error_counts": [
@@ -125,6 +126,7 @@ def _execute_einsim_cell(config: Dict[str, Any], processes: int) -> Dict[str, An
         ],
         "uncorrectable_words": int(result.uncorrectable_words),
         "miscorrected_words": int(result.miscorrected_words),
+        "detected_words": int(result.detected_words),
         "miscorrection_positions": [
             int(p) for p in result.miscorrection_positions
         ],

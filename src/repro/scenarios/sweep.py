@@ -8,7 +8,8 @@ A sweep spec is a plain JSON/dict description of an experiment matrix::
       "chunk_size": 4096,
       "seeds": [0, 1],
       "backends": ["packed"],
-      "codes": [{"data_bits": 16}, {"data_bits": 32, "code_seed": 7}],
+      "codes": [{"data_bits": 16}, {"data_bits": 32, "code_seed": 7},
+                {"data_bits": 16, "code_family": "secded-extended-hamming"}],
       "datawords": ["ones"],
       "scenarios": [
         {"name": "data-retention-true", "params": {"bit_error_rate": [1e-3, 1e-2]}},
@@ -38,13 +39,13 @@ import hashlib
 import itertools
 import json
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
-from repro.exceptions import ScenarioError
+from repro.exceptions import CodeConstructionError, ScenarioError
 from repro.ecc.code import SystematicLinearCode
-from repro.ecc.hamming import hamming_code, min_parity_bits, random_hamming_code
+from repro.ecc.family import get_family
 from repro.scenarios.registry import get_scenario
 
 #: Cell kinds the runner knows how to execute.
@@ -240,25 +241,38 @@ def resolve_code(spec: Mapping[str, Any]) -> SystematicLinearCode:
 
     Supported forms: explicit ``parity_columns`` (+ ``parity_bits``),
     deterministic ``{"data_bits": k}`` (ascending legal columns), or sampled
-    ``{"data_bits": k, "code_seed": s}``.
+    ``{"data_bits": k, "code_seed": s}`` — each optionally qualified with a
+    ``code_family`` name from :mod:`repro.ecc.family` (default
+    ``"sec-hamming"``).  The family participates in the cell's canonical
+    configuration, so sweeps over several families produce distinct
+    content-addressed store keys per family.
     """
-    if "parity_columns" in spec:
-        columns = [int(c) for c in spec["parity_columns"]]
-        parity_bits = int(
-            spec.get("parity_bits", min_parity_bits(len(columns)))
-        )
-        return SystematicLinearCode.from_parity_columns(columns, parity_bits)
-    if "data_bits" not in spec:
-        raise ScenarioError(
-            "code spec needs 'data_bits' or explicit 'parity_columns'"
-        )
-    data_bits = int(spec["data_bits"])
-    parity_bits = spec.get("parity_bits")
-    parity_bits = None if parity_bits is None else int(parity_bits)
-    if "code_seed" in spec:
-        rng = np.random.default_rng(int(spec["code_seed"]))
-        return random_hamming_code(data_bits, parity_bits, rng=rng)
-    return hamming_code(data_bits, parity_bits)
+    try:
+        family = get_family(str(spec.get("code_family", "sec-hamming")))
+    except CodeConstructionError as error:
+        raise ScenarioError(str(error)) from error
+    try:
+        if "parity_columns" in spec:
+            columns = [int(c) for c in spec["parity_columns"]]
+            parity_bits = int(
+                spec.get("parity_bits", family.min_parity_bits(len(columns)))
+            )
+            if "code_family" in spec:
+                return family.construct(len(columns), parity_bits, columns=columns)
+            return SystematicLinearCode.from_parity_columns(columns, parity_bits)
+        if "data_bits" not in spec:
+            raise ScenarioError(
+                "code spec needs 'data_bits' or explicit 'parity_columns'"
+            )
+        data_bits = int(spec["data_bits"])
+        parity_bits = spec.get("parity_bits")
+        parity_bits = None if parity_bits is None else int(parity_bits)
+        if "code_seed" in spec:
+            rng = np.random.default_rng(int(spec["code_seed"]))
+            return family.random(data_bits, parity_bits, rng=rng)
+        return family.construct(data_bits, parity_bits)
+    except CodeConstructionError as error:
+        raise ScenarioError(f"invalid code spec: {error}") from error
 
 
 def resolve_dataword(spec: Any, num_data_bits: int) -> np.ndarray:

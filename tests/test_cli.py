@@ -7,7 +7,7 @@ import pytest
 
 from repro.cli import build_parser, main
 from repro.ecc import codes_equivalent, random_hamming_code, SystematicLinearCode
-from repro.core import charged_patterns, expected_miscorrection_profile, one_charged_patterns
+from repro.core import charged_patterns, expected_miscorrection_profile
 
 
 @pytest.fixture
@@ -420,3 +420,185 @@ class TestSatStatsFlag:
         ])
         assert exit_code == 0
         assert "SAT solver statistics" in capsys.readouterr().out
+
+
+class TestCodeFamilyFlag:
+    """--code-family threads the pluggable family registry through the CLI."""
+
+    def test_parser_accepts_and_rejects_families(self):
+        args = build_parser().parse_args(
+            ["einsim", "--code-family", "secded-extended-hamming"]
+        )
+        assert args.code_family == "secded-extended-hamming"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["einsim", "--code-family", "turbo"])
+
+    def test_einsim_secded_reports_due_words(self, capsys):
+        exit_code = main(
+            ["einsim", "--data-bits", "8", "--num-words", "2000",
+             "--ber", "0.02", "--code-family", "secded-extended-hamming",
+             "--backend", "packed", "--json"]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["code_family"] == "secded-extended-hamming"
+        assert payload["detected_words"] > 0
+
+    def test_einsim_detect_only_family_never_miscorrects(self, capsys):
+        exit_code = main(
+            ["einsim", "--data-bits", "8", "--num-words", "1000",
+             "--ber", "0.02", "--code-family", "parity-detect", "--json"]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["miscorrected_words"] == 0
+        assert payload["detected_words"] > 0
+        assert payload["codeword_length"] == 9
+
+    def test_simulate_profile_then_solve_secded_roundtrip(self, tmp_path, capsys):
+        # SECDED miscorrections need >=3 coincident raw errors (doubles are
+        # DUEs), so the campaign needs more rounds than the SEC default to
+        # observe the full profile.
+        output = tmp_path / "secded_profile.json"
+        exit_code = main(
+            ["simulate-profile", "--vendor", "B", "--data-bits", "8",
+             "--rounds", "16", "--code-family", "secded-extended-hamming",
+             "--output", str(output), "--json"]
+        )
+        assert exit_code == 0
+        assert json.loads(capsys.readouterr().out)["code_family"] == (
+            "secded-extended-hamming"
+        )
+        exit_code = main(
+            ["solve", "--profile", str(output),
+             "--code-family", "secded-extended-hamming", "--json"]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["code_family"] == "secded-extended-hamming"
+        assert payload["num_solutions"] == 1
+        assert payload["design_space_columns"] == 11
+        # The recovered function is vendor B's actual SECDED matrix (up to
+        # equivalence -- B's ascending construction is its own canonical pick).
+        from repro import VENDOR_B
+
+        recovered = SystematicLinearCode.from_parity_columns(
+            payload["candidates"][0], payload["num_parity_bits"]
+        )
+        truth = VENDOR_B.ecc_function(8, code_family="secded-extended-hamming")
+        assert codes_equivalent(recovered, truth)
+
+    def test_solve_rejects_fixed_structure_family(self, profile_file, capsys):
+        path, _ = profile_file
+        exit_code = main(
+            ["solve", "--profile", str(path), "--code-family", "parity-detect"]
+        )
+        assert exit_code == 2
+        assert "fixed structure" in capsys.readouterr().err
+
+    def test_simulate_profile_rejects_fixed_structure_family(self, tmp_path, capsys):
+        exit_code = main(
+            ["simulate-profile", "--code-family", "repetition",
+             "--output", str(tmp_path / "p.json")]
+        )
+        assert exit_code == 2
+        assert "fixed structure" in capsys.readouterr().err
+
+    def test_beep_rejects_detect_only_family(self, capsys):
+        exit_code = main(
+            ["beep", "--data-bits", "8", "--error-positions", "2",
+             "--code-family", "parity-detect"]
+        )
+        assert exit_code == 2
+        assert "detect-only" in capsys.readouterr().err
+
+    def test_beep_secded_suppresses_miscorrection_signal(self, capsys):
+        # The same two weak cells BEEP fully identifies under SEC Hamming are
+        # invisible under SEC-DED: their coincident failure is a double
+        # error, which the extended code *detects* instead of miscorrecting.
+        # The command must still run and report the partial result honestly.
+        exit_code = main(
+            ["beep", "--data-bits", "16", "--error-positions", "2,9",
+             "--passes", "2", "--code-family", "secded-extended-hamming",
+             "--json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["code_family"] == "secded-extended-hamming"
+        assert exit_code == 1
+        assert not payload["fully_identified"]
+        assert payload["miscorrections_observed"] == 0
+
+    def test_scenario_run_code_family_changes_store_key(self, tmp_path, capsys):
+        base = ["scenario", "run", "--scenario", "uniform-random",
+                "--param", "bit_error_rate=0.01", "--data-bits", "8",
+                "--num-words", "100", "--json"]
+        assert main(base) == 0
+        default_key = json.loads(capsys.readouterr().out)["key"]
+        assert main(base + ["--code-family", "secded-extended-hamming"]) == 0
+        secded = json.loads(capsys.readouterr().out)
+        assert secded["key"] != default_key
+        assert secded["config"]["code"]["code_family"] == "secded-extended-hamming"
+        assert secded["result"]["code_family"] == "secded-extended-hamming"
+
+
+class TestScenarioJsonOutputs:
+    """scenario list/report emit one valid machine-readable JSON document."""
+
+    def test_scenario_list_json_is_valid_and_complete(self, capsys):
+        from repro.scenarios import scenario_names
+
+        assert main(["scenario", "list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload, list)
+        assert [entry["name"] for entry in payload] == [
+            definition for definition in scenario_names()
+        ]
+        for entry in payload:
+            assert set(entry) == {"name", "description", "parameters"}
+
+    def test_scenario_report_json_is_valid(self, tmp_path, capsys):
+        store = tmp_path / "camp"
+        assert main(
+            ["scenario", "run", "--scenario", "uniform-random",
+             "--param", "bit_error_rate=0.02", "--data-bits", "8",
+             "--num-words", "200", "--store", str(store)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["scenario", "report", "--store", str(store), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["num_records"] == 1
+        row = payload["scenarios"][0]
+        assert row["scenario"] == "uniform-random"
+        assert {"detected_words", "detected_fraction", "code_families"} <= set(row)
+        assert row["code_families"] == ["sec-hamming"]
+
+    def test_scenario_report_aggregates_families(self, tmp_path, capsys):
+        store = tmp_path / "camp"
+        for family_args in ([], ["--code-family", "parity-detect"]):
+            assert main(
+                ["scenario", "run", "--scenario", "uniform-random",
+                 "--param", "bit_error_rate=0.02", "--data-bits", "8",
+                 "--num-words", "200", "--store", str(store)] + family_args
+            ) == 0
+        capsys.readouterr()
+        assert main(["scenario", "report", "--store", str(store), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        row = payload["scenarios"][0]
+        assert row["code_families"] == ["parity-detect", "sec-hamming"]
+        assert row["detected_words"] > 0
+
+    def test_einsim_repetition_beyond_table_limit_fails_cleanly(self, capsys):
+        exit_code = main(
+            ["einsim", "--data-bits", "32", "--num-words", "10",
+             "--code-family", "repetition"]
+        )
+        assert exit_code == 2
+        assert "table-decode limit" in capsys.readouterr().err
+
+    def test_beep_repetition_beyond_table_limit_fails_cleanly(self, capsys):
+        exit_code = main(
+            ["beep", "--data-bits", "16", "--error-positions", "2",
+             "--code-family", "repetition"]
+        )
+        assert exit_code == 2
+        assert "table-decode limit" in capsys.readouterr().err

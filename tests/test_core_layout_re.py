@@ -1,15 +1,11 @@
 """Tests for cell-type and dataword-layout reverse engineering (Sections 5.1.1-5.1.2)."""
 
-import numpy as np
-import pytest
-
 from repro.dram import (
     CellType,
     CellTypeLayout,
     ChipGeometry,
     DataRetentionModel,
     SimulatedDramChip,
-    VENDOR_A,
     VENDOR_C,
 )
 from repro.dram.layout import ByteInterleavedWordLayout, SequentialWordLayout

@@ -217,3 +217,72 @@ class TestDecoderProperties:
             final_syndrome.is_zero()
             or code.syndrome_to_position(final_syndrome) is None
         )
+
+
+class TestClassifyDecodeDegenerateBranches:
+    """Shortened/degenerate branches that detection-aware families lean on."""
+
+    def test_single_error_detected_for_duplicate_column_code(self):
+        # A degenerate (non-SEC) code with a duplicated column: an error at
+        # the *higher* duplicate is decoded towards the lower one, which is
+        # not the erroneous bit -- classified as detected-uncorrectable
+        # rather than CORRECTED.
+        code = SystematicLinearCode.from_parity_columns([3, 3], 2)
+        codeword = code.encode(GF2Vector([1, 1]))
+        outcome = classify_decode(code, codeword, codeword.flip(1))
+        assert outcome == DecodeOutcome.DETECTED_UNCORRECTABLE
+
+    def test_single_error_detected_for_detect_only_code(self):
+        from repro.ecc import get_family
+
+        code = get_family("parity-detect").construct(6)
+        codeword = code.encode(GF2Vector([1, 0, 1, 1, 0, 1]))
+        for position in range(code.codeword_length):
+            outcome = classify_decode(code, codeword, codeword.flip(position))
+            assert outcome == DecodeOutcome.DETECTED_UNCORRECTABLE
+
+    def test_zero_syndrome_multi_error_is_silent_corruption(self):
+        from repro.ecc import get_family
+
+        code = get_family("parity-detect").construct(6)
+        codeword = code.encode(GF2Vector([1, 0, 1, 1, 0, 1]))
+        # Two data-bit errors keep overall parity intact: zero syndrome.
+        received = codeword.flip(0).flip(2)
+        assert code.syndrome(received).is_zero()
+        outcome = classify_decode(code, codeword, received)
+        assert outcome == DecodeOutcome.SILENT_CORRUPTION
+
+    def test_zero_syndrome_multi_error_silent_for_degenerate_code(self):
+        code = SystematicLinearCode.from_parity_columns([3, 3], 2)
+        codeword = code.encode(GF2Vector([0, 0]))
+        # Errors at both duplicated columns XOR to the zero syndrome.
+        received = codeword.flip(0).flip(1)
+        assert code.syndrome(received).is_zero()
+        outcome = classify_decode(code, codeword, received)
+        assert outcome == DecodeOutcome.SILENT_CORRUPTION
+
+    def test_decode_result_reports_due_sentinel(self):
+        from repro.ecc import get_family
+
+        code = get_family("parity-detect").construct(4)
+        decoder = SyndromeDecoder(code)
+        codeword = code.encode(GF2Vector([1, 1, 0, 0]))
+        clean = decoder.decode(codeword)
+        assert not clean.detected_uncorrectable
+        due = decoder.decode(codeword.flip(2))
+        assert due.detected_uncorrectable
+        assert due.corrected_position is None
+        assert due.dataword == codeword.flip(2)[0:4]
+
+    def test_secded_double_error_sets_due_sentinel(self):
+        from repro.ecc import get_family
+
+        code = get_family("secded-extended-hamming").construct(8)
+        decoder = SyndromeDecoder(code)
+        codeword = code.encode(GF2Vector([1] * 8))
+        single = decoder.decode(codeword.flip(3))
+        assert single.corrected_position == 3
+        assert not single.detected_uncorrectable
+        double = decoder.decode(codeword.flip(3).flip(5))
+        assert double.corrected_position is None
+        assert double.detected_uncorrectable

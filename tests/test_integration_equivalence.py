@@ -7,8 +7,6 @@ profiles, same post-correction behaviour on data bits), and the solver's
 output respects that equivalence.
 """
 
-import itertools
-
 import numpy as np
 import pytest
 from hypothesis import given, settings

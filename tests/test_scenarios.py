@@ -1,6 +1,5 @@
 """Tests for the scenario registry, sweep expansion, and cache-aware runner."""
 
-import numpy as np
 import pytest
 
 from repro.exceptions import ScenarioError
@@ -406,3 +405,133 @@ class TestParallelSweepRunner:
         assert report.simulated == 1 and report.cached == 2
         lines = (tmp_path / f"camp{jobs}" / "records.jsonl").read_bytes()
         assert lines.count(b"\n") == 1
+
+
+class TestCodeFamilySweeps:
+    """code_family threads through specs, store keys, and resume behaviour."""
+
+    FAMILY_SWEEP = {
+        "name": "family-matrix",
+        "num_words": 200,
+        "chunk_size": 64,
+        "seeds": [0],
+        "backends": ["packed"],
+        "codes": [
+            {"data_bits": 8},
+            {"data_bits": 8, "code_family": "secded-extended-hamming"},
+            {"data_bits": 8, "code_family": "parity-detect"},
+            {"data_bits": 4, "code_family": "repetition"},
+        ],
+        "scenarios": [
+            {"name": "uniform-random", "params": {"bit_error_rate": 0.02}},
+        ],
+    }
+
+    def test_resolve_code_dispatches_on_family(self):
+        assert resolve_code({"data_bits": 8}).family_name == "sec-hamming"
+        secded = resolve_code(
+            {"data_bits": 8, "code_family": "secded-extended-hamming"}
+        )
+        assert secded.family_name == "secded-extended-hamming"
+        assert secded.minimum_distance() == 4
+        parity = resolve_code({"data_bits": 8, "code_family": "parity-detect"})
+        assert parity.detect_only and parity.num_parity_bits == 1
+        repetition = resolve_code({"data_bits": 4, "code_family": "repetition"})
+        assert repetition.codeword_length == 12
+
+    def test_resolve_code_seeded_family_sampling(self):
+        first = resolve_code(
+            {"data_bits": 6, "code_family": "secded-extended-hamming",
+             "code_seed": 9}
+        )
+        second = resolve_code(
+            {"data_bits": 6, "code_family": "secded-extended-hamming",
+             "code_seed": 9}
+        )
+        assert first == second
+        assert first.family_name == "secded-extended-hamming"
+
+    def test_resolve_code_unknown_family_is_scenario_error(self):
+        with pytest.raises(ScenarioError, match="unknown code family"):
+            resolve_code({"data_bits": 8, "code_family": "turbo"})
+
+    def test_resolve_code_invalid_family_dimensions_is_scenario_error(self):
+        with pytest.raises(ScenarioError, match="invalid code spec"):
+            resolve_code(
+                {"data_bits": 4, "parity_bits": 6, "code_family": "repetition"}
+            )
+
+    def test_family_cells_have_distinct_store_keys(self):
+        spec = SweepSpec.from_dict(self.FAMILY_SWEEP)
+        assert spec.num_cells == 4
+        keys = {cell.key() for cell in spec.cells}
+        assert len(keys) == 4
+        families = [
+            cell.config()["code"].get("code_family", "sec-hamming")
+            for cell in spec.cells
+        ]
+        assert families == [
+            "sec-hamming",
+            "secded-extended-hamming",
+            "parity-detect",
+            "repetition",
+        ]
+
+    def test_mixed_family_sweep_records_family_and_due(self, tmp_path):
+        store = CampaignStore(tmp_path / "campaign")
+        report = SweepRunner(store=store).run(SweepSpec.from_dict(self.FAMILY_SWEEP))
+        assert report.simulated == 4
+        by_family = {
+            record.result["code_family"]: record.result
+            for record in store.records()
+        }
+        assert set(by_family) == {
+            "sec-hamming",
+            "secded-extended-hamming",
+            "parity-detect",
+            "repetition",
+        }
+        # Detect-only parity words never miscorrect; they produce DUEs.
+        assert by_family["parity-detect"]["miscorrected_words"] == 0
+        assert by_family["parity-detect"]["detected_words"] > 0
+        assert by_family["secded-extended-hamming"]["detected_words"] > 0
+
+    def test_mixed_family_resume_is_byte_identical(self, tmp_path):
+        spec = SweepSpec.from_dict(self.FAMILY_SWEEP)
+        uninterrupted = CampaignStore(tmp_path / "full")
+        SweepRunner(store=uninterrupted).run(spec)
+
+        resumed = CampaignStore(tmp_path / "resumed")
+        partial = SweepRunner(store=resumed).run(spec, max_new_simulations=2)
+        assert not partial.completed
+        final = SweepRunner(store=CampaignStore(tmp_path / "resumed")).run(spec)
+        assert final.completed and final.cached == 2 and final.simulated == 2
+
+        assert (tmp_path / "full" / "records.jsonl").read_bytes() == (
+            tmp_path / "resumed" / "records.jsonl"
+        ).read_bytes()
+
+    def test_mixed_family_parallel_jobs_byte_identical(self, tmp_path):
+        spec = SweepSpec.from_dict(self.FAMILY_SWEEP)
+        serial = CampaignStore(tmp_path / "serial")
+        SweepRunner(store=serial).run(spec)
+        parallel = CampaignStore(tmp_path / "parallel")
+        SweepRunner(store=parallel, jobs=2).run(spec)
+        assert (tmp_path / "serial" / "records.jsonl").read_bytes() == (
+            tmp_path / "parallel" / "records.jsonl"
+        ).read_bytes()
+
+    def test_explicit_columns_default_parity_bits_follow_family(self):
+        # Regression: the default r for explicit parity_columns used to come
+        # from SEC-Hamming's min_parity_bits, spuriously rejecting valid
+        # SECDED column specs.
+        code = resolve_code(
+            {"parity_columns": [7, 11, 13],
+             "code_family": "secded-extended-hamming"}
+        )
+        assert code.num_parity_bits == 4
+        assert code.family_name == "secded-extended-hamming"
+
+    def test_repetition_code_beyond_table_limit_is_scenario_error(self):
+        with pytest.raises(ScenarioError, match="table-decode limit"):
+            resolve_code({"data_bits": 16, "code_family": "repetition"})
