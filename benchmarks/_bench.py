@@ -1,0 +1,22 @@
+"""Shared bootstrap for the thin benchmark declarations in this directory.
+
+Each ``bench_*.py`` module is a one-line declaration over the unified
+harness (:mod:`repro.bench`): it names a registered workload and gets a
+pytest-collectable test plus a standalone ``__main__`` entry point.  This
+helper makes ``src/`` importable for direct ``python benchmarks/...`` runs
+(pytest runs get the same path from ``conftest.py``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+_SRC = pathlib.Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.bench.testing import (  # noqa: E402,F401  (re-exported)
+    bench_workload_test,
+    standalone_main,
+)

@@ -1,47 +1,17 @@
-"""Ablation: specialised constraint-propagation backend vs CNF/SAT backend.
+"""Benchmark: ablation: specialised constraint-propagation solver vs CNF/CDCL SAT backend.
 
-DESIGN.md substitutes the paper's Z3 formulation with two interchangeable
-solvers; this ablation confirms they find the same answers and quantifies the
-cost of the generic CNF encoding relative to the specialised search (the
-reason the larger figures use the specialised backend).
+Thin declaration over the unified harness — parameters, tiers, conditions,
+metrics and oracles are defined by the ``ablation-solver-backends`` workload in
+:mod:`repro.bench.workloads`.  Run standalone with
+``python benchmarks/bench_ablation_solver_backends.py [--quick | --tier smoke|quick|full]``,
+or via ``repro bench run --workload ablation-solver-backends``.
 """
 
-import numpy as np
-from _reporting import print_header, print_table
+from _bench import bench_workload_test, standalone_main
 
-from repro.core import BeerSolver, SatBeerSolver, charged_patterns, expected_miscorrection_profile
-from repro.ecc import codes_equivalent, random_hamming_code
+WORKLOAD = "ablation-solver-backends"
 
+test_bench_ablation_solver_backends = bench_workload_test(WORKLOAD)
 
-def run_backend(solver_factory, num_data_bits, seed):
-    code = random_hamming_code(num_data_bits, rng=np.random.default_rng(seed))
-    profile = expected_miscorrection_profile(
-        code, list(charged_patterns(num_data_bits, [1, 2]))
-    )
-    solution = solver_factory(num_data_bits).solve(profile)
-    return code, solution
-
-
-def test_ablation_specialised_backend(benchmark):
-    code, solution = benchmark.pedantic(
-        run_backend, args=(BeerSolver, 8, 0), rounds=3, iterations=1
-    )
-    assert solution.unique
-    assert codes_equivalent(solution.code, code)
-
-
-def test_ablation_sat_backend(benchmark):
-    code, solution = benchmark.pedantic(
-        run_backend, args=(SatBeerSolver, 8, 0), rounds=1, iterations=1
-    )
-    assert solution.unique
-    assert codes_equivalent(solution.code, code)
-
-    print_header("Ablation — solver backends agree on the recovered function")
-    print_table(
-        ["backend", "solutions", "matches ground truth"],
-        [
-            ["specialised (constraint propagation)", 1, True],
-            ["CNF + CDCL SAT", solution.num_solutions, codes_equivalent(solution.code, code)],
-        ],
-    )
+if __name__ == "__main__":
+    raise SystemExit(standalone_main(WORKLOAD))

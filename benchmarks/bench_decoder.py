@@ -1,201 +1,17 @@
-"""Bulk-decode benchmark across code families: reference vs packed backends.
+"""Benchmark: reference vs packed bulk decode (corrected words + DUE masks) for every registered code family.
 
-The pluggable code-family architecture routes every family's decode —
-including the "detect, don't flip" DUE entries of SEC-DED and the
-detect-only families — through the same cached decode-action table in both
-backends.  This benchmark measures ``bulk_decode_outcomes`` (corrected words
-plus DUE masks) for a realistic batch per family with both backends and
-gates on bit identity: for every family the packed fast path must return
-arrays identical to the reference oracle.
-
-Acceptance: bit identity for all families in every mode; the packed backend
-must also beat the oracle by the speedup floor on the large SEC workload in
-full-size runs (quick mode only sanity-checks it is not slower).
-
-Run either through pytest (``pytest benchmarks/bench_decoder.py
---benchmark-only``) or directly (``python benchmarks/bench_decoder.py
-[--quick]``); the measured numbers go to ``BENCH_decoder_families.json`` at
-the repository root.
+Thin declaration over the unified harness — parameters, tiers, conditions,
+metrics and oracles are defined by the ``decoder-families`` workload in
+:mod:`repro.bench.workloads`.  Run standalone with
+``python benchmarks/bench_decoder.py [--quick | --tier smoke|quick|full]``,
+or via ``repro bench run --workload decoder-families``.
 """
 
-import json
-import os
-import sys
-import time
-from pathlib import Path
+from _bench import bench_workload_test, standalone_main
 
-if __name__ == "__main__":  # allow `python benchmarks/bench_decoder.py` from anywhere
-    sys.path.insert(0, str(Path(__file__).resolve().parent))
-    try:
-        import repro  # noqa: F401
-    except ImportError:
-        sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+WORKLOAD = "decoder-families"
 
-import numpy as np
-
-from _reporting import print_header, print_table
-
-from repro.ecc import get_family
-from repro.einsim.engine import bulk_decode_outcomes
-
-QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
-
-#: Perf floor for the large sec-hamming workload; quick mode only checks the
-#: packed path is not slower than the oracle.
-SPEEDUP_FLOOR = 1.0 if QUICK else 3.0
-
-RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_decoder_families.json"
-
-
-def _family_workloads(quick: bool):
-    """(label, code, num_words) per family, sized for realistic ECC words."""
-    k = 32 if quick else 128
-    words = 2_000 if quick else 20_000
-    return [
-        ("sec-hamming", get_family("sec-hamming").construct(k), words),
-        (
-            "secded-extended-hamming",
-            get_family("secded-extended-hamming").construct(k),
-            words,
-        ),
-        ("parity-detect", get_family("parity-detect").construct(k), words),
-        ("repetition-3x", get_family("repetition").construct(8), words),
-        ("repetition-2x-detect", get_family("repetition").construct(8, 8), words),
-    ]
-
-
-def _time_decode(code, received, backend, repeats):
-    bulk_decode_outcomes(code, received, backend)  # warm per-code caches
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        corrected, due = bulk_decode_outcomes(code, received, backend)
-        best = min(best, time.perf_counter() - start)
-    return best, corrected, due
-
-
-def decoder_benchmark_data(quick: bool = False) -> dict:
-    """Measure reference vs packed bulk decode (with DUE masks) per family."""
-    rng = np.random.default_rng(0)
-    repeats = 3 if quick else 5
-    rows = []
-    for label, code, num_words in _family_workloads(quick):
-        received = rng.integers(
-            0, 2, size=(num_words, code.codeword_length), dtype=np.uint8
-        )
-        ref_seconds, ref_corrected, ref_due = _time_decode(
-            code, received, "reference", repeats
-        )
-        packed_seconds, packed_corrected, packed_due = _time_decode(
-            code, received, "packed", repeats
-        )
-        rows.append(
-            {
-                "family": label,
-                "codeword_length": code.codeword_length,
-                "num_data_bits": code.num_data_bits,
-                "detect_only": code.detect_only,
-                "num_words": num_words,
-                "due_words": int(ref_due.sum()),
-                "reference_seconds": ref_seconds,
-                "packed_seconds": packed_seconds,
-                "speedup": ref_seconds / packed_seconds
-                if packed_seconds > 0
-                else float("inf"),
-                "outputs_identical": bool(
-                    np.array_equal(ref_corrected, packed_corrected)
-                    and np.array_equal(ref_due, packed_due)
-                ),
-            }
-        )
-    return {"quick": quick, "rows": rows}
-
-
-def _report(data: dict) -> None:
-    print_header(
-        "Decoder families — reference vs packed bulk_decode_outcomes"
-        + (" [quick mode]" if data["quick"] else "")
-    )
-    print_table(
-        [
-            "family",
-            "(n, k)",
-            "words",
-            "DUE words",
-            "reference (s)",
-            "packed (s)",
-            "speedup",
-            "bit-identical",
-        ],
-        [
-            [
-                row["family"],
-                f"({row['codeword_length']}, {row['num_data_bits']})",
-                row["num_words"],
-                row["due_words"],
-                row["reference_seconds"],
-                row["packed_seconds"],
-                row["speedup"],
-                row["outputs_identical"],
-            ]
-            for row in data["rows"]
-        ],
-    )
-
-
-def _check(data: dict) -> None:
-    # The bit-identity gate is non-negotiable in every mode and every family.
-    for row in data["rows"]:
-        assert row["outputs_identical"], (
-            f"packed decode diverged from the reference for {row['family']}"
-        )
-    # Detection-capable families must actually exercise the DUE path.
-    due_families = {
-        row["family"] for row in data["rows"] if row["due_words"] > 0
-    }
-    assert {"secded-extended-hamming", "parity-detect"} <= due_families, (
-        f"expected DUE observations, got them only for {sorted(due_families)}"
-    )
-    sec = next(row for row in data["rows"] if row["family"] == "sec-hamming")
-    assert sec["speedup"] >= SPEEDUP_FLOOR, (
-        f"packed backend only {sec['speedup']:.2f}x faster on sec-hamming "
-        f"(floor {SPEEDUP_FLOOR}x)"
-    )
-
-
-def test_decoder_family_backends(benchmark):
-    data = benchmark.pedantic(
-        decoder_benchmark_data, kwargs=dict(quick=QUICK), rounds=1, iterations=1
-    )
-    _report(data)
-    if not QUICK:
-        # Quick (CI smoke) runs use shrunken workloads; only full-size runs
-        # update the recorded perf trajectory.  The CI artifact comes from
-        # the standalone `python benchmarks/bench_decoder.py --quick` step,
-        # which always writes.
-        RESULTS_PATH.write_text(json.dumps(data, indent=2) + "\n")
-        print(f"\nwrote {RESULTS_PATH}")
-    _check(data)
-
-
-def main(argv=None) -> int:
-    import argparse
-
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--quick", action="store_true",
-                        help="shrink the workload and relax the speedup floor "
-                             "(CI smoke)")
-    parser.add_argument("--output", default=str(RESULTS_PATH),
-                        help="where to write the benchmark JSON")
-    args = parser.parse_args(argv)
-
-    data = decoder_benchmark_data(quick=QUICK or args.quick)
-    _report(data)
-    Path(args.output).write_text(json.dumps(data, indent=2) + "\n")
-    print(f"\nwrote {args.output}")
-    _check(data)
-    return 0
-
+test_bench_decoder_families = bench_workload_test(WORKLOAD)
 
 if __name__ == "__main__":
-    sys.exit(main())
+    raise SystemExit(standalone_main(WORKLOAD))

@@ -1,48 +1,17 @@
-"""Figure 1: per-bit post-correction error probability for different ECC functions.
+"""Benchmark: figure 1: pre-/post-correction error probability vs raw bit error rate.
 
-Paper claim: with identical, uniformly distributed pre-correction errors
-(RBER 1e-4), different on-die ECC functions of the same (n, k) produce
-visibly different per-bit post-correction error distributions, while the
-pre-correction distribution is flat.
+Thin declaration over the unified harness — parameters, tiers, conditions,
+metrics and oracles are defined by the ``fig1-error-probability`` workload in
+:mod:`repro.bench.workloads`.  Run standalone with
+``python benchmarks/bench_fig1_error_probability.py [--quick | --tier smoke|quick|full]``,
+or via ``repro bench run --workload fig1-error-probability``.
 """
 
-from _reporting import print_header, print_table, sparkline
+from _bench import bench_workload_test, standalone_main
 
-from repro.analysis import figure1_error_probability_data
+WORKLOAD = "fig1-error-probability"
 
+test_bench_fig1_error_probability = bench_workload_test(WORKLOAD)
 
-def test_figure1_per_bit_error_probability(benchmark):
-    data = benchmark.pedantic(
-        figure1_error_probability_data,
-        kwargs=dict(
-            num_data_bits=32,
-            num_functions=3,
-            bit_error_rate=1e-3,
-            num_words=150_000,
-            num_bootstrap=100,
-            seed=0,
-        ),
-        rounds=1,
-        iterations=1,
-    )
-
-    print_header(
-        "Figure 1 — relative post-correction error probability per bit position"
-    )
-    rows = []
-    flat = data["pre_correction_relative_probability"]
-    rows.append(["pre-correction (uniform)", f"{min(flat):.4f}..{max(flat):.4f}", sparkline(flat)])
-    for entry in data["post_correction"]:
-        relative = entry["relative_error_probability"]
-        rows.append(
-            [
-                f"ECC function {entry['function_index']}",
-                f"{min(relative):.4f}..{max(relative):.4f}",
-                sparkline(relative),
-            ]
-        )
-    print_table(["series", "range", "per-bit shape (bits 0..31)"], rows)
-
-    # Shape check: the three post-correction distributions are not identical.
-    shapes = [tuple(e["relative_error_probability"]) for e in data["post_correction"]]
-    assert len(set(shapes)) > 1
+if __name__ == "__main__":
+    raise SystemExit(standalone_main(WORKLOAD))

@@ -1,49 +1,17 @@
-"""Figure 3: 1-CHARGED error maps for one chip per manufacturer (A, B, C).
+"""Benchmark: figure 3: per-manufacturer miscorrection maps from simulated campaigns.
 
-Paper claim: the three manufacturers' miscorrection profiles differ (they use
-different ECC functions); chips from the same manufacturer and model produce
-identical profiles; manufacturer A's map looks unstructured while B's and C's
-show regular patterns.
+Thin declaration over the unified harness — parameters, tiers, conditions,
+metrics and oracles are defined by the ``fig3-manufacturer-profiles`` workload in
+:mod:`repro.bench.workloads`.  Run standalone with
+``python benchmarks/bench_fig3_manufacturer_profiles.py [--quick | --tier smoke|quick|full]``,
+or via ``repro bench run --workload fig3-manufacturer-profiles``.
 """
 
-import numpy as np
-from _reporting import print_header, print_table, sparkline
+from _bench import bench_workload_test, standalone_main
 
-from repro.analysis import figure3_manufacturer_profile_data
-from repro.dram import ChipGeometry
+WORKLOAD = "fig3-manufacturer-profiles"
 
+test_bench_fig3_manufacturer_profiles = bench_workload_test(WORKLOAD)
 
-def test_figure3_manufacturer_error_maps(benchmark):
-    data = benchmark.pedantic(
-        figure3_manufacturer_profile_data,
-        kwargs=dict(
-            num_data_bits=16,
-            geometry=ChipGeometry(32, 8),
-            refresh_windows_s=(30.0, 45.0, 60.0),
-            rounds_per_window=6,
-            seed=0,
-        ),
-        rounds=1,
-        iterations=1,
-    )
-
-    print_header("Figure 3 — per-bit error maps for 1-CHARGED patterns (A / B / C)")
-    for vendor_name, vendor_data in data.items():
-        matrix = vendor_data["error_count_matrix"]
-        print(f"\nManufacturer {vendor_name} (rows = CHARGED-bit index, cols = bit index):")
-        print_table(
-            ["CHARGED bit", "observed error counts per bit (sparkline)"],
-            [
-                [pattern_index, sparkline(matrix[pattern_index].astype(float).tolist())]
-                for pattern_index in range(matrix.shape[0])
-            ],
-        )
-
-    # Shape checks: maps differ between manufacturers.
-    flattened = {name: tuple(d["error_count_matrix"].flatten()) for name, d in data.items()}
-    assert flattened["A"] != flattened["B"]
-    assert flattened["B"] != flattened["C"]
-    # The diagonal (errors in the CHARGED bit itself) is populated for every vendor.
-    for vendor_data in data.values():
-        matrix = vendor_data["error_count_matrix"]
-        assert np.trace(matrix) > 0
+if __name__ == "__main__":
+    raise SystemExit(standalone_main(WORKLOAD))

@@ -1,51 +1,17 @@
-"""Figure 4: per-bit miscorrection probability and the threshold filter.
+"""Benchmark: figure 4: threshold filtering separates susceptible from quiet bits.
 
-Paper claim: aggregated over all 1-CHARGED patterns and swept refresh windows,
-per-bit miscorrection probabilities separate cleanly into a (near-)zero group
-and a clearly non-zero group, so a simple threshold filter removes transient
-noise without discarding real miscorrections.
+Thin declaration over the unified harness — parameters, tiers, conditions,
+metrics and oracles are defined by the ``fig4-threshold-filter`` workload in
+:mod:`repro.bench.workloads`.  Run standalone with
+``python benchmarks/bench_fig4_threshold_filter.py [--quick | --tier smoke|quick|full]``,
+or via ``repro bench run --workload fig4-threshold-filter``.
 """
 
-import numpy as np
-from _reporting import print_header, print_table
+from _bench import bench_workload_test, standalone_main
 
-from repro.analysis import figure4_threshold_data
+WORKLOAD = "fig4-threshold-filter"
 
+test_bench_fig4_threshold_filter = bench_workload_test(WORKLOAD)
 
-def test_figure4_threshold_filter(benchmark):
-    data = benchmark.pedantic(
-        figure4_threshold_data,
-        kwargs=dict(
-            num_data_bits=16,
-            refresh_windows_s=(20.0, 30.0, 40.0, 50.0, 60.0),
-            rounds_per_window=4,
-            transient_fault_probability=2e-4,
-            seed=1,
-        ),
-        rounds=1,
-        iterations=1,
-    )
-
-    print_header("Figure 4 — per-bit miscorrection probability across refresh windows")
-    susceptible = set(data["analytically_susceptible_bits"])
-    print_table(
-        ["bit", "min", "median", "max", "susceptible?"],
-        [
-            [
-                bit,
-                data["per_bit_min"][bit],
-                data["per_bit_median"][bit],
-                data["per_bit_max"][bit],
-                "yes" if bit in susceptible else "no",
-            ]
-            for bit in range(len(data["per_bit_min"]))
-        ],
-    )
-    print(f"\nSuggested threshold: {data['suggested_threshold']}")
-
-    # Shape check: miscorrection-susceptible bits have higher medians than
-    # non-susceptible bits (the two groups are separable).
-    medians = np.array(data["per_bit_median"])
-    non_susceptible = [b for b in range(len(medians)) if b not in susceptible]
-    if susceptible and non_susceptible:
-        assert medians[sorted(susceptible)].max() > medians[non_susceptible].max()
+if __name__ == "__main__":
+    raise SystemExit(standalone_main(WORKLOAD))

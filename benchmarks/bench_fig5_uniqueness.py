@@ -1,48 +1,17 @@
-"""Figure 5: number of ECC functions consistent with each test-pattern set.
+"""Benchmark: figure 5: solution-count distributions / uniqueness across dataword lengths.
 
-Paper claim: the {1,2}-CHARGED pattern set always identifies the ECC function
-uniquely; individual 1-, 2-, or 3-CHARGED sets can leave multiple candidates
-for shortened codes; full-length codes (k = 2^r - r - 1) are unique for every
-pattern set.
+Thin declaration over the unified harness — parameters, tiers, conditions,
+metrics and oracles are defined by the ``fig5-uniqueness`` workload in
+:mod:`repro.bench.workloads`.  Run standalone with
+``python benchmarks/bench_fig5_uniqueness.py [--quick | --tier smoke|quick|full]``,
+or via ``repro bench run --workload fig5-uniqueness``.
 """
 
-from _reporting import print_header, print_table
+from _bench import bench_workload_test, standalone_main
 
-from repro.analysis import figure5_uniqueness_data
+WORKLOAD = "fig5-uniqueness"
 
-FULL_LENGTH_DATAWORDS = {4, 11, 26, 57, 120, 247}
+test_bench_fig5_uniqueness = bench_workload_test(WORKLOAD)
 
-
-def test_figure5_solution_counts(benchmark):
-    data = benchmark.pedantic(
-        figure5_uniqueness_data,
-        kwargs=dict(
-            dataword_lengths=(4, 6, 8, 11, 16),
-            codes_per_length=3,
-            max_solutions=25,
-            seed=0,
-        ),
-        rounds=1,
-        iterations=1,
-    )
-
-    print_header("Figure 5 — candidate ECC functions per test-pattern set")
-    headers = ["dataword length"] + list(data["solution_counts"].keys())
-    rows = []
-    for num_data_bits in data["dataword_lengths"]:
-        row = [num_data_bits]
-        for set_name in data["solution_counts"]:
-            stats = data["solution_counts"][set_name][num_data_bits]
-            row.append(f"{stats['min']:.0f}/{stats['median']:.0f}/{stats['max']:.0f}")
-        rows.append(row)
-    print_table(headers, rows)
-    print("\n(cells are min/median/max candidate counts over the sampled codes)")
-
-    counts = data["solution_counts"]
-    # {1,2}-CHARGED is always unique.
-    for num_data_bits in data["dataword_lengths"]:
-        assert counts["{1,2}-CHARGED"][num_data_bits]["max"] == 1.0
-    # Full-length codes are unique even with 1-CHARGED alone.
-    for num_data_bits in data["dataword_lengths"]:
-        if num_data_bits in FULL_LENGTH_DATAWORDS:
-            assert counts["1-CHARGED"][num_data_bits]["max"] == 1.0
+if __name__ == "__main__":
+    raise SystemExit(standalone_main(WORKLOAD))

@@ -1,52 +1,17 @@
-"""Figure 6: BEER solver runtime and memory usage vs dataword length.
+"""Benchmark: figure 6: solver runtime scaling in the dataword length.
 
-Paper claim: runtime and memory grow with the codeword length, and the
-uniqueness check (exhaustive search) dominates total runtime, while merely
-determining a consistent function is much faster.  Absolute values here are
-far smaller than the paper's Z3 numbers because the specialised backend
-exploits the closed-form constraint structure — the scaling shape is the
-reproduced quantity.
+Thin declaration over the unified harness — parameters, tiers, conditions,
+metrics and oracles are defined by the ``fig6-solver-runtime`` workload in
+:mod:`repro.bench.workloads`.  Run standalone with
+``python benchmarks/bench_fig6_solver_runtime.py [--quick | --tier smoke|quick|full]``,
+or via ``repro bench run --workload fig6-solver-runtime``.
 """
 
-from _reporting import print_header, print_table
+from _bench import bench_workload_test, standalone_main
 
-from repro.analysis import figure6_runtime_data
+WORKLOAD = "fig6-solver-runtime"
 
+test_bench_fig6_solver_runtime = bench_workload_test(WORKLOAD)
 
-def test_figure6_runtime_and_memory(benchmark):
-    data = benchmark.pedantic(
-        figure6_runtime_data,
-        kwargs=dict(dataword_lengths=(4, 8, 16, 32), codes_per_length=2, seed=0),
-        rounds=1,
-        iterations=1,
-    )
-
-    print_header("Figure 6 — BEER solver runtime and memory vs dataword length")
-    print_table(
-        [
-            "dataword length",
-            "parity bits",
-            "determine function (s)",
-            "check uniqueness (s)",
-            "total (s)",
-            "peak memory (MiB)",
-        ],
-        [
-            [
-                row["dataword_length"],
-                row["num_parity_bits"],
-                row["determine_function_seconds"],
-                row["check_uniqueness_seconds"],
-                row["total_seconds"],
-                row["peak_memory_mib"],
-            ]
-            for row in data["rows"]
-        ],
-    )
-
-    rows = data["rows"]
-    # Shape checks: total runtime grows with code length, and the uniqueness
-    # check costs at least as much as finding the first solution.
-    assert rows[-1]["total_seconds"] >= rows[0]["total_seconds"]
-    for row in rows:
-        assert row["check_uniqueness_seconds"] >= 0.5 * row["determine_function_seconds"]
+if __name__ == "__main__":
+    raise SystemExit(standalone_main(WORKLOAD))

@@ -1,73 +1,17 @@
-"""Figure 8: BEEP success rate for one vs two profiling passes.
+"""Benchmark: figure 8: BEEP profiling passes needed vs dataword length.
 
-Paper claim: BEEP's success rate (probability that every injected error-prone
-cell is identified) is high across error counts, improves with a second pass,
-and is higher for longer codewords.
+Thin declaration over the unified harness — parameters, tiers, conditions,
+metrics and oracles are defined by the ``fig8-beep-passes`` workload in
+:mod:`repro.bench.workloads`.  Run standalone with
+``python benchmarks/bench_fig8_beep_passes.py [--quick | --tier smoke|quick|full]``,
+or via ``repro bench run --workload fig8-beep-passes``.
 """
 
-import numpy as np
-from _reporting import print_header, print_table
+from _bench import bench_workload_test, standalone_main
 
-from repro.analysis import figure8_beep_pass_data
+WORKLOAD = "fig8-beep-passes"
 
+test_bench_fig8_beep_passes = bench_workload_test(WORKLOAD)
 
-def test_figure8_beep_success_vs_passes(benchmark):
-    data = benchmark.pedantic(
-        figure8_beep_pass_data,
-        kwargs=dict(
-            codeword_lengths=(31, 63, 127),
-            error_counts=(2, 3, 4, 5),
-            passes=(1, 2),
-            codewords_per_point=16,
-            seed=0,
-        ),
-        rounds=1,
-        iterations=1,
-    )
-
-    print_header("Figure 8 — BEEP success rate, 1 vs 2 passes")
-    print_table(
-        ["codeword length", "errors injected", "1-pass success", "2-pass success"],
-        [
-            [
-                length,
-                errors,
-                _rate(data, length, errors, 1),
-                _rate(data, length, errors, 2),
-            ]
-            for length in (31, 63, 127)
-            for errors in (2, 3, 4, 5)
-        ],
-    )
-
-    rows = data["rows"]
-    mean_by_passes = {
-        p: np.mean([r["success_rate"] for r in rows if r["passes"] == p]) for p in (1, 2)
-    }
-    two_pass_by_length = {
-        n: np.mean(
-            [
-                r["success_rate"]
-                for r in rows
-                if r["codeword_length"] == n and r["passes"] == 2
-            ]
-        )
-        for n in (31, 127)
-    }
-    # Shape checks: a second pass helps on aggregate; with two passes the
-    # longest codeword profiles at least as well as the shortest (up to the
-    # Monte-Carlo noise of the small per-point sample); success is substantial.
-    assert mean_by_passes[2] >= mean_by_passes[1] - 1e-9
-    assert two_pass_by_length[127] >= two_pass_by_length[31] - 0.15
-    assert mean_by_passes[2] >= 0.5
-
-
-def _rate(data, length, errors, passes):
-    for row in data["rows"]:
-        if (
-            row["codeword_length"] == length
-            and row["errors_injected"] == errors
-            and row["passes"] == passes
-        ):
-            return row["success_rate"]
-    raise KeyError((length, errors, passes))
+if __name__ == "__main__":
+    raise SystemExit(standalone_main(WORKLOAD))

@@ -1,62 +1,17 @@
-"""Figure 9: BEEP success rate vs per-bit error probability.
+"""Benchmark: figure 9: BEEP localisation accuracy vs per-bit error probability.
 
-Paper claim: BEEP remains effective when error-prone cells fail only
-probabilistically, with success degrading as the per-bit failure probability
-drops and longer codewords being more resilient.
+Thin declaration over the unified harness — parameters, tiers, conditions,
+metrics and oracles are defined by the ``fig9-beep-error-probability`` workload in
+:mod:`repro.bench.workloads`.  Run standalone with
+``python benchmarks/bench_fig9_beep_error_probability.py [--quick | --tier smoke|quick|full]``,
+or via ``repro bench run --workload fig9-beep-error-probability``.
 """
 
-import numpy as np
-from _reporting import print_header, print_table
+from _bench import bench_workload_test, standalone_main
 
-from repro.analysis import figure9_beep_probability_data
+WORKLOAD = "fig9-beep-error-probability"
 
+test_bench_fig9_beep_error_probability = bench_workload_test(WORKLOAD)
 
-def test_figure9_beep_success_vs_error_probability(benchmark):
-    data = benchmark.pedantic(
-        figure9_beep_probability_data,
-        kwargs=dict(
-            codeword_lengths=(31, 63, 127),
-            error_counts=(3, 5),
-            per_bit_probabilities=(1.0, 0.75, 0.5, 0.25),
-            codewords_per_point=10,
-            seed=0,
-        ),
-        rounds=1,
-        iterations=1,
-    )
-
-    print_header("Figure 9 — BEEP success rate vs per-bit error probability")
-    probabilities = (1.0, 0.75, 0.5, 0.25)
-    print_table(
-        ["codeword length", "errors injected"] + [f"P[error]={p}" for p in probabilities],
-        [
-            [length, errors]
-            + [_rate(data, length, errors, probability) for probability in probabilities]
-            for length in (31, 63, 127)
-            for errors in (3, 5)
-        ],
-    )
-
-    rows = data["rows"]
-    mean_by_probability = {
-        p: np.mean([r["success_rate"] for r in rows if r["per_bit_error_probability"] == p])
-        for p in (1.0, 0.25)
-    }
-    mean_by_length = {
-        n: np.mean([r["success_rate"] for r in rows if r["codeword_length"] == n])
-        for n in (31, 127)
-    }
-    # Shape checks: deterministic failures are easiest; longer codewords help.
-    assert mean_by_probability[1.0] >= mean_by_probability[0.25] - 1e-9
-    assert mean_by_length[127] >= mean_by_length[31] - 1e-9
-
-
-def _rate(data, length, errors, probability):
-    for row in data["rows"]:
-        if (
-            row["codeword_length"] == length
-            and row["errors_injected"] == errors
-            and row["per_bit_error_probability"] == probability
-        ):
-            return row["success_rate"]
-    raise KeyError((length, errors, probability))
+if __name__ == "__main__":
+    raise SystemExit(standalone_main(WORKLOAD))

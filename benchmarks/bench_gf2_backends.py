@@ -1,99 +1,17 @@
-"""GF(2) backend comparison: reference (uint8) vs packed (bit-packed) kernels.
+"""Benchmark: GF(2) linear-algebra backends: reference vs packed bulk decode and solver-input construction, with bit-identity oracles.
 
-Records the perf trajectory of the bit-packed fast path:
-
-* the acceptance microbenchmark — 10k-word bulk decode of a (136, 128) SEC
-  Hamming code — where the packed backend must be at least 5× faster than
-  the reference oracle while producing bit-identical output;
-* fig6-style solver-input generation (Monte-Carlo miscorrection profiles,
-  the BEER solver's input) measured with both backends.
-
-Running with ``REPRO_BENCH_QUICK=1`` shrinks the word counts and drops the
-speedup floor to a sanity check so CI smoke jobs stay fast and robust to
-noisy shared runners.  The measured numbers are written to
-``BENCH_gf2_backends.json`` at the repository root.
+Thin declaration over the unified harness — parameters, tiers, conditions,
+metrics and oracles are defined by the ``gf2-backends`` workload in
+:mod:`repro.bench.workloads`.  Run standalone with
+``python benchmarks/bench_gf2_backends.py [--quick | --tier smoke|quick|full]``,
+or via ``repro bench run --workload gf2-backends``.
 """
 
-import json
-import os
-from pathlib import Path
+from _bench import bench_workload_test, standalone_main
 
-from _reporting import print_header, print_table
+WORKLOAD = "gf2-backends"
 
-from repro.analysis import gf2_backend_comparison_data
+test_bench_gf2_backends = bench_workload_test(WORKLOAD)
 
-QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
-
-#: Acceptance floor for the full-size microbenchmark; quick mode only checks
-#: the packed path is not slower than the oracle.
-SPEEDUP_FLOOR = 1.0 if QUICK else 5.0
-
-RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_gf2_backends.json"
-
-
-def test_gf2_backend_comparison(benchmark):
-    kwargs = dict(
-        num_words=1_000 if QUICK else 10_000,
-        num_data_bits=128,
-        dataword_lengths=(8,) if QUICK else (8, 16, 32),
-        words_per_pattern=200 if QUICK else 2_000,
-        repeats=3 if QUICK else 5,
-        seed=0,
-    )
-    data = benchmark.pedantic(
-        gf2_backend_comparison_data, kwargs=kwargs, rounds=1, iterations=1
-    )
-
-    micro = data["bulk_decode"]
-    print_header(
-        "GF(2) backends — bulk_decode microbenchmark "
-        f"({micro['num_words']} words, ({micro['codeword_length']}, "
-        f"{micro['num_data_bits']}) code)"
-    )
-    print_table(
-        ["backend", "seconds (best of repeats)", "speedup vs reference"],
-        [
-            ["reference", micro["reference_seconds"], 1.0],
-            ["packed", micro["packed_seconds"], micro["speedup"]],
-        ],
-    )
-
-    print_header("GF(2) backends — fig6-style solver-input generation")
-    print_table(
-        [
-            "dataword length",
-            "patterns",
-            "words/pattern",
-            "reference (s)",
-            "packed (s)",
-            "speedup",
-            "profiles identical",
-        ],
-        [
-            [
-                row["dataword_length"],
-                row["num_patterns"],
-                row["words_per_pattern"],
-                row["reference_seconds"],
-                row["packed_seconds"],
-                row["speedup"],
-                row["profiles_identical"],
-            ]
-            for row in data["solver_input"]["rows"]
-        ],
-    )
-
-    if not QUICK:
-        # Quick (CI smoke) runs use shrunken workloads; only full-size runs
-        # update the recorded perf trajectory.
-        RESULTS_PATH.write_text(json.dumps(data, indent=2) + "\n")
-        print(f"\nwrote {RESULTS_PATH}")
-
-    # Correctness is non-negotiable in both modes.
-    assert micro["outputs_identical"]
-    assert all(row["profiles_identical"] for row in data["solver_input"]["rows"])
-    # Perf acceptance: the packed backend must beat the oracle by the floor.
-    assert micro["speedup"] >= SPEEDUP_FLOOR, (
-        f"packed backend only {micro['speedup']:.2f}x faster "
-        f"(floor {SPEEDUP_FLOOR}x)"
-    )
+if __name__ == "__main__":
+    raise SystemExit(standalone_main(WORKLOAD))

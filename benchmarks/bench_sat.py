@@ -1,197 +1,17 @@
-"""SAT solver benchmark: incremental vs one-shot BEER model enumeration.
+"""Benchmark: incremental vs one-shot SAT-based BEER model enumeration (persistent CDCL solver vs fresh-solver oracle).
 
-BEER's bottleneck is SAT-based enumeration of every ECC function consistent
-with a miscorrection profile.  The historical enumeration constructed a fresh
-CDCL solver (and copied the CNF) per model — quadratic re-propagation over
-the whole enumeration.  This benchmark drives both paths of
-:meth:`repro.core.SatBeerSolver.solve` on BEER profiles for k ∈ {8, 16, 32}:
-
-* the **incremental** path: one persistent solver keeps learned clauses,
-  watches, activities, and saved phases alive across blocking clauses;
-* the **one-shot oracle**: the historical fresh-solver-per-model behaviour,
-  kept as the differential reference.
-
-Both paths must enumerate identical canonical code sets; the acceptance gate
-requires the incremental path to be at least 3x faster on the k=16
-full-enumeration case.  The k=32 case pins a few parity-check columns
-(``known_columns`` — the partial-knowledge scenario) so the Python-level
-oracle finishes in benchmark-friendly time while still exercising the
-largest formulas.
-
-Run either through pytest (``pytest benchmarks/bench_sat.py --benchmark-only``)
-or directly (``python benchmarks/bench_sat.py [--quick]``); the measured
-numbers go to ``BENCH_sat_solver.json`` at the repository root.  Quick mode
-(``--quick`` / ``REPRO_BENCH_QUICK=1``) shrinks the workloads and relaxes the
-speedup floor to a sanity check for CI smoke jobs.
+Thin declaration over the unified harness — parameters, tiers, conditions,
+metrics and oracles are defined by the ``sat-solver`` workload in
+:mod:`repro.bench.workloads`.  Run standalone with
+``python benchmarks/bench_sat.py [--quick | --tier smoke|quick|full]``,
+or via ``repro bench run --workload sat-solver``.
 """
 
-import json
-import os
-import sys
-import time
-from pathlib import Path
+from _bench import bench_workload_test, standalone_main
 
-if __name__ == "__main__":  # allow `python benchmarks/bench_sat.py` from anywhere
-    sys.path.insert(0, str(Path(__file__).resolve().parent))
-    try:
-        import repro  # noqa: F401
-    except ImportError:
-        sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+WORKLOAD = "sat-solver"
 
-import numpy as np
-
-from _reporting import print_header, print_table
-
-from repro.core import SatBeerSolver, expected_miscorrection_profile, one_charged_patterns
-from repro.ecc import random_hamming_code
-from repro.ecc.codespace import canonical_form
-
-QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
-
-#: Acceptance floor on the k=16 case; quick mode only sanity-checks that the
-#: incremental path is not slower than the oracle.
-SPEEDUP_FLOOR = 1.0 if QUICK else 3.0
-
-RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_sat_solver.json"
-
-#: (num_data_bits, number of parity-check columns pinned via known_columns).
-FULL_CASES = ((8, 0), (16, 0), (32, 4))
-QUICK_CASES = ((8, 0), (16, 3))
-
-
-def sat_solver_benchmark_data(quick: bool = False, seed: int = 0) -> dict:
-    """Measure incremental vs one-shot enumeration on BEER profiles."""
-    rows = []
-    for num_data_bits, num_pinned in (QUICK_CASES if quick else FULL_CASES):
-        code = random_hamming_code(num_data_bits, rng=np.random.default_rng(seed))
-        profile = expected_miscorrection_profile(
-            code, list(one_charged_patterns(num_data_bits))
-        )
-        pinned = {
-            index: code.parity_column_ints[index] for index in range(num_pinned)
-        }
-        solver = SatBeerSolver(num_data_bits)
-
-        start = time.perf_counter()
-        incremental = solver.solve(profile, known_columns=pinned or None)
-        incremental_seconds = time.perf_counter() - start
-
-        start = time.perf_counter()
-        one_shot = solver.solve(
-            profile, known_columns=pinned or None, incremental=False
-        )
-        one_shot_seconds = time.perf_counter() - start
-
-        identical = {canonical_form(c) for c in incremental.codes} == {
-            canonical_form(c) for c in one_shot.codes
-        }
-        rows.append(
-            {
-                "num_data_bits": num_data_bits,
-                "num_parity_bits": solver.num_parity_bits,
-                "pinned_columns": num_pinned,
-                "models_enumerated": incremental.nodes_visited,
-                "canonical_codes": incremental.num_solutions,
-                "incremental_seconds": incremental_seconds,
-                "one_shot_seconds": one_shot_seconds,
-                "speedup": one_shot_seconds / incremental_seconds
-                if incremental_seconds > 0
-                else float("inf"),
-                "identical_canonical_sets": identical,
-                "solver_stats": incremental.solver_stats,
-            }
-        )
-    return {"quick": quick, "seed": seed, "rows": rows}
-
-
-def _acceptance_row(data: dict) -> dict:
-    return next(row for row in data["rows"] if row["num_data_bits"] == 16)
-
-
-def _report(data: dict) -> None:
-    print_header(
-        "SAT solver — incremental vs one-shot BEER model enumeration"
-        + (" [quick mode]" if data["quick"] else "")
-    )
-    print_table(
-        [
-            "k",
-            "r",
-            "pinned cols",
-            "models",
-            "codes",
-            "one-shot (s)",
-            "incremental (s)",
-            "speedup",
-            "identical sets",
-        ],
-        [
-            [
-                row["num_data_bits"],
-                row["num_parity_bits"],
-                row["pinned_columns"],
-                row["models_enumerated"],
-                row["canonical_codes"],
-                row["one_shot_seconds"],
-                row["incremental_seconds"],
-                row["speedup"],
-                row["identical_canonical_sets"],
-            ]
-            for row in data["rows"]
-        ],
-    )
-
-
-def _check(data: dict) -> None:
-    # Correctness is non-negotiable in both modes.
-    for row in data["rows"]:
-        assert row["identical_canonical_sets"], (
-            f"incremental and one-shot enumerations diverged at "
-            f"k={row['num_data_bits']}"
-        )
-    gate = _acceptance_row(data)
-    assert gate["speedup"] >= SPEEDUP_FLOOR, (
-        f"incremental path only {gate['speedup']:.2f}x faster at k=16 "
-        f"(floor {SPEEDUP_FLOOR}x)"
-    )
-
-
-def test_sat_incremental_enumeration(benchmark):
-    data = benchmark.pedantic(
-        sat_solver_benchmark_data, kwargs=dict(quick=QUICK, seed=0), rounds=1, iterations=1
-    )
-    _report(data)
-    if not QUICK:
-        # Quick (CI smoke) runs use shrunken workloads; only full-size runs
-        # update the recorded perf trajectory.
-        RESULTS_PATH.write_text(json.dumps(data, indent=2) + "\n")
-        print(f"\nwrote {RESULTS_PATH}")
-    _check(data)
-
-
-def main(argv=None) -> int:
-    import argparse
-
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--quick", action="store_true",
-                        help="shrink workloads and relax the speedup floor (CI smoke)")
-    parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--output", default=str(RESULTS_PATH),
-                        help="where to write the benchmark JSON")
-    args = parser.parse_args(argv)
-
-    global QUICK, SPEEDUP_FLOOR
-    if args.quick:
-        QUICK = True
-        SPEEDUP_FLOOR = 1.0
-
-    data = sat_solver_benchmark_data(quick=QUICK, seed=args.seed)
-    _report(data)
-    Path(args.output).write_text(json.dumps(data, indent=2) + "\n")
-    print(f"\nwrote {args.output}")
-    _check(data)
-    return 0
-
+test_bench_sat_solver = bench_workload_test(WORKLOAD)
 
 if __name__ == "__main__":
-    sys.exit(main())
+    raise SystemExit(standalone_main(WORKLOAD))

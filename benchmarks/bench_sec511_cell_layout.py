@@ -1,55 +1,17 @@
-"""Section 5.1.1: discovering the true-/anti-cell layout of a chip.
+"""Benchmark: section 5.1.1: true-/anti-cell layout discovery via retention tests.
 
-Paper claim: writing data-0 and data-1 patterns and pausing refresh reveals
-each row's cell encoding; manufacturers A and B use only true-cells while
-manufacturer C alternates blocks of true- and anti-cell rows.
+Thin declaration over the unified harness — parameters, tiers, conditions,
+metrics and oracles are defined by the ``sec511-cell-layout`` workload in
+:mod:`repro.bench.workloads`.  Run standalone with
+``python benchmarks/bench_sec511_cell_layout.py [--quick | --tier smoke|quick|full]``,
+or via ``repro bench run --workload sec511-cell-layout``.
 """
 
-from _reporting import print_header, print_table
+from _bench import bench_workload_test, standalone_main
 
-from repro.core import discover_cell_types
-from repro.dram import CellType, ChipGeometry, DataRetentionModel, VENDOR_A, VENDOR_C
-from repro.dram.retention import RetentionCalibration
+WORKLOAD = "sec511-cell-layout"
 
-FAST = DataRetentionModel(RetentionCalibration(1.0, 0.02, 60.0, 0.5))
+test_bench_sec511_cell_layout = bench_workload_test(WORKLOAD)
 
-
-def test_section_5_1_1_cell_type_discovery(benchmark):
-    chip_a = VENDOR_A.make_chip(
-        num_data_bits=16, geometry=ChipGeometry(28, 8), seed=0, retention_model=FAST
-    )
-    chip_c = VENDOR_C.make_chip(
-        num_data_bits=16, geometry=ChipGeometry(28, 8), seed=0, retention_model=FAST
-    )
-
-    classification_c = benchmark.pedantic(
-        discover_cell_types, args=(chip_c,), kwargs=dict(refresh_pause_s=90.0),
-        rounds=1, iterations=1,
-    )
-    classification_a = discover_cell_types(chip_a, refresh_pause_s=90.0)
-
-    print_header("Section 5.1.1 — true-/anti-cell layout discovery")
-    print_table(
-        ["row", "vendor A", "vendor C", "vendor C ground truth"],
-        [
-            [
-                row,
-                classification_a[row].value,
-                classification_c[row].value,
-                VENDOR_C.cell_layout().cell_type_for_row(row).value,
-            ]
-            for row in range(chip_c.geometry.num_rows)
-        ],
-    )
-
-    # Shape checks: vendor A is all true-cells; vendor C shows both types and
-    # the discovered layout matches the ground-truth block structure.
-    assert all(value is CellType.TRUE_CELL for value in classification_a.values())
-    assert CellType.ANTI_CELL in classification_c.values()
-    ground_truth = VENDOR_C.cell_layout()
-    matches = sum(
-        1
-        for row, value in classification_c.items()
-        if value is ground_truth.cell_type_for_row(row)
-    )
-    assert matches >= 0.9 * chip_c.geometry.num_rows
+if __name__ == "__main__":
+    raise SystemExit(standalone_main(WORKLOAD))

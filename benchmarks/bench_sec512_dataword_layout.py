@@ -1,51 +1,17 @@
-"""Section 5.1.2: discovering which bytes share an ECC dataword.
+"""Benchmark: section 5.1.2: byte-interleaved dataword layout discovery.
 
-Paper claim: charging one cell/byte at a time and inducing uncorrectable
-errors confines miscorrections to the same ECC word, revealing that each 32 B
-region holds two byte-interleaved ECC datawords.
+Thin declaration over the unified harness — parameters, tiers, conditions,
+metrics and oracles are defined by the ``sec512-dataword-layout`` workload in
+:mod:`repro.bench.workloads`.  Run standalone with
+``python benchmarks/bench_sec512_dataword_layout.py [--quick | --tier smoke|quick|full]``,
+or via ``repro bench run --workload sec512-dataword-layout``.
 """
 
-from _reporting import print_header, print_table
+from _bench import bench_workload_test, standalone_main
 
-from repro.core import discover_dataword_layout
-from repro.core.layout_re import estimate_dataword_bits
-from repro.dram import ChipGeometry, DataRetentionModel, SimulatedDramChip
-from repro.dram.layout import ByteInterleavedWordLayout
-from repro.dram.retention import RetentionCalibration
-from repro.ecc import hamming_code
+WORKLOAD = "sec512-dataword-layout"
 
-FAST = DataRetentionModel(RetentionCalibration(1.0, 0.02, 60.0, 0.6))
+test_bench_sec512_dataword_layout = bench_workload_test(WORKLOAD)
 
-
-def test_section_5_1_2_dataword_layout_discovery(benchmark):
-    # A chip whose 4-byte regions interleave two 16-bit ECC words at byte
-    # granularity (the scaled-down analogue of the paper's 32 B / two 16 B words).
-    chip = SimulatedDramChip(
-        hamming_code(16),
-        ChipGeometry(16, 8),
-        word_layout=ByteInterleavedWordLayout(dataword_bytes=2, words_per_region=2),
-        retention_model=FAST,
-        seed=4,
-    )
-
-    groups = benchmark.pedantic(
-        discover_dataword_layout,
-        args=(chip,),
-        kwargs=dict(refresh_pause_s=95.0),
-        rounds=1,
-        iterations=1,
-    )
-
-    print_header("Section 5.1.2 — ECC dataword layout discovery")
-    print_table(
-        ["ECC word group", "byte offsets within region"],
-        [[index, group] for index, group in enumerate(groups)],
-    )
-    print(f"\nEstimated dataword length: {estimate_dataword_bits(groups)} bits")
-
-    # Shape check: discovered groups are the even and odd byte offsets
-    # (byte-granularity interleaving), never a mix.
-    multi_byte_groups = [set(group) for group in groups if len(group) > 1]
-    assert multi_byte_groups, "expected at least one co-failure group"
-    for group in multi_byte_groups:
-        assert group in ({0, 2}, {1, 3})
+if __name__ == "__main__":
+    raise SystemExit(standalone_main(WORKLOAD))

@@ -1,75 +1,17 @@
-"""Section 5.3: end-to-end BEER recovery of each manufacturer's ECC function.
+"""Benchmark: section 5.3: end-to-end BEER recovery of each manufacturer's ECC function.
 
-Paper claim: applying the full methodology (k-CHARGED patterns, refresh-window
-sweep, threshold filter, SAT-style solve) to each manufacturer's chips yields
-exactly one ECC function per manufacturer, and chips of the same model yield
-the same function.
+Thin declaration over the unified harness — parameters, tiers, conditions,
+metrics and oracles are defined by the ``sec53-end-to-end-recovery`` workload in
+:mod:`repro.bench.workloads`.  Run standalone with
+``python benchmarks/bench_sec53_end_to_end_recovery.py [--quick | --tier smoke|quick|full]``,
+or via ``repro bench run --workload sec53-end-to-end-recovery``.
 """
 
-from _reporting import print_header, print_table
+from _bench import bench_workload_test, standalone_main
 
-from repro.core import BeerExperiment, ExperimentConfig
-from repro.dram import ChipGeometry, DataRetentionModel, all_vendors
-from repro.dram.retention import RetentionCalibration
-from repro.ecc import codes_equivalent
+WORKLOAD = "sec53-end-to-end-recovery"
 
-FAST = DataRetentionModel(RetentionCalibration(1.0, 0.02, 60.0, 0.5))
-CONFIG = ExperimentConfig(
-    pattern_weights=(1, 2),
-    refresh_windows_s=(30.0, 45.0, 60.0),
-    rounds_per_window=8,
-    threshold=0.0,
-    discover_cell_encoding=True,
-    discovery_pause_s=60.0,
-)
+test_bench_sec53_end_to_end_recovery = bench_workload_test(WORKLOAD)
 
-
-def run_campaigns():
-    outcomes = []
-    for vendor in all_vendors():
-        for chip_seed in (0, 1):
-            chip = vendor.make_chip(
-                num_data_bits=8,
-                geometry=ChipGeometry(32, 8),
-                seed=chip_seed,
-                retention_model=FAST,
-            )
-            result = BeerExperiment(chip, CONFIG).run(solve=True)
-            outcomes.append(
-                {
-                    "vendor": vendor.name,
-                    "chip_seed": chip_seed,
-                    "solutions": result.solution.num_solutions,
-                    "recovered_matches_ground_truth": any(
-                        codes_equivalent(candidate, chip.code)
-                        for candidate in result.solution.codes
-                    ),
-                    "recovered_code": result.solution.codes[0]
-                    if result.solution.codes
-                    else None,
-                }
-            )
-    return outcomes
-
-
-def test_section_5_3_end_to_end_recovery(benchmark):
-    outcomes = benchmark.pedantic(run_campaigns, rounds=1, iterations=1)
-
-    print_header("Section 5.3 — end-to-end BEER recovery per manufacturer")
-    print_table(
-        ["vendor", "chip", "candidate functions", "matches ground truth"],
-        [
-            [o["vendor"], o["chip_seed"], o["solutions"], o["recovered_matches_ground_truth"]]
-            for o in outcomes
-        ],
-    )
-
-    # Shape checks: every campaign recovers exactly one function and it is the
-    # chip's true function; chips of the same vendor agree with each other.
-    assert all(o["solutions"] == 1 for o in outcomes)
-    assert all(o["recovered_matches_ground_truth"] for o in outcomes)
-    by_vendor = {}
-    for outcome in outcomes:
-        by_vendor.setdefault(outcome["vendor"], []).append(outcome["recovered_code"])
-    for codes in by_vendor.values():
-        assert codes_equivalent(codes[0], codes[1])
+if __name__ == "__main__":
+    raise SystemExit(standalone_main(WORKLOAD))

@@ -1,31 +1,17 @@
-"""Section 6.3: analytical experimental runtime of a real-chip BEER campaign.
+"""Benchmark: section 6.3: analytical real-chip experiment runtime.
 
-Paper claim: runtime is dominated by the refresh pauses themselves; sweeping
-2-22 minute windows costs ~4.2 hours per chip, and testing parallelises across
-chips of the same model because they share one ECC function.
+Thin declaration over the unified harness — parameters, tiers, conditions,
+metrics and oracles are defined by the ``sec63-experiment-runtime`` workload in
+:mod:`repro.bench.workloads`.  Run standalone with
+``python benchmarks/bench_sec63_experiment_runtime.py [--quick | --tier smoke|quick|full]``,
+or via ``repro bench run --workload sec63-experiment-runtime``.
 """
 
-from _reporting import print_header, print_table
+from _bench import bench_workload_test, standalone_main
 
-from repro.analysis import ExperimentRuntimeModel
+WORKLOAD = "sec63-experiment-runtime"
 
+test_bench_sec63_experiment_runtime = bench_workload_test(WORKLOAD)
 
-def test_section_6_3_experiment_runtime(benchmark):
-    model = ExperimentRuntimeModel()
-    windows = [60.0 * minutes for minutes in range(2, 23)]
-
-    serial_seconds = benchmark(model.sweep_seconds, windows)
-
-    print_header("Section 6.3 — analytical experiment runtime")
-    rows = [["single chip, serial sweep (2..22 min)", serial_seconds / 3600.0]]
-    for num_chips in (2, 4, 8, 21):
-        parallel = model.parallel_sweep_seconds(windows, num_chips)
-        rows.append([f"parallel across {num_chips} chips", parallel / 3600.0])
-    print_table(["configuration", "wall-clock hours"], rows)
-
-    # Shape checks: ~4.2 hours serial (paper's number), parallelism helps but
-    # is bounded below by the longest single window (22 minutes).
-    assert abs(serial_seconds / 3600.0 - 4.2) < 0.2
-    fully_parallel = model.parallel_sweep_seconds(windows, 21)
-    assert fully_parallel >= 22 * 60.0
-    assert fully_parallel < serial_seconds
+if __name__ == "__main__":
+    raise SystemExit(standalone_main(WORKLOAD))

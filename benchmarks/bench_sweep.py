@@ -1,194 +1,17 @@
-"""Sweep executor benchmark: serial vs process-parallel cell execution.
+"""Benchmark: serial vs process-parallel sweep execution; campaign stores must stay byte-identical, CPU-starved speedup gates skip visibly.
 
-The paper's evaluation is a large Monte-Carlo matrix (codes × error rates ×
-patterns × seeds); ``SweepRunner(jobs=N)`` fans the cache-miss cells of such
-a matrix out over a process pool while committing results in spec order, so
-the campaign store stays byte-identical to a serial run.  This benchmark
-runs the same multi-cell spec serially and with ``jobs=4`` into two fresh
-stores and records both wall times plus the byte-level store comparison.
-
-Acceptance: the stores must be byte-identical in every mode.  The >1.5x
-wall-time floor is enforced only when the machine actually has >= 4 usable
-CPUs and quick mode is off — process parallelism cannot beat a serial run
-on fewer cores, and CI smoke runs use shrunken workloads.
-
-Run either through pytest (``pytest benchmarks/bench_sweep.py
---benchmark-only``) or directly (``python benchmarks/bench_sweep.py
-[--quick]``); the measured numbers go to ``BENCH_sweep_parallel.json`` at
-the repository root.
+Thin declaration over the unified harness — parameters, tiers, conditions,
+metrics and oracles are defined by the ``sweep-parallel`` workload in
+:mod:`repro.bench.workloads`.  Run standalone with
+``python benchmarks/bench_sweep.py [--quick | --tier smoke|quick|full]``,
+or via ``repro bench run --workload sweep-parallel``.
 """
 
-import json
-import os
-import shutil
-import sys
-import tempfile
-import time
-from pathlib import Path
+from _bench import bench_workload_test, standalone_main
 
-if __name__ == "__main__":  # allow `python benchmarks/bench_sweep.py` from anywhere
-    sys.path.insert(0, str(Path(__file__).resolve().parent))
-    try:
-        import repro  # noqa: F401
-    except ImportError:
-        sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+WORKLOAD = "sweep-parallel"
 
-from _reporting import print_header, print_table
-
-from repro.scenarios import SweepRunner, SweepSpec
-from repro.store import CampaignStore
-
-QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
-
-PARALLEL_JOBS = 4
-
-#: Wall-time acceptance floor for the jobs=4 run, only meaningful with the
-#: CPUs to back it; on narrower machines the benchmark still runs (and still
-#: requires byte-identical stores) but records the speedup without gating.
-SPEEDUP_FLOOR = 1.5
-
-RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_sweep_parallel.json"
-
-
-def _available_cpus() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux hosts
-        return os.cpu_count() or 1
-
-
-def _sweep_payload(quick: bool) -> dict:
-    """A multi-cell einsim spec: 8 error-rate points of one 32-bit code."""
-    return {
-        "name": "bench-parallel-sweep",
-        "num_words": 6_000 if quick else 250_000,
-        "chunk_size": 2_048 if quick else 16_384,
-        "seeds": [0],
-        "backends": ["packed"],
-        "codes": [{"data_bits": 32}],
-        "scenarios": [
-            {
-                "name": "uniform-random",
-                "params": {
-                    "bit_error_rate": [
-                        0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1,
-                    ]
-                },
-            }
-        ],
-    }
-
-
-def _timed_run(spec: SweepSpec, directory: Path, jobs: int) -> float:
-    store = CampaignStore(directory)
-    start = time.perf_counter()
-    report = SweepRunner(store=store, jobs=jobs).run(spec)
-    elapsed = time.perf_counter() - start
-    assert report.simulated == spec.num_cells, report.to_dict()
-    return elapsed
-
-
-def sweep_benchmark_data(quick: bool = False) -> dict:
-    """Measure serial vs jobs=4 wall time for one multi-cell sweep spec."""
-    spec = SweepSpec.from_dict(_sweep_payload(quick))
-    workdir = Path(tempfile.mkdtemp(prefix="bench_sweep_"))
-    try:
-        serial_seconds = _timed_run(spec, workdir / "serial", jobs=1)
-        parallel_seconds = _timed_run(spec, workdir / "parallel", jobs=PARALLEL_JOBS)
-        serial_bytes = (workdir / "serial" / "records.jsonl").read_bytes()
-        parallel_bytes = (workdir / "parallel" / "records.jsonl").read_bytes()
-        return {
-            "quick": quick,
-            "available_cpus": _available_cpus(),
-            "jobs": PARALLEL_JOBS,
-            "num_cells": spec.num_cells,
-            "num_words_per_cell": spec.cells[0].config()["num_words"],
-            "serial_seconds": serial_seconds,
-            "parallel_seconds": parallel_seconds,
-            "speedup": serial_seconds / parallel_seconds
-            if parallel_seconds > 0
-            else float("inf"),
-            "stores_byte_identical": serial_bytes == parallel_bytes,
-            "store_bytes": len(serial_bytes),
-        }
-    finally:
-        shutil.rmtree(workdir, ignore_errors=True)
-
-
-def _report(data: dict) -> None:
-    print_header(
-        "Sweep executor — serial vs process-parallel cell execution"
-        + (" [quick mode]" if data["quick"] else "")
-    )
-    print_table(
-        [
-            "cells",
-            "words/cell",
-            "cpus",
-            "serial (s)",
-            f"jobs={data['jobs']} (s)",
-            "speedup",
-            "stores identical",
-        ],
-        [
-            [
-                data["num_cells"],
-                data["num_words_per_cell"],
-                data["available_cpus"],
-                data["serial_seconds"],
-                data["parallel_seconds"],
-                data["speedup"],
-                data["stores_byte_identical"],
-            ]
-        ],
-    )
-
-
-def _check(data: dict) -> None:
-    # Correctness is non-negotiable in every mode.
-    assert data["stores_byte_identical"], (
-        "parallel sweep produced a store that differs from the serial run"
-    )
-    if not data["quick"] and data["available_cpus"] >= PARALLEL_JOBS:
-        assert data["speedup"] >= SPEEDUP_FLOOR, (
-            f"jobs={data['jobs']} only {data['speedup']:.2f}x faster "
-            f"(floor {SPEEDUP_FLOOR}x on {data['available_cpus']} CPUs)"
-        )
-
-
-def test_parallel_sweep_speedup(benchmark):
-    data = benchmark.pedantic(
-        sweep_benchmark_data, kwargs=dict(quick=QUICK), rounds=1, iterations=1
-    )
-    _report(data)
-    if not QUICK:
-        # Quick (CI smoke) runs use shrunken workloads; only full-size runs
-        # update the recorded perf trajectory.  The CI artifact comes from
-        # the standalone `python benchmarks/bench_sweep.py --quick` step,
-        # which always writes.
-        RESULTS_PATH.write_text(json.dumps(data, indent=2) + "\n")
-        print(f"\nwrote {RESULTS_PATH}")
-    _check(data)
-
-
-def main(argv=None) -> int:
-    import argparse
-
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--quick", action="store_true",
-                        help="shrink the workload and skip the speedup floor "
-                             "(CI smoke)")
-    parser.add_argument("--output", default=str(RESULTS_PATH),
-                        help="where to write the benchmark JSON")
-    args = parser.parse_args(argv)
-
-    data = sweep_benchmark_data(quick=QUICK or args.quick)
-    _report(data)
-    Path(args.output).write_text(json.dumps(data, indent=2) + "\n")
-    print(f"\nwrote {args.output}")
-    _check(data)
-    return 0
-
+test_bench_sweep_parallel = bench_workload_test(WORKLOAD)
 
 if __name__ == "__main__":
-    sys.exit(main())
+    raise SystemExit(standalone_main(WORKLOAD))

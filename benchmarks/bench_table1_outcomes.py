@@ -1,35 +1,17 @@
-"""Table 1: retention-error patterns, syndromes, and outcomes for one codeword.
+"""Benchmark: table 1: decode outcome taxonomy (correct / miscorrection / detected).
 
-Paper claim: for a codeword whose CHARGED cells are {2, 5, 6} under the
-Equation-1 (7,4) Hamming code, the 2^3 possible retention-error patterns split
-into one no-error case, three correctable single-error cases, and four
-uncorrectable multi-error cases.
+Thin declaration over the unified harness — parameters, tiers, conditions,
+metrics and oracles are defined by the ``table1-outcomes`` workload in
+:mod:`repro.bench.workloads`.  Run standalone with
+``python benchmarks/bench_table1_outcomes.py [--quick | --tier smoke|quick|full]``,
+or via ``repro bench run --workload table1-outcomes``.
 """
 
-from _reporting import print_header, print_table
+from _bench import bench_workload_test, standalone_main
 
-from repro.analysis import table1_outcome_data
+WORKLOAD = "table1-outcomes"
 
+test_bench_table1_outcomes = bench_workload_test(WORKLOAD)
 
-def test_table1_error_pattern_outcomes(benchmark):
-    rows = benchmark(table1_outcome_data)
-
-    print_header("Table 1 — possible data-retention error patterns and outcomes")
-    print_table(
-        ["error positions", "syndrome (s0 s1 s2)", "combination", "points to", "outcome"],
-        [
-            [
-                str(row["error_positions"]),
-                " ".join(str(bit) for bit in row["syndrome"]),
-                " + ".join(row["syndrome_column_combination"]) or "0",
-                str(row["syndrome_points_to"]),
-                row["outcome"],
-            ]
-            for row in rows
-        ],
-    )
-
-    outcomes = [row["outcome"] for row in rows]
-    assert outcomes.count("no error") == 1
-    assert outcomes.count("correctable") == 3
-    assert outcomes.count("uncorrectable") == 4
+if __name__ == "__main__":
+    raise SystemExit(standalone_main(WORKLOAD))

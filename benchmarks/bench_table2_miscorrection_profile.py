@@ -1,24 +1,17 @@
-"""Table 2: miscorrection profile of the Equation-1 (7,4) Hamming code.
+"""Benchmark: table 2: the analytic miscorrection profile of the worked example.
 
-Paper claim: under 1-CHARGED test patterns, only the pattern charging data
-bit 0 can produce miscorrections (at data bits 1, 2 and 3); the other three
-patterns cannot produce any miscorrection.
+Thin declaration over the unified harness — parameters, tiers, conditions,
+metrics and oracles are defined by the ``table2-miscorrection-profile`` workload in
+:mod:`repro.bench.workloads`.  Run standalone with
+``python benchmarks/bench_table2_miscorrection_profile.py [--quick | --tier smoke|quick|full]``,
+or via ``repro bench run --workload table2-miscorrection-profile``.
 """
 
-from _reporting import print_header, print_table
+from _bench import bench_workload_test, standalone_main
 
-from repro.analysis import table2_miscorrection_profile_data
+WORKLOAD = "table2-miscorrection-profile"
 
+test_bench_table2_miscorrection_profile = bench_workload_test(WORKLOAD)
 
-def test_table2_miscorrection_profile(benchmark):
-    rows = benchmark(table2_miscorrection_profile_data)
-
-    print_header("Table 2 — miscorrection profile of the (7,4) example code")
-    print_table(
-        ["pattern id (CHARGED bit)", "bit 0", "bit 1", "bit 2", "bit 3"],
-        [[row["pattern_id"], *row["row_cells"]] for row in rows],
-    )
-
-    by_pattern = {row["pattern_id"]: row["possible_miscorrections"] for row in rows}
-    assert by_pattern[0] == [1, 2, 3]
-    assert by_pattern[1] == [] and by_pattern[2] == [] and by_pattern[3] == []
+if __name__ == "__main__":
+    raise SystemExit(standalone_main(WORKLOAD))

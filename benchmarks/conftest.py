@@ -1,0 +1,16 @@
+"""Pytest configuration for the benchmark suite.
+
+Puts ``src/`` on ``sys.path`` so the ``repro.bench`` harness imports without
+an installed package, mirroring ``PYTHONPATH=src`` for the main test suite.
+Tier selection is environment-driven: ``REPRO_BENCH_TIER=smoke|quick|full``
+(or the legacy ``REPRO_BENCH_QUICK=1``); pytest runs default to ``quick``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+_SRC = pathlib.Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,321 @@
+"""Comparator: diff a benchmark run against a committed baseline and gate CI.
+
+The comparator walks the merged schema (workload × condition × metric) and
+produces a :class:`ComparatorReport` of *failures* (the CI job exits
+non-zero) and *warnings* (surfaced but non-fatal):
+
+failures
+    * an oracle that is ``False`` in the new run (identity-gate violation),
+      whether or not the baseline knew about it;
+    * an oracle present in the baseline but absent from the new run;
+    * a gated metric that regressed beyond its tolerance (a regression of
+      exactly the tolerance passes; tolerance + ε fails);
+    * a workload or condition present in the baseline but missing from the
+      run (unless the comparison is an explicit subset comparison);
+    * a gated metric present in the baseline but missing from the run.
+
+warnings
+    * environment-fingerprint keys that differ from the baseline (numbers
+      from different hosts are comparable only advisedly);
+    * an oracle recorded as ``"skipped"`` (e.g. the parallel-sweep speedup
+      floor on a <4-CPU machine);
+    * workloads/conditions/metrics new in the run (no baseline to compare
+      against);
+    * tier mismatch between run and baseline.
+
+Gate rules come from the workload registry by default but can be injected,
+so the gate logic is testable with synthetic metric values and no timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.bench.registry import MetricGate, gates_by_workload
+from repro.bench.schema import ORACLE_SKIPPED, BenchRun, ConditionRecord
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One comparator observation, addressed down to the metric."""
+
+    kind: str  # e.g. "metric-regression", "oracle-violation", ...
+    workload: str
+    message: str
+    condition: Optional[str] = None
+    metric: Optional[str] = None
+
+    def location(self) -> str:
+        parts = [self.workload]
+        if self.condition is not None:
+            parts.append(self.condition)
+        if self.metric is not None:
+            parts.append(self.metric)
+        return "/".join(parts)
+
+    def to_dict(self) -> Dict[str, Optional[str]]:
+        return {
+            "kind": self.kind,
+            "workload": self.workload,
+            "condition": self.condition,
+            "metric": self.metric,
+            "message": self.message,
+        }
+
+
+@dataclass
+class ComparatorReport:
+    """The full outcome of one run-vs-baseline comparison."""
+
+    failures: List[Finding] = field(default_factory=list)
+    warnings: List[Finding] = field(default_factory=list)
+    compared_metrics: int = 0
+    compared_oracles: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def to_dict(self) -> Dict:
+        return {
+            "ok": self.ok,
+            "compared_metrics": self.compared_metrics,
+            "compared_oracles": self.compared_oracles,
+            "failures": [finding.to_dict() for finding in self.failures],
+            "warnings": [finding.to_dict() for finding in self.warnings],
+        }
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else "REGRESSION"
+        return (
+            f"{status}: {self.compared_metrics} metrics and "
+            f"{self.compared_oracles} oracles compared, "
+            f"{len(self.failures)} failure(s), {len(self.warnings)} warning(s)"
+        )
+
+
+def metric_within_tolerance(value: float, baseline: float, gate: MetricGate) -> bool:
+    """Apply one gate: regression of exactly ``rel_tol`` passes, beyond fails."""
+    if gate.higher_is_better:
+        return value >= baseline * (1.0 - gate.rel_tol)
+    return value <= baseline * (1.0 + gate.rel_tol)
+
+
+def compare_runs(
+    run: BenchRun,
+    baseline: BenchRun,
+    gates: Optional[Mapping[str, Sequence[MetricGate]]] = None,
+    allow_subset: bool = False,
+) -> ComparatorReport:
+    """Compare ``run`` against ``baseline`` and report failures/warnings.
+
+    ``gates`` maps workload name to its metric gates; by default they are
+    taken from the workload registry.  With ``allow_subset`` a run covering
+    only some of the baseline's workloads is legal (partial ``bench run
+    --workload ...`` invocations); missing workloads then go unmentioned
+    instead of failing.
+    """
+    gate_map: Mapping[str, Sequence[MetricGate]] = (
+        gates if gates is not None else gates_by_workload()
+    )
+    report = ComparatorReport()
+
+    _compare_environment(run, baseline, report)
+    if run.tier != baseline.tier:
+        report.warnings.append(
+            Finding(
+                kind="tier-mismatch",
+                workload="*",
+                message=(
+                    f"run tier {run.tier!r} differs from baseline tier "
+                    f"{baseline.tier!r}; numbers are not directly comparable"
+                ),
+            )
+        )
+
+    run_names = set(run.workload_names())
+    base_names = set(baseline.workload_names())
+    if not allow_subset:
+        for name in sorted(base_names - run_names):
+            report.failures.append(
+                Finding(
+                    kind="missing-workload",
+                    workload=name,
+                    message=f"workload {name!r} is in the baseline but not in the run",
+                )
+            )
+    for name in sorted(run_names - base_names):
+        report.warnings.append(
+            Finding(
+                kind="new-workload",
+                workload=name,
+                message=f"workload {name!r} has no baseline yet",
+            )
+        )
+
+    for name in sorted(run_names & base_names):
+        _compare_workload(
+            run.workload(name),
+            baseline.workload(name),
+            tuple(gate_map.get(name, ())),
+            report,
+        )
+    return report
+
+
+def _compare_environment(run: BenchRun, baseline: BenchRun, report: ComparatorReport) -> None:
+    keys = set(run.environment) | set(baseline.environment)
+    for key in sorted(keys):
+        mine = run.environment.get(key)
+        theirs = baseline.environment.get(key)
+        if mine != theirs:
+            report.warnings.append(
+                Finding(
+                    kind="environment-mismatch",
+                    workload="*",
+                    metric=key,
+                    message=(
+                        f"environment {key!r} differs: run={mine!r} "
+                        f"baseline={theirs!r} (timings may not be comparable)"
+                    ),
+                )
+            )
+
+
+def _compare_workload(run_record, base_record, gates: Tuple[MetricGate, ...], report) -> None:
+    name = run_record.workload
+    run_conditions = {c.condition: c for c in run_record.conditions}
+    base_conditions = {c.condition: c for c in base_record.conditions}
+
+    for condition in sorted(set(base_conditions) - set(run_conditions)):
+        report.failures.append(
+            Finding(
+                kind="missing-condition",
+                workload=name,
+                condition=condition,
+                message=(
+                    f"condition {condition!r} is in the baseline but missing "
+                    f"from the run"
+                ),
+            )
+        )
+    for condition in sorted(set(run_conditions) - set(base_conditions)):
+        report.warnings.append(
+            Finding(
+                kind="new-condition",
+                workload=name,
+                condition=condition,
+                message=f"condition {condition!r} has no baseline yet",
+            )
+        )
+
+    for condition in sorted(set(run_conditions)):
+        _check_oracles(
+            name, run_conditions[condition], base_conditions.get(condition), report
+        )
+    for condition in sorted(set(run_conditions) & set(base_conditions)):
+        _check_metrics(
+            name, run_conditions[condition], base_conditions[condition], gates, report
+        )
+
+
+def _check_oracles(
+    name: str,
+    run_condition: ConditionRecord,
+    base_condition: Optional[ConditionRecord],
+    report: ComparatorReport,
+) -> None:
+    base_oracles = base_condition.oracles if base_condition is not None else {}
+    for oracle in sorted(set(base_oracles) - set(run_condition.oracles)):
+        report.failures.append(
+            Finding(
+                kind="missing-oracle",
+                workload=name,
+                condition=run_condition.condition,
+                metric=oracle,
+                message=(
+                    f"oracle {oracle!r} is in the baseline but was not "
+                    f"evaluated by the run"
+                ),
+            )
+        )
+    for oracle, value in sorted(run_condition.oracles.items()):
+        report.compared_oracles += 1
+        if value is False:
+            report.failures.append(
+                Finding(
+                    kind="oracle-violation",
+                    workload=name,
+                    condition=run_condition.condition,
+                    metric=oracle,
+                    message=f"identity/correctness gate {oracle!r} failed",
+                )
+            )
+        elif value == ORACLE_SKIPPED:
+            report.warnings.append(
+                Finding(
+                    kind="oracle-skipped",
+                    workload=name,
+                    condition=run_condition.condition,
+                    metric=oracle,
+                    message=f"gate {oracle!r} was skipped by the run",
+                )
+            )
+
+
+def _check_metrics(
+    name: str,
+    run_condition: ConditionRecord,
+    base_condition: ConditionRecord,
+    gates: Tuple[MetricGate, ...],
+    report: ComparatorReport,
+) -> None:
+    for gate in gates:
+        if not gate.applies_to(run_condition.condition):
+            continue
+        if gate.metric not in base_condition.metrics:
+            continue  # nothing to compare against (e.g. metric added later)
+        baseline_value = base_condition.metrics[gate.metric]
+        if gate.metric not in run_condition.metrics:
+            report.failures.append(
+                Finding(
+                    kind="missing-metric",
+                    workload=name,
+                    condition=run_condition.condition,
+                    metric=gate.metric,
+                    message=(
+                        f"gated metric {gate.metric!r} is in the baseline but "
+                        f"missing from the run"
+                    ),
+                )
+            )
+            continue
+        value = run_condition.metrics[gate.metric]
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            report.failures.append(
+                Finding(
+                    kind="metric-type",
+                    workload=name,
+                    condition=run_condition.condition,
+                    metric=gate.metric,
+                    message=f"gated metric {gate.metric!r} is not numeric: {value!r}",
+                )
+            )
+            continue
+        report.compared_metrics += 1
+        if not metric_within_tolerance(float(value), float(baseline_value), gate):
+            direction = "below" if gate.higher_is_better else "above"
+            report.failures.append(
+                Finding(
+                    kind="metric-regression",
+                    workload=name,
+                    condition=run_condition.condition,
+                    metric=gate.metric,
+                    message=(
+                        f"{gate.metric} = {value} regressed {direction} the "
+                        f"baseline {baseline_value} beyond tolerance "
+                        f"{gate.rel_tol:.0%}"
+                    ),
+                )
+            )

@@ -1,0 +1,122 @@
+"""Benchmark driver: run registered workloads at a tier into one merged run.
+
+The driver resolves each workload's tier parameters, hands the runner a
+:class:`~repro.bench.registry.BenchContext` (tier + measurement control),
+collects the per-condition records into a :class:`~repro.bench.schema.BenchRun`
+stamped with the environment fingerprint, and optionally re-emits the
+historical ``BENCH_*.json`` files from the merged records so downstream
+consumers of the legacy formats keep working.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.environment import environment_fingerprint
+from repro.bench.registry import BenchContext, Workload, all_workloads, get_workload
+from repro.bench.schema import BenchRun, WorkloadRecord
+from repro.bench.timing import control_for_tier
+
+
+def repo_root() -> Path:
+    """The repository root (where the legacy ``BENCH_*.json`` files live)."""
+    return Path(__file__).resolve().parents[3]
+
+
+def baselines_dir(root: Optional[Path] = None) -> Path:
+    return (root or repo_root()) / "benchmarks" / "baselines"
+
+
+def baseline_path(tier: str, root: Optional[Path] = None) -> Path:
+    return baselines_dir(root) / f"{tier}.json"
+
+
+def run_workload(workload: Workload, tier: str) -> WorkloadRecord:
+    """Run one workload at ``tier`` and return its merged-schema record."""
+    params = workload.params_for(tier)
+    context = BenchContext(tier=tier, control=control_for_tier(tier))
+    result = workload.run(params, context)
+    return WorkloadRecord(
+        workload=workload.name,
+        params=params,
+        conditions=result.conditions,
+        artifacts=result.artifacts,
+    )
+
+
+def run_bench(
+    names: Optional[Sequence[str]] = None,
+    tier: str = "quick",
+) -> BenchRun:
+    """Run the named workloads (default: all registered) into one BenchRun."""
+    control_for_tier(tier)  # validate the tier before doing any work
+    workloads = (
+        [get_workload(name) for name in names] if names else all_workloads()
+    )
+    records = [run_workload(workload, tier) for workload in workloads]
+    return BenchRun(
+        tier=tier,
+        environment=environment_fingerprint(),
+        workloads=records,
+    )
+
+
+def emit_legacy_files(
+    run: BenchRun, root: Optional[Path] = None
+) -> Dict[str, Path]:
+    """Regenerate the historical ``BENCH_*.json`` files from a merged run.
+
+    Only workloads declaring a :class:`~repro.bench.registry.LegacySpec`
+    produce a file; the emitters rebuild the exact PR 1/3/4/5 key structure
+    from the merged records, proving the merged schema subsumes them.
+    """
+    import json
+
+    target = root or repo_root()
+    written: Dict[str, Path] = {}
+    for record in run.workloads:
+        workload = get_workload(record.workload)
+        if workload.legacy is None:
+            continue
+        payload = workload.legacy.emitter(record)
+        path = target / workload.legacy.filename
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+        written[record.workload] = path
+    return written
+
+
+def legacy_payloads(run: BenchRun) -> Dict[str, Dict]:
+    """The legacy payload per workload (filename -> payload), without writing."""
+    payloads: Dict[str, Dict] = {}
+    for record in run.workloads:
+        workload = get_workload(record.workload)
+        if workload.legacy is None:
+            continue
+        payloads[workload.legacy.filename] = workload.legacy.emitter(record)
+    return payloads
+
+
+def workload_listing() -> List[Dict]:
+    """A serialisable description of every registered workload."""
+    listing = []
+    for workload in all_workloads():
+        listing.append(
+            {
+                "name": workload.name,
+                "description": workload.description,
+                "tags": list(workload.tags),
+                "tiers": {tier: dict(params) for tier, params in workload.tiers.items()},
+                "gated_metrics": [
+                    {
+                        "metric": gate.metric,
+                        "condition": gate.condition,
+                        "rel_tol": gate.rel_tol,
+                        "higher_is_better": gate.higher_is_better,
+                    }
+                    for gate in workload.gates
+                ],
+                "legacy_file": workload.legacy.filename if workload.legacy else None,
+            }
+        )
+    return listing

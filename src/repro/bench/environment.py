@@ -1,0 +1,38 @@
+"""Environment fingerprint attached to every benchmark run.
+
+The fingerprint answers "were these numbers measured on a comparable
+machine?".  The comparator never hard-fails on a fingerprint mismatch —
+timings legitimately differ across hosts — but it surfaces every differing
+key as a warning so a baseline refresh on new hardware is a conscious,
+documented act rather than a silent drift.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+from typing import Any, Dict
+
+import numpy as np
+
+
+def environment_fingerprint() -> Dict[str, Any]:
+    """Collect the host properties that shape benchmark numbers."""
+    return {
+        "python_version": platform.python_version(),
+        "python_implementation": platform.python_implementation(),
+        "platform_system": platform.system(),
+        "platform_machine": platform.machine(),
+        "numpy_version": np.__version__,
+        "usable_cpus": usable_cpus(),
+        "byte_order": sys.byteorder,
+    }
+
+
+def usable_cpus() -> int:
+    """CPUs this process may actually schedule on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        return os.cpu_count() or 1

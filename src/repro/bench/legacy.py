@@ -1,0 +1,132 @@
+"""Legacy ``BENCH_*.json`` emitters: merged schema → historical formats.
+
+PRs 1, 3, 4 and 5 each introduced an ad-hoc benchmark writer with its own
+JSON layout (``BENCH_gf2_backends.json``, ``BENCH_sat_solver.json``,
+``BENCH_sweep_parallel.json``, ``BENCH_decoder_families.json``).  The merged
+schema subsumes all four; these emitters reconstruct the exact historical
+key structure from a :class:`~repro.bench.schema.WorkloadRecord` so any
+consumer of the old files keeps working.  The golden-file test diffs the
+emitted key structure against the committed files.
+
+The single deliberate addition is ``skipped_speedup_gate`` in
+``BENCH_sweep_parallel.json``: the old writer silently passed the speedup
+floor on <4-CPU machines, the new field makes that skip explicit.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.bench.schema import ORACLE_SKIPPED, WorkloadRecord
+
+
+def emit_gf2_backends(record: WorkloadRecord) -> Dict[str, Any]:
+    """Rebuild the PR 1 ``BENCH_gf2_backends.json`` layout."""
+    bulk_info = record.artifacts["bulk_decode"]
+    bulk_ref = record.condition("bulk-decode:reference")
+    bulk_packed = record.condition("bulk-decode:packed")
+    payload: Dict[str, Any] = {
+        "bulk_decode": {
+            "codeword_length": bulk_info["codeword_length"],
+            "num_data_bits": bulk_info["num_data_bits"],
+            "num_words": bulk_info["num_words"],
+            "repeats": bulk_info["repeats"],
+            "reference_seconds": bulk_ref.metrics["seconds"],
+            "packed_seconds": bulk_packed.metrics["seconds"],
+            "speedup": bulk_packed.metrics["speedup"],
+            "outputs_identical": bulk_packed.oracles["outputs_identical"],
+        },
+        "solver_input": {"rows": []},
+    }
+    for row_info in record.artifacts["solver_input"]:
+        length = row_info["dataword_length"]
+        reference = record.condition(f"solver-input-k{length}:reference")
+        packed = record.condition(f"solver-input-k{length}:packed")
+        payload["solver_input"]["rows"].append(
+            {
+                "dataword_length": length,
+                "codeword_length": row_info["codeword_length"],
+                "num_patterns": row_info["num_patterns"],
+                "words_per_pattern": row_info["words_per_pattern"],
+                "reference_seconds": reference.metrics["seconds"],
+                "packed_seconds": packed.metrics["seconds"],
+                "speedup": packed.metrics["speedup"],
+                "profiles_identical": packed.oracles["profiles_identical"],
+            }
+        )
+    return payload
+
+
+def emit_sat_solver(record: WorkloadRecord) -> Dict[str, Any]:
+    """Rebuild the PR 3 ``BENCH_sat_solver.json`` layout."""
+    payload: Dict[str, Any] = {
+        "quick": record.artifacts["quick"],
+        "seed": record.params["seed"],
+        "rows": [],
+    }
+    for case in record.artifacts["cases"]:
+        k = case["num_data_bits"]
+        incremental = record.condition(f"k{k}:incremental")
+        one_shot = record.condition(f"k{k}:one-shot")
+        payload["rows"].append(
+            {
+                "num_data_bits": k,
+                "num_parity_bits": case["num_parity_bits"],
+                "pinned_columns": case["pinned_columns"],
+                "models_enumerated": incremental.metrics["models_enumerated"],
+                "canonical_codes": incremental.metrics["canonical_codes"],
+                "incremental_seconds": incremental.metrics["seconds"],
+                "one_shot_seconds": one_shot.metrics["seconds"],
+                "speedup": incremental.metrics["speedup"],
+                "identical_canonical_sets": incremental.oracles[
+                    "identical_canonical_sets"
+                ],
+                "solver_stats": case["solver_stats"],
+            }
+        )
+    return payload
+
+
+def emit_sweep_parallel(record: WorkloadRecord) -> Dict[str, Any]:
+    """Rebuild the PR 4 ``BENCH_sweep_parallel.json`` layout (+ skip field)."""
+    serial = record.condition("serial")
+    parallel = record.condition("parallel")
+    return {
+        "quick": record.artifacts["quick"],
+        "available_cpus": record.artifacts["available_cpus"],
+        "jobs": record.params["jobs"],
+        "num_cells": record.artifacts["num_cells"],
+        "num_words_per_cell": record.artifacts["num_words_per_cell"],
+        "serial_seconds": serial.metrics["seconds"],
+        "parallel_seconds": parallel.metrics["seconds"],
+        "speedup": parallel.metrics["speedup"],
+        "stores_byte_identical": parallel.oracles["stores_byte_identical"],
+        "store_bytes": serial.metrics["store_bytes"],
+        # Deliberate schema addition: the speedup floor used to pass silently
+        # on <4-CPU machines; the skip is now recorded in the results file.
+        "skipped_speedup_gate": parallel.oracles["speedup_floor"] == ORACLE_SKIPPED,
+    }
+
+
+def emit_decoder_families(record: WorkloadRecord) -> Dict[str, Any]:
+    """Rebuild the PR 5 ``BENCH_decoder_families.json`` layout."""
+    payload: Dict[str, Any] = {"quick": record.artifacts["quick"], "rows": []}
+    for family_info in record.artifacts["families"]:
+        label = family_info["family"]
+        reference = record.condition(f"{label}:reference")
+        packed = record.condition(f"{label}:packed")
+        payload["rows"].append(
+            {
+                "family": label,
+                "codeword_length": family_info["codeword_length"],
+                "num_data_bits": family_info["num_data_bits"],
+                "detect_only": family_info["detect_only"],
+                "num_words": family_info["num_words"],
+                "due_words": packed.metrics["due_words"],
+                "reference_seconds": reference.metrics["seconds"],
+                "packed_seconds": packed.metrics["seconds"],
+                "speedup": packed.metrics["speedup"],
+                "outputs_identical": packed.oracles["outputs_identical"],
+            }
+        )
+    return payload

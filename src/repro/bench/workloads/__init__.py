@@ -1,0 +1,17 @@
+"""Workload definitions for the unified benchmark harness.
+
+Importing this package populates the workload registry; each module calls
+:func:`repro.bench.registry.register_workload` at import time.  The registry
+itself imports this package lazily so that ``import repro`` stays cheap.
+"""
+
+from __future__ import annotations
+
+from repro.bench.workloads import (  # noqa: F401  (imported for registration)
+    decoder,
+    figures,
+    gf2,
+    sat,
+    sections,
+    sweep,
+)

@@ -164,6 +164,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     _add_scenario_parser(subparsers)
 
+    from repro.bench.cli import add_bench_parser
+
+    add_bench_parser(subparsers)
+
     return parser
 
 
@@ -243,8 +247,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "beep": _run_beep,
         "einsim": _run_einsim,
         "scenario": _run_scenario,
+        "bench": _run_bench,
     }
     return handlers[args.command](args)
+
+
+def _run_bench(args) -> int:
+    from repro.bench.cli import handle_bench
+
+    return handle_bench(args)
 
 
 # -- subcommand implementations -------------------------------------------------

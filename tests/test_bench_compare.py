@@ -1,0 +1,245 @@
+"""Comparator gate logic on synthetic metric values (no timing involved).
+
+The ISSUE-6 satellite: tolerance boundaries must be exact (a regression of
+exactly ``rel_tol`` passes; ``rel_tol`` + ε fails), missing and new
+conditions are handled asymmetrically (failure vs warning), and an
+environment-fingerprint mismatch is downgraded to a warning.
+"""
+
+import pytest
+
+from repro.bench.compare import compare_runs, metric_within_tolerance
+from repro.bench.registry import MetricGate
+from repro.bench.schema import (
+    ORACLE_SKIPPED,
+    BenchRun,
+    ConditionRecord,
+    WorkloadRecord,
+)
+
+ENV = {"python_version": "3.12.0", "platform_machine": "x86_64", "usable_cpus": 8}
+
+
+def make_run(metrics, oracles=None, condition="packed", workload="wl", env=None,
+             tier="quick"):
+    return BenchRun(
+        tier=tier,
+        environment=dict(env if env is not None else ENV),
+        workloads=[
+            WorkloadRecord(
+                workload=workload,
+                params={"n": 1},
+                conditions=[
+                    ConditionRecord(
+                        condition=condition,
+                        metrics=dict(metrics),
+                        oracles=dict(oracles or {}),
+                    )
+                ],
+            )
+        ],
+    )
+
+
+def gates(**kwargs):
+    return {"wl": (MetricGate(metric="speedup", **kwargs),)}
+
+
+def kinds(findings):
+    return [finding.kind for finding in findings]
+
+
+# -- tolerance boundary exactness ----------------------------------------------------
+class TestToleranceBoundary:
+    BASELINE = 10.0
+    TOL = 0.25
+
+    def gate(self, higher_is_better=True):
+        return MetricGate(
+            metric="speedup", rel_tol=self.TOL, higher_is_better=higher_is_better
+        )
+
+    def test_exactly_tolerance_passes_higher_is_better(self):
+        # 10.0 * (1 - 0.25) = 7.5 — landing exactly on the boundary is a pass.
+        assert metric_within_tolerance(7.5, self.BASELINE, self.gate())
+
+    def test_epsilon_beyond_tolerance_fails_higher_is_better(self):
+        boundary = self.BASELINE * (1.0 - self.TOL)
+        just_below = boundary - boundary * 1e-12
+        assert not metric_within_tolerance(just_below, self.BASELINE, self.gate())
+
+    def test_exactly_tolerance_passes_lower_is_better(self):
+        gate = self.gate(higher_is_better=False)
+        assert metric_within_tolerance(12.5, self.BASELINE, gate)
+
+    def test_epsilon_beyond_tolerance_fails_lower_is_better(self):
+        gate = self.gate(higher_is_better=False)
+        boundary = self.BASELINE * (1.0 + self.TOL)
+        assert not metric_within_tolerance(boundary + boundary * 1e-12, self.BASELINE, gate)
+
+    def test_improvement_always_passes(self):
+        assert metric_within_tolerance(1000.0, self.BASELINE, self.gate())
+        assert metric_within_tolerance(
+            0.001, self.BASELINE, self.gate(higher_is_better=False)
+        )
+
+    def test_zero_tolerance_pins_exactly(self):
+        up = MetricGate(metric="m", rel_tol=0.0, higher_is_better=True)
+        down = MetricGate(metric="m", rel_tol=0.0, higher_is_better=False)
+        assert metric_within_tolerance(42.0, 42.0, up)
+        assert metric_within_tolerance(42.0, 42.0, down)
+        assert not metric_within_tolerance(41.0, 42.0, up)
+        assert not metric_within_tolerance(43.0, 42.0, down)
+
+    @pytest.mark.parametrize("value,ok", [(7.5, True), (7.4999, False), (7.5001, True)])
+    def test_report_marks_regressions(self, value, ok):
+        run = make_run({"speedup": value})
+        baseline = make_run({"speedup": self.BASELINE})
+        report = compare_runs(run, baseline, gates=gates(rel_tol=self.TOL))
+        assert report.ok is ok
+        if not ok:
+            assert kinds(report.failures) == ["metric-regression"]
+        assert report.compared_metrics == 1
+
+
+# -- missing / new structure ---------------------------------------------------------
+class TestStructureDiffs:
+    def test_missing_condition_fails(self):
+        run = make_run({"speedup": 10.0}, condition="reference")
+        baseline = BenchRun(
+            tier="quick",
+            environment=dict(ENV),
+            workloads=[
+                WorkloadRecord(
+                    workload="wl",
+                    params={},
+                    conditions=[
+                        ConditionRecord("reference", {"speedup": 10.0}, {}),
+                        ConditionRecord("packed", {"speedup": 10.0}, {}),
+                    ],
+                )
+            ],
+        )
+        report = compare_runs(run, baseline, gates=gates(rel_tol=0.5))
+        assert not report.ok
+        assert "missing-condition" in kinds(report.failures)
+
+    def test_new_condition_is_warning_not_failure(self):
+        run = make_run({"speedup": 10.0}, condition="brand-new")
+        baseline = BenchRun(tier="quick", environment=dict(ENV), workloads=[
+            WorkloadRecord(workload="wl", params={}, conditions=[])
+        ])
+        report = compare_runs(run, baseline, gates=gates(rel_tol=0.5))
+        assert report.ok
+        assert "new-condition" in kinds(report.warnings)
+
+    def test_missing_workload_fails_unless_subset(self):
+        run = BenchRun(tier="quick", environment=dict(ENV), workloads=[])
+        baseline = make_run({"speedup": 10.0})
+        report = compare_runs(run, baseline, gates=gates(rel_tol=0.5))
+        assert kinds(report.failures) == ["missing-workload"]
+        subset = compare_runs(
+            run, baseline, gates=gates(rel_tol=0.5), allow_subset=True
+        )
+        assert subset.ok
+
+    def test_new_workload_is_warning(self):
+        run = make_run({"speedup": 10.0})
+        baseline = BenchRun(tier="quick", environment=dict(ENV), workloads=[])
+        report = compare_runs(run, baseline, gates=gates(rel_tol=0.5))
+        assert report.ok
+        assert "new-workload" in kinds(report.warnings)
+
+    def test_missing_gated_metric_fails(self):
+        run = make_run({"seconds": 1.0})
+        baseline = make_run({"seconds": 1.0, "speedup": 10.0})
+        report = compare_runs(run, baseline, gates=gates(rel_tol=0.5))
+        assert "missing-metric" in kinds(report.failures)
+
+    def test_non_numeric_gated_metric_fails(self):
+        run = make_run({"speedup": "fast"})
+        baseline = make_run({"speedup": 10.0})
+        report = compare_runs(run, baseline, gates=gates(rel_tol=0.5))
+        assert "metric-type" in kinds(report.failures)
+
+    def test_gate_with_condition_filter_only_applies_there(self):
+        gate_map = {
+            "wl": (
+                MetricGate(
+                    metric="speedup",
+                    rel_tol=0.0,
+                    higher_is_better=True,
+                    condition="packed",
+                ),
+            )
+        }
+        run = make_run({"speedup": 1.0}, condition="reference")
+        baseline = make_run({"speedup": 10.0}, condition="reference")
+        report = compare_runs(run, baseline, gates=gate_map)
+        assert report.ok  # the only gate targets "packed", not "reference"
+        assert report.compared_metrics == 0
+
+
+# -- oracles -------------------------------------------------------------------------
+class TestOracles:
+    def test_oracle_violation_fails_even_without_baseline_oracle(self):
+        run = make_run({}, oracles={"outputs_identical": False})
+        baseline = make_run({}, oracles={})
+        report = compare_runs(run, baseline, gates={})
+        assert kinds(report.failures) == ["oracle-violation"]
+
+    def test_missing_oracle_fails(self):
+        run = make_run({}, oracles={})
+        baseline = make_run({}, oracles={"outputs_identical": True})
+        report = compare_runs(run, baseline, gates={})
+        assert kinds(report.failures) == ["missing-oracle"]
+
+    def test_skipped_oracle_is_warning(self):
+        run = make_run({}, oracles={"speedup_floor": ORACLE_SKIPPED})
+        baseline = make_run({}, oracles={"speedup_floor": True})
+        report = compare_runs(run, baseline, gates={})
+        assert report.ok
+        assert "oracle-skipped" in kinds(report.warnings)
+
+    def test_passing_oracles_counted(self):
+        run = make_run({}, oracles={"a": True, "b": True})
+        baseline = make_run({}, oracles={"a": True, "b": True})
+        report = compare_runs(run, baseline, gates={})
+        assert report.ok
+        assert report.compared_oracles == 2
+
+
+# -- environment / tier --------------------------------------------------------------
+class TestEnvironment:
+    def test_environment_mismatch_is_warning_only(self):
+        other = dict(ENV, platform_machine="aarch64", usable_cpus=2)
+        run = make_run({"speedup": 10.0}, env=other)
+        baseline = make_run({"speedup": 10.0})
+        report = compare_runs(run, baseline, gates=gates(rel_tol=0.5))
+        assert report.ok
+        mismatches = [
+            finding
+            for finding in report.warnings
+            if finding.kind == "environment-mismatch"
+        ]
+        assert {finding.metric for finding in mismatches} == {
+            "platform_machine",
+            "usable_cpus",
+        }
+
+    def test_tier_mismatch_is_warning(self):
+        run = make_run({"speedup": 10.0}, tier="quick")
+        baseline = make_run({"speedup": 10.0}, tier="full")
+        report = compare_runs(run, baseline, gates=gates(rel_tol=0.5))
+        assert report.ok
+        assert "tier-mismatch" in kinds(report.warnings)
+
+    def test_identical_runs_clean(self):
+        run = make_run({"speedup": 10.0}, oracles={"ok": True})
+        baseline = make_run({"speedup": 10.0}, oracles={"ok": True})
+        report = compare_runs(run, baseline, gates=gates(rel_tol=0.0))
+        assert report.ok
+        assert report.warnings == []
+        assert report.summary().startswith("OK:")
+        payload = report.to_dict()
+        assert payload["ok"] and payload["failures"] == []

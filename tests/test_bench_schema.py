@@ -1,0 +1,197 @@
+"""Merged-schema serialisation properties and legacy-format compatibility.
+
+The ISSUE-6 satellite: ``serialize → parse → serialize`` must be
+byte-identical for any valid document (a hypothesis property), and the
+legacy emitters must produce the same key structure as the committed
+PR 1/3/4/5 ``BENCH_*.json`` files (a golden-file diff on keys, not values —
+timings differ across machines, schema shape must not).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import legacy_payloads, run_bench
+from repro.bench.schema import (
+    ORACLE_SKIPPED,
+    SCHEMA_VERSION,
+    BenchRun,
+    ConditionRecord,
+    SchemaError,
+    WorkloadRecord,
+    canonical_json,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+# -- hypothesis strategies for valid documents ---------------------------------------
+names = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126), min_size=1, max_size=12
+)
+metric_values = st.one_of(
+    st.integers(min_value=-(10**9), max_value=10**9),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.booleans(),
+    names,
+)
+oracle_values = st.one_of(st.booleans(), st.just(ORACLE_SKIPPED))
+json_scalars = st.one_of(st.none(), st.booleans(), st.integers(), names)
+
+conditions = st.builds(
+    ConditionRecord,
+    condition=names,
+    metrics=st.dictionaries(names, metric_values, max_size=4),
+    oracles=st.dictionaries(names, oracle_values, max_size=3),
+)
+workload_records = st.builds(
+    WorkloadRecord,
+    workload=names,
+    params=st.dictionaries(names, json_scalars, max_size=4),
+    conditions=st.lists(conditions, max_size=3),
+    artifacts=st.dictionaries(names, json_scalars, max_size=3),
+)
+bench_runs = st.builds(
+    BenchRun,
+    tier=st.sampled_from(["smoke", "quick", "full"]),
+    environment=st.dictionaries(names, json_scalars, max_size=4),
+    workloads=st.lists(workload_records, max_size=3),
+)
+
+
+class TestRoundTrip:
+    @settings(max_examples=150, deadline=None)
+    @given(bench_runs)
+    def test_serialize_parse_serialize_is_byte_identical(self, run):
+        first = run.to_json()
+        second = BenchRun.from_json(first).to_json()
+        assert second == first
+
+    @settings(max_examples=50, deadline=None)
+    @given(bench_runs)
+    def test_parse_preserves_every_field(self, run):
+        parsed = BenchRun.from_json(run.to_json())
+        assert parsed.tier == run.tier
+        assert parsed.environment == run.environment
+        assert parsed.schema_version == SCHEMA_VERSION
+        assert [w.to_dict() for w in parsed.workloads] == [
+            w.to_dict() for w in run.workloads
+        ]
+
+    def test_canonical_json_is_deterministic_under_key_order(self):
+        assert canonical_json({"b": 1, "a": {"d": 2, "c": 3}}) == canonical_json(
+            {"a": {"c": 3, "d": 2}, "b": 1}
+        )
+
+    def test_file_round_trip(self, tmp_path):
+        run = BenchRun(tier="quick", environment={"x": 1}, workloads=[])
+        path = tmp_path / "run.json"
+        run.write(path)
+        assert BenchRun.read(path).to_json() == run.to_json()
+        # the on-disk form IS the canonical form
+        assert path.read_text() == run.to_json()
+
+
+class TestValidation:
+    def test_rejects_unknown_schema_version(self):
+        payload = BenchRun(tier="quick").to_dict()
+        payload["schema_version"] = 99
+        with pytest.raises(SchemaError, match="schema_version"):
+            BenchRun.from_dict(payload)
+
+    def test_rejects_missing_keys(self):
+        with pytest.raises(SchemaError, match="missing required keys"):
+            BenchRun.from_dict({"tier": "quick"})
+
+    def test_rejects_bad_oracle_value(self):
+        payload = {
+            "condition": "c",
+            "metrics": {},
+            "oracles": {"gate": "maybe"},
+        }
+        with pytest.raises(SchemaError, match="gate"):
+            ConditionRecord.from_dict(payload)
+
+    def test_rejects_non_object_document(self):
+        with pytest.raises(SchemaError):
+            BenchRun.from_json("[1, 2, 3]")
+        with pytest.raises(SchemaError):
+            BenchRun.from_json("not json at all")
+
+    def test_rejects_nan_metrics_at_serialisation(self):
+        run = BenchRun(
+            tier="quick",
+            workloads=[
+                WorkloadRecord(
+                    workload="w",
+                    conditions=[ConditionRecord("c", metrics={"m": float("nan")})],
+                )
+            ],
+        )
+        with pytest.raises(ValueError):
+            run.to_json()
+
+
+# -- golden-file structure diff vs the committed legacy formats ----------------------
+def key_structure(payload, prefix=""):
+    """The set of key paths in a nested payload; lists contribute one element."""
+    paths = set()
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            paths.add(path)
+            paths |= key_structure(value, path)
+    elif isinstance(payload, list) and payload:
+        paths |= key_structure(payload[0], prefix + "[]")
+    return paths
+
+
+@pytest.fixture(scope="module")
+def smoke_payloads():
+    run = run_bench(
+        ["gf2-backends", "sat-solver", "sweep-parallel", "decoder-families"],
+        tier="smoke",
+    )
+    return legacy_payloads(run)
+
+
+LEGACY_FILES = [
+    "BENCH_gf2_backends.json",
+    "BENCH_sat_solver.json",
+    "BENCH_sweep_parallel.json",
+    "BENCH_decoder_families.json",
+]
+
+#: Key paths added deliberately by this PR (documented schema evolution), and
+#: key paths only present at full scale (the committed files are full-tier).
+ALLOWED_NEW = {
+    "BENCH_sweep_parallel.json": {"skipped_speedup_gate"},
+}
+
+
+@pytest.mark.parametrize("filename", LEGACY_FILES)
+def test_legacy_emitters_match_committed_key_structure(filename, smoke_payloads):
+    committed_path = REPO_ROOT / filename
+    if not committed_path.exists():
+        pytest.skip(f"{filename} not committed")
+    committed = key_structure(json.loads(committed_path.read_text()))
+    emitted = key_structure(smoke_payloads[filename])
+
+    missing = committed - emitted
+    assert not missing, f"{filename}: emitter dropped key paths {sorted(missing)}"
+    new = {
+        path
+        for path in emitted - committed
+        if path.split(".")[-1].lstrip("[]") not in ALLOWED_NEW.get(filename, set())
+    }
+    assert not new, f"{filename}: emitter invented key paths {sorted(new)}"
+
+
+def test_legacy_payloads_serialise_with_historical_formatting(smoke_payloads):
+    # Legacy files keep insertion-ordered keys (not canonical sorting) —
+    # `json.dumps(..., indent=2)` exactly as PR 1/3/4/5 wrote them.
+    for filename, payload in smoke_payloads.items():
+        text = json.dumps(payload, indent=2) + "\n"
+        assert json.loads(text) == payload
