@@ -83,11 +83,24 @@ def campaign_report_data(store: CampaignStore) -> Dict[str, Any]:
                     "cells": 0,
                     "num_patterns": 0,
                     "total_miscorrections": 0,
+                    "solved_cells": 0,
+                    "sat_conflicts": 0,
+                    "sat_decisions": 0,
+                    "sat_propagations": 0,
                 },
             )
             row["cells"] += 1
             row["num_patterns"] += result["num_patterns"]
             row["total_miscorrections"] += result["total_miscorrections"]
+            # Cells run with solve=True carry the incremental CDCL solver's
+            # statistics; aggregate them so per-campaign SAT effort is
+            # visible without re-running anything.
+            stats = result.get("solver_stats")
+            if stats:
+                row["solved_cells"] += 1
+                row["sat_conflicts"] += int(stats.get("conflicts", 0))
+                row["sat_decisions"] += int(stats.get("decisions", 0))
+                row["sat_propagations"] += int(stats.get("propagations", 0))
 
     for name, row in scenario_rows.items():
         words = max(row["num_words"], 1)

@@ -1,8 +1,9 @@
-"""``repro bench`` subcommand: list / run / compare / update-baseline.
+"""``repro bench`` subcommand: list / run / compare / trend / update-baseline.
 
 The subcommand is the single entry point CI uses: ``run`` produces the
 merged-schema JSON (and optionally the legacy ``BENCH_*.json`` files),
 ``compare`` gates a result file against the committed baseline for its tier,
+``trend`` renders a text report over a directory of historical result files,
 and ``update-baseline`` regenerates that baseline intentionally (the policy
 in README.md requires a justification line in CHANGES.md alongside).
 """
@@ -97,6 +98,39 @@ def add_bench_parser(subparsers) -> None:
         default=None,
         help="also write the comparator findings as JSON",
     )
+    compare_parser.add_argument(
+        "--allow-subset",
+        action="store_true",
+        help="accept a run covering only some baseline workloads "
+             "(partial `bench run --workload ...` results)",
+    )
+
+    trend_parser = commands.add_parser(
+        "trend",
+        help="text trend report over a directory of merged bench-run files",
+    )
+    trend_parser.add_argument(
+        "directory", type=Path,
+        help="directory of merged result JSON files (ordered by filename)",
+    )
+    trend_parser.add_argument(
+        "--workload",
+        action="append",
+        dest="workloads",
+        metavar="NAME",
+        help="track only this workload (repeatable; default: all)",
+    )
+    trend_parser.add_argument(
+        "--metric",
+        action="append",
+        dest="metrics",
+        metavar="NAME",
+        help="track this metric instead of the gated ones "
+             "(repeatable; e.g. obs.einsim.words_decoded)",
+    )
+    trend_parser.add_argument(
+        "--json", action="store_true", help="emit the trend document as JSON"
+    )
 
     update_parser = commands.add_parser(
         "update-baseline",
@@ -119,9 +153,25 @@ def handle_bench(args) -> int:
         "list": _handle_list,
         "run": _handle_run,
         "compare": _handle_compare,
+        "trend": _handle_trend,
         "update-baseline": _handle_update_baseline,
     }
     return handlers[args.bench_command](args)
+
+
+def _handle_trend(args) -> int:
+    from repro.bench.trend import format_trend_text, load_runs, trend_data
+
+    runs = load_runs(args.directory)
+    if not runs:
+        print(f"no merged bench-run files in {args.directory}", file=sys.stderr)
+        return 2
+    data = trend_data(runs, workloads=args.workloads, metrics=args.metrics)
+    if args.json:
+        print(json.dumps(data, indent=2, sort_keys=True))
+    else:
+        print(format_trend_text(data))
+    return 0
 
 
 def _handle_list(args) -> int:
@@ -175,7 +225,7 @@ def _handle_compare(args) -> int:
         print(f"no baseline at {baseline_file}", file=sys.stderr)
         return 2
     baseline = BenchRun.read(baseline_file)
-    report = compare_runs(run, baseline)
+    report = compare_runs(run, baseline, allow_subset=args.allow_subset)
     print_comparator_report(report)
     if args.report is not None:
         args.report.write_text(canonical_json(report.to_dict()))

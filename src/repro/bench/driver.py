@@ -33,10 +33,25 @@ def baseline_path(tier: str, root: Optional[Path] = None) -> Path:
 
 
 def run_workload(workload: Workload, tier: str) -> WorkloadRecord:
-    """Run one workload at ``tier`` and return its merged-schema record."""
+    """Run one workload at ``tier`` and return its merged-schema record.
+
+    Each workload runs with the tracer in metrics-only mode (unless the
+    caller already enabled a full trace), so every condition record carries
+    the ``obs.*`` counter deltas its measurements moved — cache hits,
+    conflicts, words decoded — without writing any trace file.
+    """
+    from repro.obs import TRACER
+
     params = workload.params_for(tier)
     context = BenchContext(tier=tier, control=control_for_tier(tier))
-    result = workload.run(params, context)
+    owns_tracer = not TRACER.enabled
+    if owns_tracer:
+        TRACER.enable(sink_path=None, record_events=False)
+    try:
+        result = workload.run(params, context)
+    finally:
+        if owns_tracer:
+            TRACER.disable()
     return WorkloadRecord(
         workload=workload.name,
         params=params,

@@ -23,6 +23,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.bench.schema import ConditionRecord, WorkloadRecord
 from repro.bench.timing import RunControl
+from repro.obs import TRACER
 
 
 @dataclass(frozen=True)
@@ -73,6 +74,7 @@ class WorkloadResult:
 
     conditions: List[ConditionRecord] = field(default_factory=list)
     artifacts: Dict[str, Any] = field(default_factory=dict)
+    _obs_counters: Dict[str, float] = field(default_factory=dict, repr=False)
 
     def add(
         self,
@@ -80,9 +82,22 @@ class WorkloadResult:
         metrics: Optional[Mapping[str, Any]] = None,
         oracles: Optional[Mapping[str, Any]] = None,
     ) -> ConditionRecord:
+        metric_values = dict(metrics or {})
+        # With the tracer live (the driver enables metrics-only collection
+        # around each workload) every condition also carries the library
+        # counters it moved — ``obs.*`` deltas since the previous condition.
+        # The comparator only gates metrics present in the baseline, so
+        # these ride along without touching any committed numbers.
+        if TRACER.enabled:
+            totals = TRACER.counter_totals()
+            for name in sorted(totals):
+                delta = totals[name] - self._obs_counters.get(name, 0.0)
+                if delta:
+                    metric_values[f"obs.{name}"] = delta
+            self._obs_counters = totals
         record = ConditionRecord(
             condition=condition,
-            metrics=dict(metrics or {}),
+            metrics=metric_values,
             oracles=dict(oracles or {}),
         )
         self.conditions.append(record)

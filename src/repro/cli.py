@@ -29,6 +29,17 @@ SEC-DED extended Hamming, parity-detect, or repetition.  Result-producing
 commands accept ``--json`` to emit a single machine-readable JSON document
 on stdout.
 
+Simulation- and solver-heavy commands (``solve``, ``beep``, ``einsim``,
+``scenario run``, ``scenario sweep``) accept ``--trace PATH`` writing a
+structured JSONL trace (:mod:`repro.obs`: spans, counters, metric events;
+multi-process sweeps merge worker segments deterministically).  The
+``trace`` command group post-processes trace files::
+
+    beer-tool trace summary trace.jsonl [--json]
+    beer-tool trace report trace.jsonl [--json]
+    beer-tool trace export trace.jsonl --output chrome.json
+    beer-tool trace validate trace.jsonl
+
 Profiles are exchanged as JSON in the format produced by
 :meth:`repro.core.profile.MiscorrectionProfile.to_dict`.
 """
@@ -62,6 +73,13 @@ from repro.core.beep import BeepProfiler, SimulatedWordUnderTest
 _FAST_RETENTION = DataRetentionModel(RetentionCalibration(1.0, 0.02, 60.0, 0.5))
 
 
+def _add_trace_argument(parser) -> None:
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write a structured JSONL trace of this invocation (spans, "
+             "counters, metric events; see `beer-tool trace summary`)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for the ``beer-tool`` console script."""
     parser = argparse.ArgumentParser(
@@ -89,6 +107,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "(requires --backend sat)")
     solve.add_argument("--json", action="store_true",
                        help="print a machine-readable JSON document instead of text")
+    _add_trace_argument(solve)
 
     verify = subparsers.add_parser(
         "verify", help="check that a parity-check matrix reproduces a profile"
@@ -139,6 +158,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the per-bit figure data to a JSON file")
     einsim.add_argument("--json", action="store_true",
                         help="print the figure data as JSON on stdout instead of text")
+    _add_trace_argument(einsim)
 
     beep = subparsers.add_parser(
         "beep", help="demonstrate BEEP on a simulated ECC word with known weak cells"
@@ -161,8 +181,10 @@ def build_parser() -> argparse.ArgumentParser:
                            "(requires --pattern-backend sat)")
     beep.add_argument("--json", action="store_true",
                       help="print a machine-readable JSON document instead of text")
+    _add_trace_argument(beep)
 
     _add_scenario_parser(subparsers)
+    _add_trace_parser(subparsers)
 
     from repro.bench.cli import add_bench_parser
 
@@ -210,6 +232,7 @@ def _add_scenario_parser(subparsers) -> None:
                      help="campaign directory; hits are served from the cache")
     run.add_argument("--json", action="store_true",
                      help="print the cell result as JSON")
+    _add_trace_argument(run)
 
     sweep = commands.add_parser(
         "sweep", help="expand a sweep spec and run its full experiment matrix"
@@ -228,6 +251,9 @@ def _add_scenario_parser(subparsers) -> None:
                             "exits 3 when the sweep is left incomplete)")
     sweep.add_argument("--json", action="store_true",
                        help="print the sweep report as JSON")
+    sweep.add_argument("--progress", action="store_true",
+                       help="render a live progress line (cells/sec, ETA) on stderr")
+    _add_trace_argument(sweep)
 
     report = commands.add_parser(
         "report", help="summarise the contents of a campaign store"
@@ -235,6 +261,45 @@ def _add_scenario_parser(subparsers) -> None:
     report.add_argument("--store", required=True, help="campaign directory")
     report.add_argument("--json", action="store_true",
                         help="print the report as JSON")
+
+
+def _add_trace_parser(subparsers) -> None:
+    trace = subparsers.add_parser(
+        "trace", help="inspect, aggregate and export structured trace files"
+    )
+    commands = trace.add_subparsers(dest="trace_command", required=True)
+
+    summary = commands.add_parser(
+        "summary", help="aggregate span/counter totals of a trace file"
+    )
+    summary.add_argument("path", help="trace JSONL file (from --trace)")
+    summary.add_argument("--json", action="store_true",
+                         help="print the aggregate summary as JSON")
+
+    report = commands.add_parser(
+        "report",
+        help="full report: summary plus per-process totals and slowest spans",
+    )
+    report.add_argument("path", help="trace JSONL file (from --trace)")
+    report.add_argument("--limit", type=int, default=10,
+                        help="slowest span instances to list")
+    report.add_argument("--json", action="store_true",
+                        help="print the report as JSON")
+
+    export = commands.add_parser(
+        "export",
+        help="convert a trace to Chrome trace-event JSON (chrome://tracing, Perfetto)",
+    )
+    export.add_argument("path", help="trace JSONL file (from --trace)")
+    export.add_argument("--output", required=True,
+                        help="where to write the Chrome trace JSON")
+
+    validate = commands.add_parser(
+        "validate", help="schema-validate a trace file (exit 1 on violations)"
+    )
+    validate.add_argument("path", help="trace JSONL file (from --trace)")
+    validate.add_argument("--json", action="store_true",
+                          help="print the validation outcome as JSON")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -248,14 +313,125 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "einsim": _run_einsim,
         "scenario": _run_scenario,
         "bench": _run_bench,
+        "trace": _run_trace,
     }
-    return handlers[args.command](args)
+    handler = handlers[args.command]
+    trace_path = getattr(args, "trace", None)
+    if trace_path is None:
+        return handler(args)
+    return _run_traced(handler, args, trace_path)
+
+
+def _run_traced(handler, args, trace_path: str) -> int:
+    """Run a subcommand with the process-wide tracer writing to ``trace_path``."""
+    import os
+
+    from repro.obs import TRACER
+
+    TRACER.enable(sink_path=trace_path, meta={"command": args.command})
+    try:
+        with TRACER.span(f"cli.{args.command}"):
+            exit_code = handler(args)
+        TRACER.flush()
+    finally:
+        TRACER.disable()
+    # Sweeps create a segment directory for worker trace files; every segment
+    # is adopted and removed at commit, so an empty leftover is just noise.
+    try:
+        os.rmdir(trace_path + ".segments")
+    except OSError:
+        pass
+    print(f"wrote trace to {trace_path}", file=sys.stderr)
+    return exit_code
 
 
 def _run_bench(args) -> int:
     from repro.bench.cli import handle_bench
 
     return handle_bench(args)
+
+
+# -- trace command group ------------------------------------------------------------
+def _run_trace(args) -> int:
+    handlers = {
+        "summary": _run_trace_summary,
+        "report": _run_trace_report,
+        "export": _run_trace_export,
+        "validate": _run_trace_validate,
+    }
+    return handlers[args.trace_command](args)
+
+
+def _run_trace_summary(args) -> int:
+    from repro.obs import format_summary_text, summarize_trace
+
+    summary = summarize_trace(args.path)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(format_summary_text(summary))
+    return 0
+
+
+def _run_trace_report(args) -> int:
+    from repro.obs import (
+        format_summary_text,
+        per_process_totals,
+        read_trace,
+        slowest_spans,
+        summarize_events,
+    )
+
+    events = read_trace(args.path)
+    summary = summarize_events(events)
+    processes = per_process_totals(events)
+    slowest = slowest_spans(events, limit=args.limit)
+    if args.json:
+        print(json.dumps(
+            {"summary": summary, "per_process": processes, "slowest_spans": slowest},
+            indent=2, sort_keys=True,
+        ))
+        return 0
+    print(format_summary_text(summary))
+    print("\nper-process span time:")
+    for row in processes:
+        print(f"  pid {row['pid']}: {row['events']} events, {row['spans']} spans, "
+              f"{row['span_s']:.3f}s total span time")
+    print(f"\nslowest {len(slowest)} span instances:")
+    for row in slowest:
+        print(f"  {row['dur_s']:.4f}s  {row['name']}  [{row['id']}]")
+    return 0
+
+
+def _run_trace_export(args) -> int:
+    from repro.obs import write_chrome_trace
+
+    count = write_chrome_trace(args.path, args.output)
+    print(f"wrote {count} Chrome trace events to {args.output} "
+          "(load in chrome://tracing or https://ui.perfetto.dev)")
+    return 0
+
+
+def _run_trace_validate(args) -> int:
+    from repro.obs import TraceValidationError, read_trace, validate_events
+
+    try:
+        events = read_trace(args.path)
+        violations = validate_events(events)
+    except TraceValidationError as error:
+        events, violations = [], [str(error)]
+    if args.json:
+        print(json.dumps(
+            {"valid": not violations, "num_events": len(events),
+             "violations": violations},
+            indent=2,
+        ))
+    elif violations:
+        for violation in violations:
+            print(f"INVALID: {violation}")
+    else:
+        print(f"OK: {len(events)} events")
+    return 1 if violations else 0
 
 
 # -- subcommand implementations -------------------------------------------------
@@ -579,7 +755,22 @@ def _run_scenario_sweep(args) -> int:
     spec = SweepSpec.from_json_file(args.spec)
     store = CampaignStore(args.store)
     runner = SweepRunner(store=store, processes=args.processes, jobs=args.jobs)
-    report = runner.run(spec, max_new_simulations=args.max_cells)
+    progress_line = None
+    progress = None
+    if args.progress:
+        from repro.obs import ProgressLine
+
+        progress_line = ProgressLine(spec.name, spec.num_cells)
+
+        def progress(outcome, line=progress_line):
+            line.update(outcome.cached)
+    try:
+        report = runner.run(
+            spec, max_new_simulations=args.max_cells, progress=progress
+        )
+    finally:
+        if progress_line is not None:
+            progress_line.finish()
 
     if args.json:
         payload = report.to_dict()
@@ -618,6 +809,11 @@ def _run_scenario_report(args) -> int:
         print(f"  BEER vendor {row['vendor']}: {row['cells']} campaigns, "
               f"{row['num_patterns']} patterns, "
               f"{row['total_miscorrections']} miscorrection entries")
+        if row["solved_cells"]:
+            print(f"    SAT ({row['solved_cells']} solved cells): "
+                  f"{row['sat_conflicts']} conflicts, "
+                  f"{row['sat_decisions']} decisions, "
+                  f"{row['sat_propagations']} propagations")
     return 0
 
 

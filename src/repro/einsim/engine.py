@@ -28,12 +28,14 @@ the per-word DUE mask.
 
 from __future__ import annotations
 
+import time
 from typing import Tuple
 
 import numpy as np
 
 from repro.exceptions import DimensionError
 from repro.gf2.bitpack import fold_bytes
+from repro.obs import TRACER
 from repro.ecc.code import SystematicLinearCode
 
 #: The valid values of every ``backend=`` selector in the library.
@@ -125,9 +127,32 @@ def bulk_decode_outcomes(
     """
     backend = resolve_backend(backend)
     words = _validate_batch(received, code.codeword_length, "codeword array")
+    # One branch while disabled: the decode hot path stays unmeasurably
+    # close to the uninstrumented code.
+    batch_start = time.perf_counter() if TRACER.enabled else 0.0
     values = bulk_syndrome_values(code, words, backend)
     actions = code.decode_action_table()[values]
     corrected = words.copy()
     rows = np.flatnonzero(actions >= 0)
     corrected[rows, actions[rows]] ^= 1
-    return corrected, actions == SystematicLinearCode.ACTION_DETECT
+    due = actions == SystematicLinearCode.ACTION_DETECT
+    if TRACER.enabled:
+        seconds = time.perf_counter() - batch_start
+        num_words = int(words.shape[0])
+        due_words = int(np.count_nonzero(due))
+        TRACER.add("einsim.decode_batches")
+        TRACER.add("einsim.words_decoded", num_words)
+        TRACER.add("einsim.due_words", due_words)
+        TRACER.add("einsim.decode_s", seconds)
+        TRACER.event(
+            "einsim.decode_batch",
+            {
+                "backend": backend,
+                "words": num_words,
+                "due_words": due_words,
+                "seconds": seconds,
+                "words_per_s": num_words / seconds if seconds > 0 else 0.0,
+                "codeword_length": code.codeword_length,
+            },
+        )
+    return corrected, due

@@ -74,3 +74,28 @@ class PatternCraftingError(ReproError):
 
 class ScenarioError(ReproError):
     """Raised when a fault scenario or sweep specification is invalid."""
+
+
+class StoreError(ReproError):
+    """Raised when the campaign store cannot complete an operation."""
+
+
+class StoreLockTimeoutError(StoreError):
+    """Raised when the store's advisory lock cannot be acquired in time.
+
+    The store lock serialises appends from many writer processes; a healthy
+    holder releases it in milliseconds.  Waiting out the (generous) timeout
+    therefore means a peer is wedged or dead-with-lock — a fleet worker
+    should fail loudly with the lock path instead of hanging forever.
+    """
+
+    def __init__(self, lock_path: str, waited_s: float):
+        super().__init__(
+            f"could not acquire store lock {lock_path} after waiting "
+            f"{waited_s:.1f}s; a peer writer is wedged or died holding it "
+            "(override the limit with REPRO_STORE_LOCK_TIMEOUT)"
+        )
+        #: Path of the lock file that could not be acquired.
+        self.lock_path = lock_path
+        #: Seconds this process waited before giving up.
+        self.waited_s = waited_s

@@ -1,0 +1,74 @@
+"""Structured tracing and metrics for the reproduction's hot subsystems.
+
+``repro.obs`` is a dependency-free observability layer: context-manager
+**spans** (monotonic wall time, nesting, arbitrary attributes),
+**counters/gauges** (cache hits, SAT conflicts, words decoded, lock-wait
+seconds, fsync latency, ...), and **metric events** (periodic
+``SolverStats`` snapshots), all collected by one process-wide
+:class:`~repro.obs.core.Tracer` that is disabled by default and costs a
+single attribute check per instrumented operation while disabled.
+
+Traces serialise to a JSONL file (schema in :mod:`repro.obs.schema`);
+multi-process sweeps merge per-worker segment files deterministically
+(:meth:`~repro.obs.core.Tracer.adopt_segment`), preserving span nesting
+across the process boundary — and never touching ``records.jsonl``, which
+stays byte-identical with tracing on or off.  :mod:`repro.obs.report`
+aggregates a trace into span totals/percentiles and counter sums;
+:mod:`repro.obs.export` converts it to the Chrome trace-event format for
+``chrome://tracing`` / Perfetto.
+"""
+
+from repro.obs.core import (
+    NOOP_SPAN,
+    TRACE_VERSION,
+    TRACER,
+    Span,
+    Tracer,
+    add,
+    enabled,
+    event,
+    gauge,
+    span,
+)
+from repro.obs.export import chrome_trace, write_chrome_trace
+from repro.obs.progress import ProgressLine
+from repro.obs.report import (
+    format_summary_text,
+    per_process_totals,
+    slowest_spans,
+    summarize_events,
+    summarize_trace,
+)
+from repro.obs.schema import (
+    TraceValidationError,
+    read_trace,
+    validate_event,
+    validate_events,
+    validate_trace_file,
+)
+
+__all__ = [
+    "NOOP_SPAN",
+    "TRACE_VERSION",
+    "TRACER",
+    "Span",
+    "Tracer",
+    "add",
+    "enabled",
+    "event",
+    "gauge",
+    "span",
+    "chrome_trace",
+    "write_chrome_trace",
+    "ProgressLine",
+    "format_summary_text",
+    "per_process_totals",
+    "slowest_spans",
+    "summarize_events",
+    "summarize_trace",
+    "TraceValidationError",
+    "read_trace",
+    "validate_event",
+    "validate_events",
+    "validate_trace_file",
+]

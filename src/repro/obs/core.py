@@ -1,0 +1,355 @@
+"""The tracer: spans, counters, gauges, metric events, and the JSONL sink.
+
+One module-level :class:`Tracer` singleton (:data:`TRACER`) serves the whole
+process.  It is **disabled by default** and every instrumentation point in
+the library guards itself with a single attribute check (``TRACER.enabled``)
+before doing any other work, so the disabled overhead is one branch per
+instrumented operation — unmeasurable next to the operations themselves.
+
+Enabled, the tracer collects three kinds of telemetry in memory:
+
+* **spans** — context-managed wall-time intervals with nesting (a span
+  opened inside another becomes its child) and arbitrary attributes.
+  Timestamps are epoch seconds (``time.time``) so spans from different
+  processes share one timeline; durations are measured with the
+  monotonic high-resolution clock (``time.perf_counter``) so they are
+  immune to wall-clock steps.
+* **counters / gauges** — named numeric aggregates (cache hits, conflicts,
+  propagations, words decoded, DUE words, lock-wait seconds, fsync
+  latency).  Counters add, gauges overwrite.
+* **metric events** — point-in-time snapshots (e.g. periodic
+  ``SolverStats`` dumps from the CDCL solver).
+
+``flush()`` serialises everything to a JSONL *trace file*: one JSON object
+per line, validated by :mod:`repro.obs.schema`.  Multi-process sweeps give
+each pool worker its own *segment file*; the parent adopts the segments in
+deterministic spec order (:meth:`Tracer.adopt_segment`), re-parenting the
+workers' root spans under the parent's per-cell span, so span nesting
+survives the merge and counter totals aggregate across processes.  The
+campaign store's ``records.jsonl`` is never touched by any of this —
+tracing writes only to its own files.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, List, Optional
+
+#: Trace format version stamped into every file's leading ``meta`` event.
+TRACE_VERSION = 1
+
+
+class _NoopSpan:
+    """The shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    #: No real span ever has a ``None`` id; instrumentation can pass it
+    #: through (e.g. as a merge parent) without checking for enablement.
+    span_id = None
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+    def set_attr(self, name: str, value: Any) -> None:
+        return None
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Span:
+    """One live span: closed (and recorded) when its context exits."""
+
+    __slots__ = ("tracer", "name", "span_id", "parent_id", "ts", "_start", "attrs")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]):
+        self.tracer = tracer
+        self.name = name
+        self.span_id = tracer._next_span_id()
+        self.parent_id = tracer._current_parent_id()
+        self.ts = time.time()
+        self._start = time.perf_counter()
+        self.attrs = attrs
+
+    def set_attr(self, name: str, value: Any) -> None:
+        """Attach (or overwrite) one attribute on the span."""
+        self.attrs[name] = value
+
+    def __enter__(self) -> "Span":
+        self.tracer._span_stack.append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        duration = time.perf_counter() - self._start
+        stack = self.tracer._span_stack
+        # Exits mirror entries; tolerate a tracer disabled mid-span.
+        if stack and stack[-1] is self:
+            stack.pop()
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        self.tracer._record_span(self, duration)
+
+
+class Tracer:
+    """Process-wide telemetry collector (see the module docstring)."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._sink_path: Optional[str] = None
+        self._record_events = True
+        self._id_prefix = "p"
+        self._id_counter = 0
+        self._events: List[Dict[str, Any]] = []
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._span_stack: List[Span] = []
+        self._meta: Dict[str, Any] = {}
+
+    # -- lifecycle ----------------------------------------------------------
+    def enable(
+        self,
+        sink_path: Optional[str] = None,
+        *,
+        id_prefix: str = "p",
+        record_events: bool = True,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Start collecting.
+
+        ``sink_path`` is where :meth:`flush` writes the JSONL trace;
+        ``None`` keeps everything in memory — the *metrics-only* mode the
+        benchmark harness uses to snapshot counters without a trace file.
+        ``id_prefix`` namespaces span ids (worker segments use a per-cell
+        prefix so merged ids never collide).  ``record_events=False``
+        aggregates counters/gauges but drops span and metric events —
+        bounded memory for arbitrarily long runs.
+        """
+        self._sink_path = sink_path
+        self._id_prefix = id_prefix
+        self._id_counter = 0
+        self._record_events = record_events
+        self._events = []
+        self._counters = {}
+        self._gauges = {}
+        self._span_stack = []
+        self._meta = dict(meta or {})
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Stop collecting and drop any unflushed state."""
+        self.enabled = False
+        self._sink_path = None
+        self._events = []
+        self._counters = {}
+        self._gauges = {}
+        self._span_stack = []
+        self._meta = {}
+
+    @property
+    def sink_path(self) -> Optional[str]:
+        """The trace file :meth:`flush` will write, if any."""
+        return self._sink_path
+
+    def segment_dir(self) -> Optional[str]:
+        """Directory for worker trace segments (created on demand).
+
+        Lives next to the sink (``<sink>.segments/``) so a trace and its
+        in-flight segments move together; ``None`` in metrics-only mode.
+        """
+        if self._sink_path is None:
+            return None
+        directory = self._sink_path + ".segments"
+        os.makedirs(directory, exist_ok=True)
+        return directory
+
+    # -- spans --------------------------------------------------------------
+    def span(self, name: str, **attrs: Any):
+        """Open a span context; a shared no-op while disabled."""
+        if not self.enabled:
+            return NOOP_SPAN
+        return Span(self, name, attrs)
+
+    def _next_span_id(self) -> str:
+        self._id_counter += 1
+        return f"{self._id_prefix}{self._id_counter}"
+
+    def _current_parent_id(self) -> Optional[str]:
+        return self._span_stack[-1].span_id if self._span_stack else None
+
+    def _record_span(self, span: Span, duration: float) -> None:
+        if not (self.enabled and self._record_events):
+            return
+        self._events.append(
+            {
+                "type": "span",
+                "name": span.name,
+                "id": span.span_id,
+                "parent": span.parent_id,
+                "pid": os.getpid(),
+                "ts": span.ts,
+                "dur": duration,
+                "attrs": span.attrs,
+            }
+        )
+
+    # -- counters / gauges / metric events ----------------------------------
+    def add(self, name: str, value: float = 1.0) -> None:
+        """Add ``value`` to counter ``name`` (no-op while disabled)."""
+        if self.enabled:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (no-op while disabled)."""
+        if self.enabled:
+            self._gauges[name] = value
+
+    def event(self, name: str, fields: Optional[Dict[str, Any]] = None) -> None:
+        """Record a point-in-time metric event (no-op while disabled)."""
+        if self.enabled and self._record_events:
+            self._events.append(
+                {
+                    "type": "metric",
+                    "name": name,
+                    "pid": os.getpid(),
+                    "ts": time.time(),
+                    "fields": dict(fields or {}),
+                }
+            )
+
+    def counters_snapshot(self) -> Dict[str, float]:
+        """Current counter *and* gauge values (gauges win name clashes)."""
+        snapshot: Dict[str, float] = dict(self._counters)
+        snapshot.update(self._gauges)
+        return snapshot
+
+    def counter_totals(self) -> Dict[str, float]:
+        """Current counter values only — safe to difference for deltas.
+
+        Gauges are excluded: they overwrite rather than accumulate, so a
+        delta between two gauge readings is meaningless.  The benchmark
+        harness differences consecutive calls to attach per-condition
+        ``obs.*`` metrics.
+        """
+        return dict(self._counters)
+
+    # -- worker-segment merge ------------------------------------------------
+    def adopt_segment(self, path: str, parent_id: Optional[str] = None) -> int:
+        """Fold one worker segment file into this tracer, deterministically.
+
+        Span/metric events are appended in the segment's own order; root
+        spans (``parent: null``) are re-parented under ``parent_id`` so the
+        worker's work hangs off the parent's per-cell span in the merged
+        trace.  Counter/gauge lines are aggregated into this tracer's
+        totals instead of being copied, so ``trace summary`` sees one
+        process-spanning number per counter.  Returns the number of events
+        adopted.  Callers adopt segments in spec order, which is what makes
+        the merged file deterministic up to timings.
+        """
+        adopted = 0
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                payload = json.loads(line)
+                kind = payload.get("type")
+                if kind == "counter":
+                    self.add(payload["name"], payload["value"])
+                    continue
+                if kind == "gauge":
+                    self.gauge(payload["name"], payload["value"])
+                    continue
+                if kind == "meta":
+                    continue
+                if kind == "span" and payload.get("parent") is None:
+                    payload["parent"] = parent_id
+                if self._record_events:
+                    self._events.append(payload)
+                    adopted += 1
+        return adopted
+
+    # -- serialisation -------------------------------------------------------
+    def flush(self, path: Optional[str] = None) -> Optional[str]:
+        """Write the collected telemetry as one JSONL trace file.
+
+        Layout: a leading ``meta`` line, every span/metric event in
+        recording order, then the final counter and gauge totals.  Returns
+        the path written, or ``None`` when there is no sink (metrics-only
+        mode with no explicit ``path``).
+        """
+        target = path if path is not None else self._sink_path
+        if target is None:
+            return None
+        pid = os.getpid()
+        lines = [
+            json.dumps(
+                {
+                    "type": "meta",
+                    "version": TRACE_VERSION,
+                    "pid": pid,
+                    "attrs": self._meta,
+                },
+                sort_keys=True,
+            )
+        ]
+        for event in self._events:
+            lines.append(json.dumps(event, sort_keys=True))
+        for name in sorted(self._counters):
+            lines.append(
+                json.dumps(
+                    {
+                        "type": "counter",
+                        "name": name,
+                        "value": self._counters[name],
+                        "pid": pid,
+                    },
+                    sort_keys=True,
+                )
+            )
+        for name in sorted(self._gauges):
+            lines.append(
+                json.dumps(
+                    {"type": "gauge", "name": name, "value": self._gauges[name], "pid": pid},
+                    sort_keys=True,
+                )
+            )
+        directory = os.path.dirname(os.path.abspath(target))
+        os.makedirs(directory, exist_ok=True)
+        with open(target, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+        return target
+
+
+#: The process-wide tracer every instrumentation point checks.
+TRACER = Tracer()
+
+
+def enabled() -> bool:
+    """Is the process-wide tracer collecting?"""
+    return TRACER.enabled
+
+
+def span(name: str, **attrs: Any):
+    """Open a span on the process-wide tracer (no-op while disabled)."""
+    return TRACER.span(name, **attrs)
+
+
+def add(name: str, value: float = 1.0) -> None:
+    """Bump a counter on the process-wide tracer (no-op while disabled)."""
+    TRACER.add(name, value)
+
+
+def gauge(name: str, value: float) -> None:
+    """Set a gauge on the process-wide tracer (no-op while disabled)."""
+    TRACER.gauge(name, value)
+
+
+def event(name: str, fields: Optional[Dict[str, Any]] = None) -> None:
+    """Record a metric event on the process-wide tracer (no-op while disabled)."""
+    TRACER.event(name, fields)

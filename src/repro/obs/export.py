@@ -1,0 +1,89 @@
+"""Chrome-trace-event exporter: load a repro trace in Perfetto.
+
+Converts the library's JSONL trace format into the Chrome Trace Event JSON
+format (the ``{"traceEvents": [...]}`` object form), loadable by
+``chrome://tracing`` and https://ui.perfetto.dev:
+
+* spans become complete events (``ph: "X"``) with microsecond timestamps
+  relative to the earliest event in the trace, one track (``tid``) per
+  nesting depth is not needed — Chrome nests by time containment per
+  ``pid``/``tid``, and all of a process's spans share ``tid`` 1;
+* metric events become instant events (``ph: "i"``);
+* final counter/gauge totals become counter events (``ph: "C"``) stamped at
+  the end of the timeline, so Perfetto shows the run's totals as tracks.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.obs.schema import read_trace
+
+
+def chrome_trace(events: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Convert parsed repro trace events into a Chrome trace document."""
+    stamped = [e for e in events if isinstance(e.get("ts"), (int, float))]
+    origin = min((e["ts"] for e in stamped), default=0.0)
+    end_us = 0.0
+
+    def to_us(ts: float) -> float:
+        return (ts - origin) * 1e6
+
+    trace_events: List[Dict[str, Any]] = []
+    for event in events:
+        kind = event.get("type")
+        if kind == "span":
+            start_us = to_us(event["ts"])
+            dur_us = event["dur"] * 1e6
+            end_us = max(end_us, start_us + dur_us)
+            trace_events.append(
+                {
+                    "name": event["name"],
+                    "ph": "X",
+                    "ts": start_us,
+                    "dur": dur_us,
+                    "pid": event["pid"],
+                    "tid": 1,
+                    "args": dict(event.get("attrs", {}), span_id=event["id"]),
+                }
+            )
+        elif kind == "metric":
+            start_us = to_us(event["ts"])
+            end_us = max(end_us, start_us)
+            trace_events.append(
+                {
+                    "name": event["name"],
+                    "ph": "i",
+                    "s": "p",  # process-scoped instant
+                    "ts": start_us,
+                    "pid": event["pid"],
+                    "tid": 1,
+                    "args": dict(event.get("fields", {})),
+                }
+            )
+        elif kind in ("counter", "gauge"):
+            trace_events.append(
+                {
+                    "name": event["name"],
+                    "ph": "C",
+                    "ts": end_us,
+                    "pid": event["pid"],
+                    "tid": 1,
+                    "args": {"value": event["value"]},
+                }
+            )
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"exporter": "repro.obs", "origin_unix_s": origin},
+    }
+
+
+def write_chrome_trace(trace_path: str, output_path: str) -> int:
+    """Export a JSONL trace file to Chrome trace JSON; returns event count."""
+    document = chrome_trace(read_trace(trace_path))
+    with open(output_path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(document["traceEvents"])

@@ -1,0 +1,69 @@
+"""Live sweep progress: an in-place cells/sec + ETA line on stderr.
+
+The sweep runner reports each completed cell through a callback; this class
+turns that stream into a single self-overwriting status line::
+
+    [sweep retention-vs-burst] 37/120 cells (12 cached)  8.4 cells/s  ETA 9.9s
+
+The line is throttled (at most ~10 redraws/s) so a fast all-cache sweep does
+not spend its time writing to the terminal, and :meth:`finish` terminates it
+with a newline so subsequent output starts clean.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional, TextIO
+
+
+class ProgressLine:
+    """Render sweep progress in place on a terminal stream."""
+
+    def __init__(
+        self,
+        label: str,
+        total: int,
+        stream: Optional[TextIO] = None,
+        min_interval_s: float = 0.1,
+    ):
+        self._label = label
+        self._total = total
+        self._stream = stream if stream is not None else sys.stderr
+        self._min_interval_s = min_interval_s
+        self._start = time.perf_counter()
+        self._last_draw = 0.0
+        self._done = 0
+        self._cached = 0
+        self._last_width = 0
+
+    def update(self, cached: bool) -> None:
+        """Record one completed cell and redraw (throttled)."""
+        self._done += 1
+        if cached:
+            self._cached += 1
+        now = time.perf_counter()
+        if self._done < self._total and now - self._last_draw < self._min_interval_s:
+            return
+        self._last_draw = now
+        self._draw(now)
+
+    def _draw(self, now: float) -> None:
+        elapsed = max(now - self._start, 1e-9)
+        rate = self._done / elapsed
+        remaining = self._total - self._done
+        eta = remaining / rate if rate > 0 else float("inf")
+        text = (
+            f"[sweep {self._label}] {self._done}/{self._total} cells "
+            f"({self._cached} cached)  {rate:.1f} cells/s  ETA {eta:.1f}s"
+        )
+        padding = " " * max(0, self._last_width - len(text))
+        self._last_width = len(text)
+        self._stream.write("\r" + text + padding)
+        self._stream.flush()
+
+    def finish(self) -> None:
+        """Draw the final state and release the line."""
+        self._draw(time.perf_counter())
+        self._stream.write("\n")
+        self._stream.flush()

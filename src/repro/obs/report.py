@@ -1,0 +1,151 @@
+"""Trace aggregation: span totals, percentiles, counter sums.
+
+Powers ``beer-tool trace summary`` and ``trace report``.  The summary
+collapses a trace into one row per span name (count, total seconds, mean,
+p50/p90/p99, max) plus the final counter/gauge totals; the report adds a
+per-process breakdown and the slowest individual spans — the "where did the
+time go" view the paper's runtime accounting (sec. 6.3, fig. 6) needs from
+the inside of a run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.obs.schema import read_trace
+
+
+def _percentile(sorted_values: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of an already-sorted, non-empty list."""
+    index = max(0, min(len(sorted_values) - 1, round(fraction * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
+def summarize_events(events: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Aggregate parsed trace events into the summary document."""
+    durations: Dict[str, List[float]] = {}
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, float] = {}
+    metric_counts: Dict[str, int] = {}
+    pids = set()
+    for event in events:
+        kind = event.get("type")
+        pid = event.get("pid")
+        if pid is not None:
+            pids.add(pid)
+        if kind == "span":
+            durations.setdefault(event["name"], []).append(float(event["dur"]))
+        elif kind == "counter":
+            counters[event["name"]] = counters.get(event["name"], 0) + event["value"]
+        elif kind == "gauge":
+            gauges[event["name"]] = event["value"]
+        elif kind == "metric":
+            metric_counts[event["name"]] = metric_counts.get(event["name"], 0) + 1
+
+    spans = []
+    for name in sorted(durations):
+        values = sorted(durations[name])
+        total = sum(values)
+        spans.append(
+            {
+                "name": name,
+                "count": len(values),
+                "total_s": total,
+                "mean_s": total / len(values),
+                "p50_s": _percentile(values, 0.50),
+                "p90_s": _percentile(values, 0.90),
+                "p99_s": _percentile(values, 0.99),
+                "max_s": values[-1],
+            }
+        )
+    return {
+        "processes": len(pids),
+        "num_events": len(events),
+        "spans": spans,
+        "counters": {name: counters[name] for name in sorted(counters)},
+        "gauges": {name: gauges[name] for name in sorted(gauges)},
+        "metric_events": {name: metric_counts[name] for name in sorted(metric_counts)},
+    }
+
+
+def summarize_trace(path: str) -> Dict[str, Any]:
+    """Aggregate one JSONL trace file into the summary document."""
+    return summarize_events(read_trace(path))
+
+
+def slowest_spans(
+    events: List[Dict[str, Any]], limit: int = 10
+) -> List[Dict[str, Any]]:
+    """The ``limit`` longest individual spans, slowest first."""
+    spans = [event for event in events if event.get("type") == "span"]
+    spans.sort(key=lambda event: (-float(event["dur"]), event["id"]))
+    return [
+        {
+            "name": event["name"],
+            "id": event["id"],
+            "pid": event["pid"],
+            "dur_s": float(event["dur"]),
+            "attrs": dict(event.get("attrs", {})),
+        }
+        for event in spans[:limit]
+    ]
+
+
+def per_process_totals(events: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Span-seconds and event counts broken down per contributing process."""
+    rows: Dict[int, Dict[str, Any]] = {}
+    for event in events:
+        pid = event.get("pid")
+        if pid is None:
+            continue
+        row = rows.setdefault(pid, {"pid": pid, "events": 0, "span_s": 0.0, "spans": 0})
+        row["events"] += 1
+        if event.get("type") == "span":
+            row["spans"] += 1
+            row["span_s"] += float(event["dur"])
+    return [rows[pid] for pid in sorted(rows)]
+
+
+def format_summary_text(summary: Dict[str, Any]) -> str:
+    """Render the summary document as the CLI's aligned text table."""
+    lines = [
+        f"trace: {summary['num_events']} events from "
+        f"{summary['processes']} process(es)"
+    ]
+    if summary["spans"]:
+        header = ["span", "count", "total_s", "mean_s", "p50_s", "p90_s", "p99_s", "max_s"]
+        rows = [
+            [
+                row["name"],
+                str(row["count"]),
+                f"{row['total_s']:.6f}",
+                f"{row['mean_s']:.6f}",
+                f"{row['p50_s']:.6f}",
+                f"{row['p90_s']:.6f}",
+                f"{row['p99_s']:.6f}",
+                f"{row['max_s']:.6f}",
+            ]
+            for row in summary["spans"]
+        ]
+        widths = [
+            max(len(header[i]), *(len(row[i]) for row in rows))
+            for i in range(len(header))
+        ]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        for row in rows:
+            lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    if summary["counters"]:
+        lines.append("")
+        lines.append("counters:")
+        for name, value in summary["counters"].items():
+            rendered = f"{value:.6f}".rstrip("0").rstrip(".") if isinstance(value, float) else str(value)
+            lines.append(f"  {name} = {rendered}")
+    if summary["gauges"]:
+        lines.append("gauges:")
+        for name, value in summary["gauges"].items():
+            lines.append(f"  {name} = {value}")
+    if summary["metric_events"]:
+        lines.append("metric events:")
+        for name, count in summary["metric_events"].items():
+            lines.append(f"  {name} x{count}")
+    return "\n".join(lines)

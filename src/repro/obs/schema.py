@@ -1,0 +1,131 @@
+"""Trace event schema: what a valid JSONL trace file looks like.
+
+A trace file is newline-delimited JSON.  The first line must be a ``meta``
+event; every following line is one of ``span``, ``metric``, ``counter`` or
+``gauge``.  Required fields per type::
+
+    meta     version (int), pid (int), attrs (object)
+    span     name (str), id (str), parent (str|null), pid (int),
+             ts (number), dur (number >= 0), attrs (object)
+    metric   name (str), pid (int), ts (number), fields (object)
+    counter  name (str), value (number), pid (int)
+    gauge    name (str), value (number), pid (int)
+
+Beyond per-line shape, a valid trace is *referentially consistent*: every
+span's ``parent`` (when not null) names the ``id`` of another span in the
+same file, and span ids are unique.  That property is what the worker-merge
+machinery must preserve and what the CI smoke job asserts.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Tuple
+
+from repro.exceptions import ReproError
+from repro.obs.core import TRACE_VERSION
+
+
+class TraceValidationError(ReproError):
+    """A trace file does not conform to the event schema."""
+
+
+_REQUIRED_FIELDS: Dict[str, Tuple[Tuple[str, type], ...]] = {
+    "meta": (("version", int), ("pid", int), ("attrs", dict)),
+    "span": (
+        ("name", str),
+        ("id", str),
+        ("pid", int),
+        ("ts", (int, float)),
+        ("dur", (int, float)),
+        ("attrs", dict),
+    ),
+    "metric": (("name", str), ("pid", int), ("ts", (int, float)), ("fields", dict)),
+    "counter": (("name", str), ("value", (int, float)), ("pid", int)),
+    "gauge": (("name", str), ("value", (int, float)), ("pid", int)),
+}
+
+
+def validate_event(payload: Any, line_number: int = 0) -> List[str]:
+    """Return the schema violations of one parsed event (empty when valid)."""
+    where = f"line {line_number}: " if line_number else ""
+    if not isinstance(payload, dict):
+        return [f"{where}event must be a JSON object, got {type(payload).__name__}"]
+    kind = payload.get("type")
+    if kind not in _REQUIRED_FIELDS:
+        return [
+            f"{where}unknown event type {kind!r}; expected one of "
+            f"{sorted(_REQUIRED_FIELDS)}"
+        ]
+    errors = []
+    for field, expected in _REQUIRED_FIELDS[kind]:
+        if field not in payload:
+            errors.append(f"{where}{kind} event is missing field {field!r}")
+            continue
+        value = payload[field]
+        if isinstance(value, bool) or not isinstance(value, expected):
+            errors.append(
+                f"{where}{kind} field {field!r} has the wrong type: {value!r}"
+            )
+    if kind == "span":
+        parent = payload.get("parent", "<absent>")
+        if parent is not None and not isinstance(parent, str):
+            errors.append(f"{where}span field 'parent' must be a string or null")
+        if isinstance(payload.get("dur"), (int, float)) and payload["dur"] < 0:
+            errors.append(f"{where}span duration is negative: {payload['dur']!r}")
+    if kind == "meta" and payload.get("version") != TRACE_VERSION:
+        errors.append(
+            f"{where}unsupported trace version {payload.get('version')!r} "
+            f"(expected {TRACE_VERSION})"
+        )
+    return errors
+
+
+def validate_events(events: Iterable[Dict[str, Any]]) -> List[str]:
+    """Validate a parsed event stream, including cross-event consistency."""
+    errors: List[str] = []
+    span_ids: Dict[str, int] = {}
+    parents: List[Tuple[int, str]] = []
+    for number, payload in enumerate(events, start=1):
+        errors.extend(validate_event(payload, number))
+        if number == 1 and payload.get("type") != "meta":
+            errors.append("line 1: a trace must start with a 'meta' event")
+        if payload.get("type") == "span" and isinstance(payload.get("id"), str):
+            if payload["id"] in span_ids:
+                errors.append(
+                    f"line {number}: duplicate span id {payload['id']!r} "
+                    f"(first seen at line {span_ids[payload['id']]})"
+                )
+            else:
+                span_ids[payload["id"]] = number
+            if isinstance(payload.get("parent"), str):
+                parents.append((number, payload["parent"]))
+    for number, parent in parents:
+        if parent not in span_ids:
+            errors.append(
+                f"line {number}: span parent {parent!r} does not name any "
+                "span in this trace"
+            )
+    return errors
+
+
+def read_trace(path: str) -> List[Dict[str, Any]]:
+    """Parse a JSONL trace file into its event list (no validation)."""
+    events = []
+    with open(path, encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError as error:
+                raise TraceValidationError(
+                    f"{path}: line {number} is not JSON: {error}"
+                ) from error
+    return events
+
+
+def validate_trace_file(path: str) -> List[str]:
+    """All schema violations of a trace file (empty when fully valid)."""
+    return validate_events(read_trace(path))

@@ -37,7 +37,13 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
 from repro.exceptions import BudgetExhaustedError, SolverError
+from repro.obs import TRACER
 from repro.sat.cnf import CNF, simplify_literals
+
+#: With tracing enabled, a ``sat.solver.stats`` metric event (a full
+#: :class:`SolverStats` snapshot) is emitted every this many conflicts —
+#: the periodic heartbeat long solves/enumerations leave in the trace.
+STATS_SNAPSHOT_INTERVAL = 1024
 
 
 class Clause(list):
@@ -307,6 +313,14 @@ class CDCLSolver:
         start_restarts = self._stats.restarts
 
         def result(satisfiable: bool, model: Optional[Dict[int, bool]] = None) -> SATResult:
+            if TRACER.enabled:
+                TRACER.add("sat.solve_calls")
+                TRACER.add("sat.conflicts", self._stats.conflicts - start_conflicts)
+                TRACER.add("sat.decisions", self._stats.decisions - start_decisions)
+                TRACER.add(
+                    "sat.propagations", self._stats.propagations - start_propagations
+                )
+                TRACER.add("sat.restarts", self._stats.restarts - start_restarts)
             return SATResult(
                 satisfiable,
                 model if model is not None else {},
@@ -332,6 +346,11 @@ class CDCLSolver:
                 if budget is not None and consumed >= budget:
                     raise BudgetExhaustedError(budget=budget, conflicts=consumed)
                 self._stats.conflicts += 1
+                if (
+                    TRACER.enabled
+                    and self._stats.conflicts % STATS_SNAPSHOT_INTERVAL == 0
+                ):
+                    TRACER.event("sat.solver.stats", self.stats().as_dict())
                 conflicts_until_restart -= 1
                 if self._decision_level() == 0:
                     self._unsat = True

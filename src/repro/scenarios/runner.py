@@ -18,10 +18,12 @@ produces a store byte-identical to an uninterrupted run.
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import Future, ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.obs import TRACER
 from repro.dram import ChipGeometry, DataRetentionModel, all_vendors
 from repro.dram.retention import RetentionCalibration
 from repro.exceptions import ScenarioError
@@ -89,15 +91,37 @@ def execute_cell(cell: ExperimentCell, processes: int = 1) -> Dict[str, Any]:
     return _execute_beer_cell(config)
 
 
-def _execute_cell_job(job: Tuple[str, str]) -> Dict[str, Any]:
+def _execute_cell_job(job: Tuple) -> Dict[str, Any]:
     """Worker entry point: rebuild the cell and run it single-process.
 
     Workers always run their inner campaign with ``processes=1`` — the
     parallelism budget is spent at the cell level, and campaign results are
     bit-identical for any process count anyway.
+
+    ``job`` is ``(kind, config_json)`` untraced, or
+    ``(kind, config_json, segment_path, id_prefix)`` when the parent is
+    tracing: the worker then records its own trace into ``segment_path``
+    (span ids namespaced by ``id_prefix`` so the parent's deterministic
+    merge can never collide ids across segments).  Tracing never touches
+    the result value, so ``records.jsonl`` stays byte-identical either way.
     """
-    kind, config_json = job
-    return execute_cell(ExperimentCell(kind=kind, config_json=config_json))
+    kind, config_json = job[0], job[1]
+    segment_path = job[2] if len(job) > 2 else None
+    cell = ExperimentCell(kind=kind, config_json=config_json)
+    if segment_path is None:
+        return execute_cell(cell)
+    TRACER.enable(
+        sink_path=segment_path,
+        id_prefix=job[3],
+        meta={"role": "sweep-worker", "kind": kind},
+    )
+    try:
+        with TRACER.span("sweep.cell.execute", kind=kind, key=cell.key()[:16]):
+            result = execute_cell(cell)
+        TRACER.flush()
+    finally:
+        TRACER.disable()
+    return result
 
 
 def _execute_einsim_cell(config: Dict[str, Any], processes: int) -> Dict[str, Any]:
@@ -161,12 +185,23 @@ def _execute_beer_cell(config: Dict[str, Any]) -> Dict[str, Any]:
     )
     result = BeerExperiment(chip, experiment_config).run(solve=False)
     profile = result.profile
-    return {
+    payload = {
         "num_data_bits": profile.num_data_bits,
         "num_patterns": len(profile.patterns),
         "total_miscorrections": int(profile.total_miscorrections),
         "profile": profile.to_dict(),
     }
+    if config.get("solve"):
+        # Recover the ECC function through the incremental SAT backend and
+        # keep its statistics with the cell, so `scenario report` can
+        # aggregate conflicts/decisions/propagations per campaign.
+        from repro.core import SatBeerSolver
+
+        with TRACER.span("beer.sat_solve", vendor=config["vendor"]):
+            solution = SatBeerSolver(profile.num_data_bits).solve(profile)
+        payload["num_solutions"] = int(solution.num_solutions)
+        payload["solver_stats"] = solution.solver_stats
+    return payload
 
 
 class SweepRunner:
@@ -257,7 +292,12 @@ class SweepRunner:
 
         pool: Optional[ProcessPoolExecutor] = None
         futures: Dict[int, "Future[Dict[str, Any]]"] = {}
+        segments: Dict[int, str] = {}
         submit_cursor = 0
+        # Workers write per-cell trace segments only when the parent tracer
+        # has a real sink; the parent adopts them in spec order at commit
+        # time, which keeps the merged trace deterministic.
+        segment_dir = TRACER.segment_dir() if TRACER.enabled else None
 
         def submit_up_to(limit: int) -> None:
             # Keep a bounded window of cells in flight ahead of the commit
@@ -267,49 +307,93 @@ class SweepRunner:
             while submit_cursor < len(miss_indices) and len(futures) < limit:
                 index = miss_indices[submit_cursor]
                 cell = plan[index][0]
-                futures[index] = pool.submit(
-                    _execute_cell_job, (cell.kind, cell.config_json)
-                )
+                job: Tuple = (cell.kind, cell.config_json)
+                if segment_dir is not None:
+                    segments[index] = os.path.join(
+                        segment_dir, f"segment-{index:08d}.jsonl"
+                    )
+                    job = job + (segments[index], f"c{index}.")
+                futures[index] = pool.submit(_execute_cell_job, job)
                 submit_cursor += 1
 
+        run_span = TRACER.span(
+            "sweep.run", spec=spec.name, total_cells=spec.num_cells,
+            jobs=self._jobs, misses=misses,
+        )
         if self._jobs > 1 and misses > 1:
             pool = ProcessPoolExecutor(max_workers=min(self._jobs, misses))
             submit_up_to(2 * self._jobs)
         try:
-            for index, (cell, cached) in enumerate(plan):
-                if cached is None and self._store is not None and index not in futures:
-                    # A duplicate planned behind its first occurrence (or a
-                    # serial miss): the earlier commit may have landed by now.
-                    cached = self._store.get(cell.key())
-                if cached is not None:
-                    outcome = CellOutcome(cell=cell, record=cached, cached=True)
-                    report.cached += 1
-                else:
-                    if index in futures:
-                        result = futures.pop(index).result()
-                        submit_up_to(2 * self._jobs)
-                    else:
-                        result = execute_cell(cell, self._processes)
-                    outcome = CellOutcome(
-                        cell=cell, record=self._commit(cell, result), cached=False
-                    )
-                    report.simulated += 1
-                report.outcomes.append(outcome)
-                if progress is not None:
-                    progress(outcome)
+            with run_span:
+                for index, (cell, cached) in enumerate(plan):
+                    if cached is None and self._store is not None and index not in futures:
+                        # A duplicate planned behind its first occurrence (or a
+                        # serial miss): the earlier commit may have landed by now.
+                        cached = self._store.get(cell.key())
+                    with TRACER.span(
+                        "sweep.cell", index=index, kind=cell.kind
+                    ) as cell_span:
+                        if TRACER.enabled:
+                            cell_span.set_attr("key", cell.key()[:16])
+                        if cached is not None:
+                            outcome = CellOutcome(cell=cell, record=cached, cached=True)
+                            report.cached += 1
+                            cell_span.set_attr("cached", True)
+                            TRACER.add("sweep.cells.cache_hit")
+                        else:
+                            if index in futures:
+                                with TRACER.span("sweep.cell.wait", index=index):
+                                    result = futures.pop(index).result()
+                                segment = segments.pop(index, None)
+                                if segment is not None and os.path.exists(segment):
+                                    TRACER.adopt_segment(
+                                        segment, parent_id=cell_span.span_id
+                                    )
+                                    os.remove(segment)
+                                submit_up_to(2 * self._jobs)
+                            else:
+                                with TRACER.span(
+                                    "sweep.cell.execute", kind=cell.kind
+                                ):
+                                    result = execute_cell(cell, self._processes)
+                            with TRACER.span("sweep.cell.commit", index=index):
+                                record = self._commit(cell, result)
+                            outcome = CellOutcome(cell=cell, record=record, cached=False)
+                            report.simulated += 1
+                            cell_span.set_attr("cached", False)
+                            TRACER.add("sweep.cells.simulated")
+                    report.outcomes.append(outcome)
+                    if progress is not None:
+                        progress(outcome)
         finally:
             if pool is not None:
                 pool.shutdown(wait=False, cancel_futures=True)
+            if segment_dir is not None:
+                # Unadopted segments (interrupted sweep, cancelled futures)
+                # must not leak into a later run's merge.
+                for leftover in segments.values():
+                    if os.path.exists(leftover):
+                        os.remove(leftover)
         return report
 
     def run_one(self, cell: ExperimentCell) -> CellOutcome:
         """Run a single cell, serving it from the store when possible."""
-        if self._store is not None:
-            cached_record = self._store.get(cell.key())
-            if cached_record is not None:
-                return CellOutcome(cell=cell, record=cached_record, cached=True)
-        result = self.run_cell(cell)
-        return CellOutcome(cell=cell, record=self._commit(cell, result), cached=False)
+        with TRACER.span("sweep.cell", kind=cell.kind) as cell_span:
+            if TRACER.enabled:
+                cell_span.set_attr("key", cell.key()[:16])
+            if self._store is not None:
+                cached_record = self._store.get(cell.key())
+                if cached_record is not None:
+                    cell_span.set_attr("cached", True)
+                    TRACER.add("sweep.cells.cache_hit")
+                    return CellOutcome(cell=cell, record=cached_record, cached=True)
+            with TRACER.span("sweep.cell.execute", kind=cell.kind):
+                result = self.run_cell(cell)
+            with TRACER.span("sweep.cell.commit"):
+                record = self._commit(cell, result)
+            cell_span.set_attr("cached", False)
+            TRACER.add("sweep.cells.simulated")
+            return CellOutcome(cell=cell, record=record, cached=False)
 
     def run_cell(self, cell: ExperimentCell) -> Dict[str, Any]:
         """Execute one cell from scratch and return its canonical result dict."""

@@ -129,25 +129,35 @@ def make_beer_cell(
     backend: str = "packed",
     num_rows: int = 32,
     words_per_row: int = 8,
+    solve: bool = False,
 ) -> ExperimentCell:
-    """Build a full BEER-campaign cell against a simulated vendor chip."""
+    """Build a full BEER-campaign cell against a simulated vendor chip.
+
+    With ``solve=True`` the cell additionally runs the incremental SAT
+    solver over the measured profile and records the candidate count plus
+    the solver's ``SolverStats`` in the cell result (surfaced by
+    ``scenario report``).  The flag participates in the canonical config
+    only when set, so historical solve-free cells keep their
+    content-addressed keys byte-for-byte.
+    """
     if vendor not in ("A", "B", "C"):
         raise ScenarioError(f"unknown vendor {vendor!r}; expected A, B or C")
-    return ExperimentCell.from_config(
-        {
-            "kind": "beer",
-            "vendor": vendor,
-            "data_bits": int(data_bits),
-            "refresh_windows_s": [float(w) for w in refresh_windows_s],
-            "pattern_weights": [int(w) for w in pattern_weights],
-            "rounds_per_window": int(rounds_per_window),
-            "threshold": float(threshold),
-            "seed": int(seed),
-            "backend": str(backend),
-            "num_rows": int(num_rows),
-            "words_per_row": int(words_per_row),
-        }
-    )
+    config = {
+        "kind": "beer",
+        "vendor": vendor,
+        "data_bits": int(data_bits),
+        "refresh_windows_s": [float(w) for w in refresh_windows_s],
+        "pattern_weights": [int(w) for w in pattern_weights],
+        "rounds_per_window": int(rounds_per_window),
+        "threshold": float(threshold),
+        "seed": int(seed),
+        "backend": str(backend),
+        "num_rows": int(num_rows),
+        "words_per_row": int(words_per_row),
+    }
+    if solve:
+        config["solve"] = True
+    return ExperimentCell.from_config(config)
 
 
 @dataclass(frozen=True)

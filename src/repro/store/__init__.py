@@ -18,20 +18,29 @@ gives three properties the scenario subsystem is built on:
   address is verified on load.
 """
 
+from repro.exceptions import StoreError, StoreLockTimeoutError
 from repro.store.store import (
+    DEFAULT_LOCK_TIMEOUT_S,
+    LOCK_TIMEOUT_ENV,
     CampaignStore,
     ResultRecord,
     StoreIntegrityError,
     canonical_json,
     content_key,
+    resolve_lock_timeout,
     store_lock,
 )
 
 __all__ = [
+    "DEFAULT_LOCK_TIMEOUT_S",
+    "LOCK_TIMEOUT_ENV",
     "CampaignStore",
     "ResultRecord",
+    "StoreError",
     "StoreIntegrityError",
+    "StoreLockTimeoutError",
     "canonical_json",
     "content_key",
+    "resolve_lock_timeout",
     "store_lock",
 ]

@@ -42,7 +42,8 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional
 
-from repro.exceptions import ReproError
+from repro.exceptions import StoreError, StoreLockTimeoutError
+from repro.obs import TRACER
 
 try:  # POSIX; absent on some platforms — the lockfile fallback covers those.
     import fcntl
@@ -50,8 +51,39 @@ except ImportError:  # pragma: no cover - exercised only on non-POSIX hosts
     fcntl = None  # type: ignore[assignment]
 
 
-class StoreIntegrityError(ReproError):
+class StoreIntegrityError(StoreError):
     """A store record is corrupt or conflicts with what is being written."""
+
+
+#: Environment variable overriding the store-lock acquisition timeout.
+LOCK_TIMEOUT_ENV = "REPRO_STORE_LOCK_TIMEOUT"
+
+#: Default seconds to wait for the store lock before failing loudly.  A
+#: healthy holder releases within milliseconds (one append + fsync), so two
+#: minutes means a wedged or dead peer, not contention.
+DEFAULT_LOCK_TIMEOUT_S = 120.0
+
+#: Seconds between lock-acquisition attempts while waiting.
+_LOCK_POLL_INTERVAL_S = 0.002
+
+
+def resolve_lock_timeout(timeout_s: Optional[float] = None) -> float:
+    """The effective lock timeout: explicit arg, else env override, else default."""
+    if timeout_s is None:
+        raw = os.environ.get(LOCK_TIMEOUT_ENV)
+        if raw is None:
+            return DEFAULT_LOCK_TIMEOUT_S
+        try:
+            timeout_s = float(raw)
+        except ValueError:
+            raise StoreError(
+                f"{LOCK_TIMEOUT_ENV}={raw!r} is not a number of seconds"
+            ) from None
+    if timeout_s <= 0:
+        raise StoreError(
+            f"store lock timeout must be positive, got {timeout_s!r}"
+        )
+    return float(timeout_s)
 
 
 def canonical_json(payload) -> str:
@@ -90,27 +122,51 @@ class ResultRecord:
 
 
 @contextlib.contextmanager
-def store_lock(directory: str, timeout_s: float = 60.0):
+def store_lock(directory: str, timeout_s: Optional[float] = None):
     """Exclusive advisory lock guarding one campaign directory's records file.
 
     Uses ``fcntl.flock`` on ``<directory>/records.lock`` where available
     (released automatically by the kernel if the holder dies), otherwise an
-    ``O_CREAT|O_EXCL`` lockfile polled until ``timeout_s``.  Reentrant use
-    within one process is *not* supported — the store acquires it only in
-    leaf methods.
+    ``O_CREAT|O_EXCL`` lockfile.  Either way acquisition waits at most
+    ``timeout_s`` seconds (default :data:`DEFAULT_LOCK_TIMEOUT_S`,
+    overridable via :data:`LOCK_TIMEOUT_ENV`) and then raises
+    :class:`~repro.exceptions.StoreLockTimeoutError` naming the lock path
+    and the wait — a fleet worker fails loudly instead of hanging forever
+    behind a wedged peer.  Reentrant use within one process is *not*
+    supported — the store acquires it only in leaf methods.
+
+    When tracing is enabled the wait is accounted to the
+    ``store.lock_wait_s`` counter (with ``store.lock_acquisitions`` and
+    ``store.lock_timeouts`` counting outcomes).
     """
+    timeout_s = resolve_lock_timeout(timeout_s)
     lock_path = os.path.join(directory, CampaignStore.LOCK_FILENAME)
+    tracing = TRACER.enabled
+    wait_start = time.perf_counter() if tracing else 0.0
+    deadline = time.monotonic() + timeout_s
     if fcntl is not None:
         fd = os.open(lock_path, os.O_RDWR | os.O_CREAT, 0o644)
         try:
-            fcntl.flock(fd, fcntl.LOCK_EX)
-            yield
+            while True:
+                try:
+                    fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                    break
+                except OSError as error:
+                    if error.errno not in (errno.EAGAIN, errno.EACCES):
+                        raise
+                    if time.monotonic() >= deadline:
+                        _note_lock_timeout(tracing, wait_start)
+                        raise StoreLockTimeoutError(lock_path, timeout_s) from None
+                    time.sleep(_LOCK_POLL_INTERVAL_S)
+            _note_lock_acquired(tracing, wait_start)
+            try:
+                yield
+            finally:
+                fcntl.flock(fd, fcntl.LOCK_UN)
         finally:
-            fcntl.flock(fd, fcntl.LOCK_UN)
             os.close(fd)
         return
     # Portable fallback: existence of the lockfile is the lock.
-    deadline = time.monotonic() + timeout_s
     while True:  # pragma: no cover - exercised only on non-POSIX hosts
         try:
             fd = os.open(lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
@@ -119,16 +175,27 @@ def store_lock(directory: str, timeout_s: float = 60.0):
             if error.errno != errno.EEXIST:
                 raise
             if time.monotonic() >= deadline:
-                raise StoreIntegrityError(
-                    f"could not acquire store lock {lock_path} within "
-                    f"{timeout_s:.0f}s; remove it if its holder is dead"
-                )
+                _note_lock_timeout(tracing, wait_start)
+                raise StoreLockTimeoutError(lock_path, timeout_s) from None
             time.sleep(0.01)
-    try:
+    _note_lock_acquired(tracing, wait_start)  # pragma: no cover - non-POSIX
+    try:  # pragma: no cover - exercised only on non-POSIX hosts
         yield
-    finally:
+    finally:  # pragma: no cover - exercised only on non-POSIX hosts
         os.close(fd)
         os.unlink(lock_path)
+
+
+def _note_lock_acquired(tracing: bool, wait_start: float) -> None:
+    if tracing and TRACER.enabled:
+        TRACER.add("store.lock_wait_s", time.perf_counter() - wait_start)
+        TRACER.add("store.lock_acquisitions")
+
+
+def _note_lock_timeout(tracing: bool, wait_start: float) -> None:
+    if tracing and TRACER.enabled:
+        TRACER.add("store.lock_wait_s", time.perf_counter() - wait_start)
+        TRACER.add("store.lock_timeouts")
 
 
 class CampaignStore:
@@ -146,8 +213,14 @@ class CampaignStore:
     RECORDS_FILENAME = "records.jsonl"
     LOCK_FILENAME = "records.lock"
 
-    def __init__(self, directory: str):
+    def __init__(self, directory: str, lock_timeout_s: Optional[float] = None):
         self._directory = str(directory)
+        #: Seconds to wait for the advisory lock before raising
+        #: :class:`~repro.exceptions.StoreLockTimeoutError`; ``None`` defers
+        #: to ``REPRO_STORE_LOCK_TIMEOUT`` / the generous default.
+        self._lock_timeout_s = (
+            None if lock_timeout_s is None else resolve_lock_timeout(lock_timeout_s)
+        )
         os.makedirs(self._directory, exist_ok=True)
         self._records: Dict[str, ResultRecord] = {}
         self._order: List[str] = []
@@ -155,6 +228,9 @@ class CampaignStore:
         #: past it were appended by other writers since our last look.
         self._scan_offset = 0
         self._load_existing()
+
+    def _lock(self):
+        return store_lock(self._directory, timeout_s=self._lock_timeout_s)
 
     # -- basic properties ---------------------------------------------------
     @property
@@ -223,7 +299,7 @@ class CampaignStore:
         existing = self._records.get(key)
         if existing is not None:
             return self._reconcile(existing, record)
-        with store_lock(self._directory):
+        with self._lock():
             # Another process may have committed this cell (or others) since
             # we last looked; index the new tail before deciding to append.
             self._refresh_from_disk()
@@ -231,6 +307,7 @@ class CampaignStore:
             if existing is not None:
                 return self._reconcile(existing, record)
             payload = (record.to_json_line() + "\n").encode("utf-8")
+            append_start = time.perf_counter() if TRACER.enabled else 0.0
             fd = os.open(
                 self.records_path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
             )
@@ -245,7 +322,14 @@ class CampaignStore:
                                 f"zero-byte write appending to {self.records_path}"
                             )
                         written += chunk
+                    fsync_start = time.perf_counter() if TRACER.enabled else 0.0
                     os.fsync(fd)
+                    if TRACER.enabled:
+                        now = time.perf_counter()
+                        TRACER.add("store.appends")
+                        TRACER.add("store.bytes_appended", len(payload))
+                        TRACER.add("store.fsync_s", now - fsync_start)
+                        TRACER.add("store.append_s", now - append_start)
                 except BaseException:
                     # A short/failed write leaves a torn fragment that later
                     # appends would turn into unrepairable *mid-file*
@@ -274,7 +358,7 @@ class CampaignStore:
     def _load_existing(self) -> None:
         if not os.path.exists(self.records_path):
             return
-        with store_lock(self._directory):
+        with self._lock():
             self._refresh_from_disk()
 
     def _refresh_from_disk(self) -> None:
@@ -358,6 +442,13 @@ class CampaignStore:
             finally:
                 os.close(fd)
             self._scan_offset = offset
+            if TRACER.enabled:
+                TRACER.add("store.torn_tail_repairs")
+                TRACER.event(
+                    "store.torn_tail_repair",
+                    {"path": self.records_path, "offset": offset,
+                     "truncated_bytes": len(fragment)},
+                )
             return
         self._index_line(fragment, offset)  # raises on key/config mismatch
         with open(self.records_path, "ab") as handle:
@@ -365,3 +456,10 @@ class CampaignStore:
             handle.flush()
             os.fsync(handle.fileno())
         self._scan_offset = offset + len(fragment) + 1
+        if TRACER.enabled:
+            TRACER.add("store.torn_tail_repairs")
+            TRACER.event(
+                "store.torn_tail_repair",
+                {"path": self.records_path, "offset": offset,
+                 "restored_newline": True},
+            )

@@ -1,0 +1,124 @@
+"""Tests for the `bench trend` report over directories of merged runs."""
+
+import json
+
+import pytest
+
+from repro.bench.schema import BenchRun, ConditionRecord, WorkloadRecord
+from repro.bench.trend import format_trend_text, load_runs, trend_data
+
+
+def _run_file(tmp_path, name, speedup, extra_metrics=None):
+    metrics = {"speedup": speedup}
+    metrics.update(extra_metrics or {})
+    run = BenchRun(
+        tier="quick",
+        environment={"usable_cpus": 4},
+        workloads=[
+            WorkloadRecord(
+                workload="gf2-backends",
+                params={},
+                conditions=[
+                    ConditionRecord(
+                        condition="bulk-decode:packed",
+                        metrics=metrics,
+                        oracles={"bit_identical": True},
+                    )
+                ],
+            )
+        ],
+    )
+    path = tmp_path / name
+    run.write(path)
+    return path
+
+
+class TestLoadRuns:
+    def test_ordered_by_filename(self, tmp_path):
+        _run_file(tmp_path, "run-002.json", 2.0)
+        _run_file(tmp_path, "run-001.json", 1.0)
+        names = [name for name, _ in load_runs(tmp_path)]
+        assert names == ["run-001.json", "run-002.json"]
+
+    def test_non_run_json_is_skipped(self, tmp_path):
+        _run_file(tmp_path, "run-001.json", 1.0)
+        (tmp_path / "report.json").write_text(json.dumps({"ok": True}))
+        (tmp_path / "notes.json").write_text("not even json {")
+        assert len(load_runs(tmp_path)) == 1
+
+    def test_missing_directory_raises(self, tmp_path):
+        from repro.bench.schema import SchemaError
+
+        with pytest.raises(SchemaError):
+            load_runs(tmp_path / "absent")
+
+
+class TestTrendData:
+    def test_series_track_gated_metrics_across_runs(self, tmp_path):
+        _run_file(tmp_path, "a.json", 1.0)
+        _run_file(tmp_path, "b.json", 1.5)
+        data = trend_data(load_runs(tmp_path))
+        (row,) = [r for r in data["series"] if r["metric"] == "speedup"]
+        assert row["values"] == [1.0, 1.5]
+        assert row["rel_change"] == pytest.approx(0.5)
+
+    def test_explicit_metrics_override_gates(self, tmp_path):
+        _run_file(tmp_path, "a.json", 1.0, {"obs.words": 100})
+        _run_file(tmp_path, "b.json", 2.0, {"obs.words": 300})
+        data = trend_data(load_runs(tmp_path), metrics=["obs.words"])
+        (row,) = data["series"]
+        assert row["metric"] == "obs.words"
+        assert row["rel_change"] == pytest.approx(2.0)
+
+    def test_missing_values_render_as_holes(self, tmp_path):
+        _run_file(tmp_path, "a.json", 1.0, {"obs.words": 100})
+        _run_file(tmp_path, "b.json", 2.0)
+        data = trend_data(load_runs(tmp_path), metrics=["obs.words"])
+        (row,) = data["series"]
+        assert row["values"] == [100.0, None]
+        # a single present endpoint: change still computes first→last present
+        assert row["rel_change"] == pytest.approx(0.0)
+
+    def test_workload_filter(self, tmp_path):
+        _run_file(tmp_path, "a.json", 1.0)
+        data = trend_data(load_runs(tmp_path), workloads=["other"])
+        assert data["series"] == []
+
+    def test_format_renders_holes_and_changes(self, tmp_path):
+        _run_file(tmp_path, "a.json", 1.0, {"obs.words": 100})
+        _run_file(tmp_path, "b.json", 2.0)
+        text = format_trend_text(
+            trend_data(load_runs(tmp_path), metrics=["obs.words", "speedup"])
+        )
+        lines = text.splitlines()
+        assert lines[0] == "bench trend: 2 runs [tier(s): quick]"
+        (row,) = [line for line in lines if "obs.words" in line]
+        assert "100" in row and "-" in row  # the missing second value
+        (row,) = [line for line in lines if "speedup" in line and "metric" not in line]
+        assert "+100.0%" in row
+
+
+class TestTrendCli:
+    def test_text_report(self, tmp_path, capsys):
+        from repro.cli import main
+
+        _run_file(tmp_path, "a.json", 1.0)
+        _run_file(tmp_path, "b.json", 1.25)
+        assert main(["bench", "trend", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "bench trend: 2 runs" in out
+        assert "speedup" in out and "+25.0%" in out
+
+    def test_json_report(self, tmp_path, capsys):
+        from repro.cli import main
+
+        _run_file(tmp_path, "a.json", 1.0)
+        assert main(["bench", "trend", str(tmp_path), "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["num_runs"] == 1
+
+    def test_empty_directory_fails_clearly(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["bench", "trend", str(tmp_path)]) == 2
+        assert "no merged bench-run files" in capsys.readouterr().err

@@ -1,0 +1,343 @@
+"""Unit tests for the observability package: tracer, schema, report, export."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NOOP_SPAN,
+    TRACE_VERSION,
+    TRACER,
+    ProgressLine,
+    Tracer,
+    chrome_trace,
+    format_summary_text,
+    per_process_totals,
+    read_trace,
+    slowest_spans,
+    summarize_events,
+    summarize_trace,
+    validate_event,
+    validate_events,
+    validate_trace_file,
+    write_chrome_trace,
+)
+
+
+@pytest.fixture(autouse=True)
+def _disable_global_tracer():
+    """Never leak an enabled process-wide tracer across tests."""
+    yield
+    TRACER.disable()
+
+
+class TestDisabledTracer:
+    def test_disabled_by_default(self):
+        tracer = Tracer()
+        assert tracer.enabled is False
+
+    def test_span_is_shared_noop(self):
+        tracer = Tracer()
+        span = tracer.span("anything", attr=1)
+        assert span is NOOP_SPAN
+        with span as inner:
+            inner.set_attr("more", 2)  # must be silently ignored
+        assert span.span_id is None
+
+    def test_counters_and_events_are_dropped(self):
+        tracer = Tracer()
+        tracer.add("c", 5)
+        tracer.gauge("g", 1.0)
+        tracer.event("m", {"x": 1})
+        assert tracer.counters_snapshot() == {}
+        assert tracer.counter_totals() == {}
+
+    def test_flush_without_sink_returns_none(self):
+        tracer = Tracer()
+        tracer.enable(sink_path=None)
+        assert tracer.flush() is None
+
+
+class TestEnabledTracer:
+    def test_span_nesting_records_parents(self, tmp_path):
+        tracer = Tracer()
+        path = str(tmp_path / "t.jsonl")
+        tracer.enable(sink_path=path)
+        with tracer.span("outer", kind="x") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+        tracer.flush()
+        events = read_trace(path)
+        spans = {e["name"]: e for e in events if e["type"] == "span"}
+        # inner closes (and records) first; outer is a root span
+        assert spans["inner"]["parent"] == spans["outer"]["id"]
+        assert spans["outer"]["parent"] is None
+        assert spans["outer"]["attrs"] == {"kind": "x"}
+        assert spans["inner"]["dur"] >= 0
+
+    def test_exception_inside_span_is_recorded(self, tmp_path):
+        tracer = Tracer()
+        path = str(tmp_path / "t.jsonl")
+        tracer.enable(sink_path=path)
+        with pytest.raises(ValueError):
+            with tracer.span("work"):
+                raise ValueError("boom")
+        tracer.flush()
+        (span,) = [e for e in read_trace(path) if e["type"] == "span"]
+        assert span["attrs"]["error"] == "ValueError"
+
+    def test_counters_add_and_gauges_overwrite(self):
+        tracer = Tracer()
+        tracer.enable()
+        tracer.add("hits")
+        tracer.add("hits", 2)
+        tracer.gauge("depth", 3.0)
+        tracer.gauge("depth", 1.0)
+        assert tracer.counter_totals() == {"hits": 3}
+        assert tracer.counters_snapshot() == {"hits": 3, "depth": 1.0}
+
+    def test_flush_layout_meta_first_then_events_then_totals(self, tmp_path):
+        tracer = Tracer()
+        path = str(tmp_path / "t.jsonl")
+        tracer.enable(sink_path=path, meta={"command": "unit"})
+        with tracer.span("s"):
+            tracer.add("z_counter")
+            tracer.add("a_counter")
+            tracer.event("snapshot", {"v": 1})
+        tracer.flush()
+        events = read_trace(path)
+        assert events[0]["type"] == "meta"
+        assert events[0]["version"] == TRACE_VERSION
+        assert events[0]["attrs"] == {"command": "unit"}
+        kinds = [e["type"] for e in events]
+        # counters come after every span/metric event, sorted by name
+        assert kinds.index("counter") > kinds.index("span")
+        counters = [e["name"] for e in events if e["type"] == "counter"]
+        assert counters == sorted(counters)
+        assert validate_events(events) == []
+
+    def test_metrics_only_mode_drops_events_keeps_counters(self):
+        tracer = Tracer()
+        tracer.enable(sink_path=None, record_events=False)
+        with tracer.span("s"):
+            tracer.add("c", 7)
+            tracer.event("m", {})
+        assert tracer.counter_totals() == {"c": 7}
+        assert tracer._events == []
+
+    def test_segment_dir_lives_next_to_sink(self, tmp_path):
+        tracer = Tracer()
+        sink = tmp_path / "deep" / "trace.jsonl"
+        tracer.enable(sink_path=str(sink))
+        segments = tracer.segment_dir()
+        assert segments == str(sink) + ".segments"
+        tracer.disable()
+        tracer.enable(sink_path=None)
+        assert tracer.segment_dir() is None
+
+
+class TestAdoptSegment:
+    def _write_segment(self, tmp_path, id_prefix):
+        worker = Tracer()
+        path = str(tmp_path / f"{id_prefix}segment.jsonl")
+        worker.enable(sink_path=path, id_prefix=id_prefix)
+        with worker.span("work"):
+            with worker.span("step"):
+                worker.add("widgets", 2)
+        worker.flush()
+        return path
+
+    def test_merge_reparents_roots_and_aggregates_counters(self, tmp_path):
+        parent = Tracer()
+        merged = str(tmp_path / "merged.jsonl")
+        parent.enable(sink_path=merged)
+        parent.add("widgets", 1)
+        for index in range(2):
+            prefix = f"c{index}."
+            segment = self._write_segment(tmp_path, prefix)
+            with parent.span("cell") as cell:
+                pass
+            parent.adopt_segment(segment, parent_id=cell.span_id)
+        parent.flush()
+        events = read_trace(merged)
+        assert validate_events(events) == []
+        # worker roots hang off the parent's cell spans; children untouched
+        roots = [e for e in events if e["type"] == "span" and e["name"] == "work"]
+        cells = [e for e in events if e["type"] == "span" and e["name"] == "cell"]
+        assert {r["parent"] for r in roots} == {c["id"] for c in cells}
+        steps = [e for e in events if e["type"] == "span" and e["name"] == "step"]
+        assert {s["parent"] for s in steps} == {r["id"] for r in roots}
+        # counters aggregate: 1 (parent) + 2 + 2 (workers)
+        (widgets,) = [e for e in events if e["type"] == "counter"]
+        assert widgets["value"] == 5
+
+    def test_id_prefixes_prevent_collisions(self, tmp_path):
+        parent = Tracer()
+        merged = str(tmp_path / "merged.jsonl")
+        parent.enable(sink_path=merged)
+        with parent.span("cell"):
+            pass  # parent's own span uses the default 'p' prefix
+        for index in range(2):
+            parent.adopt_segment(self._write_segment(tmp_path, f"c{index}."))
+        parent.flush()
+        events = read_trace(merged)
+        ids = [e["id"] for e in events if e["type"] == "span"]
+        assert len(ids) == len(set(ids))
+
+
+class TestSchema:
+    def test_valid_events_pass(self):
+        events = [
+            {"type": "meta", "version": TRACE_VERSION, "pid": 1, "attrs": {}},
+            {"type": "span", "name": "s", "id": "p1", "parent": None,
+             "pid": 1, "ts": 1.0, "dur": 0.5, "attrs": {}},
+            {"type": "metric", "name": "m", "pid": 1, "ts": 1.0, "fields": {}},
+            {"type": "counter", "name": "c", "value": 2, "pid": 1},
+            {"type": "gauge", "name": "g", "value": 0.5, "pid": 1},
+        ]
+        assert validate_events(events) == []
+
+    def test_unknown_type_and_missing_fields(self):
+        assert validate_event({"type": "bogus"})
+        errors = validate_event({"type": "span", "name": "s"}, line_number=3)
+        assert any("line 3" in e for e in errors)
+        assert any("missing field" in e for e in errors)
+
+    def test_first_line_must_be_meta(self):
+        errors = validate_events(
+            [{"type": "counter", "name": "c", "value": 1, "pid": 1}]
+        )
+        assert any("must start with a 'meta'" in e for e in errors)
+
+    def test_duplicate_span_ids_flagged(self):
+        span = {"type": "span", "name": "s", "id": "p1", "parent": None,
+                "pid": 1, "ts": 0, "dur": 0, "attrs": {}}
+        errors = validate_events(
+            [{"type": "meta", "version": TRACE_VERSION, "pid": 1, "attrs": {}},
+             span, dict(span)]
+        )
+        assert any("duplicate span id" in e for e in errors)
+
+    def test_orphan_parent_flagged(self):
+        events = [
+            {"type": "meta", "version": TRACE_VERSION, "pid": 1, "attrs": {}},
+            {"type": "span", "name": "s", "id": "p1", "parent": "ghost",
+             "pid": 1, "ts": 0, "dur": 0, "attrs": {}},
+        ]
+        assert any("does not name any" in e for e in validate_events(events))
+
+    def test_negative_duration_and_bad_version(self):
+        errors = validate_event(
+            {"type": "span", "name": "s", "id": "p1", "parent": None,
+             "pid": 1, "ts": 0, "dur": -1, "attrs": {}}
+        )
+        assert any("negative" in e for e in errors)
+        errors = validate_event(
+            {"type": "meta", "version": 999, "pid": 1, "attrs": {}}
+        )
+        assert any("unsupported trace version" in e for e in errors)
+
+    def test_validate_trace_file_roundtrip(self, tmp_path):
+        tracer = Tracer()
+        path = str(tmp_path / "t.jsonl")
+        tracer.enable(sink_path=path)
+        with tracer.span("s"):
+            tracer.add("c")
+        tracer.flush()
+        assert validate_trace_file(path) == []
+
+
+class TestReport:
+    def _events(self):
+        meta = {"type": "meta", "version": TRACE_VERSION, "pid": 1, "attrs": {}}
+        spans = [
+            {"type": "span", "name": "work", "id": f"p{i}", "parent": None,
+             "pid": 1 + (i % 2), "ts": float(i), "dur": float(i),
+             "attrs": {}}
+            for i in range(1, 5)
+        ]
+        counters = [{"type": "counter", "name": "c", "value": 3, "pid": 1},
+                    {"type": "counter", "name": "c", "value": 2, "pid": 2}]
+        return [meta] + spans + counters
+
+    def test_summary_aggregates(self):
+        summary = summarize_events(self._events())
+        assert summary["processes"] == 2
+        (row,) = summary["spans"]
+        assert row["count"] == 4
+        assert row["total_s"] == 10.0
+        assert row["max_s"] == 4.0
+        # counters from several processes sum into one number
+        assert summary["counters"] == {"c": 5}
+
+    def test_slowest_and_per_process(self):
+        slowest = slowest_spans(self._events(), limit=2)
+        assert [s["dur_s"] for s in slowest] == [4.0, 3.0]
+        totals = per_process_totals(self._events())
+        assert {row["pid"]: row["spans"] for row in totals} == {1: 2, 2: 2}
+
+    def test_format_summary_text_renders_table(self):
+        text = format_summary_text(summarize_events(self._events()))
+        assert "work" in text and "counters:" in text and "c = 5" in text
+
+    def test_summarize_trace_reads_file(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            "\n".join(json.dumps(e) for e in self._events()) + "\n"
+        )
+        assert summarize_trace(str(path))["num_events"] == 7
+
+
+class TestChromeExport:
+    def test_spans_metrics_counters_convert(self, tmp_path):
+        tracer = Tracer()
+        path = str(tmp_path / "t.jsonl")
+        tracer.enable(sink_path=path)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                tracer.add("c", 2)
+                tracer.event("snap", {"v": 1})
+        tracer.flush()
+        document = chrome_trace(read_trace(path))
+        phases = [e["ph"] for e in document["traceEvents"]]
+        assert phases.count("X") == 2  # two complete spans
+        assert "i" in phases and "C" in phases
+        for entry in document["traceEvents"]:
+            assert entry["ts"] >= 0  # rebased to the trace origin
+
+    def test_write_chrome_trace_produces_loadable_json(self, tmp_path):
+        tracer = Tracer()
+        source = str(tmp_path / "t.jsonl")
+        tracer.enable(sink_path=source)
+        with tracer.span("s"):
+            pass
+        tracer.flush()
+        output = tmp_path / "chrome.json"
+        count = write_chrome_trace(source, str(output))
+        document = json.loads(output.read_text())
+        assert len(document["traceEvents"]) == count >= 1
+
+
+class TestProgressLine:
+    def test_updates_and_finish(self):
+        class Sink:
+            def __init__(self):
+                self.chunks = []
+
+            def write(self, text):
+                self.chunks.append(text)
+
+            def flush(self):
+                pass
+
+            def isatty(self):
+                return True
+
+        sink = Sink()
+        line = ProgressLine("demo", total=2, stream=sink, min_interval_s=0.0)
+        line.update(cached=False)
+        line.update(cached=True)
+        line.finish()
+        text = "".join(sink.chunks)
+        assert "demo" in text and "2/2" in text and "1 cached" in text
+        assert text.endswith("\n")

@@ -535,3 +535,65 @@ class TestCodeFamilySweeps:
     def test_repetition_code_beyond_table_limit_is_scenario_error(self):
         with pytest.raises(ScenarioError, match="table-decode limit"):
             resolve_code({"data_bits": 16, "code_family": "repetition"})
+
+
+class TestBeerCellSolve:
+    """The opt-in solve flag: SAT stats ride the cell result into reports."""
+
+    def test_solve_flag_absent_by_default_keeps_historical_keys(self):
+        from repro.scenarios import make_beer_cell
+
+        plain = make_beer_cell(vendor="A", data_bits=8)
+        assert "solve" not in plain.config()
+        solving = make_beer_cell(vendor="A", data_bits=8, solve=True)
+        assert solving.config()["solve"] is True
+        assert plain.key() != solving.key()
+
+    def test_solved_cell_records_solver_stats(self, tmp_path):
+        from repro.scenarios import make_beer_cell
+        from repro.store import CampaignStore
+
+        cell = make_beer_cell(
+            vendor="B", data_bits=8, rounds_per_window=6, solve=True
+        )
+        store = CampaignStore(tmp_path)
+        outcome = SweepRunner(store=store).run_one(cell)
+        result = outcome.record.result
+        assert result["num_solutions"] >= 1
+        stats = result["solver_stats"]
+        assert stats["propagations"] > 0
+        assert set(stats) >= {"conflicts", "decisions", "propagations"}
+
+        from repro.analysis import campaign_report_data
+
+        (row,) = campaign_report_data(store)["beer_campaigns"]
+        assert row["solved_cells"] == 1
+        assert row["sat_propagations"] == stats["propagations"]
+        assert row["sat_conflicts"] == stats["conflicts"]
+
+    def test_unsolved_cells_report_zero_sat_effort(self, tmp_path):
+        from repro.analysis import campaign_report_data
+        from repro.scenarios import make_beer_cell
+        from repro.store import CampaignStore
+
+        store = CampaignStore(tmp_path)
+        cell = make_beer_cell(vendor="A", data_bits=8, rounds_per_window=4)
+        SweepRunner(store=store).run_one(cell)
+        (row,) = campaign_report_data(store)["beer_campaigns"]
+        assert row["solved_cells"] == 0
+        assert row["sat_conflicts"] == 0
+
+    def test_scenario_report_cli_prints_sat_lines(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.scenarios import make_beer_cell
+        from repro.store import CampaignStore
+
+        store = CampaignStore(tmp_path)
+        cell = make_beer_cell(
+            vendor="B", data_bits=8, rounds_per_window=6, solve=True
+        )
+        SweepRunner(store=store).run_one(cell)
+        assert main(["scenario", "report", "--store", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "SAT (1 solved cells)" in out
+        assert "propagations" in out

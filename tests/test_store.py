@@ -226,3 +226,66 @@ class TestConcurrentWriters:
             assert reopened.get(content_key({"shared": index})).result == {
                 "r": index * 7
             }
+
+class TestLockTimeout:
+    """A wedged peer must surface as a clear error, not an eternal hang."""
+
+    def test_put_times_out_against_a_held_lock(self, tmp_path):
+        from repro.store import StoreLockTimeoutError, store_lock
+
+        store = CampaignStore(tmp_path, lock_timeout_s=0.2)
+        # flock conflicts across file descriptors even within one process,
+        # so holding the lock here is indistinguishable from a wedged peer.
+        with store_lock(tmp_path):
+            with pytest.raises(StoreLockTimeoutError) as excinfo:
+                store.put({"kind": "x"}, {"ok": True})
+        error = excinfo.value
+        assert error.waited_s >= 0.2
+        assert str(tmp_path / "records.lock") == error.lock_path
+        assert "REPRO_STORE_LOCK_TIMEOUT" in str(error)
+
+    def test_timeout_error_is_a_store_error(self):
+        from repro.exceptions import ReproError
+        from repro.store import StoreError, StoreLockTimeoutError
+
+        assert issubclass(StoreLockTimeoutError, StoreError)
+        assert issubclass(StoreIntegrityError, StoreError)
+        assert issubclass(StoreError, ReproError)
+
+    def test_env_var_overrides_default(self, monkeypatch):
+        from repro.store import (
+            DEFAULT_LOCK_TIMEOUT_S,
+            LOCK_TIMEOUT_ENV,
+            resolve_lock_timeout,
+        )
+
+        assert resolve_lock_timeout(None) == DEFAULT_LOCK_TIMEOUT_S
+        assert resolve_lock_timeout(7.5) == 7.5
+        monkeypatch.setenv(LOCK_TIMEOUT_ENV, "0.25")
+        assert resolve_lock_timeout(None) == 0.25
+        # an explicit argument still beats the environment
+        assert resolve_lock_timeout(3.0) == 3.0
+
+    def test_bad_env_values_raise_clear_errors(self, monkeypatch):
+        from repro.store import LOCK_TIMEOUT_ENV, StoreError, resolve_lock_timeout
+
+        monkeypatch.setenv(LOCK_TIMEOUT_ENV, "not-a-number")
+        with pytest.raises(StoreError, match="not-a-number"):
+            resolve_lock_timeout(None)
+        monkeypatch.setenv(LOCK_TIMEOUT_ENV, "-1")
+        with pytest.raises(StoreError, match="positive"):
+            resolve_lock_timeout(None)
+
+    def test_lock_wait_counters_recorded_when_traced(self, tmp_path):
+        from repro.obs import TRACER
+
+        store = CampaignStore(tmp_path)
+        TRACER.enable()
+        try:
+            store.put({"kind": "x"}, {"ok": True})
+            counters = TRACER.counter_totals()
+        finally:
+            TRACER.disable()
+        assert counters["store.lock_acquisitions"] >= 1
+        assert counters["store.appends"] == 1
+        assert counters["store.fsync_s"] >= 0
