@@ -16,7 +16,7 @@ _SRC = pathlib.Path(__file__).resolve().parents[1] / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
-from repro.bench.testing import (  # noqa: E402,F401  (re-exported)
+from repro.bench.testing import (  # noqa: F401  (re-exported; E402 is ignored per-file)
     bench_workload_test,
     standalone_main,
 )

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.exceptions import ValidationError
 from repro.gf2 import GF2Vector
 from repro.ecc import SystematicLinearCode, example_7_4_code, random_hamming_code
 from repro.ecc.hamming import min_parity_bits
@@ -524,7 +525,7 @@ def _data_bits_for_codeword_length(codeword_length: int) -> int:
     while True:
         num_data_bits = codeword_length - num_parity_bits
         if num_data_bits < 1:
-            raise ValueError(f"no SEC code has codeword length {codeword_length}")
+            raise ValidationError(f"no SEC code has codeword length {codeword_length}")
         if min_parity_bits(num_data_bits) <= num_parity_bits:
             return num_data_bits
         num_parity_bits += 1

@@ -10,6 +10,7 @@ same model (they share one ECC function).
 
 from __future__ import annotations
 
+from repro.exceptions import ValidationError
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -29,13 +30,13 @@ class ExperimentRuntimeModel:
     def single_window_seconds(self, refresh_window_s: float) -> float:
         """Cost of testing one refresh window once (write + wait + read)."""
         if refresh_window_s < 0:
-            raise ValueError("refresh window must be non-negative")
+            raise ValidationError("refresh window must be non-negative")
         return self.chip_write_seconds + refresh_window_s + self.chip_read_seconds
 
     def sweep_seconds(self, refresh_windows_s: Sequence[float], rounds_per_window: int = 1) -> float:
         """Cost of sweeping a set of refresh windows on a single chip."""
         if rounds_per_window < 1:
-            raise ValueError("at least one round per window is required")
+            raise ValidationError("at least one round per window is required")
         return sum(
             self.single_window_seconds(window) * rounds_per_window
             for window in refresh_windows_s
@@ -63,7 +64,7 @@ class ExperimentRuntimeModel:
         assignment of windows to chips.
         """
         if num_chips < 1:
-            raise ValueError("at least one chip is required")
+            raise ValidationError("at least one chip is required")
         durations = sorted(
             (
                 self.single_window_seconds(window) * rounds_per_window

@@ -17,6 +17,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.exceptions import ValidationError
 from repro.gf2 import GF2Vector
 from repro.ecc.code import SystematicLinearCode
 from repro.einsim import EinsimSimulator, UniformRandomInjector
@@ -82,7 +83,7 @@ class SecondaryEccDesigner:
         onto the strongest symbols of a rank-level Reed-Solomon layout).
         """
         if protection_budget_bits < 0 or protection_budget_bits > self._code.num_data_bits:
-            raise ValueError("protection budget must lie within the dataword length")
+            raise ValidationError("protection budget must lie within the dataword length")
         probabilities = self.characterise(bit_error_rate, num_words)
         ranked = list(np.argsort(-probabilities))
         protected = sorted(int(bit) for bit in ranked[:protection_budget_bits])

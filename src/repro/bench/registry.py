@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.exceptions import UnknownNameError, ValidationError
 from repro.bench.schema import ConditionRecord, WorkloadRecord
 from repro.bench.timing import RunControl
 from repro.obs import TRACER
@@ -118,7 +119,7 @@ class Workload:
 
     def params_for(self, tier: str) -> Dict[str, Any]:
         if tier not in self.tiers:
-            raise KeyError(f"workload {self.name!r} has no tier {tier!r}")
+            raise UnknownNameError(f"workload {self.name!r} has no tier {tier!r}")
         return dict(self.tiers[tier])
 
 
@@ -136,10 +137,10 @@ def register_workload(
 ) -> Workload:
     """Register a workload under a unique name (import-time declaration)."""
     if name in _REGISTRY:
-        raise ValueError(f"workload {name!r} is already registered")
+        raise ValidationError(f"workload {name!r} is already registered")
     missing = {"smoke", "quick", "full"} - set(tiers)
     if missing:
-        raise ValueError(f"workload {name!r} is missing tiers: {sorted(missing)}")
+        raise ValidationError(f"workload {name!r} is missing tiers: {sorted(missing)}")
     workload = Workload(
         name=name,
         description=description,
@@ -158,7 +159,7 @@ def get_workload(name: str) -> Workload:
     try:
         return _REGISTRY[name]
     except KeyError:
-        raise KeyError(
+        raise UnknownNameError(
             f"unknown workload {name!r}; registered: {sorted(_REGISTRY)}"
         ) from None
 

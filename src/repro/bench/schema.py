@@ -27,6 +27,7 @@ round-trip property the schema tests pin down).
 
 from __future__ import annotations
 
+from repro.exceptions import UnknownNameError
 import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Union
@@ -87,7 +88,7 @@ class WorkloadRecord:
         for record in self.conditions:
             if record.condition == name:
                 return record
-        raise KeyError(f"workload {self.workload!r} has no condition {name!r}")
+        raise UnknownNameError(f"workload {self.workload!r} has no condition {name!r}")
 
     def condition_names(self) -> List[str]:
         return [record.condition for record in self.conditions]
@@ -126,7 +127,7 @@ class BenchRun:
         for record in self.workloads:
             if record.workload == name:
                 return record
-        raise KeyError(f"run has no workload {name!r}")
+        raise UnknownNameError(f"run has no workload {name!r}")
 
     def workload_names(self) -> List[str]:
         return [record.workload for record in self.workloads]

@@ -17,6 +17,7 @@ import argparse
 import os
 from typing import Callable
 
+from repro.exceptions import ValidationError
 from repro.bench.driver import emit_legacy_files, run_workload
 from repro.bench.registry import get_workload
 from repro.bench.report import print_workload_record
@@ -29,7 +30,7 @@ def resolve_tier(default: str = "quick") -> str:
     tier = os.environ.get("REPRO_BENCH_TIER", "").strip().lower()
     if tier:
         if tier not in TIERS:
-            raise ValueError(f"REPRO_BENCH_TIER must be one of {TIERS}, got {tier!r}")
+            raise ValidationError(f"REPRO_BENCH_TIER must be one of {TIERS}, got {tier!r}")
         return tier
     if os.environ.get("REPRO_BENCH_QUICK", "") == "1":
         return "quick"

@@ -9,6 +9,7 @@ live in one place.
 
 from __future__ import annotations
 
+from repro.exceptions import ValidationError
 import time
 from dataclasses import dataclass
 from typing import Callable, Dict
@@ -92,4 +93,6 @@ def control_for_tier(tier: str) -> RunControl:
     try:
         return TIER_CONTROLS[tier]
     except KeyError:
-        raise ValueError(f"unknown tier {tier!r} (expected one of {sorted(TIER_CONTROLS)})")
+        raise ValidationError(
+            f"unknown tier {tier!r} (expected one of {sorted(TIER_CONTROLS)})"
+        ) from None

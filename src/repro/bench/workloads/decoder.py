@@ -62,7 +62,7 @@ def _run(params: Mapping, context: BenchContext) -> WorkloadResult:
         outputs = {}
         for backend in ("reference", "packed"):
             timings[backend] = context.control.measure(
-                lambda b=backend: bulk_decode_outcomes(code, received, b)
+                lambda b=backend, c=code, r=received: bulk_decode_outcomes(c, r, b)
             )
             outputs[backend] = timings[backend].last_result
         ref_corrected, ref_due = outputs["reference"]

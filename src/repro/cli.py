@@ -189,6 +189,7 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.bench.cli import add_bench_parser
 
     add_bench_parser(subparsers)
+    _add_lint_parser(subparsers)
 
     return parser
 
@@ -302,9 +303,17 @@ def _add_trace_parser(subparsers) -> None:
                           help="print the validation outcome as JSON")
 
 
+def _add_lint_parser(subparsers) -> None:
+    from repro.lint.cli import add_lint_parser
+
+    add_lint_parser(subparsers)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for the ``beer-tool`` console script."""
     args = build_parser().parse_args(argv)
+    from repro.lint.cli import handle_lint
+
     handlers = {
         "solve": _run_solve,
         "verify": _run_verify,
@@ -314,6 +323,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "scenario": _run_scenario,
         "bench": _run_bench,
         "trace": _run_trace,
+        "lint": handle_lint,
     }
     handler = handlers[args.command]
     trace_path = getattr(args, "trace", None)

@@ -48,7 +48,7 @@ class RankLevelEccInterface:
         self._code = code
         self._decoder = SyndromeDecoder(code)
         self._noise_probability = noise_probability
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = rng if rng is not None else np.random.default_rng(0)
 
     @property
     def codeword_length(self) -> int:

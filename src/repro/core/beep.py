@@ -104,7 +104,7 @@ class SimulatedWordUnderTest(WordUnderTest):
         self._error_prone = positions
         self._per_bit_probability = per_bit_probability
         self._cell_type = cell_type
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = rng if rng is not None else np.random.default_rng(0)
 
     @property
     def error_prone_positions(self) -> Tuple[int, ...]:

@@ -31,7 +31,7 @@ class ChargedPattern:
         if num_data_bits < 1:
             raise ProfileError("a pattern needs at least one data bit")
         charged = frozenset(int(b) for b in charged_bits)
-        for bit in charged:
+        for bit in sorted(charged):
             if not 0 <= bit < num_data_bits:
                 raise ProfileError(
                     f"charged bit {bit} out of range for a {num_data_bits}-bit dataword"

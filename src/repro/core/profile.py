@@ -147,7 +147,7 @@ def monte_carlo_observation_counts(
         raise ProfileError("at least one word per pattern is required")
     if not 0.0 <= bit_error_rate <= 1.0:
         raise ProfileError("bit error rate must lie in [0, 1]")
-    generator = rng if rng is not None else np.random.default_rng()
+    generator = rng if rng is not None else np.random.default_rng(0)
     charged_value = 1 if cell_type is CellType.TRUE_CELL else 0
 
     counts = MiscorrectionCounts(code.num_data_bits)
@@ -190,7 +190,7 @@ class MiscorrectionProfile:
         """Record (or extend) the miscorrection positions observed for a pattern."""
         self._validate_pattern(pattern)
         cleaned = frozenset(int(p) for p in positions)
-        for position in cleaned:
+        for position in sorted(cleaned):
             if not 0 <= position < self._num_data_bits:
                 raise ProfileError(f"miscorrection position {position} out of range")
             if position in pattern.charged_bits:

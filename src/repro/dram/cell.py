@@ -10,6 +10,7 @@ flips 0 → 1.
 
 from __future__ import annotations
 
+from repro.exceptions import ValidationError
 import enum
 
 
@@ -32,7 +33,7 @@ class ChargeState(enum.Enum):
 def charge_state_for_bit(cell_type: CellType, bit_value: int) -> ChargeState:
     """Return the charge state a cell assumes when storing ``bit_value``."""
     if bit_value not in (0, 1):
-        raise ValueError(f"bit value must be 0 or 1, got {bit_value}")
+        raise ValidationError(f"bit value must be 0 or 1, got {bit_value}")
     if cell_type is CellType.TRUE_CELL:
         return ChargeState.CHARGED if bit_value == 1 else ChargeState.DISCHARGED
     return ChargeState.CHARGED if bit_value == 0 else ChargeState.DISCHARGED

@@ -76,7 +76,7 @@ class StuckAtFaultModel:
         # are encountered (and of process boundaries); ``rng`` keeps the
         # legacy sequential-stream behaviour.
         self._seed = seed
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = rng if rng is not None else np.random.default_rng(0)
         # Keyed by batch shape: stuck cells are permanent, so every shape's
         # mask must survive interleaved calls with other shapes.
         self._mask_cache: Dict[Tuple[int, ...], np.ndarray] = {}

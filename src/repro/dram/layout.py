@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
-from repro.exceptions import AddressError, ChipConfigurationError
+from repro.exceptions import AddressError, ChipConfigurationError, ReproError
 from repro.dram.cell import CellType
 
 
@@ -177,7 +177,7 @@ class CellTypeLayout:
             if offset < length:
                 return cell_type
             offset -= length
-        raise AssertionError("unreachable: offset exceeded layout period")
+        raise ReproError("unreachable: offset exceeded layout period")
 
     def rows_of_type(self, cell_type: CellType, num_rows: int) -> List[int]:
         """Return every row index below ``num_rows`` using ``cell_type``."""

@@ -19,6 +19,7 @@ rule of thumb used throughout the DRAM retention literature.
 
 from __future__ import annotations
 
+from repro.exceptions import ValidationError
 import math
 from dataclasses import dataclass
 from typing import Optional
@@ -51,9 +52,9 @@ class RetentionCalibration:
     def lognormal_parameters(self) -> tuple:
         """Return ``(mu, sigma)`` of ``ln(retention time)`` for this calibration."""
         if not 0 < self.ber_low < self.ber_high < 1:
-            raise ValueError("calibration BERs must satisfy 0 < low < high < 1")
+            raise ValidationError("calibration BERs must satisfy 0 < low < high < 1")
         if not 0 < self.window_low_s < self.window_high_s:
-            raise ValueError("calibration windows must satisfy 0 < low < high")
+            raise ValidationError("calibration windows must satisfy 0 < low < high")
         z_low = float(norm.ppf(self.ber_low))
         z_high = float(norm.ppf(self.ber_high))
         log_low = math.log(self.window_low_s)
@@ -90,7 +91,7 @@ class DataRetentionModel:
         the effective window (i.e. halves every retention time).
         """
         if refresh_window_s < 0:
-            raise ValueError("refresh window must be non-negative")
+            raise ValidationError("refresh window must be non-negative")
         exponent = (temperature_c - self._reference_temperature_c) / self._temperature_halving_c
         return refresh_window_s * (2.0 ** exponent)
 
@@ -111,7 +112,7 @@ class DataRetentionModel:
     ) -> float:
         """Return the refresh window that produces ``target_ber`` at ``temperature_c``."""
         if not 0 < target_ber < 1:
-            raise ValueError("target BER must lie strictly between 0 and 1")
+            raise ValidationError("target BER must lie strictly between 0 and 1")
         z_score = float(norm.ppf(target_ber))
         window_at_reference = math.exp(self._mu + z_score * self._sigma)
         exponent = (temperature_c - self._reference_temperature_c) / self._temperature_halving_c
@@ -128,7 +129,7 @@ class DataRetentionModel:
         against each refresh pause.
         """
         if num_cells < 0:
-            raise ValueError("number of cells must be non-negative")
+            raise ValidationError("number of cells must be non-negative")
         return np.exp(rng.normal(self._mu, self._sigma, size=num_cells))
 
     def cells_failing(

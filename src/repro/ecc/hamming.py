@@ -123,7 +123,7 @@ def random_hamming_code(
             f"k={num_data_bits} does not fit in r={num_parity_bits} parity bits "
             f"(maximum is {len(available)})"
         )
-    generator = rng if rng is not None else np.random.default_rng()
+    generator = rng if rng is not None else np.random.default_rng(0)
     indices = generator.permutation(len(available))[:num_data_bits]
     chosen = [available[int(i)] for i in indices]
     return SystematicLinearCode.from_parity_columns(chosen, num_parity_bits)

@@ -33,7 +33,7 @@ from typing import Tuple
 
 import numpy as np
 
-from repro.exceptions import DimensionError
+from repro.exceptions import DimensionError, ValidationError
 from repro.gf2.bitpack import fold_bytes
 from repro.obs import TRACER
 from repro.ecc.code import SystematicLinearCode
@@ -50,7 +50,7 @@ def resolve_backend(backend: str) -> str:
     if backend == "auto":
         return DEFAULT_BACKEND
     if backend not in BACKENDS:
-        raise ValueError(
+        raise ValidationError(
             f"unknown backend {backend!r}; expected one of {BACKENDS + ('auto',)}"
         )
     return backend

@@ -7,6 +7,7 @@ machinery for the reproduction's figures.
 
 from __future__ import annotations
 
+from repro.exceptions import ValidationError
 import hashlib
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
@@ -56,11 +57,11 @@ def bootstrap_confidence_interval(
     """
     data = np.asarray(list(samples), dtype=float)
     if data.size == 0:
-        raise ValueError("cannot bootstrap an empty sample")
+        raise ValidationError("cannot bootstrap an empty sample")
     if not 0 < confidence < 1:
-        raise ValueError("confidence must lie strictly between 0 and 1")
+        raise ValidationError("confidence must lie strictly between 0 and 1")
     if num_resamples < 1:
-        raise ValueError("at least one resample is required")
+        raise ValidationError("at least one resample is required")
     generator = rng if rng is not None else _derived_rng(data)
     resample_statistics = np.empty(num_resamples, dtype=float)
     for index in range(num_resamples):
@@ -92,7 +93,7 @@ def relative_probabilities(counts: Sequence[float]) -> np.ndarray:
 def empirical_rate(successes: int, trials: int) -> float:
     """Return a simple empirical probability, guarding against zero trials."""
     if trials < 0 or successes < 0 or successes > trials:
-        raise ValueError("successes must lie within [0, trials]")
+        raise ValidationError("successes must lie within [0, trials]")
     if trials == 0:
         return 0.0
     return successes / trials

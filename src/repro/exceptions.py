@@ -12,6 +12,27 @@ class ReproError(Exception):
     """Base class for all errors raised by the ``repro`` library."""
 
 
+class ValidationError(ReproError, ValueError):
+    """Raised when an argument value is out of range or malformed.
+
+    Inherits from :class:`ValueError` so call sites that predate the
+    unified hierarchy — and external callers using the modules directly —
+    can keep catching ``ValueError``.
+    """
+
+
+class UnknownNameError(ReproError, KeyError):
+    """Raised when a name (benchmark, metric, family, ...) is not registered.
+
+    Inherits from :class:`KeyError` for the same compatibility reason as
+    :class:`ValidationError`.  Note ``str(KeyError(msg))`` quotes the
+    message; :meth:`__str__` undoes that so CLI output stays readable.
+    """
+
+    def __str__(self) -> str:
+        return str(self.args[0]) if self.args else ""
+
+
 class DimensionError(ReproError):
     """Raised when matrix/vector dimensions are inconsistent."""
 

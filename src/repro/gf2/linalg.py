@@ -11,21 +11,21 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.exceptions import DimensionError, SingularMatrixError
+from repro.exceptions import DimensionError, SingularMatrixError, ValidationError
 from repro.gf2.matrix import GF2Matrix, GF2Vector
 
 
 def popcount(value: int) -> int:
     """Return the number of set bits in a non-negative integer."""
     if value < 0:
-        raise ValueError("popcount is only defined for non-negative integers")
+        raise ValidationError("popcount is only defined for non-negative integers")
     return bin(value).count("1")
 
 
 def support(value: int) -> Tuple[int, ...]:
     """Return the indices of the set bits of ``value`` (LSB = index 0)."""
     if value < 0:
-        raise ValueError("support is only defined for non-negative integers")
+        raise ValidationError("support is only defined for non-negative integers")
     indices = []
     index = 0
     while value:
@@ -228,7 +228,7 @@ def random_full_rank_matrix(
     """
     if rows > cols:
         raise DimensionError("cannot build a full-row-rank matrix with rows > cols")
-    generator = rng if rng is not None else np.random.default_rng()
+    generator = rng if rng is not None else np.random.default_rng(0)
     while True:
         candidate = GF2Matrix(generator.integers(0, 2, size=(rows, cols)))
         if gf2_rank(candidate) == rows:

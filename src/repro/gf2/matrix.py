@@ -18,7 +18,7 @@ from typing import Iterable, Sequence, Union
 
 import numpy as np
 
-from repro.exceptions import DimensionError
+from repro.exceptions import DimensionError, ReproError, ValidationError
 
 ArrayLike = Union["GF2Matrix", "GF2Vector", np.ndarray, Sequence]
 
@@ -89,7 +89,7 @@ class GF2Vector:
     def from_int(cls, value: int, length: int) -> "GF2Vector":
         """Return the vector whose bit ``i`` is bit ``i`` of ``value`` (LSB first)."""
         if value < 0:
-            raise ValueError("value must be non-negative")
+            raise ValidationError("value must be non-negative")
         if value >> length:
             raise DimensionError(f"value {value} does not fit in {length} bits")
         bits = [(value >> i) & 1 for i in range(length)]
@@ -170,7 +170,7 @@ class GF2Vector:
         if not isinstance(other, GF2Vector):
             try:
                 other = GF2Vector(other)
-            except Exception:
+            except (ReproError, TypeError, ValueError):
                 return NotImplemented
         return len(self) == len(other) and bool(np.array_equal(self._data, other._data))
 
@@ -355,7 +355,7 @@ class GF2Matrix:
         if not isinstance(other, GF2Matrix):
             try:
                 other = GF2Matrix(other)
-            except Exception:
+            except (ReproError, TypeError, ValueError):
                 return NotImplemented
         return self.shape == other.shape and bool(
             np.array_equal(self._data, other._data)

@@ -1,0 +1,41 @@
+"""repro.lint — AST-based determinism and invariant linter.
+
+A dependency-free static analyzer for the invariants this codebase's
+correctness story rests on: deterministic iteration (RPR101), no hidden
+entropy (RPR102), guarded instrumentation in hot kernels (RPR103), store
+write discipline (RPR104), process-pool safety (RPR105), and exception
+discipline (RPR106).  Run it as ``repro lint [PATHS]``; suppress a finding
+inline with ``# repro-lint: ignore[RPR101] -- <reason>``.
+"""
+
+from __future__ import annotations
+
+from repro.lint.engine import (
+    PARSE_ERROR_CODE,
+    SUPPRESSION_CODE,
+    Finding,
+    LintContext,
+    LintError,
+    Rule,
+    counts_by_code,
+    discover_files,
+    lint_paths,
+    lint_source,
+    select_rules,
+)
+from repro.lint.rules import ALL_RULES
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LintContext",
+    "LintError",
+    "PARSE_ERROR_CODE",
+    "Rule",
+    "SUPPRESSION_CODE",
+    "counts_by_code",
+    "discover_files",
+    "lint_paths",
+    "lint_source",
+    "select_rules",
+]

@@ -1,0 +1,290 @@
+"""The lint driver: findings, rule framework, file discovery, suppression.
+
+A *rule* is one visitor-style check with a stable ``RPR1xx`` code.  The
+engine parses each file once, attaches parent links, runs every applicable
+rule, filters the findings through the file's inline suppressions
+(:mod:`repro.lint.suppress`), and appends the suppression-hygiene findings
+(code :data:`SUPPRESSION_CODE`).  Findings are structured — path, 1-based
+line, 0-based column, code, message — and deterministically ordered, so
+``repro lint --json`` output is byte-stable for a given tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path, PurePath
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ReproError
+from repro.lint.astutil import attach_parents
+from repro.lint.suppress import Suppression, parse_suppressions
+
+#: Reported when a file cannot be parsed at all.
+PARSE_ERROR_CODE = "RPR001"
+
+#: Reported for unused suppressions and suppressions without a reason.
+SUPPRESSION_CODE = "RPR100"
+
+
+class LintError(ReproError):
+    """Raised when the linter itself is used incorrectly (bad code, path)."""
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One structured lint finding, ordered by (path, line, col, code)."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        """The human-readable one-line rendering (``path:line:col: CODE msg``)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly representation (used by ``repro lint --json``)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+class LintContext:
+    """Everything a rule may consult about the file under analysis."""
+
+    def __init__(self, path: str, tree: ast.Module, source: str) -> None:
+        self.path = path
+        self.tree = tree
+        self.source = source
+        self.parts: Tuple[str, ...] = PurePath(path).parts
+
+    def in_library(self) -> bool:
+        """Is this file part of the ``repro`` package (``src/repro/...``)?"""
+        return "repro" in self.parts
+
+    def in_packages(self, *names: str) -> bool:
+        """Is this file inside one of the named sub-packages of ``repro``?"""
+        if "repro" not in self.parts:
+            return False
+        tail = self.parts[self.parts.index("repro") + 1:]
+        return any(name in tail for name in names)
+
+    def module_tail(self) -> Tuple[str, ...]:
+        """Path components below the ``repro`` package (empty outside it)."""
+        if "repro" not in self.parts:
+            return ()
+        return self.parts[self.parts.index("repro") + 1:]
+
+
+class Rule:
+    """Base class: one invariant check with a stable code.
+
+    Subclasses define the class attributes below and implement
+    :meth:`check`; :meth:`applies` narrows a rule to the package paths
+    whose invariant it encodes (e.g. the instrumentation guard only binds
+    in the hot kernels).
+    """
+
+    #: Stable finding code, e.g. ``"RPR101"``.
+    code: str = ""
+    #: Short kebab-case rule name, e.g. ``"nondeterministic-iteration"``.
+    name: str = ""
+    #: One-line summary shown in listings.
+    summary: str = ""
+    #: Multi-line rationale with examples, shown by ``--explain``.
+    explanation: str = ""
+
+    def applies(self, context: LintContext) -> bool:
+        """Whether this rule binds for the file under analysis."""
+        return True
+
+    def check(self, context: LintContext) -> List[Finding]:
+        """Return every violation of this rule in ``context``'s tree."""
+        raise NotImplementedError
+
+    def finding(self, context: LintContext, node: ast.AST, message: str) -> Finding:
+        """Construct a finding anchored at ``node``."""
+        return Finding(
+            path=context.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            code=self.code,
+            message=message,
+        )
+
+
+def _apply_suppressions(
+    findings: List[Finding],
+    suppressions: List[Suppression],
+    path: str,
+    active_codes: Sequence[str],
+) -> List[Finding]:
+    """Filter suppressed findings; append suppression-hygiene findings."""
+    by_line: Dict[int, List[Suppression]] = {}
+    for suppression in suppressions:
+        by_line.setdefault(suppression.line, []).append(suppression)
+
+    kept: List[Finding] = []
+    for finding in findings:
+        silenced = False
+        for suppression in by_line.get(finding.line, ()):
+            if finding.code in suppression.codes:
+                suppression.used_codes.append(finding.code)
+                silenced = True
+        if not silenced:
+            kept.append(finding)
+
+    active = set(active_codes)
+    for suppression in suppressions:
+        if not suppression.reason:
+            kept.append(
+                Finding(
+                    path=path,
+                    line=suppression.line,
+                    col=0,
+                    code=SUPPRESSION_CODE,
+                    message=(
+                        "suppression has no reason; append ' -- <why this "
+                        "invariant does not apply here>'"
+                    ),
+                )
+            )
+        for code in suppression.codes:
+            if code not in active:
+                # The rule did not run (--select/--ignore); we cannot know
+                # whether the suppression is stale, so stay quiet.
+                continue
+            if code not in suppression.used_codes:
+                kept.append(
+                    Finding(
+                        path=path,
+                        line=suppression.line,
+                        col=0,
+                        code=SUPPRESSION_CODE,
+                        message=(
+                            f"unused suppression: no {code} finding on this "
+                            "line (remove the stale ignore)"
+                        ),
+                    )
+                )
+    return kept
+
+
+def lint_source(
+    source: str,
+    path: str,
+    rules: Sequence[Rule],
+    check_suppressions: bool = True,
+) -> List[Finding]:
+    """Lint one in-memory module; the core primitive everything else wraps."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except (SyntaxError, ValueError) as error:
+        line = getattr(error, "lineno", None) or 1
+        col = getattr(error, "offset", None) or 1
+        return [
+            Finding(
+                path=path,
+                line=line,
+                col=max(col - 1, 0),
+                code=PARSE_ERROR_CODE,
+                message=f"file does not parse: {error}",
+            )
+        ]
+    attach_parents(tree)
+    context = LintContext(path=path, tree=tree, source=source)
+    findings: List[Finding] = []
+    for rule in rules:
+        if rule.applies(context):
+            findings.extend(rule.check(context))
+    if check_suppressions:
+        findings = _apply_suppressions(
+            findings,
+            parse_suppressions(source),
+            path,
+            active_codes=[rule.code for rule in rules],
+        )
+    return sorted(findings)
+
+
+def discover_files(paths: Iterable[str]) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``.py`` list.
+
+    Directory walks are sorted — the linter must itself be deterministic
+    across filesystems, for exactly the reasons RPR101 exists.
+    """
+    files: List[Path] = []
+    seen = set()
+    for raw in paths:
+        root = Path(raw)
+        if root.is_dir():
+            candidates: List[Path] = sorted(root.rglob("*.py"))
+        elif root.is_file():
+            candidates = [root]
+        else:
+            raise LintError(f"path {raw!r} is neither a file nor a directory")
+        for candidate in candidates:
+            key = str(candidate)
+            if key not in seen:
+                seen.add(key)
+                files.append(candidate)
+    return files
+
+
+def lint_paths(
+    paths: Iterable[str],
+    rules: Sequence[Rule],
+    check_suppressions: bool = True,
+) -> Tuple[List[Finding], int]:
+    """Lint files and directories; returns ``(findings, files_checked)``."""
+    findings: List[Finding] = []
+    files = discover_files(paths)
+    for file_path in files:
+        source = file_path.read_text(encoding="utf-8")
+        findings.extend(
+            lint_source(
+                source,
+                str(file_path),
+                rules,
+                check_suppressions=check_suppressions,
+            )
+        )
+    return sorted(findings), len(files)
+
+
+def counts_by_code(findings: Sequence[Finding]) -> Dict[str, int]:
+    """Histogram of findings per code, sorted by code for stable output."""
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        counts[finding.code] = counts.get(finding.code, 0) + 1
+    return {code: counts[code] for code in sorted(counts)}
+
+
+def select_rules(
+    rules: Sequence[Rule],
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[Rule]:
+    """Apply ``--select`` / ``--ignore`` code filters to a rule set."""
+    known = {rule.code for rule in rules}
+    for requested in list(select or []) + list(ignore or []):
+        if requested not in known:
+            raise LintError(
+                f"unknown rule code {requested!r}; known codes: "
+                f"{', '.join(sorted(known))}"
+            )
+    chosen = list(rules)
+    if select:
+        wanted = set(select)
+        chosen = [rule for rule in chosen if rule.code in wanted]
+    if ignore:
+        dropped = set(ignore)
+        chosen = [rule for rule in chosen if rule.code not in dropped]
+    return chosen

@@ -1,0 +1,34 @@
+"""Rule registry: one module per rule, one stable RPR1xx code each."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lint.engine import Rule
+from repro.lint.rules.entropy import EntropyRule
+from repro.lint.rules.instrumentation import UnguardedInstrumentationRule
+from repro.lint.rules.iteration import NondeterministicIterationRule
+from repro.lint.rules.pools import PoolSafetyRule
+from repro.lint.rules.raises import ExceptionDisciplineRule
+from repro.lint.rules.storeio import StoreWriteDisciplineRule
+
+#: Every registered rule, in code order.  ``repro lint`` runs all of these
+#: unless narrowed with ``--select`` / ``--ignore``.
+ALL_RULES: List[Rule] = [
+    NondeterministicIterationRule(),
+    EntropyRule(),
+    UnguardedInstrumentationRule(),
+    StoreWriteDisciplineRule(),
+    PoolSafetyRule(),
+    ExceptionDisciplineRule(),
+]
+
+__all__ = [
+    "ALL_RULES",
+    "EntropyRule",
+    "ExceptionDisciplineRule",
+    "NondeterministicIterationRule",
+    "PoolSafetyRule",
+    "StoreWriteDisciplineRule",
+    "UnguardedInstrumentationRule",
+]

@@ -1,0 +1,140 @@
+"""RPR102 — forbidden entropy in library code.
+
+Every repro result must be a pure function of its configuration: the
+content-addressed store, cache-hit resumes, and byte-identical parallel
+sweeps all depend on it.  Wall-clock reads, uuids, the legacy global RNGs
+(``random.*``, ``np.random.seed``/``np.random.rand``/...), unseeded
+generators, and builtin ``hash()`` (salted per process by
+``PYTHONHASHSEED``) all smuggle per-run state into what should be
+deterministic output.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.lint.astutil import call_name, enclosing_function
+from repro.lint.engine import Finding, LintContext, Rule
+
+#: Wall-clock reads.  (``time.perf_counter``/``monotonic`` are fine: they
+#: measure durations, they do not timestamp output.)
+_WALL_CLOCK_CALLS = {"time.time", "time.time_ns"}
+
+#: ``datetime`` constructors that read the wall clock (matched by suffix so
+#: both ``datetime.now()`` and ``datetime.datetime.now()`` resolve).
+_DATETIME_SUFFIXES = (
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "date.today",
+)
+
+#: numpy RNG entry points that are explicitly seeded constructions, not
+#: draws from (or seeding of) the legacy global state.
+_NUMPY_RNG_ALLOWED = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "MT19937",
+    "SFC64",
+}
+
+
+def _numpy_random_attr(callee: str) -> Optional[str]:
+    """The attribute under ``np.random``/``numpy.random``, if that's the callee."""
+    for prefix in ("np.random.", "numpy.random."):
+        if callee.startswith(prefix):
+            return callee[len(prefix):]
+    return None
+
+
+class EntropyRule(Rule):
+    code = "RPR102"
+    name = "forbidden-entropy"
+    summary = (
+        "no wall clocks, uuids, global RNGs or builtin hash() in library code"
+    )
+    explanation = """\
+Results must be pure functions of their configuration — that is what makes
+content-addressed cache hits, --jobs N byte-identity, and resumable sweeps
+sound.  Flagged:
+
+    time.time()/time.time_ns()        wall-clock timestamps in output
+    datetime.now()/utcnow()/today()   same, via datetime
+    uuid.uuid1()/uuid4()/...          per-run identifiers
+    random.<anything>                 the global Mersenne state
+    np.random.seed()/rand()/...       the legacy numpy global RNG
+    np.random.default_rng()           UNSEEDED generator (OS entropy)
+    hash(...)                         salted by PYTHONHASHSEED for str/bytes
+
+Allowed: time.perf_counter()/monotonic() (durations, not timestamps),
+np.random.default_rng(seed) and explicitly threaded np.random.Generator
+objects (e.g. the sample-derived rng bootstrap_confidence_interval builds),
+and hash() inside a __hash__ method (in-process only, never serialised)."""
+
+    def check(self, context: LintContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            message = self._violation(node)
+            if message is not None:
+                findings.append(self.finding(context, node, message))
+        return findings
+
+    def _violation(self, node: ast.Call) -> Optional[str]:
+        callee = call_name(node)
+        if callee is None:
+            return None
+        if callee == "hash":
+            function = enclosing_function(node)
+            if function is not None and function.name == "__hash__":
+                return None  # in-process hashing protocol, never serialised
+            return (
+                "builtin hash() is salted by PYTHONHASHSEED; derive keys "
+                "with hashlib over a canonical serialisation instead"
+            )
+        if callee in _WALL_CLOCK_CALLS:
+            return (
+                f"{callee}() reads the wall clock; results must be pure "
+                "functions of their configuration (use time.perf_counter() "
+                "for durations)"
+            )
+        if any(
+            callee == suffix or callee.endswith("." + suffix)
+            for suffix in _DATETIME_SUFFIXES
+        ):
+            return (
+                f"{callee}() reads the wall clock; thread timestamps in "
+                "explicitly if output needs them"
+            )
+        if callee.startswith("uuid."):
+            return (
+                f"{callee}() generates per-run identifiers; use the "
+                "content-addressed key of the configuration instead"
+            )
+        if callee.startswith("random."):
+            return (
+                f"{callee}() draws from the global Mersenne state; thread an "
+                "explicit np.random.Generator (or a sample-derived rng) "
+                "through instead"
+            )
+        numpy_attr = _numpy_random_attr(callee)
+        if numpy_attr is not None:
+            if numpy_attr == "default_rng" and not (node.args or node.keywords):
+                return (
+                    "np.random.default_rng() without a seed draws OS "
+                    "entropy; pass an explicit seed"
+                )
+            if numpy_attr not in _NUMPY_RNG_ALLOWED:
+                return (
+                    f"{callee}() uses numpy's legacy global RNG; construct "
+                    "an explicit np.random.default_rng(seed) and thread it "
+                    "through"
+                )
+        return None

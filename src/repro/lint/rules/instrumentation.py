@@ -1,0 +1,107 @@
+"""RPR103 — unguarded instrumentation in the hot kernels.
+
+The tracer's disabled-mode contract (PR 7) is *one attribute check per
+instrumentation point*.  In the packages that sit on hot paths —
+``sat/``, ``einsim/``, ``gf2/``, ``store/`` — every ``TRACER.span()``,
+``TRACER.add()``, ``TRACER.event()`` or ``TRACER.gauge()`` call must be
+behind an ``if TRACER.enabled:`` fast-path guard; otherwise each call pays
+Python call overhead plus eager argument construction (f-strings, dicts,
+``stats().as_dict()``) on every decode batch or solver conflict, and the
+CI instrumentation-overhead gate starts failing for no functional reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from repro.lint.astutil import (
+    assigned_alias_names,
+    dotted_name,
+    enclosing_function,
+    guarded_by_test,
+)
+from repro.lint.engine import Finding, LintContext, Rule
+
+#: Packages whose inner loops are performance-gated by benchmarks.
+HOT_PACKAGES = ("sat", "einsim", "gf2", "store")
+
+#: Instrumentation entry points that must sit behind the enabled guard.
+_INSTRUMENTATION_METHODS = {"span", "add", "event", "gauge", "counter", "metric"}
+
+
+class UnguardedInstrumentationRule(Rule):
+    code = "RPR103"
+    name = "unguarded-instrumentation"
+    summary = "TRACER calls in sat/einsim/gf2/store need the enabled guard"
+    explanation = """\
+In the hot kernels (repro.sat, repro.einsim, repro.gf2, repro.store) every
+tracer call must be behind the one-branch fast path:
+
+Bad:
+    TRACER.add("sat.conflicts", n)          # call + args built every time
+
+Good:
+    if TRACER.enabled:
+        TRACER.add("sat.conflicts", n)
+
+The guard may be an if-statement, a conditional expression's true branch,
+`TRACER.enabled and TRACER.add(...)`, or a local alias assigned from
+TRACER.enabled (`tracing = TRACER.enabled ... if tracing:`).  Code outside
+the hot packages (sweep orchestration, CLI) may rely on the tracer's own
+internal no-op check instead — one span per sweep cell is not a hot loop."""
+
+    def applies(self, context: LintContext) -> bool:
+        return context.in_packages(*HOT_PACKAGES)
+
+    def check(self, context: LintContext) -> List[Finding]:
+        imported = self._obs_imports(context.tree)
+        findings: List[Finding] = []
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            label = self._instrumentation_label(node, imported)
+            if label is None:
+                continue
+            function = enclosing_function(node)
+            aliases = assigned_alias_names(function, "enabled")
+            if guarded_by_test(node, "enabled", aliases):
+                continue
+            findings.append(
+                self.finding(
+                    context,
+                    node,
+                    f"{label} runs on every pass through this hot path; put "
+                    "it (and its argument construction) behind "
+                    "`if TRACER.enabled:`",
+                )
+            )
+        return findings
+
+    @staticmethod
+    def _obs_imports(tree: ast.Module) -> Set[str]:
+        """Names of tracer convenience functions imported from repro.obs."""
+        names: Set[str] = set()
+        for node in tree.body:
+            if isinstance(node, ast.ImportFrom) and node.module in (
+                "repro.obs",
+                "repro.obs.core",
+            ):
+                for alias in node.names:
+                    if alias.name in _INSTRUMENTATION_METHODS:
+                        names.add(alias.asname or alias.name)
+        return names
+
+    @staticmethod
+    def _instrumentation_label(node: ast.Call, imported: Set[str]) -> str | None:
+        callee = dotted_name(node.func)
+        if callee is None:
+            return None
+        if "." in callee:
+            receiver, _, method = callee.rpartition(".")
+            if receiver == "TRACER" and method in _INSTRUMENTATION_METHODS:
+                return f"TRACER.{method}(...)"
+            return None
+        if callee in imported:
+            return f"{callee}(...)"
+        return None

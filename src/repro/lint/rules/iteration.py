@@ -1,0 +1,251 @@
+"""RPR101 — nondeterministic iteration order.
+
+Two failure families, both of which have broken real reproducibility
+guarantees in systems like this one:
+
+* iterating a ``set``/``frozenset`` (whose order depends on
+  ``PYTHONHASHSEED`` for str/bytes elements) into anything
+  order-sensitive — a list, a loop that appends, a joined string;
+* consuming directory listings (``os.listdir``, ``glob.glob``,
+  ``Path.iterdir``/``glob``/``rglob``, ``os.scandir``) without
+  ``sorted()`` — the OS returns entries in on-disk order, which differs
+  across filesystems and mutation histories.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Union
+
+from repro.lint.astutil import call_name, dotted_name, parent, scope_walk
+from repro.lint.engine import Finding, LintContext, Rule
+
+#: Callables whose output order is irrelevant — consuming a set or an
+#: unsorted listing through these is safe.
+_ORDER_INSENSITIVE_CONSUMERS = {
+    "sorted", "len", "sum", "min", "max", "any", "all", "set", "frozenset",
+}
+
+#: Callables that materialise their argument *in iteration order*.
+_ORDER_SENSITIVE_CONSUMERS = {"list", "tuple", "enumerate", "iter", "reversed"}
+
+#: Dotted callee names that produce filesystem listings in on-disk order.
+_LISTING_CALLS = {"os.listdir", "os.scandir", "glob.glob", "glob.iglob"}
+
+#: Method names that produce listings regardless of receiver (Path API).
+_LISTING_METHODS = {"iterdir", "rglob"}
+
+#: Set methods that return another set.
+_SET_PRODUCING_METHODS = {
+    "difference", "union", "intersection", "symmetric_difference", "copy",
+}
+
+_SET_BINOPS = (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+
+ScopeNode = Union[ast.Module, ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _set_valued_names(scope: ScopeNode) -> Set[str]:
+    """Names that are *only ever* assigned set-valued expressions in ``scope``.
+
+    Conservative single-scope dataflow: one non-set assignment removes the
+    name from the tracked set, so false positives from rebinding are
+    impossible.
+    """
+    status: Dict[str, bool] = {}
+
+    def note(name: str, is_set: bool) -> None:
+        status[name] = status.get(name, True) and is_set
+
+    for node in scope_walk(scope):
+        if isinstance(node, ast.Assign):
+            is_set = _is_set_expression(node.value, set())
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    note(target.id, is_set)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if isinstance(node.target, ast.Name):
+                note(node.target.id, _is_set_expression(node.value, set()))
+        elif isinstance(node, ast.AugAssign):
+            if isinstance(node.target, ast.Name):
+                # `s |= {...}` keeps a set a set; anything else is unknown.
+                if not isinstance(node.op, _SET_BINOPS):
+                    note(node.target.id, False)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            if isinstance(node.target, ast.Name):
+                note(node.target.id, False)
+    # Fixpoint pass so `a = {...}; b = a` tracks through one level of alias.
+    names = {name for name, is_set in status.items() if is_set}
+    for node in scope_walk(scope):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Name):
+            if node.value.id in names:
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.discard(target.id)
+    return names
+
+
+def _is_set_expression(node: ast.AST, set_names: Set[str]) -> bool:
+    """Is ``node`` statically known to evaluate to a set/frozenset?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    if isinstance(node, ast.Call):
+        callee = call_name(node)
+        if callee in ("set", "frozenset"):
+            return True
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _SET_PRODUCING_METHODS
+            and _is_set_expression(node.func.value, set_names)
+        ):
+            return True
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_BINOPS):
+        return _is_set_expression(node.left, set_names) or _is_set_expression(
+            node.right, set_names
+        )
+    if isinstance(node, ast.IfExp):
+        return _is_set_expression(node.body, set_names) and _is_set_expression(
+            node.orelse, set_names
+        )
+    return False
+
+
+def _consumer_name(node: ast.AST) -> Optional[str]:
+    """The callee name when ``node`` is a direct call argument, else None."""
+    enclosing = parent(node)
+    if isinstance(enclosing, ast.Call) and node in enclosing.args:
+        return call_name(enclosing)
+    return None
+
+
+class NondeterministicIterationRule(Rule):
+    code = "RPR101"
+    name = "nondeterministic-iteration"
+    summary = (
+        "sets and unsorted directory listings must not feed ordered output"
+    )
+    explanation = """\
+Iterating a set (or frozenset) observes hash order, which for str/bytes
+elements changes with PYTHONHASHSEED — one run's records.jsonl will not be
+byte-identical to the next.  Directory listings (os.listdir, glob.glob,
+Path.iterdir/glob/rglob, os.scandir) come back in on-disk order, which
+differs across filesystems and file-creation histories.
+
+Bad:
+    for name in {"b", "a"}: emit(name)
+    for path in root.glob("*.json"): load(path)
+
+Good:
+    for name in sorted({"b", "a"}): emit(name)
+    for path in sorted(root.glob("*.json")): load(path)
+
+Order-insensitive consumers (len, sum, min, max, any, all, set,
+frozenset, membership tests) are never flagged.  Dict iteration is not
+flagged: CPython dicts preserve insertion order, so a deterministically
+built dict iterates deterministically."""
+
+    def check(self, context: LintContext) -> List[Finding]:
+        findings: List[Finding] = []
+        scopes: List[ScopeNode] = [context.tree]
+        for node in ast.walk(context.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scopes.append(node)
+        for scope in scopes:
+            findings.extend(self._check_scope(context, scope))
+        findings.extend(self._check_listings(context))
+        return findings
+
+    # -- set iteration ------------------------------------------------------
+    def _check_scope(
+        self, context: LintContext, scope: ScopeNode
+    ) -> List[Finding]:
+        set_names = _set_valued_names(scope)
+        findings: List[Finding] = []
+
+        def flag(node: ast.AST, what: str) -> None:
+            findings.append(
+                self.finding(
+                    context,
+                    node,
+                    f"{what} iterates a set in hash order; wrap it in "
+                    "sorted(...) before it reaches ordered output",
+                )
+            )
+
+        for node in scope_walk(scope):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                if _is_set_expression(node.iter, set_names):
+                    flag(node.iter, "this for-loop")
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+                consumer = None
+                if isinstance(node, ast.GeneratorExp):
+                    consumer = _consumer_name(node)
+                if consumer in _ORDER_INSENSITIVE_CONSUMERS:
+                    continue
+                for generator in node.generators:
+                    if _is_set_expression(generator.iter, set_names):
+                        flag(generator.iter, "this comprehension")
+            elif isinstance(node, ast.Call):
+                callee = call_name(node)
+                first = node.args[0] if node.args else None
+                if first is None:
+                    continue
+                if callee in _ORDER_SENSITIVE_CONSUMERS and _is_set_expression(
+                    first, set_names
+                ):
+                    flag(node, f"{callee}(...)")
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "join"
+                    and _is_set_expression(first, set_names)
+                ):
+                    flag(node, "str.join(...)")
+            elif isinstance(node, ast.Starred):
+                if _is_set_expression(node.value, set_names):
+                    flag(node, "unpacking (*...)")
+        return findings
+
+    # -- directory listings -------------------------------------------------
+    def _check_listings(self, context: LintContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = call_name(node)
+            is_listing = callee in _LISTING_CALLS
+            if (
+                not is_listing
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _LISTING_METHODS
+            ):
+                is_listing = True
+            if (
+                not is_listing
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "glob"
+                and dotted_name(node.func.value) != "glob"
+            ):
+                # `<path>.glob(...)`; the module-level `glob.glob` matched above.
+                is_listing = True
+            if not is_listing:
+                continue
+            consumer = _consumer_name(node)
+            if consumer in _ORDER_INSENSITIVE_CONSUMERS:
+                continue
+            enclosing = parent(node)
+            if isinstance(enclosing, ast.Compare):
+                continue  # membership / equality tests are order-insensitive
+            findings.append(
+                self.finding(
+                    context,
+                    node,
+                    f"{callee or node.func.attr}(...) returns entries in "
+                    "on-disk order; wrap the call in sorted(...) so the scan "
+                    "is stable across filesystems",
+                )
+            )
+        return findings

@@ -1,0 +1,190 @@
+"""RPR105 — process-pool safety.
+
+Two invariants from the parallel-sweep work (PR 4):
+
+* callables submitted to a ``ProcessPoolExecutor`` must be **module-level
+  functions** — lambdas, nested closures and bound methods either fail to
+  pickle outright or silently capture state that differs between parent
+  and worker;
+* **worker entry points must never fan out again**: a function that is
+  itself submitted to a pool must not construct another pool or pass a
+  non-literal ``processes=`` downstream, or a ``--jobs N`` sweep forks
+  ``N * processes`` workers and deadlocks on machines with small cores.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Set
+
+from repro.lint.astutil import call_name, scope_walk
+from repro.lint.engine import Finding, LintContext, Rule
+
+#: Constructor names that create a process pool.
+_POOL_CONSTRUCTORS = ("ProcessPoolExecutor", "Pool")
+
+#: Pool methods that take a callable to run in a worker.
+_SUBMIT_METHODS = {"submit", "map", "apply", "apply_async", "imap", "starmap"}
+
+
+def _is_pool_constructor(node: ast.expr) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    callee = call_name(node)
+    return callee is not None and callee.split(".")[-1] in _POOL_CONSTRUCTORS
+
+
+class PoolSafetyRule(Rule):
+    code = "RPR105"
+    name = "pool-safety"
+    summary = "pools take module-level callables; workers never nest pools"
+    explanation = """\
+Bad:
+    pool.submit(lambda: run(cell))          # unpicklable
+    pool.submit(self._execute, cell)        # bound method drags self along
+    def outer():
+        def job(): ...
+        pool.submit(job)                    # nested def, not picklable
+
+Good:
+    def execute_cell(cell): ...             # module level
+    pool.submit(execute_cell, cell)
+
+And inside any function that is itself submitted to a pool (a worker entry
+point), constructing another ProcessPoolExecutor — or forwarding a
+processes= value other than the literal 1 — nests pools: a --jobs N sweep
+then forks N*processes workers.  Workers run their inner campaigns with
+processes=1; the parallelism budget is spent at the cell level."""
+
+    def check(self, context: LintContext) -> List[Finding]:
+        module_callables = self._module_level_callables(context.tree)
+        module_functions: Dict[str, ast.AST] = {
+            node.name: node
+            for node in context.tree.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        findings: List[Finding] = []
+        worker_names: Set[str] = set()
+
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not self._is_pool_submit(node, context):
+                continue
+            if not node.args:
+                continue
+            target = node.args[0]
+            if isinstance(target, ast.Lambda):
+                findings.append(
+                    self.finding(
+                        context,
+                        target,
+                        "lambda submitted to a process pool cannot be "
+                        "pickled; submit a module-level function",
+                    )
+                )
+            elif isinstance(target, ast.Attribute):
+                findings.append(
+                    self.finding(
+                        context,
+                        target,
+                        "bound method submitted to a process pool; submit a "
+                        "module-level function (methods pickle their whole "
+                        "instance, or fail to)",
+                    )
+                )
+            elif isinstance(target, ast.Name):
+                if target.id in module_callables:
+                    worker_names.add(target.id)
+                else:
+                    findings.append(
+                        self.finding(
+                            context,
+                            target,
+                            f"{target.id!r} is not defined at module level; "
+                            "pool workers can only import module-level "
+                            "callables",
+                        )
+                    )
+
+        for name in sorted(worker_names):
+            worker = module_functions.get(name)
+            if worker is not None:
+                findings.extend(self._check_worker_body(context, name, worker))
+        return findings
+
+    @staticmethod
+    def _module_level_callables(tree: ast.Module) -> Set[str]:
+        names: Set[str] = set()
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                names.add(node.name)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    names.add((alias.asname or alias.name).split(".")[0])
+            elif isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    names.add(alias.asname or alias.name)
+        return names
+
+    def _is_pool_submit(self, node: ast.Call, context: LintContext) -> bool:
+        """Is this ``<pool>.submit/map/...`` on a plausible pool object?"""
+        if not isinstance(node.func, ast.Attribute):
+            return False
+        if node.func.attr not in _SUBMIT_METHODS:
+            return False
+        receiver = node.func.value
+        receiver_name = call_name(node) or ""
+        base = receiver_name.rsplit(".", 1)[0].lower()
+        if any(hint in base for hint in ("pool", "executor")):
+            return True
+        # A receiver assigned from a pool constructor in the same scope.
+        if isinstance(receiver, ast.Name):
+            for candidate in ast.walk(context.tree):
+                if (
+                    isinstance(candidate, ast.Assign)
+                    and _is_pool_constructor(candidate.value)
+                    and any(
+                        isinstance(t, ast.Name) and t.id == receiver.id
+                        for t in candidate.targets
+                    )
+                ):
+                    return True
+        if _is_pool_constructor(receiver):
+            return True
+        return False
+
+    def _check_worker_body(
+        self, context: LintContext, name: str, worker: ast.AST
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in scope_walk(worker):
+            if not isinstance(node, ast.Call):
+                continue
+            if _is_pool_constructor(node):
+                findings.append(
+                    self.finding(
+                        context,
+                        node,
+                        f"worker entry point {name!r} constructs a nested "
+                        "process pool; the parallelism budget is spent at "
+                        "the cell level",
+                    )
+                )
+                continue
+            for keyword in node.keywords:
+                if keyword.arg != "processes":
+                    continue
+                value = keyword.value
+                if isinstance(value, ast.Constant) and value.value == 1:
+                    continue
+                findings.append(
+                    self.finding(
+                        context,
+                        keyword.value,
+                        f"worker entry point {name!r} forwards processes= "
+                        "other than the literal 1; nested pools deadlock "
+                        "on small machines",
+                    )
+                )
+        return findings

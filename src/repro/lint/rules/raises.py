@@ -1,0 +1,152 @@
+"""RPR106 — exception discipline in library code.
+
+The CLI maps ``ReproError`` subclasses to clean exit codes and messages;
+anything else escaping from ``repro.*`` is a traceback in the user's face
+and an unclassifiable failure in sweep logs.  Library code therefore
+raises from the ``repro.exceptions`` hierarchy only.  Symmetrically,
+``except:`` and ``except Exception:`` swallow ``ReproError`` diagnostics
+(and, for bare ``except:``, ``KeyboardInterrupt``) unless the handler
+re-raises.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.lint.astutil import dotted_name
+from repro.lint.engine import Finding, LintContext, Rule
+
+#: Builtin exception types library code must not raise.  The repro
+#: hierarchy provides dual-inheritance bridges (ValidationError is a
+#: ValueError, UnknownNameError is a KeyError) so callers keep working.
+_FORBIDDEN_RAISES = {
+    "ValueError",
+    "TypeError",
+    "KeyError",
+    "IndexError",
+    "RuntimeError",
+    "OSError",
+    "IOError",
+    "ArithmeticError",
+    "ZeroDivisionError",
+    "OverflowError",
+    "AttributeError",
+    "LookupError",
+    "EOFError",
+    "AssertionError",
+    "Exception",
+    "BaseException",
+}
+
+#: Overbroad handler types: catching these hides ReproError diagnostics.
+_OVERBROAD_HANDLERS = {"Exception", "BaseException"}
+
+
+def _handler_reraises(handler: ast.ExceptHandler) -> bool:
+    """Does the handler body contain a bare ``raise``? (cleanup-then-rethrow)"""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise) and node.exc is None:
+            return True
+    return False
+
+
+def _handler_type_names(handler: ast.ExceptHandler) -> List[str]:
+    if handler.type is None:
+        return []
+    types = (
+        list(handler.type.elts)
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    names: List[str] = []
+    for entry in types:
+        name = dotted_name(entry)
+        if name is not None:
+            names.append(name)
+    return names
+
+
+class ExceptionDisciplineRule(Rule):
+    code = "RPR106"
+    name = "exception-discipline"
+    summary = "library raises ReproError subclasses; no bare/overbroad except"
+    explanation = """\
+Bad (in src/repro):
+    raise ValueError(f"bad dimension {k}")   # CLI shows a raw traceback
+    except: pass                             # swallows KeyboardInterrupt too
+    except Exception: return None            # swallows ReproError diagnostics
+
+Good:
+    raise DimensionError(f"bad dimension {k}")
+    raise ValidationError(...)     # is-a ValueError, callers keep working
+    except BaseException:          # allowed: cleanup then bare re-raise
+        cleanup()
+        raise
+
+NotImplementedError is exempt (abstract-interface convention), and raising
+is unrestricted in tests/fixtures.  An overbroad handler is allowed when
+its body re-raises with a bare `raise`."""
+
+    def applies(self, context: LintContext) -> bool:
+        return context.in_library()
+
+    def check(self, context: LintContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Raise):
+                findings.extend(self._check_raise(context, node))
+            elif isinstance(node, ast.ExceptHandler):
+                findings.extend(self._check_handler(context, node))
+        return findings
+
+    def _check_raise(
+        self, context: LintContext, node: ast.Raise
+    ) -> List[Finding]:
+        if node.exc is None:
+            return []  # bare re-raise
+        exc = node.exc
+        name = None
+        if isinstance(exc, ast.Call):
+            name = dotted_name(exc.func)
+        else:
+            name = dotted_name(exc)
+        if name is None or name not in _FORBIDDEN_RAISES:
+            return []
+        return [
+            self.finding(
+                context,
+                node,
+                f"raise {name}(...) from library code; raise a ReproError "
+                "subclass (repro.exceptions) so the CLI can classify it",
+            )
+        ]
+
+    def _check_handler(
+        self, context: LintContext, handler: ast.ExceptHandler
+    ) -> List[Finding]:
+        if handler.type is None:
+            return [
+                self.finding(
+                    context,
+                    handler,
+                    "bare `except:` swallows KeyboardInterrupt and "
+                    "ReproError diagnostics; catch specific exceptions",
+                )
+            ]
+        overbroad = [
+            name
+            for name in _handler_type_names(handler)
+            if name in _OVERBROAD_HANDLERS
+        ]
+        if not overbroad or _handler_reraises(handler):
+            return []
+        return [
+            self.finding(
+                context,
+                handler,
+                f"`except {overbroad[0]}:` without re-raise hides "
+                "ReproError diagnostics; catch the specific failure or "
+                "re-raise after cleanup",
+            )
+        ]

@@ -1,0 +1,72 @@
+"""Inline suppressions: ``# repro-lint: ignore[RPR101] -- reason``.
+
+A suppression comment silences findings of the listed codes **on its own
+physical line** (put it on the line the linter reports).  Policy, enforced
+as rule :data:`~repro.lint.engine.SUPPRESSION_CODE`:
+
+* every suppression must carry a trailing `` -- reason`` explaining *why*
+  the invariant does not apply at this site;
+* a suppression that silences nothing is itself a finding — stale ignores
+  must not outlive the code they excused.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+#: Comment grammar.  Codes are comma-separated; the reason follows ``--``.
+_SUPPRESSION_RE = re.compile(
+    r"#\s*repro-lint:\s*ignore\[(?P<codes>[A-Za-z0-9_,\s]+)\]"
+    r"(?:\s*--\s*(?P<reason>\S.*?))?\s*$"
+)
+
+
+@dataclass
+class Suppression:
+    """One parsed suppression comment."""
+
+    line: int
+    codes: Tuple[str, ...]
+    reason: str = ""
+    #: Codes that actually silenced a finding (filled in by the engine).
+    used_codes: List[str] = field(default_factory=list)
+
+
+def parse_suppressions(source: str) -> List[Suppression]:
+    """Extract every suppression comment of ``source``, in line order.
+
+    Comments are found with :mod:`tokenize` so ``#`` characters inside
+    string literals can never be misread as suppressions.
+    """
+    suppressions: List[Suppression] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        # Unparseable files are reported as parse errors by the engine;
+        # there is nothing meaningful to suppress in them.
+        return []
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESSION_RE.search(token.string)
+        if match is None:
+            continue
+        codes = tuple(
+            code.strip().upper()
+            for code in match.group("codes").split(",")
+            if code.strip()
+        )
+        if not codes:
+            continue
+        suppressions.append(
+            Suppression(
+                line=token.start[0],
+                codes=codes,
+                reason=(match.group("reason") or "").strip(),
+            )
+        )
+    return suppressions

@@ -35,7 +35,7 @@ from __future__ import annotations
 import json
 import os
 import time
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Union
 
 #: Trace format version stamped into every file's leading ``meta`` event.
 TRACE_VERSION = 1
@@ -53,7 +53,7 @@ class _NoopSpan:
     def __enter__(self) -> "_NoopSpan":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: Any) -> None:
         return None
 
     def set_attr(self, name: str, value: Any) -> None:
@@ -68,12 +68,12 @@ class Span:
 
     __slots__ = ("tracer", "name", "span_id", "parent_id", "ts", "_start", "attrs")
 
-    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]):
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]) -> None:
         self.tracer = tracer
         self.name = name
         self.span_id = tracer._next_span_id()
         self.parent_id = tracer._current_parent_id()
-        self.ts = time.time()
+        self.ts = time.time()  # repro-lint: ignore[RPR102] -- trace metadata timestamp, never part of result data
         self._start = time.perf_counter()
         self.attrs = attrs
 
@@ -85,7 +85,7 @@ class Span:
         self.tracer._span_stack.append(self)
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
         duration = time.perf_counter() - self._start
         stack = self.tracer._span_stack
         # Exits mirror entries; tolerate a tracer disabled mid-span.
@@ -169,7 +169,7 @@ class Tracer:
         return directory
 
     # -- spans --------------------------------------------------------------
-    def span(self, name: str, **attrs: Any):
+    def span(self, name: str, **attrs: Any) -> Union["Span", "_NoopSpan"]:
         """Open a span context; a shared no-op while disabled."""
         if not self.enabled:
             return NOOP_SPAN
@@ -217,7 +217,7 @@ class Tracer:
                     "type": "metric",
                     "name": name,
                     "pid": os.getpid(),
-                    "ts": time.time(),
+                    "ts": time.time(),  # repro-lint: ignore[RPR102] -- trace metadata timestamp, never part of result data
                     "fields": dict(fields or {}),
                 }
             )
@@ -335,7 +335,7 @@ def enabled() -> bool:
     return TRACER.enabled
 
 
-def span(name: str, **attrs: Any):
+def span(name: str, **attrs: Any) -> Union["Span", "_NoopSpan"]:
     """Open a span on the process-wide tracer (no-op while disabled)."""
     return TRACER.span(name, **attrs)
 

@@ -26,7 +26,7 @@ class ProgressLine:
         total: int,
         stream: Optional[TextIO] = None,
         min_interval_s: float = 0.1,
-    ):
+    ) -> None:
         self._label = label
         self._total = total
         self._stream = stream if stream is not None else sys.stderr

@@ -20,7 +20,7 @@ machinery must preserve and what the CI smoke job asserts.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Iterable, List, Tuple
+from typing import Any, Dict, Iterable, List, Tuple, Union
 
 from repro.exceptions import ReproError
 from repro.obs.core import TRACE_VERSION
@@ -30,7 +30,7 @@ class TraceValidationError(ReproError):
     """A trace file does not conform to the event schema."""
 
 
-_REQUIRED_FIELDS: Dict[str, Tuple[Tuple[str, type], ...]] = {
+_REQUIRED_FIELDS: Dict[str, Tuple[Tuple[str, Union[type, Tuple[type, ...]]], ...]] = {
     "meta": (("version", int), ("pid", int), ("attrs", dict)),
     "span": (
         ("name", str),

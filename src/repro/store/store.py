@@ -318,7 +318,7 @@ class CampaignStore:
                     while written < len(payload):
                         chunk = os.write(fd, payload[written:])
                         if chunk == 0:
-                            raise OSError(
+                            raise StoreError(
                                 f"zero-byte write appending to {self.records_path}"
                             )
                         written += chunk
@@ -451,7 +451,7 @@ class CampaignStore:
                 )
             return
         self._index_line(fragment, offset)  # raises on key/config mismatch
-        with open(self.records_path, "ab") as handle:
+        with open(self.records_path, "ab") as handle:  # repro-lint: ignore[RPR104] -- _repair_tail runs with the store lock already held by its caller
             handle.write(b"\n")
             handle.flush()
             os.fsync(handle.fileno())

@@ -1,0 +1,16 @@
+"""Positive fixture for RPR101: sets and listings feeding ordered output."""
+import glob
+import os
+
+names = {"b", "a", "c"}
+for name in names:  # set iterated into ordered output
+    print(name)
+
+materialised = list({3, 1, 2})  # order-sensitive consumer
+joined = ",".join({"x", "y"})  # join observes hash order
+comprehended = [item for item in names]  # comprehension over a set
+
+for entry in os.listdir("."):  # on-disk order
+    print(entry)
+
+paths = list(glob.glob("*.json"))  # unsorted listing materialised

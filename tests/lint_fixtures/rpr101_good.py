@@ -1,0 +1,19 @@
+"""Negative fixture for RPR101: every consumer is order-insensitive or sorted."""
+import glob
+import os
+
+names = {"b", "a", "c"}
+for name in sorted(names):
+    print(name)
+
+count = len(names)
+total = sum({1, 2, 3})
+present = "a" in names
+smallest = min(names)
+copied = set(names)
+any_upper = any(n.isupper() for n in names)
+
+for entry in sorted(os.listdir(".")):
+    print(entry)
+
+paths = sorted(glob.glob("*.json"))

@@ -1,0 +1,18 @@
+"""Positive fixture for RPR102: every banned entropy source."""
+import random
+import time
+import uuid
+from datetime import datetime
+
+import numpy as np
+
+stamp = time.time()
+precise = time.time_ns()
+now = datetime.now()
+identifier = uuid.uuid4()
+draw = random.random()
+choice = random.choice([1, 2, 3])
+np.random.seed(42)
+legacy = np.random.rand(4)
+unseeded = np.random.default_rng()
+key = hash(("config", 7))

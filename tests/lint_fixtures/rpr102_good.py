@@ -1,0 +1,20 @@
+"""Negative fixture for RPR102: durations, seeded generators, __hash__."""
+import hashlib
+import time
+
+import numpy as np
+
+start = time.perf_counter()
+tick = time.monotonic()
+rng = np.random.default_rng(1234)
+threaded = np.random.default_rng(seed=7)
+streams = np.random.SeedSequence(99).spawn(4)
+digest = hashlib.sha256(b"canonical").hexdigest()
+
+
+class Key:
+    def __init__(self, value):
+        self.value = value
+
+    def __hash__(self):
+        return hash(self.value)

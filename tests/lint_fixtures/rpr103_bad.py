@@ -1,0 +1,16 @@
+"""Positive fixture for RPR103 (linted under a hot-package path)."""
+from repro.obs import TRACER
+
+
+def decode_batch(words):
+    TRACER.add("decode.batches")  # unguarded counter on the hot path
+    with TRACER.span("decode.batch"):  # unguarded span
+        for word in words:
+            yield word
+
+
+def conflict(level):
+    if level > 0:
+        pass
+    else:
+        TRACER.event("solver.conflict", {"level": level})  # unguarded

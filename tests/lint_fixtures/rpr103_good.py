@@ -1,0 +1,18 @@
+"""Negative fixture for RPR103: every tracer call behind the enabled guard."""
+from repro.obs import TRACER
+
+
+def decode_batch(words):
+    if TRACER.enabled:
+        TRACER.add("decode.batches")
+    tracing = TRACER.enabled
+    if tracing:
+        TRACER.event("decode.start", {"n": len(words)})
+    for word in words:
+        yield word
+
+
+def conflict(level):
+    TRACER.enabled and TRACER.add("solver.conflicts")
+    span = TRACER.span("solver.conflict") if TRACER.enabled else None
+    return span

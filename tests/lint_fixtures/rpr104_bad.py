@@ -1,0 +1,15 @@
+"""Positive fixture for RPR104 (linted under a non-store library path)."""
+import os
+
+
+def log_result(path, line):
+    with open(path, "a") as handle:  # append outside the store
+        handle.write(line + "\n")
+
+
+def raw_append(fd, payload):
+    os.write(fd, payload)  # raw write bypasses the locked append path
+
+
+def append_fd(path):
+    return os.open(path, os.O_WRONLY | os.O_APPEND)

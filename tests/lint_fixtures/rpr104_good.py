@@ -1,0 +1,20 @@
+"""Negative fixture for RPR104 (linted as if it were store/store.py)."""
+import os
+
+
+class Store:
+    def _lock(self):
+        raise NotImplementedError
+
+    def put(self, payload):
+        with self._lock():
+            fd = os.open("records.jsonl", os.O_WRONLY | os.O_APPEND)
+            try:
+                os.write(fd, payload)
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+
+    def read_all(self):
+        with open("records.jsonl", "r", encoding="utf-8") as handle:
+            return handle.read()

@@ -1,0 +1,33 @@
+"""Positive fixture for RPR105: unpicklable callables and nested pools."""
+from concurrent.futures import ProcessPoolExecutor
+
+
+class Runner:
+    def execute(self, cell):
+        return cell
+
+
+def run_cells(cells, runner):
+    pool = ProcessPoolExecutor()
+    futures = [pool.submit(lambda: cell) for cell in cells]  # lambda
+    futures.append(pool.submit(runner.execute, cells[0]))  # bound method
+
+    def local_job(cell):  # nested def, not importable by workers
+        return cell
+
+    futures.append(pool.submit(local_job, cells[0]))
+    return futures
+
+
+def worker_entry(cell):
+    inner = ProcessPoolExecutor()  # nested pool inside a worker
+    return inner, run_campaign(cell, processes=4)
+
+
+def run_campaign(cell, processes):
+    return cell, processes
+
+
+def dispatch(cells):
+    pool = ProcessPoolExecutor()
+    return [pool.submit(worker_entry, cell) for cell in cells]

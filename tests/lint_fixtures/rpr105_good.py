@@ -1,0 +1,15 @@
+"""Negative fixture for RPR105: module-level workers, no nested fan-out."""
+from concurrent.futures import ProcessPoolExecutor
+
+
+def execute_cell(cell):
+    return run_campaign(cell, processes=1)
+
+
+def run_campaign(cell, processes):
+    return cell, processes
+
+
+def dispatch(cells):
+    with ProcessPoolExecutor() as pool:
+        return [pool.submit(execute_cell, cell) for cell in cells]

@@ -1,0 +1,17 @@
+"""Positive fixture for RPR106 (linted under a library path)."""
+
+
+def parse(value):
+    if value < 0:
+        raise ValueError("negative")  # builtin raise in library code
+    try:
+        return int(value)
+    except:  # bare except
+        return None
+
+
+def lookup(mapping, key):
+    try:
+        return mapping[key]
+    except Exception:  # overbroad, swallows diagnostics
+        return None

@@ -1,0 +1,29 @@
+"""Negative fixture for RPR106: ReproError raises, disciplined handlers."""
+from repro.exceptions import DimensionError, ValidationError
+
+
+def parse(value):
+    if value < 0:
+        raise ValidationError("negative")
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        return None
+
+
+def check_shape(shape):
+    if len(shape) != 2:
+        raise DimensionError(f"expected a matrix shape, got {shape}")
+
+
+def cleanup_then_rethrow(resource):
+    try:
+        return resource.use()
+    except BaseException:
+        resource.close()
+        raise
+
+
+class Interface:
+    def run(self):
+        raise NotImplementedError

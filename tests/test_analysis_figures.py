@@ -106,7 +106,7 @@ class TestFigure5:
         data = figure5_uniqueness_data(
             dataword_lengths=(4, 5), codes_per_length=1, max_solutions=5, seed=2
         )
-        for set_name, by_length in data["solution_counts"].items():
+        for _set_name, by_length in data["solution_counts"].items():
             assert set(by_length) == {4, 5}
             for stats in by_length.values():
                 assert stats["min"] >= 1.0

@@ -192,6 +192,6 @@ def test_legacy_emitters_match_committed_key_structure(filename, smoke_payloads)
 def test_legacy_payloads_serialise_with_historical_formatting(smoke_payloads):
     # Legacy files keep insertion-ordered keys (not canonical sorting) —
     # `json.dumps(..., indent=2)` exactly as PR 1/3/4/5 wrote them.
-    for filename, payload in smoke_payloads.items():
+    for _filename, payload in smoke_payloads.items():
         text = json.dumps(payload, indent=2) + "\n"
         assert json.loads(text) == payload

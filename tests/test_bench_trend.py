@@ -52,6 +52,31 @@ class TestLoadRuns:
         with pytest.raises(SchemaError):
             load_runs(tmp_path / "absent")
 
+    def test_order_stable_under_shuffled_filesystem(self, tmp_path, monkeypatch):
+        """load_runs must not depend on the order the OS returns entries.
+
+        Path.glob yields entries in on-disk order, which varies across
+        filesystems and creation histories; this simulates a hostile
+        filesystem by reversing and interleaving the glob result and
+        asserts the loaded sequence is unchanged (the RPR101 invariant).
+        """
+        from pathlib import Path
+
+        for index in range(6):
+            _run_file(tmp_path, f"run-{index:03}.json", float(index))
+        baseline = [name for name, _ in load_runs(tmp_path)]
+
+        real_glob = Path.glob
+
+        def hostile_glob(self, pattern):
+            entries = list(real_glob(self, pattern))
+            shuffled = entries[::-2] + entries[-2::-2]  # deterministic scramble
+            return iter(shuffled)
+
+        monkeypatch.setattr(Path, "glob", hostile_glob)
+        shuffled_names = [name for name, _ in load_runs(tmp_path)]
+        assert shuffled_names == baseline == [f"run-{i:03}.json" for i in range(6)]
+
 
 class TestTrendData:
     def test_series_track_gated_metrics_across_runs(self, tmp_path):

@@ -1,0 +1,99 @@
+"""Canonical serialisation must be byte-identical across PYTHONHASHSEED.
+
+Hash randomisation reorders set/frozenset iteration and (pre-canonical)
+dict key order between interpreter invocations.  These property tests run
+the same serialisation work in subprocesses under different seeds and
+require byte-identical output — the end-to-end invariant RPR101/RPR102
+exist to protect.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+#: Builds a profile through frozenset-pattern recording, a store record,
+#: and a bench run document, then prints one canonical blob of all three.
+_SCRIPT = """
+import json
+from repro.core import MiscorrectionProfile
+from repro.core.patterns import ChargedPattern
+from repro.store.store import ResultRecord, canonical_json, content_key
+from repro.bench.schema import BenchRun, ConditionRecord, WorkloadRecord
+
+profile = MiscorrectionProfile(8)
+for bits in [("c", (7, 2, 5)), ("b", (1, 6)), ("a", (3, 0, 4))]:
+    pattern = ChargedPattern(8, bits[1])
+    profile.record(pattern, [p for p in range(8) if p not in bits[1]][:2])
+
+config = {"scenario": "demo", "bits": sorted({"b", "a", "c"}), "seed": 7}
+record = ResultRecord(
+    key=content_key(config), config=config, result=profile.to_dict()
+)
+
+run = BenchRun(
+    tier="smoke",
+    environment={"usable_cpus": 2},
+    workloads=[
+        WorkloadRecord(
+            workload="demo",
+            params={"n": 3},
+            conditions=[
+                ConditionRecord(
+                    condition="c1",
+                    metrics={"speedup": 1.5},
+                    oracles={"bit_identical": True},
+                )
+            ],
+        )
+    ],
+)
+
+print(canonical_json(profile.to_dict()))
+print(record.to_json_line())
+print(run.to_json())
+"""
+
+
+def _serialise_under_seed(seed: str) -> bytes:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = seed
+    env["PYTHONPATH"] = SRC
+    result = subprocess.run(
+        [sys.executable, "-c", _SCRIPT],
+        capture_output=True,
+        env=env,
+        check=True,
+    )
+    return result.stdout
+
+
+def test_canonical_serialisation_is_hashseed_independent():
+    outputs = {seed: _serialise_under_seed(seed) for seed in ("0", "1", "4242")}
+    assert outputs["0"] == outputs["1"] == outputs["4242"]
+    assert b"num_data_bits" in outputs["0"]  # the script really serialised
+
+
+def test_lint_json_report_is_hashseed_independent(tmp_path):
+    """`repro lint --json` over a violating file is itself byte-stable."""
+    target = tmp_path / "violates.py"
+    target.write_text(
+        "import time\nnames = {'b', 'a'}\n"
+        "out = [time.time() for n in names]\n",
+        encoding="utf-8",
+    )
+    outputs = set()
+    for seed in ("0", "7"):
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = seed
+        env["PYTHONPATH"] = SRC
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "lint", "--json", str(target)],
+            capture_output=True,
+            env=env,
+        )
+        assert result.returncode == 1
+        outputs.add(result.stdout)
+    assert len(outputs) == 1

@@ -32,3 +32,23 @@ class TestExceptionHierarchy:
     def test_messages_are_preserved(self):
         error = exceptions.SolverError("node budget exhausted")
         assert "node budget exhausted" in str(error)
+
+    def test_validation_error_is_both_repro_and_value_error(self):
+        assert issubclass(exceptions.ValidationError, exceptions.ReproError)
+        assert issubclass(exceptions.ValidationError, ValueError)
+        with pytest.raises(ValueError):
+            raise exceptions.ValidationError("out of range")
+        with pytest.raises(exceptions.ReproError):
+            raise exceptions.ValidationError("out of range")
+
+    def test_unknown_name_error_is_both_repro_and_key_error(self):
+        assert issubclass(exceptions.UnknownNameError, exceptions.ReproError)
+        assert issubclass(exceptions.UnknownNameError, KeyError)
+        with pytest.raises(KeyError):
+            raise exceptions.UnknownNameError("no such workload")
+
+    def test_unknown_name_error_message_is_not_quoted(self):
+        # Plain KeyError str()-renders with quotes; the bridge undoes that
+        # so CLI error lines stay readable.
+        error = exceptions.UnknownNameError("unknown workload 'x'")
+        assert str(error) == "unknown workload 'x'"

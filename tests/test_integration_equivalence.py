@@ -56,7 +56,7 @@ class TestProfileEquivalenceInvariance:
         permuted = permute_parity_rows(code, list(rng.permutation(code.num_parity_bits)))
         decoder_a = SyndromeDecoder(code)
         decoder_b = SyndromeDecoder(permuted)
-        for trial in range(50):
+        for _trial in range(50):
             dataword = GF2Vector(rng.integers(0, 2, size=8))
             error_bits = rng.choice(8, size=2, replace=False)
             received_a = code.encode(dataword)

@@ -1,0 +1,31 @@
+"""The tree itself must satisfy its own linter: `repro lint src benchmarks`.
+
+This is the in-tree version of the CI gate — a rule regression or a new
+violation anywhere in the library or benchmark definitions fails the
+ordinary test suite, not just the lint job.
+"""
+
+from pathlib import Path
+
+from repro.lint import ALL_RULES, lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_repo_is_lint_clean():
+    findings, files_checked = lint_paths(
+        [str(REPO_ROOT / "src"), str(REPO_ROOT / "benchmarks")], ALL_RULES
+    )
+    assert files_checked > 100  # the walk found the real tree
+    assert findings == [], "\n" + "\n".join(f.format() for f in findings)
+
+
+def test_lint_package_lints_itself_strictly():
+    """repro.lint dogfoods every rule with zero suppression comments."""
+    from repro.lint.suppress import parse_suppressions
+
+    lint_dir = REPO_ROOT / "src" / "repro" / "lint"
+    findings, _ = lint_paths([str(lint_dir)], ALL_RULES)
+    assert findings == [], "\n" + "\n".join(f.format() for f in findings)
+    for path in sorted(lint_dir.rglob("*.py")):
+        assert parse_suppressions(path.read_text(encoding="utf-8")) == []
