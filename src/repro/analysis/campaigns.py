@@ -15,7 +15,7 @@ import numpy as np
 from repro.gf2 import GF2Vector
 from repro.einsim.simulator import SimulationResult
 from repro.scenarios.sweep import resolve_dataword
-from repro.store.store import CampaignStore, ResultRecord
+from repro.store import CampaignStore, ResultRecord
 
 
 def load_simulation_results(
@@ -25,7 +25,9 @@ def load_simulation_results(
 
     Returns ``(config, SimulationResult)`` pairs in store order; filters are
     equality constraints on top-level config fields (e.g.
-    ``scenario="burst"``, ``backend="packed"``).
+    ``scenario="burst"``, ``backend="packed"``).  Filtering happens against
+    the store's index, so on a sharded store only the *matching* records'
+    payloads are ever deserialised.
     """
     pairs = []
     for record in store.query(kind="einsim", **config_filters):

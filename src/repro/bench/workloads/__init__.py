@@ -13,5 +13,6 @@ from repro.bench.workloads import (  # noqa: F401  (imported for registration)
     gf2,
     sat,
     sections,
+    store,
     sweep,
 )

@@ -1,0 +1,182 @@
+"""Workload: store open + full cache-hit check, sharded vs single-file.
+
+The synthetic campaign has deliberately small configs and fat result
+payloads — the shape of a real einsim sweep — so the cost a layout pays
+to answer "is this key committed?" is what the timer sees.  Opening a v1
+single-file store parses and content-verifies every payload before the
+first membership test; a v2 sharded store reads only its compacted
+sidecar indexes and answers membership from a dict.  The full tier runs
+the ISSUE-9 acceptance scale (>=20k cells) and gates the speedup at 10x;
+smoke/quick record the speedup but skip the floor (small stores measure
+filesystem latency, not layout behaviour).
+
+Correctness oracles in every tier: exact record counts through both
+layouts, identical key sets, and a byte-identity proof that
+``migrate(v1 -> v2)`` -> ``compact`` -> ``migrate(v2 -> v1)`` reproduces
+the original ``records.jsonl`` bit for bit.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Mapping
+
+from repro.bench.registry import (
+    BenchContext,
+    MetricGate,
+    WorkloadResult,
+    register_workload,
+)
+from repro.bench.schema import ORACLE_SKIPPED
+
+
+def _write_synthetic_v1(directory: Path, records: int, result_ints: int) -> bytes:
+    """Write a canonical v1 ``records.jsonl`` of ``records`` synthetic cells."""
+    from repro.store import ResultRecord, content_key
+
+    directory.mkdir(parents=True, exist_ok=True)
+    lines = []
+    for index in range(records):
+        config = {"cell": index, "kind": "bench-store", "seed": index % 7}
+        result = {
+            "counts": [(index * 31 + slot) % 997 for slot in range(result_ints)],
+            "num_words": 1000 + index,
+        }
+        record = ResultRecord(
+            key=content_key(config), config=config, result=result
+        )
+        lines.append(record.to_json_line() + "\n")
+    payload = "".join(lines).encode("utf-8")
+    (directory / "records.jsonl").write_bytes(payload)
+    return payload
+
+
+def _open_and_hit_check(directory: Path, keys: list) -> int:
+    """Open a store and membership-test every key; return the hit count."""
+    from repro.store import CampaignStore
+
+    store = CampaignStore(directory)
+    return sum(1 for key in keys if key in store)
+
+
+def _run(params: Mapping, context: BenchContext) -> WorkloadResult:
+    from repro.store import (
+        SHARDED,
+        SINGLE_FILE,
+        CampaignStore,
+        store_compact,
+        store_migrate,
+    )
+
+    records = params["records"]
+    floor = params["speedup_floor"]
+    workdir = Path(tempfile.mkdtemp(prefix="bench_store_"))
+    try:
+        v1_dir = workdir / "v1"
+        v1_bytes = _write_synthetic_v1(v1_dir, records, params["result_ints"])
+        keys = CampaignStore(v1_dir).keys()
+
+        # The sharded twin: same record set, migrated through the real path.
+        v2_dir = workdir / "v2"
+        shutil.copytree(v1_dir, v2_dir)
+        migrated = store_migrate(v2_dir, SHARDED)["records"]
+
+        # Round-trip proof on a third copy: v1 -> v2 -> compact -> v1 must
+        # reproduce the original records.jsonl byte for byte.
+        rt_dir = workdir / "roundtrip"
+        shutil.copytree(v1_dir, rt_dir)
+        store_migrate(rt_dir, SHARDED)
+        store_compact(rt_dir)
+        store_migrate(rt_dir, SINGLE_FILE)
+        round_trip_identical = (
+            rt_dir / "records.jsonl"
+        ).read_bytes() == v1_bytes
+
+        timings = {}
+        hits = {}
+        for label, directory in (("single-file", v1_dir), ("sharded", v2_dir)):
+            timing = context.control.time_once(
+                lambda d=directory: _open_and_hit_check(d, keys)
+            )
+            timings[label] = timing
+            hits[label] = timing.last_result
+
+        speedup = timings["single-file"].best_seconds / max(
+            timings["sharded"].best_seconds, 1e-12
+        )
+        skipped = floor is None
+        sharded_keys = CampaignStore(v2_dir).keys()
+
+        result = WorkloadResult()
+        result.artifacts.update(
+            {
+                "quick": not context.is_full,
+                "records": records,
+                "v1_bytes": len(v1_bytes),
+                "skip_reason": (
+                    None if floor is not None
+                    else f"{context.tier} tier does not gate the speedup floor"
+                ),
+            }
+        )
+        result.add(
+            "single-file",
+            metrics={
+                "open_hit_seconds": timings["single-file"].best_seconds,
+                "record_count": hits["single-file"],
+                "store_bytes": len(v1_bytes),
+            },
+            oracles={
+                "record_count_exact": hits["single-file"] == records,
+            },
+        )
+        result.add(
+            "sharded",
+            metrics={
+                "open_hit_seconds": timings["sharded"].best_seconds,
+                "record_count": hits["sharded"],
+                "speedup": speedup,
+                "skipped_speedup_gate": skipped,
+            },
+            oracles={
+                "record_count_exact": (
+                    hits["sharded"] == records and migrated == records
+                ),
+                "key_order_identical": sharded_keys == keys,
+                "migrate_round_trip_byte_identical": round_trip_identical,
+                "speedup_floor": (
+                    ORACLE_SKIPPED if skipped else speedup >= floor
+                ),
+            },
+        )
+        return result
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def _exact(metric: str, condition: str):
+    return (
+        MetricGate(metric=metric, condition=condition, rel_tol=0.0, higher_is_better=True),
+        MetricGate(metric=metric, condition=condition, rel_tol=0.0, higher_is_better=False),
+    )
+
+
+register_workload(
+    name="store-layouts",
+    description=(
+        "campaign-store open + full cache-hit check, v2 sharded vs v1 "
+        "single-file, with migrate round-trip byte identity"
+    ),
+    tiers={
+        "smoke": dict(records=64, result_ints=32, speedup_floor=None),
+        "quick": dict(records=2_000, result_ints=64, speedup_floor=None),
+        "full": dict(records=25_000, result_ints=64, speedup_floor=10.0),
+    },
+    run=_run,
+    # Record counts are fully deterministic for a given tier — any layout
+    # losing or duplicating records shows up here before it poisons caches.
+    gates=_exact("record_count", "single-file") + _exact("record_count", "sharded"),
+    tags=("core", "perf", "store"),
+)

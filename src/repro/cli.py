@@ -184,6 +184,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_trace_argument(beep)
 
     _add_scenario_parser(subparsers)
+    _add_store_parser(subparsers)
     _add_trace_parser(subparsers)
 
     from repro.bench.cli import add_bench_parser
@@ -231,6 +232,7 @@ def _add_scenario_parser(subparsers) -> None:
                           "--processes for intra-cell parallelism)")
     run.add_argument("--store", default=None,
                      help="campaign directory; hits are served from the cache")
+    _add_layout_argument(run)
     run.add_argument("--json", action="store_true",
                      help="print the cell result as JSON")
     _add_trace_argument(run)
@@ -240,6 +242,7 @@ def _add_scenario_parser(subparsers) -> None:
     )
     sweep.add_argument("--spec", required=True, help="path to a sweep-spec JSON file")
     sweep.add_argument("--store", required=True, help="campaign directory")
+    _add_layout_argument(sweep)
     sweep.add_argument("--resume", action="store_true",
                        help="continue a partially-completed sweep (sweeps are "
                             "content-addressed, so completed cells are never re-run)")
@@ -262,6 +265,70 @@ def _add_scenario_parser(subparsers) -> None:
     report.add_argument("--store", required=True, help="campaign directory")
     report.add_argument("--json", action="store_true",
                         help="print the report as JSON")
+
+
+def _add_layout_argument(parser) -> None:
+    parser.add_argument(
+        "--layout", choices=("auto", "single-file", "sharded"), default="auto",
+        help="store layout for a *new* campaign directory: single-file "
+             "(v1 records.jsonl) or sharded (v2 key-prefix segments with a "
+             "compacted index); existing directories are auto-detected and "
+             "a conflicting explicit layout fails (use `repro store "
+             "migrate` to convert)")
+
+
+def _add_store_parser(subparsers) -> None:
+    store = subparsers.add_parser(
+        "store",
+        help="campaign-store lifecycle: stat, verify, compact, gc, migrate",
+    )
+    commands = store.add_subparsers(dest="store_command", required=True)
+
+    stat = commands.add_parser(
+        "stat", help="summarise a store: layout, records, bytes, segments"
+    )
+    stat.add_argument("directory", help="campaign store directory")
+    stat.add_argument("--json", action="store_true",
+                      help="print the summary as JSON")
+
+    verify = commands.add_parser(
+        "verify",
+        help="deep-verify every record byte and index entry (exit 1 on "
+             "problems)",
+    )
+    verify.add_argument("directory", help="campaign store directory")
+    verify.add_argument("--json", action="store_true",
+                        help="print the verification report as JSON")
+
+    compact = commands.add_parser(
+        "compact",
+        help="rewrite segments canonically, dropping index garbage and "
+             "stray bytes",
+    )
+    compact.add_argument("directory", help="campaign store directory")
+    compact.add_argument("--json", action="store_true",
+                         help="print the compaction summary as JSON")
+
+    gc = commands.add_parser(
+        "gc",
+        help="remove dead artefacts: tmp files, stale locks, interrupted-"
+             "migration leftovers",
+    )
+    gc.add_argument("directory", help="campaign store directory")
+    gc.add_argument("--json", action="store_true",
+                    help="print the removed artefacts as JSON")
+
+    migrate = commands.add_parser(
+        "migrate",
+        help="convert a store between layouts (v1 single-file <-> v2 "
+             "sharded) with a proven record round-trip",
+    )
+    migrate.add_argument("directory", help="campaign store directory")
+    migrate.add_argument("--to", required=True, dest="to_layout",
+                         choices=("single-file", "sharded"),
+                         help="target layout")
+    migrate.add_argument("--json", action="store_true",
+                         help="print the migration summary as JSON")
 
 
 def _add_trace_parser(subparsers) -> None:
@@ -321,6 +388,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "beep": _run_beep,
         "einsim": _run_einsim,
         "scenario": _run_scenario,
+        "store": _run_store,
         "bench": _run_bench,
         "trace": _run_trace,
         "lint": handle_lint,
@@ -736,7 +804,9 @@ def _run_scenario_run(args) -> int:
         dataword=args.dataword,
         chunk_size=args.chunk_size,
     )
-    store = CampaignStore(args.store) if args.store else None
+    store = (
+        CampaignStore(args.store, layout=args.layout) if args.store else None
+    )
     runner = SweepRunner(store=store, processes=args.processes, jobs=args.jobs)
     outcome = runner.run_one(cell)
     cached, result = outcome.cached, outcome.record.result
@@ -763,7 +833,7 @@ def _run_scenario_sweep(args) -> int:
     from repro.store import CampaignStore
 
     spec = SweepSpec.from_json_file(args.spec)
-    store = CampaignStore(args.store)
+    store = CampaignStore(args.store, layout=args.layout)
     runner = SweepRunner(store=store, processes=args.processes, jobs=args.jobs)
     progress_line = None
     progress = None
@@ -824,6 +894,98 @@ def _run_scenario_report(args) -> int:
                   f"{row['sat_conflicts']} conflicts, "
                   f"{row['sat_decisions']} decisions, "
                   f"{row['sat_propagations']} propagations")
+    return 0
+
+
+def _run_store(args) -> int:
+    handlers = {
+        "stat": _run_store_stat,
+        "verify": _run_store_verify,
+        "compact": _run_store_compact,
+        "gc": _run_store_gc,
+        "migrate": _run_store_migrate,
+    }
+    return handlers[args.store_command](args)
+
+
+def _run_store_stat(args) -> int:
+    from repro.store import store_stat
+
+    stat = store_stat(args.directory)
+    if args.json:
+        print(json.dumps(stat, indent=2, sort_keys=True))
+        return 0
+    print(f"store {stat['directory']}: layout {stat['layout']}, "
+          f"{stat['records']} records, {stat['bytes']} bytes in "
+          f"{stat['segments']} segment(s)")
+    for row in stat.get("segment_detail", []):
+        print(f"  segment {row['segment']}: {row['records']} records, "
+              f"{row['bytes']} bytes (+{row['index_bytes']} index)")
+    return 0
+
+
+def _run_store_verify(args) -> int:
+    from repro.store import store_verify
+
+    report = store_verify(args.directory)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0 if report["ok"] else 1
+    if report["ok"]:
+        print(f"store {report['directory']}: OK "
+              f"({report['records']} records verified, layout "
+              f"{report['layout']})")
+        return 0
+    print(f"store {report['directory']}: {len(report['problems'])} problem(s)")
+    for problem in report["problems"]:
+        print(f"  {problem}")
+    return 1
+
+
+def _run_store_compact(args) -> int:
+    from repro.store import store_compact
+
+    summary = store_compact(args.directory)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    reclaimed = summary["bytes_before"] - summary["bytes_after"]
+    print(f"store {summary['directory']}: compacted "
+          f"{summary['segments_compacted']} segment(s), "
+          f"{summary['records']} records, {reclaimed} bytes reclaimed")
+    return 0
+
+
+def _run_store_gc(args) -> int:
+    from repro.store import store_gc
+
+    summary = store_gc(args.directory)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    removed = summary["removed"]
+    total = sum(len(paths) for paths in removed.values())
+    print(f"store {summary['directory']}: removed {total} dead artefact(s)")
+    for kind in sorted(removed):
+        for path in removed[kind]:
+            print(f"  [{kind}] {path}")
+    return 0
+
+
+def _run_store_migrate(args) -> int:
+    from repro.store import store_migrate
+
+    summary = store_migrate(args.directory, args.to_layout)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    if not summary["migrated"]:
+        print(f"store {summary['directory']}: already {summary['to']} "
+              f"({summary['records']} records); nothing to do")
+        return 0
+    print(f"store {summary['directory']}: migrated {summary['from']} -> "
+          f"{summary['to']} ({summary['records']} records, round-trip "
+          "verified)")
     return 0
 
 

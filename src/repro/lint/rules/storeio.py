@@ -1,13 +1,15 @@
 """RPR104 — store write discipline.
 
-The campaign store's durability model (PR 4) holds only if *every* append
-goes through ``repro.store.store``: one ``write``+``fsync`` to an
-``O_APPEND`` fd, under the exclusive ``fcntl`` store lock, with
-multi-writer dedupe.  An append-mode ``open()`` or raw ``os.write`` done
-anywhere else can interleave bytes with a concurrent writer and turn a
-crash into unrepairable mid-file corruption — so append-style writes are
-flagged everywhere outside ``store/store.py``, and inside it they must be
-lexically under the lock helper.
+The campaign store's durability model (PR 4, layered in PR 9) holds only
+if *every* append goes through the ``repro.store`` package: one
+``write``+``fsync`` to an ``O_APPEND`` fd, under the exclusive advisory
+lock (store-wide for the v1 single-file layout, per segment for the v2
+sharded layout), with multi-writer dedupe.  An append-mode ``open()`` or
+raw ``os.write`` done anywhere else can interleave bytes with a
+concurrent writer and turn a crash into unrepairable mid-file corruption
+— so append-style writes are flagged everywhere outside the store
+package's modules, and inside them they must be lexically under the lock
+helper.
 """
 
 from __future__ import annotations
@@ -64,25 +66,27 @@ def _under_store_lock(node: ast.AST) -> bool:
 class StoreWriteDisciplineRule(Rule):
     code = "RPR104"
     name = "store-write-discipline"
-    summary = "appends belong in store/store.py, under the store lock"
+    summary = "appends belong in the repro.store package, under a store lock"
     explanation = """\
-records.jsonl (and any append-only artifact) may only be written through
-the CampaignStore: an append-mode open()/os.write() elsewhere bypasses the
-fcntl lock, the single write+fsync atomicity, and the multi-writer dedupe
-— concurrent writers can interleave bytes and a crash becomes mid-file
-corruption that torn-tail repair refuses to touch.
+records.jsonl / segment files (and any append-only artifact) may only be
+written through the store package: an append-mode open()/os.write()
+elsewhere bypasses the advisory lock (store-wide in the v1 layout, per
+segment in the v2 sharded layout), the single write+fsync atomicity, and
+the multi-writer dedupe — concurrent writers can interleave bytes and a
+crash becomes mid-file corruption that torn-tail repair refuses to touch.
 
-Bad (anywhere outside store/store.py):
+Bad (anywhere outside src/repro/store/):
     with open(path, "a") as f: f.write(line)
     os.write(fd, payload)
 
-Inside store/store.py, appends must additionally sit lexically inside a
-`with self._lock():` / `with store_lock(...):` block; helper methods whose
-caller holds the lock document that with a suppression naming the
-contract."""
+Inside the store package's modules, appends must additionally sit
+lexically inside a `with self._lock():` / `with file_lock(...):` block;
+helper methods whose caller holds the lock document that with a
+suppression naming the contract."""
 
     def check(self, context: LintContext) -> List[Finding]:
-        in_store_module = context.module_tail() == ("store", "store.py")
+        tail = context.module_tail()
+        in_store_module = len(tail) == 2 and tail[0] == "store"
         findings: List[Finding] = []
         for node in ast.walk(context.tree):
             if not isinstance(node, ast.Call):

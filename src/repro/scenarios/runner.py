@@ -35,7 +35,7 @@ from repro.scenarios.sweep import (
     resolve_code,
     resolve_dataword,
 )
-from repro.store.store import CampaignStore, ResultRecord
+from repro.store import CampaignStore, ResultRecord
 
 #: Accelerated retention calibration so simulated refresh-window sweeps finish
 #: in seconds instead of the paper's hours of real refresh pauses (the CLI's
@@ -267,17 +267,20 @@ class SweepRunner:
         )
         # Partition pass: decide, in spec order, which cells are served from
         # cache and which must be simulated — stopping (exactly like the
-        # serial walk always has) at the first miss beyond the budget.  A
+        # serial walk always has) at the first miss beyond the budget.  Hit
+        # checks are pure membership tests against the store's index (on a
+        # sharded store an O(1) dict lookup that never parses payloads);
+        # record bodies load lazily at serve time in the commit loop.  A
         # later duplicate of a cell this run will already have committed is
         # neither a miss nor submitted to a worker: by the time the commit
         # loop reaches it, the store serves it as a cache hit.
-        plan: List[Tuple[ExperimentCell, Optional[ResultRecord]]] = []
+        plan: List[Tuple[ExperimentCell, bool]] = []
         miss_indices: List[int] = []
         planned_keys = set()
         for cell in spec.cells:
             key = cell.key()
-            cached = self._store.get(key) if self._store is not None else None
-            if cached is None and not (
+            hit = self._store is not None and key in self._store
+            if not hit and not (
                 self._store is not None and key in planned_keys
             ):
                 if max_new_simulations is not None and len(miss_indices) >= (
@@ -287,7 +290,7 @@ class SweepRunner:
                     break
                 miss_indices.append(len(plan))
                 planned_keys.add(key)
-            plan.append((cell, cached))
+            plan.append((cell, hit))
         misses = len(miss_indices)
 
         pool: Optional[ProcessPoolExecutor] = None
@@ -325,10 +328,15 @@ class SweepRunner:
             submit_up_to(2 * self._jobs)
         try:
             with run_span:
-                for index, (cell, cached) in enumerate(plan):
-                    if cached is None and self._store is not None and index not in futures:
-                        # A duplicate planned behind its first occurrence (or a
-                        # serial miss): the earlier commit may have landed by now.
+                for index, (cell, hit) in enumerate(plan):
+                    cached: Optional[ResultRecord] = None
+                    if self._store is not None and (
+                        hit or index not in futures
+                    ):
+                        # Planned hits load their record lazily here; a miss
+                        # not in flight is a duplicate planned behind its
+                        # first occurrence (or a serial miss) whose earlier
+                        # commit may have landed by now.
                         cached = self._store.get(cell.key())
                     with TRACER.span(
                         "sweep.cell", index=index, kind=cell.kind

@@ -2,8 +2,8 @@
 
 Every simulated experiment cell is identified by a canonical hash of its full
 configuration (scenario, code, simulation config, seed, backend); results are
-appended to a JSONL file under a campaign directory as they complete.  This
-gives three properties the scenario subsystem is built on:
+appended durably under a campaign directory as they complete.  This gives
+four properties the scenario subsystem is built on:
 
 * **cache hits** — re-running a sweep never recomputes a cell whose key is
   already in the store;
@@ -12,35 +12,84 @@ gives three properties the scenario subsystem is built on:
   to an uninterrupted run;
 * **queryability** — typed load/query APIs for :mod:`repro.analysis` and the
   CLI's ``scenario report``;
-* **crash/concurrency safety** — appends are atomic under an advisory lock
+* **crash/concurrency safety** — appends are atomic under advisory locks
   (so multiple writer processes can share one store), a torn trailing line
   left by a killed writer is repaired on open, and every record's content
-  address is verified on load.
+  address is verified when its bytes are parsed.
+
+The package is layered: :mod:`repro.store.records` defines the canonical
+record model, :mod:`repro.store.locks` the advisory-lock primitive,
+:mod:`repro.store.layout` the on-disk engines (single-file **v1** and
+sharded-with-compacted-index **v2**), :mod:`repro.store.lifecycle` the
+administrative operations behind ``repro store`` (stat/verify/compact/
+gc/migrate), and :mod:`repro.store.store` the :class:`CampaignStore`
+facade everything else consumes.
 """
 
 from repro.exceptions import StoreError, StoreLockTimeoutError
-from repro.store.store import (
+from repro.store.layout import (
+    LAYOUT_NAMES,
+    MANIFEST_FILENAME,
+    SHARD_PREFIX_CHARS,
+    SHARDED,
+    SINGLE_FILE,
+    ShardedLayout,
+    SingleFileLayout,
+    StoreLayout,
+    detect_layout,
+    make_layout,
+)
+from repro.store.lifecycle import (
+    store_compact,
+    store_gc,
+    store_migrate,
+    store_stat,
+    store_verify,
+)
+from repro.store.locks import (
     DEFAULT_LOCK_TIMEOUT_S,
     LOCK_TIMEOUT_ENV,
-    CampaignStore,
+    backoff_delays,
+    file_lock,
+    is_stale_lockfile,
+    resolve_lock_timeout,
+)
+from repro.store.records import (
     ResultRecord,
     StoreIntegrityError,
     canonical_json,
     content_key,
-    resolve_lock_timeout,
-    store_lock,
 )
+from repro.store.store import CampaignStore, store_lock
 
 __all__ = [
     "DEFAULT_LOCK_TIMEOUT_S",
+    "LAYOUT_NAMES",
     "LOCK_TIMEOUT_ENV",
+    "MANIFEST_FILENAME",
+    "SHARD_PREFIX_CHARS",
+    "SHARDED",
+    "SINGLE_FILE",
     "CampaignStore",
     "ResultRecord",
+    "ShardedLayout",
+    "SingleFileLayout",
     "StoreError",
     "StoreIntegrityError",
+    "StoreLayout",
     "StoreLockTimeoutError",
+    "backoff_delays",
     "canonical_json",
     "content_key",
+    "detect_layout",
+    "file_lock",
+    "is_stale_lockfile",
+    "make_layout",
     "resolve_lock_timeout",
+    "store_compact",
+    "store_gc",
     "store_lock",
+    "store_migrate",
+    "store_stat",
+    "store_verify",
 ]

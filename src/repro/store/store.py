@@ -1,236 +1,149 @@
-"""Content-addressed JSONL campaign store, safe for crashes and co-writers.
+"""Content-addressed campaign store, safe for crashes and co-writers.
 
-Layout: a campaign directory holding a single append-only ``records.jsonl``.
-Each line is one completed experiment cell::
+:class:`CampaignStore` is the facade the rest of the repository talks to;
+the on-disk engine behind it is a pluggable :class:`~repro.store.layout.
+StoreLayout`:
+
+* **single-file (v1)** — one append-only ``records.jsonl`` under one
+  store-wide advisory lock.  The historical layout; every pre-existing
+  campaign directory opens, resumes, and re-serialises byte-identically.
+* **sharded (v2)** — records routed to ``segments/<hex-prefix>.jsonl``
+  by content-key prefix with per-segment locks and a compacted sidecar
+  index, so membership/cache-hit checks are O(1) over the index and open
+  never parses result payloads.  Created with ``layout="sharded"`` (or
+  ``repro scenario sweep --layout sharded``); converted to and from v1
+  with ``repro store migrate``.
+
+The layout of an existing directory is auto-detected (``MANIFEST.json``
+marks v2); asking for a layout that contradicts what is on disk raises
+:class:`~repro.exceptions.StoreError` pointing at ``repro store
+migrate`` instead of silently forking the campaign.
+
+Each record is one completed experiment cell::
 
     {"key": "<sha256>", "config": {...}, "result": {...}}
 
-serialised canonically (sorted keys, compact separators), so that a
-deterministic campaign produces byte-identical store files run after run.
-The key is the SHA-256 of the canonical JSON of ``config`` — the content
-address every cache/resume decision is made on.
+serialised canonically (sorted keys, compact separators) so a
+deterministic campaign produces byte-identical store files run after
+run.  The key is the SHA-256 of the canonical JSON of ``config`` — the
+content address every cache/resume decision is made on.
 
-Durability model
-----------------
+Durability model (both layouts; per segment in v2)
+--------------------------------------------------
 
-* **Atomic appends** — every record is written as one ``write``/``fsync``
-  to a file opened ``O_APPEND``, while holding an exclusive advisory lock
-  (``fcntl.flock`` on a sidecar ``records.lock``; an ``O_EXCL`` lockfile
-  where ``fcntl`` is unavailable).  Concurrent writer processes therefore
-  never interleave bytes within a record.
+* **Atomic appends** — every record is one ``write``/``fsync`` to a file
+  opened ``O_APPEND`` while holding an exclusive advisory lock, so
+  concurrent writer processes never interleave bytes within a record.
 * **Multi-writer dedupe** — before appending, a store re-scans whatever
-  other writers appended since its last look (under the same lock), so two
-  processes racing on the same cell commit exactly one line.
-* **Crash repair** — a process killed mid-append can leave a torn trailing
-  line.  Opening the store detects it, truncates the torn tail, and resumes;
-  the interrupted cell is simply re-simulated.  A torn line anywhere *except*
-  the tail cannot be produced by a crash of this writer and raises
+  other writers appended since its last look (under the same lock), so
+  two processes racing on the same cell commit exactly one line.
+* **Crash repair** — a process killed mid-append can leave a torn
+  trailing line; opening the store truncates it (or restores its missing
+  newline) and resumes.  Torn bytes anywhere *except* a tail raise
   :class:`StoreIntegrityError`.
-* **Verification on load** — every record's ``key`` is re-derived from its
-  ``config``; a mismatch (bit rot, hand editing) fails loudly instead of
-  silently poisoning the cache.
+* **Verification** — every record's ``key`` is re-derived from its
+  ``config`` when its bytes are parsed: eagerly on open for v1, lazily
+  on first load for v2 (``repro store verify`` forces the full check).
 """
 
 from __future__ import annotations
 
 import contextlib
-import errno
-import hashlib
-import json
 import os
-import time
-from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional
 
-from repro.exceptions import StoreError, StoreLockTimeoutError
-from repro.obs import TRACER
+from repro.exceptions import StoreError
+from repro.store.layout import (
+    LAYOUT_NAMES,
+    LOCK_FILENAME,
+    RECORDS_FILENAME,
+    SINGLE_FILE,
+    StoreLayout,
+    detect_layout,
+    make_layout,
+)
+from repro.store.locks import file_lock, resolve_lock_timeout
+from repro.store.records import (
+    ResultRecord,
+    StoreIntegrityError,
+    content_key,
+)
 
-try:  # POSIX; absent on some platforms — the lockfile fallback covers those.
-    import fcntl
-except ImportError:  # pragma: no cover - exercised only on non-POSIX hosts
-    fcntl = None  # type: ignore[assignment]
-
-
-class StoreIntegrityError(StoreError):
-    """A store record is corrupt or conflicts with what is being written."""
-
-
-#: Environment variable overriding the store-lock acquisition timeout.
-LOCK_TIMEOUT_ENV = "REPRO_STORE_LOCK_TIMEOUT"
-
-#: Default seconds to wait for the store lock before failing loudly.  A
-#: healthy holder releases within milliseconds (one append + fsync), so two
-#: minutes means a wedged or dead peer, not contention.
-DEFAULT_LOCK_TIMEOUT_S = 120.0
-
-#: Seconds between lock-acquisition attempts while waiting.
-_LOCK_POLL_INTERVAL_S = 0.002
-
-
-def resolve_lock_timeout(timeout_s: Optional[float] = None) -> float:
-    """The effective lock timeout: explicit arg, else env override, else default."""
-    if timeout_s is None:
-        raw = os.environ.get(LOCK_TIMEOUT_ENV)
-        if raw is None:
-            return DEFAULT_LOCK_TIMEOUT_S
-        try:
-            timeout_s = float(raw)
-        except ValueError:
-            raise StoreError(
-                f"{LOCK_TIMEOUT_ENV}={raw!r} is not a number of seconds"
-            ) from None
-    if timeout_s <= 0:
-        raise StoreError(
-            f"store lock timeout must be positive, got {timeout_s!r}"
-        )
-    return float(timeout_s)
-
-
-def canonical_json(payload) -> str:
-    """Serialise ``payload`` to a canonical JSON string (sorted, compact).
-
-    Canonical form makes hashing and byte-level store comparison meaningful:
-    two equal configurations always serialise identically.
-    """
-    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
-
-
-def content_key(config: Dict) -> str:
-    """Return the SHA-256 content address of a cell configuration."""
-    return hashlib.sha256(canonical_json(config).encode("utf-8")).hexdigest()
-
-
-@dataclass(frozen=True)
-class ResultRecord:
-    """One completed experiment cell: its key, configuration, and result."""
-
-    key: str
-    config: Dict
-    result: Dict
-
-    def to_json_line(self) -> str:
-        """Serialise to the canonical single-line store representation."""
-        return canonical_json(
-            {"config": self.config, "key": self.key, "result": self.result}
-        )
-
-    @classmethod
-    def from_json_line(cls, line: str) -> "ResultRecord":
-        """Parse a store line back into a record."""
-        payload = json.loads(line)
-        return cls(key=payload["key"], config=payload["config"], result=payload["result"])
+__all__ = [
+    "CampaignStore",
+    "StoreIntegrityError",
+    "store_lock",
+]
 
 
 @contextlib.contextmanager
-def store_lock(directory: str, timeout_s: Optional[float] = None):
-    """Exclusive advisory lock guarding one campaign directory's records file.
+def store_lock(
+    directory: str, timeout_s: Optional[float] = None
+) -> Iterator[None]:
+    """Hold the store-wide advisory lock of one campaign directory.
 
-    Uses ``fcntl.flock`` on ``<directory>/records.lock`` where available
-    (released automatically by the kernel if the holder dies), otherwise an
-    ``O_CREAT|O_EXCL`` lockfile.  Either way acquisition waits at most
-    ``timeout_s`` seconds (default :data:`DEFAULT_LOCK_TIMEOUT_S`,
-    overridable via :data:`LOCK_TIMEOUT_ENV`) and then raises
-    :class:`~repro.exceptions.StoreLockTimeoutError` naming the lock path
-    and the wait — a fleet worker fails loudly instead of hanging forever
-    behind a wedged peer.  Reentrant use within one process is *not*
-    supported — the store acquires it only in leaf methods.
-
-    When tracing is enabled the wait is accounted to the
-    ``store.lock_wait_s`` counter (with ``store.lock_acquisitions`` and
-    ``store.lock_timeouts`` counting outcomes).
+    The lock that serialises v1 appends (v2 uses one lock per segment; see
+    :func:`repro.store.locks.file_lock` for acquisition semantics — capped
+    exponential backoff, stale-lock recovery on the non-fcntl fallback,
+    :class:`~repro.exceptions.StoreLockTimeoutError` after ``timeout_s``).
     """
-    timeout_s = resolve_lock_timeout(timeout_s)
-    lock_path = os.path.join(directory, CampaignStore.LOCK_FILENAME)
-    tracing = TRACER.enabled
-    wait_start = time.perf_counter() if tracing else 0.0
-    deadline = time.monotonic() + timeout_s
-    if fcntl is not None:
-        fd = os.open(lock_path, os.O_RDWR | os.O_CREAT, 0o644)
-        try:
-            while True:
-                try:
-                    fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
-                    break
-                except OSError as error:
-                    if error.errno not in (errno.EAGAIN, errno.EACCES):
-                        raise
-                    if time.monotonic() >= deadline:
-                        _note_lock_timeout(tracing, wait_start)
-                        raise StoreLockTimeoutError(lock_path, timeout_s) from None
-                    time.sleep(_LOCK_POLL_INTERVAL_S)
-            _note_lock_acquired(tracing, wait_start)
-            try:
-                yield
-            finally:
-                fcntl.flock(fd, fcntl.LOCK_UN)
-        finally:
-            os.close(fd)
-        return
-    # Portable fallback: existence of the lockfile is the lock.
-    while True:  # pragma: no cover - exercised only on non-POSIX hosts
-        try:
-            fd = os.open(lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
-            break
-        except OSError as error:
-            if error.errno != errno.EEXIST:
-                raise
-            if time.monotonic() >= deadline:
-                _note_lock_timeout(tracing, wait_start)
-                raise StoreLockTimeoutError(lock_path, timeout_s) from None
-            time.sleep(0.01)
-    _note_lock_acquired(tracing, wait_start)  # pragma: no cover - non-POSIX
-    try:  # pragma: no cover - exercised only on non-POSIX hosts
+    with file_lock(
+        os.path.join(str(directory), CampaignStore.LOCK_FILENAME),
+        timeout_s=timeout_s,
+    ):
         yield
-    finally:  # pragma: no cover - exercised only on non-POSIX hosts
-        os.close(fd)
-        os.unlink(lock_path)
-
-
-def _note_lock_acquired(tracing: bool, wait_start: float) -> None:
-    if tracing and TRACER.enabled:
-        TRACER.add("store.lock_wait_s", time.perf_counter() - wait_start)
-        TRACER.add("store.lock_acquisitions")
-
-
-def _note_lock_timeout(tracing: bool, wait_start: float) -> None:
-    if tracing and TRACER.enabled:
-        TRACER.add("store.lock_wait_s", time.perf_counter() - wait_start)
-        TRACER.add("store.lock_timeouts")
 
 
 class CampaignStore:
     """Append-only, content-addressed result store under a directory.
 
-    Opening a store scans ``records.jsonl`` (if present) under the store
-    lock, verifying every record's content address and repairing a torn
-    trailing line left by a crashed writer; :meth:`put` appends and fsyncs
-    one line per completed cell — the per-cell checkpoint that makes
-    interrupted sweeps resumable.  Multiple processes may write to the same
-    directory concurrently: appends are serialised by the advisory lock and
-    deduplicated by content address.
+    The facade over a :class:`~repro.store.layout.StoreLayout`: opening
+    auto-detects the on-disk layout (defaulting to single-file for new
+    directories), :meth:`put` appends and fsyncs one line per completed
+    cell — the per-cell checkpoint that makes interrupted sweeps
+    resumable — and reads go through the layout's index, loading record
+    payloads lazily where the layout supports it.  Multiple processes may
+    write to the same directory concurrently: appends are serialised by
+    advisory locks and deduplicated by content address.
     """
 
-    RECORDS_FILENAME = "records.jsonl"
-    LOCK_FILENAME = "records.lock"
+    RECORDS_FILENAME = RECORDS_FILENAME
+    LOCK_FILENAME = LOCK_FILENAME
 
-    def __init__(self, directory: str, lock_timeout_s: Optional[float] = None):
+    def __init__(
+        self,
+        directory: str,
+        lock_timeout_s: Optional[float] = None,
+        layout: Optional[str] = None,
+    ):
         self._directory = str(directory)
-        #: Seconds to wait for the advisory lock before raising
+        #: Seconds to wait for an advisory lock before raising
         #: :class:`~repro.exceptions.StoreLockTimeoutError`; ``None`` defers
         #: to ``REPRO_STORE_LOCK_TIMEOUT`` / the generous default.
         self._lock_timeout_s = (
-            None if lock_timeout_s is None else resolve_lock_timeout(lock_timeout_s)
+            None if lock_timeout_s is None
+            else resolve_lock_timeout(lock_timeout_s)
         )
         os.makedirs(self._directory, exist_ok=True)
-        self._records: Dict[str, ResultRecord] = {}
-        self._order: List[str] = []
-        #: Byte offset up to which ``records.jsonl`` has been indexed; bytes
-        #: past it were appended by other writers since our last look.
-        self._scan_offset = 0
-        self._load_existing()
-
-    def _lock(self):
-        return store_lock(self._directory, timeout_s=self._lock_timeout_s)
+        detected = detect_layout(self._directory)
+        if layout is None or layout == "auto":
+            chosen = detected if detected is not None else SINGLE_FILE
+        else:
+            if layout not in LAYOUT_NAMES:
+                raise StoreError(
+                    f"unknown store layout {layout!r}; "
+                    f"known layouts: {LAYOUT_NAMES}"
+                )
+            if detected is not None and detected != layout:
+                raise StoreError(
+                    f"{self._directory} already holds a {detected} store; "
+                    f"run `repro store migrate --to {layout}` instead of "
+                    f"opening it with layout={layout!r}"
+                )
+            chosen = layout
+        self._layout = make_layout(
+            chosen, self._directory, self._lock_timeout_s
+        )
 
     # -- basic properties ---------------------------------------------------
     @property
@@ -239,227 +152,77 @@ class CampaignStore:
         return self._directory
 
     @property
+    def layout(self) -> StoreLayout:
+        """The storage engine behind this store."""
+        return self._layout
+
+    @property
+    def layout_name(self) -> str:
+        """The active layout's public name (``single-file``/``sharded``)."""
+        return self._layout.name
+
+    @property
     def records_path(self) -> str:
-        """Path of the JSONL records file."""
+        """Path of the v1 JSONL records file (meaningful for single-file)."""
         return os.path.join(self._directory, self.RECORDS_FILENAME)
 
     def __len__(self) -> int:
-        return len(self._records)
+        return len(self._layout)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._records
+        return self._layout.has(key)
 
     def keys(self) -> List[str]:
-        """All stored keys, in insertion order."""
-        return list(self._order)
+        """All stored keys, in deterministic global commit order."""
+        return self._layout.keys()
 
     # -- read API -----------------------------------------------------------
     def get(self, key: str) -> Optional[ResultRecord]:
-        """Return the record stored under ``key``, or ``None``."""
-        return self._records.get(key)
+        """Return the record stored under ``key`` (loaded lazily), or ``None``."""
+        return self._layout.get(key)
 
     def records(self) -> Iterator[ResultRecord]:
-        """Iterate over every record in insertion order."""
-        for key in self._order:
-            yield self._records[key]
+        """Iterate over every record in commit order."""
+        return self._layout.iter_records()
 
     def query(
         self,
         predicate: Optional[Callable[[ResultRecord], bool]] = None,
-        **config_equals,
+        **config_equals: Any,
     ) -> List[ResultRecord]:
         """Return records whose config matches every ``field=value`` filter.
 
-        ``predicate`` (if given) additionally filters on the full record.
+        Config-equality filters are evaluated against the layout's index
+        (which carries each record's config), so on a sharded store a
+        filtered query deserialises only the *matching* records' payloads
+        — unmatched segments are never read.  ``predicate`` (if given)
+        additionally filters on the full, lazily-loaded record.
         """
         matches = []
-        for record in self.records():
+        for key, config in self._layout.iter_configs():
             if any(
-                record.config.get(field) != value
+                config.get(field) != value
                 for field, value in config_equals.items()
             ):
                 continue
+            record = self._layout.get(key)
+            assert record is not None  # the index only lists committed keys
             if predicate is not None and not predicate(record):
                 continue
             matches.append(record)
         return matches
 
     # -- write API ----------------------------------------------------------
-    def put(self, config: Dict, result: Dict) -> ResultRecord:
+    def put(self, config: Dict[str, Any], result: Dict[str, Any]) -> ResultRecord:
         """Store one completed cell (checkpointing it to disk immediately).
 
         Idempotent for identical results; storing a *different* result under
         an existing key raises :class:`StoreIntegrityError` — that means the
         simulation is not deterministic in something the key does not cover.
-        Safe against concurrent writers: the append happens under the store
-        lock, after indexing whatever other processes committed meanwhile.
+        Safe against concurrent writers: the append happens under the
+        layout's advisory lock, after indexing whatever other processes
+        committed meanwhile.
         """
         key = content_key(config)
         record = ResultRecord(key=key, config=config, result=result)
-        existing = self._records.get(key)
-        if existing is not None:
-            return self._reconcile(existing, record)
-        with self._lock():
-            # Another process may have committed this cell (or others) since
-            # we last looked; index the new tail before deciding to append.
-            self._refresh_from_disk()
-            existing = self._records.get(key)
-            if existing is not None:
-                return self._reconcile(existing, record)
-            payload = (record.to_json_line() + "\n").encode("utf-8")
-            append_start = time.perf_counter() if TRACER.enabled else 0.0
-            fd = os.open(
-                self.records_path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
-            )
-            try:
-                start = os.fstat(fd).st_size
-                try:
-                    written = 0
-                    while written < len(payload):
-                        chunk = os.write(fd, payload[written:])
-                        if chunk == 0:
-                            raise StoreError(
-                                f"zero-byte write appending to {self.records_path}"
-                            )
-                        written += chunk
-                    fsync_start = time.perf_counter() if TRACER.enabled else 0.0
-                    os.fsync(fd)
-                    if TRACER.enabled:
-                        now = time.perf_counter()
-                        TRACER.add("store.appends")
-                        TRACER.add("store.bytes_appended", len(payload))
-                        TRACER.add("store.fsync_s", now - fsync_start)
-                        TRACER.add("store.append_s", now - append_start)
-                except BaseException:
-                    # A short/failed write leaves a torn fragment that later
-                    # appends would turn into unrepairable *mid-file*
-                    # corruption; roll it back while we still hold the lock.
-                    with contextlib.suppress(OSError):
-                        os.ftruncate(fd, start)
-                    raise
-            finally:
-                os.close(fd)
-            self._scan_offset += len(payload)
-        self._records[key] = record
-        self._order.append(key)
-        return record
-
-    @staticmethod
-    def _reconcile(existing: ResultRecord, incoming: ResultRecord) -> ResultRecord:
-        if existing.to_json_line() != incoming.to_json_line():
-            raise StoreIntegrityError(
-                f"key {existing.key} already stored with a different result; "
-                "the configuration hash does not capture all sources of "
-                "variation"
-            )
-        return existing
-
-    # -- internals ----------------------------------------------------------
-    def _load_existing(self) -> None:
-        if not os.path.exists(self.records_path):
-            return
-        with self._lock():
-            self._refresh_from_disk()
-
-    def _refresh_from_disk(self) -> None:
-        """Index records appended since the last scan.  Caller holds the lock.
-
-        Because every writer appends only while holding the lock, a partial
-        trailing line observed *under the lock* can only be a crash artifact:
-        it is repaired in place (truncated, or completed with its missing
-        newline when the record itself survived intact).
-        """
-        if not os.path.exists(self.records_path):
-            return
-        with open(self.records_path, "rb") as handle:
-            handle.seek(self._scan_offset)
-            data = handle.read()
-        position = 0
-        while position < len(data):
-            newline = data.find(b"\n", position)
-            if newline == -1:
-                self._repair_tail(data[position:], self._scan_offset + position)
-                return
-            line = data[position:newline]
-            if line.strip():
-                self._index_line(line, self._scan_offset + position)
-            position = newline + 1
-        self._scan_offset += position
-
-    def _index_line(self, line: bytes, offset: int) -> None:
-        record = self._parse_record(line, offset)
-        existing = self._records.get(record.key)
-        if existing is not None:
-            if existing.to_json_line() != record.to_json_line():
-                raise StoreIntegrityError(
-                    f"{self.records_path} holds two different results for key "
-                    f"{record.key} (second at byte {offset}); refusing to "
-                    "pick one silently"
-                )
-            return
-        self._records[record.key] = record
-        self._order.append(record.key)
-
-    def _parse_record(self, line: bytes, offset: int) -> ResultRecord:
-        try:
-            record = ResultRecord.from_json_line(line.decode("utf-8"))
-        except (ValueError, KeyError, TypeError, UnicodeDecodeError) as error:
-            raise StoreIntegrityError(
-                f"{self.records_path} is corrupt at byte {offset}: "
-                f"unparseable record line ({error}); only a *trailing* torn "
-                "line can be crash damage, so this needs manual inspection"
-            ) from error
-        derived = content_key(record.config)
-        if record.key != derived:
-            raise StoreIntegrityError(
-                f"{self.records_path} is corrupt at byte {offset}: stored key "
-                f"{record.key} does not match the content address {derived} "
-                "of its config"
-            )
-        return record
-
-    def _repair_tail(self, fragment: bytes, offset: int) -> None:
-        """Handle a trailing line with no newline (a crashed writer's append).
-
-        A crash-torn append is a strict prefix of one JSON object and can
-        never parse, so an unparseable fragment is truncated away (the cell
-        is re-simulated on resume).  A fragment that *does* parse is a
-        complete record missing only its newline: it is verified exactly
-        like any other line — failing loudly on a bad content address —
-        and then completed in place.
-        """
-        if not fragment.strip():
-            # Just stray whitespace at the tail; absorb it.
-            self._scan_offset = offset + len(fragment)
-            return
-        try:
-            ResultRecord.from_json_line(fragment.decode("utf-8"))
-        except (ValueError, KeyError, TypeError, UnicodeDecodeError):
-            fd = os.open(self.records_path, os.O_RDWR)
-            try:
-                os.ftruncate(fd, offset)
-                os.fsync(fd)
-            finally:
-                os.close(fd)
-            self._scan_offset = offset
-            if TRACER.enabled:
-                TRACER.add("store.torn_tail_repairs")
-                TRACER.event(
-                    "store.torn_tail_repair",
-                    {"path": self.records_path, "offset": offset,
-                     "truncated_bytes": len(fragment)},
-                )
-            return
-        self._index_line(fragment, offset)  # raises on key/config mismatch
-        with open(self.records_path, "ab") as handle:  # repro-lint: ignore[RPR104] -- _repair_tail runs with the store lock already held by its caller
-            handle.write(b"\n")
-            handle.flush()
-            os.fsync(handle.fileno())
-        self._scan_offset = offset + len(fragment) + 1
-        if TRACER.enabled:
-            TRACER.add("store.torn_tail_repairs")
-            TRACER.event(
-                "store.torn_tail_repair",
-                {"path": self.records_path, "offset": offset,
-                 "restored_newline": True},
-            )
+        return self._layout.append(record)

@@ -36,6 +36,7 @@ EXPECTED_WORKLOADS = {
     "sec53-end-to-end-recovery",
     "sec63-experiment-runtime",
     "ablation-solver-backends",
+    "store-layouts",
 }
 
 

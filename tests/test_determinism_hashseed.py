@@ -20,7 +20,7 @@ _SCRIPT = """
 import json
 from repro.core import MiscorrectionProfile
 from repro.core.patterns import ChargedPattern
-from repro.store.store import ResultRecord, canonical_json, content_key
+from repro.store import ResultRecord, canonical_json, content_key
 from repro.bench.schema import BenchRun, ConditionRecord, WorkloadRecord
 
 profile = MiscorrectionProfile(8)

@@ -1,4 +1,12 @@
-"""Tests for the content-addressed campaign store."""
+"""Tests for the content-addressed campaign store.
+
+The behavioural suites (basic API, crash recovery, concurrent writers,
+lock timeouts) run against *both* storage layouts: the v1 single-file
+``records.jsonl`` and the v2 sharded segment store.  The durability
+contract — atomic fsynced appends, multi-writer dedupe, torn-tail
+repair, loud mid-file corruption — is layout-independent; v2 simply
+enforces it per segment.
+"""
 
 import json
 import multiprocessing
@@ -7,12 +15,53 @@ import os
 import pytest
 
 from repro.store import (
+    SHARDED,
+    SINGLE_FILE,
     CampaignStore,
     ResultRecord,
     StoreIntegrityError,
     canonical_json,
     content_key,
 )
+
+LAYOUTS = [SINGLE_FILE, SHARDED]
+
+
+@pytest.fixture(params=LAYOUTS)
+def layout(request):
+    return request.param
+
+
+def _record_files(directory):
+    """Every file holding record payloads, sorted (one for v1, N for v2)."""
+    segments = directory / "segments"
+    if segments.is_dir():
+        return sorted(segments.glob("*.jsonl"))
+    return [directory / "records.jsonl"]
+
+
+def _all_record_lines(directory):
+    lines = []
+    for path in _record_files(directory):
+        lines.extend(path.read_bytes().splitlines())
+    return lines
+
+
+def _colliding_cells(count=3):
+    """The first ``count`` cells whose ``{"cell": n}`` keys share a shard.
+
+    Crash-recovery tests need their records physically adjacent in one
+    file for byte-level surgery; for the sharded layout that means one
+    segment, so the cells must collide on the 2-hex key prefix.
+    """
+    groups = {}
+    cell = 0
+    while True:
+        shard = content_key({"cell": cell})[:2]
+        groups.setdefault(shard, []).append(cell)
+        if len(groups[shard]) == count:
+            return groups[shard]
+        cell += 1
 
 
 class TestCanonicalisation:
@@ -33,40 +82,40 @@ class TestCanonicalisation:
 
 
 class TestCampaignStore:
-    def test_put_and_get(self, tmp_path):
-        store = CampaignStore(tmp_path / "camp")
+    def test_put_and_get(self, tmp_path, layout):
+        store = CampaignStore(tmp_path / "camp", layout=layout)
         record = store.put({"a": 1}, {"r": 2})
         assert record.key == content_key({"a": 1})
         assert store.get(record.key) == record
         assert record.key in store
         assert len(store) == 1
 
-    def test_records_persist_across_reopen(self, tmp_path):
+    def test_records_persist_across_reopen(self, tmp_path, layout):
         directory = tmp_path / "camp"
-        store = CampaignStore(directory)
+        store = CampaignStore(directory, layout=layout)
         store.put({"a": 1}, {"r": 1})
         store.put({"a": 2}, {"r": 2})
-        reopened = CampaignStore(directory)
+        reopened = CampaignStore(directory)  # layout auto-detected
+        assert reopened.layout_name == layout
         assert len(reopened) == 2
         assert reopened.keys() == store.keys()
         assert [r.result for r in reopened.records()] == [{"r": 1}, {"r": 2}]
 
-    def test_put_is_idempotent_for_identical_results(self, tmp_path):
-        store = CampaignStore(tmp_path / "camp")
+    def test_put_is_idempotent_for_identical_results(self, tmp_path, layout):
+        store = CampaignStore(tmp_path / "camp", layout=layout)
         store.put({"a": 1}, {"r": 1})
         store.put({"a": 1}, {"r": 1})
         assert len(store) == 1
-        lines = (tmp_path / "camp" / "records.jsonl").read_text().splitlines()
-        assert len(lines) == 1
+        assert len(_all_record_lines(tmp_path / "camp")) == 1
 
-    def test_conflicting_result_raises(self, tmp_path):
-        store = CampaignStore(tmp_path / "camp")
+    def test_conflicting_result_raises(self, tmp_path, layout):
+        store = CampaignStore(tmp_path / "camp", layout=layout)
         store.put({"a": 1}, {"r": 1})
         with pytest.raises(StoreIntegrityError):
             store.put({"a": 1}, {"r": 999})
 
-    def test_query_filters_on_config_fields(self, tmp_path):
-        store = CampaignStore(tmp_path / "camp")
+    def test_query_filters_on_config_fields(self, tmp_path, layout):
+        store = CampaignStore(tmp_path / "camp", layout=layout)
         store.put({"scenario": "burst", "seed": 0}, {"r": 1})
         store.put({"scenario": "burst", "seed": 1}, {"r": 2})
         store.put({"scenario": "uniform-random", "seed": 0}, {"r": 3})
@@ -74,30 +123,52 @@ class TestCampaignStore:
         assert len(store.query(scenario="burst", seed=1)) == 1
         assert len(store.query(predicate=lambda r: r.result["r"] > 1)) == 2
 
-    def test_store_file_is_canonical_json_lines(self, tmp_path):
-        store = CampaignStore(tmp_path / "camp")
+    def test_store_files_are_canonical_json_lines(self, tmp_path, layout):
+        store = CampaignStore(tmp_path / "camp", layout=layout)
         store.put({"b": 2, "a": 1}, {"z": 1, "y": 2})
-        line = (tmp_path / "camp" / "records.jsonl").read_text().strip()
-        assert line == canonical_json(json.loads(line))
+        [line] = _all_record_lines(tmp_path / "camp")
+        text = line.decode("utf-8")
+        assert text == canonical_json(json.loads(text))
 
-    def test_directory_created_on_open(self, tmp_path):
+    def test_directory_created_on_open(self, tmp_path, layout):
         target = tmp_path / "nested" / "camp"
-        CampaignStore(target)
+        CampaignStore(target, layout=layout)
         assert os.path.isdir(target)
 
 
 class TestCrashRecovery:
-    """A writer killed mid-append must not make the store unopenable."""
+    """A writer killed mid-append must not make the store unopenable.
+
+    For the sharded layout the three records collide onto one segment, so
+    the byte surgery below exercises exactly the per-segment repair path.
+    Where a test rewrites bytes *covered by the sidecar index* it removes
+    the index first: a lazy open trusts coverage-consistent index entries
+    by design (``repro store verify`` deep-checks them), and dropping the
+    sidecar forces the full segment scan whose semantics must match v1.
+    """
 
     @staticmethod
-    def _populated(directory, count=3):
-        store = CampaignStore(directory)
-        for index in range(count):
-            store.put({"cell": index}, {"r": index * 10})
-        return directory / "records.jsonl"
+    def _populated(directory, layout):
+        cells = _colliding_cells(3)
+        store = CampaignStore(directory, layout=layout)
+        for index, cell in enumerate(cells):
+            store.put({"cell": cell}, {"r": index * 10})
+        if layout == SHARDED:
+            shard = content_key({"cell": cells[0]})[:2]
+            return directory / "segments" / f"{shard}.jsonl", cells
+        return directory / "records.jsonl", cells
 
-    def test_torn_trailing_line_is_truncated_and_resumes(self, tmp_path):
-        records = self._populated(tmp_path / "camp")
+    @staticmethod
+    def _drop_index(directory):
+        index_dir = directory / "index"
+        if index_dir.is_dir():
+            for sidecar in index_dir.glob("*.idx"):
+                sidecar.unlink()
+
+    def test_torn_trailing_line_is_truncated_and_resumes(
+        self, tmp_path, layout
+    ):
+        records, cells = self._populated(tmp_path / "camp", layout)
         intact = records.read_bytes()
         torn_at = intact.rstrip(b"\n").rfind(b"\n") + 1
         # Crash mid-append: the last record only half made it to disk.
@@ -107,72 +178,85 @@ class TestCrashRecovery:
         assert len(reopened) == 2
         # The torn tail is gone from disk, so a fresh append lands cleanly...
         assert records.read_bytes() == intact[:torn_at]
-        reopened.put({"cell": 2}, {"r": 20})
+        reopened.put({"cell": cells[2]}, {"r": 20})
         # ...and the repaired store ends up byte-identical to the uncrashed one.
         assert records.read_bytes() == intact
 
-    def test_complete_tail_missing_only_newline_is_kept(self, tmp_path):
-        records = self._populated(tmp_path / "camp")
+    def test_complete_tail_missing_only_newline_is_kept(
+        self, tmp_path, layout
+    ):
+        records, cells = self._populated(tmp_path / "camp", layout)
         intact = records.read_bytes()
         records.write_bytes(intact[:-1])  # crash ate just the final "\n"
 
         reopened = CampaignStore(tmp_path / "camp")
         assert len(reopened) == 3
-        assert reopened.get(content_key({"cell": 2})).result == {"r": 20}
+        assert reopened.get(content_key({"cell": cells[2]})).result == {"r": 20}
         assert records.read_bytes() == intact
 
-    def test_torn_line_before_the_tail_is_real_corruption(self, tmp_path):
-        records = self._populated(tmp_path / "camp")
+    def test_torn_line_before_the_tail_is_real_corruption(
+        self, tmp_path, layout
+    ):
+        records, _ = self._populated(tmp_path / "camp", layout)
         lines = records.read_bytes().splitlines(keepends=True)
         lines[1] = lines[1][:25] + b"\n"
         records.write_bytes(b"".join(lines))
         with pytest.raises(StoreIntegrityError, match="unparseable"):
             CampaignStore(tmp_path / "camp")
 
-    def test_key_config_mismatch_fails_loudly(self, tmp_path):
-        records = self._populated(tmp_path / "camp")
+    def test_key_config_mismatch_fails_loudly(self, tmp_path, layout):
+        records, _ = self._populated(tmp_path / "camp", layout)
         payload = json.loads(records.read_bytes().splitlines()[0])
         payload["config"] = {"cell": "tampered"}
         doctored = canonical_json(payload).encode() + b"\n"
-        with open(records, "r+b") as handle:
-            original = handle.read()
-        records.write_bytes(doctored + b"".join(original.splitlines(keepends=True)[1:]))
+        original = records.read_bytes()
+        records.write_bytes(
+            doctored + b"".join(original.splitlines(keepends=True)[1:])
+        )
+        self._drop_index(tmp_path / "camp")
         with pytest.raises(StoreIntegrityError, match="content address"):
             CampaignStore(tmp_path / "camp")
 
-    def test_conflicting_results_for_one_key_fail_loudly(self, tmp_path):
-        records = self._populated(tmp_path / "camp")
+    def test_conflicting_results_for_one_key_fail_loudly(
+        self, tmp_path, layout
+    ):
+        records, cells = self._populated(tmp_path / "camp", layout)
         conflicting = ResultRecord(
-            key=content_key({"cell": 0}), config={"cell": 0}, result={"r": 999}
+            key=content_key({"cell": cells[0]}),
+            config={"cell": cells[0]},
+            result={"r": 999},
         )
         with open(records, "ab") as handle:
             handle.write(conflicting.to_json_line().encode() + b"\n")
         with pytest.raises(StoreIntegrityError, match="two different results"):
             CampaignStore(tmp_path / "camp")
 
-    def test_tampered_tail_without_newline_fails_loudly(self, tmp_path):
+    def test_tampered_tail_without_newline_fails_loudly(
+        self, tmp_path, layout
+    ):
         # A torn append can never fully parse, so a parseable tail whose key
         # fails verification is tampering, not crash damage — it must not be
         # silently truncated away.
-        records = self._populated(tmp_path / "camp")
+        records, _ = self._populated(tmp_path / "camp", layout)
         lines = records.read_bytes().splitlines(keepends=True)
         payload = json.loads(lines[-1])
         payload["config"] = {"cell": "tampered"}
         records.write_bytes(
             b"".join(lines[:-1]) + canonical_json(payload).encode()
         )
+        self._drop_index(tmp_path / "camp")
         with pytest.raises(StoreIntegrityError, match="content address"):
             CampaignStore(tmp_path / "camp")
 
-    def test_non_object_json_line_fails_loudly(self, tmp_path):
-        records = self._populated(tmp_path / "camp")
+    def test_non_object_json_line_fails_loudly(self, tmp_path, layout):
+        records, _ = self._populated(tmp_path / "camp", layout)
         with open(records, "ab") as handle:
             handle.write(b"null\n")
         with pytest.raises(StoreIntegrityError, match="unparseable"):
             CampaignStore(tmp_path / "camp")
 
-    def test_whitespace_tail_is_absorbed(self, tmp_path):
-        records = self._populated(tmp_path / "camp")
+    def test_whitespace_tail_is_absorbed(self, tmp_path, layout):
+        records, _ = self._populated(tmp_path / "camp", layout)
         with open(records, "ab") as handle:
             handle.write(b"  ")
         assert len(CampaignStore(tmp_path / "camp")) == 3
@@ -191,9 +275,11 @@ def _hammer_store(directory, writer_id, keys_per_writer, shared_keys, barrier):
 
 
 class TestConcurrentWriters:
-    def test_two_writers_produce_no_torn_or_duplicate_records(self, tmp_path):
+    def test_two_writers_produce_no_torn_or_duplicate_records(
+        self, tmp_path, layout
+    ):
         directory = tmp_path / "camp"
-        CampaignStore(directory)
+        CampaignStore(directory, layout=layout)  # fix the layout up front
         keys_per_writer, shared_keys = 40, 15
         barrier = multiprocessing.Barrier(2)
         workers = [
@@ -209,9 +295,11 @@ class TestConcurrentWriters:
             worker.join()
             assert worker.exitcode == 0
 
-        raw = (directory / "records.jsonl").read_bytes()
-        assert raw.endswith(b"\n")
-        lines = raw.splitlines()
+        lines = []
+        for path in _record_files(directory):
+            raw = path.read_bytes()
+            assert raw.endswith(b"\n")
+            lines.extend(raw.splitlines())
         # Every line parses and key-verifies: nothing interleaved, nothing torn.
         records = [ResultRecord.from_json_line(line.decode()) for line in lines]
         for record in records:
@@ -221,27 +309,36 @@ class TestConcurrentWriters:
         assert len({record.key for record in records}) == len(lines)
 
         reopened = CampaignStore(directory)
+        assert reopened.layout_name == layout
         assert len(reopened) == len(lines)
         for index in range(shared_keys):
             assert reopened.get(content_key({"shared": index})).result == {
                 "r": index * 7
             }
 
+
 class TestLockTimeout:
     """A wedged peer must surface as a clear error, not an eternal hang."""
 
-    def test_put_times_out_against_a_held_lock(self, tmp_path):
-        from repro.store import StoreLockTimeoutError, store_lock
+    def test_put_times_out_against_a_held_lock(self, tmp_path, layout):
+        from repro.store import StoreLockTimeoutError, file_lock
 
-        store = CampaignStore(tmp_path, lock_timeout_s=0.2)
+        store = CampaignStore(tmp_path, lock_timeout_s=0.2, layout=layout)
+        config = {"kind": "x"}
+        if layout == SHARDED:
+            lock_path = (
+                tmp_path / "segments" / f"{content_key(config)[:2]}.lock"
+            )
+        else:
+            lock_path = tmp_path / "records.lock"
         # flock conflicts across file descriptors even within one process,
         # so holding the lock here is indistinguishable from a wedged peer.
-        with store_lock(tmp_path):
+        with file_lock(str(lock_path), timeout_s=30.0):
             with pytest.raises(StoreLockTimeoutError) as excinfo:
-                store.put({"kind": "x"}, {"ok": True})
+                store.put(config, {"ok": True})
         error = excinfo.value
         assert error.waited_s >= 0.2
-        assert str(tmp_path / "records.lock") == error.lock_path
+        assert str(lock_path) == error.lock_path
         assert "REPRO_STORE_LOCK_TIMEOUT" in str(error)
 
     def test_timeout_error_is_a_store_error(self):
@@ -276,16 +373,17 @@ class TestLockTimeout:
         with pytest.raises(StoreError, match="positive"):
             resolve_lock_timeout(None)
 
-    def test_lock_wait_counters_recorded_when_traced(self, tmp_path):
+    def test_lock_wait_counters_recorded_when_traced(self, tmp_path, layout):
         from repro.obs import TRACER
 
-        store = CampaignStore(tmp_path)
+        store = CampaignStore(tmp_path, layout=layout)
         TRACER.enable()
         try:
             store.put({"kind": "x"}, {"ok": True})
             counters = TRACER.counter_totals()
         finally:
             TRACER.disable()
-        assert counters["store.lock_acquisitions"] >= 1
+        prefix = "store.segment.lock" if layout == SHARDED else "store.lock"
+        assert counters[f"{prefix}_acquisitions"] >= 1
         assert counters["store.appends"] == 1
         assert counters["store.fsync_s"] >= 0

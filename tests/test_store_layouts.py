@@ -1,0 +1,543 @@
+"""Layout engine tests: detection, the sharded index, lifecycle verbs.
+
+``tests/test_store.py`` proves the layout-independent durability contract
+on both layouts; this module covers what is new in the layered engine —
+manifest detection, the compacted sidecar index (lazy loads, rebuilds,
+torn rows), the ``repro store`` lifecycle verbs and CLI, the lock
+acquisition backoff and stale-lock recovery, and a randomised proof that
+``migrate`` round-trips a v1 store byte-identically.
+"""
+
+import itertools
+import json
+import multiprocessing
+import os
+import shutil
+import tempfile
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import StoreError
+from repro.obs import TRACER
+from repro.store import (
+    MANIFEST_FILENAME,
+    SHARDED,
+    SINGLE_FILE,
+    CampaignStore,
+    ShardedLayout,
+    SingleFileLayout,
+    content_key,
+    detect_layout,
+    make_layout,
+    store_compact,
+    store_gc,
+    store_migrate,
+    store_stat,
+    store_verify,
+)
+from repro.store.layout import IndexEntry
+
+LAYOUTS = [SINGLE_FILE, SHARDED]
+
+
+@pytest.fixture(params=LAYOUTS)
+def layout(request):
+    return request.param
+
+
+def _populate(directory, layout, count=6):
+    store = CampaignStore(directory, layout=layout)
+    for index in range(count):
+        store.put({"cell": index}, {"r": index * 3})
+    return store
+
+
+@pytest.fixture
+def traced():
+    TRACER.enable()
+    try:
+        yield TRACER
+    finally:
+        TRACER.disable()
+
+
+class TestLayoutDetection:
+    def test_empty_directory_detects_nothing_and_defaults_to_v1(self, tmp_path):
+        assert detect_layout(str(tmp_path)) is None
+        assert CampaignStore(tmp_path).layout_name == SINGLE_FILE
+
+    def test_records_file_detects_single_file(self, tmp_path):
+        _populate(tmp_path, SINGLE_FILE, count=1)
+        assert detect_layout(str(tmp_path)) == SINGLE_FILE
+
+    def test_manifest_detects_sharded_and_wins_over_stray_v1_file(
+        self, tmp_path
+    ):
+        _populate(tmp_path, SHARDED, count=1)
+        assert detect_layout(str(tmp_path)) == SHARDED
+        # An interrupted migration can leave a dead records.jsonl behind;
+        # the manifest stays authoritative.
+        (tmp_path / "records.jsonl").write_text("dead\n")
+        assert detect_layout(str(tmp_path)) == SHARDED
+
+    def test_conflicting_explicit_layout_points_at_migrate(self, tmp_path):
+        _populate(tmp_path, SINGLE_FILE, count=1)
+        with pytest.raises(StoreError, match="repro store migrate"):
+            CampaignStore(tmp_path, layout=SHARDED)
+
+    def test_opening_v1_directory_as_sharded_layout_refuses(self, tmp_path):
+        _populate(tmp_path, SINGLE_FILE, count=1)
+        with pytest.raises(StoreError, match="migrate"):
+            ShardedLayout(str(tmp_path))
+
+    def test_unknown_layout_name_raises(self, tmp_path):
+        with pytest.raises(StoreError, match="unknown store layout"):
+            CampaignStore(tmp_path, layout="b-tree")
+        with pytest.raises(StoreError, match="unknown store layout"):
+            make_layout("b-tree", str(tmp_path))
+
+
+class TestShardedRouting:
+    def test_records_land_in_their_key_prefix_segment(self, tmp_path):
+        store = _populate(tmp_path, SHARDED)
+        for key in store.keys():
+            segment = tmp_path / "segments" / f"{key[:2]}.jsonl"
+            assert segment.exists()
+            assert key.encode() in segment.read_bytes()
+
+    def test_keys_preserve_global_commit_order_across_segments(self, tmp_path):
+        store = _populate(tmp_path, SHARDED, count=12)
+        expected = [content_key({"cell": index}) for index in range(12)]
+        assert store.keys() == expected
+        assert CampaignStore(tmp_path).keys() == expected
+
+    def test_appends_after_lazy_reopen_continue_the_sequence(self, tmp_path):
+        _populate(tmp_path, SHARDED, count=4)
+        reopened = CampaignStore(tmp_path)
+        reopened.put({"cell": 99}, {"r": 99})
+        assert reopened.keys()[-1] == content_key({"cell": 99})
+        assert CampaignStore(tmp_path).keys() == reopened.keys()
+
+    def test_shard_of_rejects_unshardable_keys(self, tmp_path):
+        layout = CampaignStore(tmp_path, layout=SHARDED).layout
+        from repro.store import StoreIntegrityError
+
+        with pytest.raises(StoreIntegrityError, match="too short"):
+            layout.shard_of("ab")
+
+
+class TestSidecarIndex:
+    def test_open_and_membership_never_parse_payloads(self, tmp_path, traced):
+        store = _populate(tmp_path, SHARDED)
+        keys = store.keys()
+        reopened = CampaignStore(tmp_path)
+        assert all(key in reopened for key in keys)
+        counters = traced.counter_totals()
+        assert counters.get("store.lazy_record_loads", 0) == 0
+        assert counters.get("store.index.rebuilds", 0) == 0
+        reopened.get(keys[0])
+        assert traced.counter_totals()["store.lazy_record_loads"] == 1
+
+    def test_filtered_query_loads_only_matching_records(self, tmp_path, traced):
+        store = CampaignStore(tmp_path, layout=SHARDED)
+        for seed in range(5):
+            store.put({"scenario": "burst", "seed": seed}, {"r": seed})
+        reopened = CampaignStore(tmp_path)
+        [match] = reopened.query(seed=3)
+        assert match.result == {"r": 3}
+        assert traced.counter_totals()["store.lazy_record_loads"] == 1
+
+    def test_deleted_sidecars_are_rebuilt_from_segments(self, tmp_path, traced):
+        store = _populate(tmp_path, SHARDED)
+        for sidecar in (tmp_path / "index").glob("*.idx"):
+            sidecar.unlink()
+        reopened = CampaignStore(tmp_path)
+        # Commit sequence numbers live in the sidecars, so losing *all* of
+        # them loses the cross-segment interleaving: the rebuild recovers
+        # every record (verified bytes, per-segment order intact) with a
+        # deterministic — but not the original — global order.
+        assert sorted(reopened.keys()) == sorted(store.keys())
+        assert {r.key: r for r in reopened.records()} == {
+            r.key: r for r in store.records()
+        }
+        assert traced.counter_totals()["store.index.rebuilds"] >= 1
+        assert list((tmp_path / "index").glob("*.idx"))  # rewritten compacted
+        assert CampaignStore(tmp_path).keys() == reopened.keys()
+
+    def test_torn_final_sidecar_row_is_forgiven(self, tmp_path):
+        store = _populate(tmp_path, SHARDED)
+        [first] = [s for s in (tmp_path / "index").glob("*.idx")][:1]
+        with open(first, "ab") as handle:
+            handle.write(b'{"k":"deadbeef')  # writer died mid index append
+        reopened = CampaignStore(tmp_path)
+        assert reopened.keys() == store.keys()
+
+    def test_unparseable_final_sidecar_line_is_forgiven(self, tmp_path):
+        store = _populate(tmp_path, SHARDED)
+        [first] = [s for s in (tmp_path / "index").glob("*.idx")][:1]
+        with open(first, "ab") as handle:
+            handle.write(b"nonsense\n")
+        reopened = CampaignStore(tmp_path)
+        assert reopened.keys() == store.keys()
+
+    def test_mid_sidecar_corruption_triggers_full_rebuild(
+        self, tmp_path, traced
+    ):
+        store = _populate(tmp_path, SHARDED, count=40)  # multi-row sidecars
+        sidecars = sorted(
+            (tmp_path / "index").glob("*.idx"),
+            key=lambda p: -len(p.read_bytes().splitlines()),
+        )
+        victim = sidecars[0]
+        rows = victim.read_bytes().splitlines(keepends=True)
+        assert len(rows) >= 2
+        victim.write_bytes(b"nonsense\n" + b"".join(rows[1:]))
+        reopened = CampaignStore(tmp_path)
+        # The damaged shard is rebuilt (fresh seqs); the rest keep theirs.
+        assert sorted(reopened.keys()) == sorted(store.keys())
+        assert {r.key: r for r in reopened.records()} == {
+            r.key: r for r in store.records()
+        }
+        assert traced.counter_totals()["store.index.rebuilds"] >= 1
+        assert CampaignStore(tmp_path).keys() == reopened.keys()
+
+    def test_non_canonical_field_order_falls_back_to_json_parse(
+        self, tmp_path
+    ):
+        store = _populate(tmp_path, SHARDED)
+        [sidecar] = [s for s in (tmp_path / "index").glob("*.idx")][:1]
+        rows = sidecar.read_text().splitlines()
+        # Re-emit the first row with sorted keys: structurally alien to the
+        # fast path (key no longer leads), still a valid index row.
+        payload = json.loads(rows[0])
+        rows[0] = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        sidecar.write_text("".join(row + "\n" for row in rows))
+        assert CampaignStore(tmp_path).keys() == store.keys()
+
+    def test_lazy_entry_with_mismatched_key_fails_on_decode(self):
+        honest = IndexEntry(
+            key="ab" + "0" * 62, shard="ab", offset=0, length=10, seq=0,
+            config={"cell": 1},
+        )
+        raw = honest.to_json_line().encode("utf-8")
+        doctored = IndexEntry.lazy("ab" + "1" * 62, "ab", raw)
+        from repro.store import StoreIntegrityError
+
+        with pytest.raises(StoreIntegrityError, match="repro store compact"):
+            doctored.offset
+
+
+class TestLifecycleOps:
+    def test_stat_reports_layout_and_sizes(self, tmp_path, layout):
+        _populate(tmp_path, layout)
+        stat = store_stat(str(tmp_path))
+        assert stat["layout"] == layout
+        assert stat["records"] == 6
+        assert stat["bytes"] > 0
+        if layout == SHARDED:
+            assert stat["segments"] == len(
+                list((tmp_path / "segments").glob("*.jsonl"))
+            )
+            assert stat["shard_prefix_chars"] == 2
+            assert sum(row["records"] for row in stat["segment_detail"]) == 6
+        else:
+            assert stat["segments"] == 1
+
+    def test_verify_passes_on_a_clean_store(self, tmp_path, layout):
+        _populate(tmp_path, layout)
+        report = store_verify(str(tmp_path))
+        assert report["ok"] and report["problems"] == []
+        assert report["records"] == 6
+
+    def test_verify_catches_an_in_place_bit_flip(self, tmp_path, layout):
+        _populate(tmp_path, layout)
+        # Same-length tamper of a *config* byte: offsets and coverage stay
+        # consistent, so only re-deriving the content address from the
+        # stored config (what verify forces for every record) can notice.
+        _tamper_config_in_place(tmp_path)
+        report = store_verify(str(tmp_path))
+        assert not report["ok"]
+        assert any("content address" in problem for problem in report["problems"])
+
+    def test_verify_on_an_empty_directory_reports_no_store(self, tmp_path):
+        report = store_verify(str(tmp_path))
+        assert not report["ok"]
+        assert "no campaign store" in report["problems"][0]
+
+    def test_compact_is_a_byte_level_noop_on_canonical_stores(
+        self, tmp_path, layout
+    ):
+        _populate(tmp_path, layout)
+        before = {
+            str(path): path.read_bytes()
+            for path in tmp_path.rglob("*.jsonl")
+        }
+        summary = store_compact(str(tmp_path))
+        assert summary["records"] == 6
+        assert summary["bytes_before"] == summary["bytes_after"]
+        for path, payload in before.items():
+            assert open(path, "rb").read() == payload
+
+    def test_compact_drops_stray_whitespace(self, tmp_path):
+        _populate(tmp_path, SHARDED)
+        [segment] = sorted((tmp_path / "segments").glob("*.jsonl"))[:1]
+        with open(segment, "ab") as handle:
+            handle.write(b"   \n")
+        summary = store_compact(str(tmp_path))
+        assert summary["bytes_after"] == summary["bytes_before"] - 4
+        assert store_verify(str(tmp_path))["ok"]
+
+    def test_gc_sweeps_dead_artifacts(self, tmp_path):
+        from repro.store.locks import owner_stamp
+
+        _populate(tmp_path, SHARDED)
+        dead = multiprocessing.Process(target=_exit_immediately)
+        dead.start()
+        dead.join()
+        stamp = f"{dead.pid}\n{os.uname().nodename}\n".encode()
+        assert owner_stamp() != stamp
+        stale_lock = tmp_path / "segments" / "aa.lock"
+        stale_lock.write_bytes(stamp)
+        tmp_file = tmp_path / "segments" / "aa.jsonl.tmp"
+        tmp_file.write_bytes(b"partial")
+        orphan = tmp_path / "index" / "zz.idx"
+        orphan.write_bytes(b"{}\n")
+        dead_v1 = tmp_path / "records.jsonl"
+        dead_v1.write_bytes(b"leftover\n")
+
+        summary = store_gc(str(tmp_path))
+        removed = summary["removed"]
+        assert str(stale_lock) in removed["stale_locks"]
+        assert str(tmp_file) in removed["tmp_files"]
+        assert str(orphan) in removed["orphan_sidecars"]
+        assert str(dead_v1) in removed["migration_leftovers"]
+        for path in (stale_lock, tmp_file, orphan, dead_v1):
+            assert not path.exists()
+        assert store_verify(str(tmp_path))["ok"]
+
+    def test_migrate_is_a_noop_when_already_at_target(self, tmp_path, layout):
+        _populate(tmp_path, layout)
+        summary = store_migrate(str(tmp_path), layout)
+        assert summary["migrated"] is False
+        assert summary["records"] == 6
+
+    def test_migrate_rejects_unknown_targets_and_empty_directories(
+        self, tmp_path
+    ):
+        with pytest.raises(StoreError, match="no campaign store"):
+            store_migrate(str(tmp_path), SHARDED)
+        _populate(tmp_path, SINGLE_FILE, count=1)
+        with pytest.raises(StoreError, match="unknown migration target"):
+            store_migrate(str(tmp_path), "b-tree")
+
+    def test_migrate_v1_to_v2_preserves_records_and_order(
+        self, tmp_path, traced
+    ):
+        store = _populate(tmp_path, SINGLE_FILE, count=20)
+        keys = store.keys()
+        summary = store_migrate(str(tmp_path), SHARDED)
+        assert summary["migrated"] and summary["records"] == 20
+        assert not (tmp_path / "records.jsonl").exists()
+        assert (tmp_path / MANIFEST_FILENAME).exists()
+        migrated = CampaignStore(tmp_path)
+        assert migrated.layout_name == SHARDED
+        assert migrated.keys() == keys
+        assert [r.result for r in migrated.records()] == [
+            {"r": index * 3} for index in range(20)
+        ]
+        assert traced.counter_totals()["store.migrations"] == 1
+
+    def test_migrate_round_trip_is_byte_identical(self, tmp_path):
+        _populate(tmp_path, SINGLE_FILE, count=20)
+        v1_bytes = (tmp_path / "records.jsonl").read_bytes()
+        store_migrate(str(tmp_path), SHARDED)
+        store_compact(str(tmp_path))
+        store_migrate(str(tmp_path), SINGLE_FILE)
+        assert (tmp_path / "records.jsonl").read_bytes() == v1_bytes
+        assert not (tmp_path / MANIFEST_FILENAME).exists()
+        assert not (tmp_path / "segments").exists()
+        assert not (tmp_path / "index").exists()
+        assert detect_layout(str(tmp_path)) == SINGLE_FILE
+
+
+def _exit_immediately():
+    return None
+
+
+def _tamper_config_in_place(directory):
+    """Flip one config byte of the cell-5 record without moving any offset."""
+    needle, doctored = b'"cell":5', b'"cell":7'
+    for path in sorted(directory.rglob("*.jsonl")):
+        raw = path.read_bytes()
+        if needle in raw:
+            path.write_bytes(raw.replace(needle, doctored, 1))
+            return
+    raise AssertionError("no record to tamper")
+
+
+class TestStoreCli:
+    def test_stat_text_and_json(self, tmp_path, capsys):
+        from repro.cli import main
+
+        _populate(tmp_path, SHARDED)
+        assert main(["store", "stat", str(tmp_path)]) == 0
+        assert "layout sharded" in capsys.readouterr().out
+        assert main(["store", "stat", str(tmp_path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["records"] == 6
+
+    def test_verify_exit_codes(self, tmp_path, capsys):
+        from repro.cli import main
+
+        _populate(tmp_path, SHARDED)
+        assert main(["store", "verify", str(tmp_path)]) == 0
+        assert "OK" in capsys.readouterr().out
+        _tamper_config_in_place(tmp_path)
+        assert main(["store", "verify", str(tmp_path)]) == 1
+        assert "problem" in capsys.readouterr().out
+
+    def test_migrate_compact_gc_round_trip(self, tmp_path, capsys):
+        from repro.cli import main
+
+        _populate(tmp_path, SINGLE_FILE)
+        v1_bytes = (tmp_path / "records.jsonl").read_bytes()
+        assert main(["store", "migrate", str(tmp_path), "--to", "sharded"]) == 0
+        assert "round-trip verified" in capsys.readouterr().out
+        assert main(["store", "migrate", str(tmp_path), "--to", "sharded"]) == 0
+        assert "nothing to do" in capsys.readouterr().out
+        assert main(["store", "compact", str(tmp_path)]) == 0
+        assert main(["store", "gc", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(
+            ["store", "migrate", str(tmp_path), "--to", "single-file"]
+        ) == 0
+        assert (tmp_path / "records.jsonl").read_bytes() == v1_bytes
+
+
+class TestLockBackoffAndStaleRecovery:
+    def test_backoff_schedule_is_deterministic_and_capped(self):
+        from repro.store import backoff_delays
+        from repro.store.locks import (
+            BACKOFF_CAP_S,
+            BACKOFF_FACTOR,
+            BACKOFF_INITIAL_S,
+        )
+
+        first = list(itertools.islice(backoff_delays(), 12))
+        assert first == list(itertools.islice(backoff_delays(), 12))
+        assert first[0] == BACKOFF_INITIAL_S
+        assert first[1] == BACKOFF_INITIAL_S * BACKOFF_FACTOR
+        assert all(b >= a for a, b in zip(first, first[1:]))
+        assert first[-1] == BACKOFF_CAP_S
+        assert max(first) <= BACKOFF_CAP_S
+
+    def test_owner_stamp_names_this_process(self):
+        from repro.store.locks import owner_stamp
+
+        pid_line, host_line = owner_stamp().decode().splitlines()
+        assert int(pid_line) == os.getpid()
+        assert host_line
+
+    def test_stale_lockfile_judgement(self, tmp_path):
+        from repro.store.locks import is_stale_lockfile, owner_stamp
+
+        lock = tmp_path / "x.lock"
+        assert not is_stale_lockfile(str(lock))  # missing
+        lock.write_bytes(b"")
+        assert not is_stale_lockfile(str(lock))  # fcntl-style, no stamp
+        lock.write_bytes(owner_stamp())
+        assert not is_stale_lockfile(str(lock))  # owner (us) is alive
+        lock.write_bytes(b"not-a-pid\nhost\n")
+        assert not is_stale_lockfile(str(lock))  # unreadable stamp
+        lock.write_bytes(f"{os.getpid()}\nsome-other-host\n".encode())
+        assert not is_stale_lockfile(str(lock))  # cannot probe other hosts
+        dead = multiprocessing.Process(target=_exit_immediately)
+        dead.start()
+        dead.join()
+        lock.write_bytes(f"{dead.pid}\n{os.uname().nodename}\n".encode())
+        assert is_stale_lockfile(str(lock))
+
+    def test_fallback_breaks_dead_owner_locks(
+        self, tmp_path, monkeypatch, traced
+    ):
+        import repro.store.locks as locks
+
+        monkeypatch.setattr(locks, "fcntl", None)
+        dead = multiprocessing.Process(target=_exit_immediately)
+        dead.start()
+        dead.join()
+        lock = tmp_path / "records.lock"
+        lock.write_bytes(f"{dead.pid}\n{os.uname().nodename}\n".encode())
+        with locks.file_lock(str(lock), timeout_s=1.0):
+            # The dead owner's file was unlinked and replaced with ours.
+            assert str(os.getpid()).encode() in lock.read_bytes()
+        assert not lock.exists()
+        assert traced.counter_totals()["store.lock_breaks"] == 1
+
+    def test_fallback_honours_live_owner_locks(self, tmp_path, monkeypatch):
+        import repro.store.locks as locks
+        from repro.store import StoreLockTimeoutError
+
+        monkeypatch.setattr(locks, "fcntl", None)
+        lock = tmp_path / "records.lock"
+        lock.write_bytes(locks.owner_stamp())  # we are alive: not stale
+        with pytest.raises(StoreLockTimeoutError):
+            with locks.file_lock(str(lock), timeout_s=0.2):
+                pass  # pragma: no cover - must not acquire
+        assert lock.exists()
+
+    def test_fallback_put_works_end_to_end(self, tmp_path, monkeypatch):
+        import repro.store.locks as locks
+
+        monkeypatch.setattr(locks, "fcntl", None)
+        store = CampaignStore(tmp_path, layout=SHARDED)
+        record = store.put({"cell": 1}, {"r": 1})
+        assert CampaignStore(tmp_path).get(record.key) == record
+
+
+# -- randomised migration round-trip ----------------------------------------
+
+_FIELD = st.text(alphabet="abcdefgh_", min_size=1, max_size=6)
+_SCALAR = st.one_of(
+    st.integers(min_value=-(10**9), max_value=10**9),
+    st.booleans(),
+    st.text(alphabet='xy "\\\né', max_size=6),
+)
+_VALUE = st.one_of(_SCALAR, st.lists(_SCALAR, max_size=3))
+_CONFIG = st.dictionaries(_FIELD, _VALUE, min_size=1, max_size=4)
+
+
+class TestMigrationRoundTripProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(pairs=st.lists(st.tuples(_CONFIG, _CONFIG), min_size=1, max_size=10))
+    def test_v1_v2_compact_v1_is_byte_identical(self, pairs):
+        workdir = tempfile.mkdtemp(prefix="store_prop_")
+        try:
+            store = CampaignStore(workdir)
+            seen = set()
+            for config, result in pairs:
+                key = content_key(config)
+                if key in seen:
+                    continue
+                seen.add(key)
+                store.put(config, {"payload": result})
+            records_path = os.path.join(workdir, "records.jsonl")
+            v1_bytes = open(records_path, "rb").read()
+            keys = store.keys()
+
+            store_migrate(workdir, SHARDED)
+            sharded = CampaignStore(workdir)
+            assert sharded.layout_name == SHARDED
+            assert sharded.keys() == keys
+            assert store_verify(workdir)["ok"]
+
+            store_compact(workdir)
+            store_migrate(workdir, SINGLE_FILE)
+            assert open(records_path, "rb").read() == v1_bytes
+            assert isinstance(
+                CampaignStore(workdir).layout, SingleFileLayout
+            )
+        finally:
+            shutil.rmtree(workdir, ignore_errors=True)
