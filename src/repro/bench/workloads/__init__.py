@@ -10,6 +10,7 @@ from __future__ import annotations
 from repro.bench.workloads import (  # noqa: F401  (imported for registration)
     decoder,
     figures,
+    fused,
     gf2,
     sat,
     sections,

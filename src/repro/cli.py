@@ -20,9 +20,9 @@ campaign store (:mod:`repro.store`)::
     beer-tool scenario report --store campaign/
 
 Simulation-heavy commands (``einsim``, ``simulate-profile``, ``scenario``)
-accept ``--backend {reference,packed,auto}`` selecting the GF(2) kernel
-implementation; both backends produce bit-identical output for the same
-seed, the packed one is simply faster.  ``solve``, ``simulate-profile``,
+accept ``--backend {reference,packed,fused,auto}`` selecting the GF(2)
+kernel implementation; every backend produces bit-identical output for the
+same seed, the packed and fused ones are simply faster.  ``solve``, ``simulate-profile``,
 ``einsim``, ``beep`` and ``scenario run`` accept ``--code-family`` choosing
 the ECC code family (:mod:`repro.ecc.family`): SEC Hamming (default),
 SEC-DED extended Hamming, parity-detect, or repetition.  Result-producing
@@ -128,7 +128,8 @@ def build_parser() -> argparse.ArgumentParser:
                                "(must have a searchable design space)")
     simulate.add_argument("--seed", type=int, default=0)
     simulate.add_argument("--rounds", type=int, default=8)
-    simulate.add_argument("--backend", choices=("reference", "packed", "auto"),
+    simulate.add_argument("--backend",
+                          choices=("reference", "packed", "fused", "auto"),
                           default="reference",
                           help="GF(2) kernel backend for the simulated chip's on-die ECC")
     simulate.add_argument("--output", required=True, help="where to write the profile JSON")
@@ -147,7 +148,8 @@ def build_parser() -> argparse.ArgumentParser:
     einsim.add_argument("--ber", type=float, default=1e-3,
                         help="uniform-random pre-correction bit error rate")
     einsim.add_argument("--seed", type=int, default=0)
-    einsim.add_argument("--backend", choices=("reference", "packed", "auto"),
+    einsim.add_argument("--backend",
+                        choices=("reference", "packed", "fused", "auto"),
                         default="reference",
                         help="GF(2) kernel backend for encode/decode")
     einsim.add_argument("--chunk-size", type=int, default=65536,
@@ -222,7 +224,8 @@ def _add_scenario_parser(subparsers) -> None:
                      help="dataword pattern: ones, zeros or alternating")
     run.add_argument("--num-words", type=int, default=10_000)
     run.add_argument("--seed", type=int, default=0)
-    run.add_argument("--backend", choices=("reference", "packed", "auto"),
+    run.add_argument("--backend",
+                     choices=("reference", "packed", "fused", "auto"),
                      default="packed")
     run.add_argument("--chunk-size", type=int, default=65536)
     run.add_argument("--processes", type=int, default=1)

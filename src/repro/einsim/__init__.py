@@ -8,8 +8,10 @@ machinery in Python:
   bit errors, data-retention errors restricted to CHARGED cells, fixed error
   counts, arbitrary per-bit probabilities);
 * :mod:`repro.einsim.engine` — batched encode/syndrome/decode kernels with
-  selectable GF(2) backends (``reference`` uint8 oracle vs ``packed`` uint64
-  bit-packed fast path);
+  selectable GF(2) backends (``reference`` uint8 oracle, ``packed`` uint64
+  bit-packed fast path, ``fused`` whole-round pipeline);
+* :mod:`repro.einsim.fused` — the fused Monte-Carlo pipeline: packed error
+  batches, per-code classification kernels, segmented cross-pattern calls;
 * :mod:`repro.einsim.simulator` — vectorised simulation of large numbers of
   ECC words through encode → inject → decode, with per-bit post-correction
   statistics and miscorrection bookkeeping;
@@ -35,6 +37,13 @@ from repro.einsim.engine import (
     bulk_syndrome_values,
     resolve_backend,
 )
+from repro.einsim.fused import (
+    FusedKernel,
+    FusedStats,
+    PackedErrorBatch,
+    get_kernel,
+    packed_error_batch,
+)
 from repro.einsim.simulator import EinsimSimulator, SimulationResult
 from repro.einsim.statistics import (
     bootstrap_confidence_interval,
@@ -59,6 +68,11 @@ __all__ = [
     "bulk_encode",
     "bulk_syndrome_values",
     "resolve_backend",
+    "FusedKernel",
+    "FusedStats",
+    "PackedErrorBatch",
+    "get_kernel",
+    "packed_error_batch",
     "bootstrap_confidence_interval",
     "BootstrapInterval",
     "relative_probabilities",

@@ -10,11 +10,18 @@ backends implement each kernel:
   each batch is packed eight columns per byte and folded through cached
   per-byte XOR tables (:func:`repro.gf2.bitpack.byte_fold_table`), turning
   the per-word syndrome into a handful of table lookups; an order of
-  magnitude faster than the reference on realistic code sizes.
+  magnitude faster than the reference on realistic code sizes.  Codes with
+  one or two parity bits skip the fold tables for a direct AND/XOR-parity
+  reduction, which is faster at that scale.
+* ``"fused"`` — identical to ``"packed"`` for the staged kernels in this
+  module; at the simulation level it additionally routes whole Monte-Carlo
+  rounds through :mod:`repro.einsim.fused`, which classifies packed error
+  masks without ever materializing codeword batches.
 
-Both backends are bit-exact: for any code, any batch and any input, they
-return identical arrays (``tests/test_differential_backends.py`` and
-``tests/test_differential_families.py`` enforce this).  Per-code artefacts
+All backends are bit-exact: for any code, any batch and any input, they
+return identical arrays (``tests/test_differential_backends.py``,
+``tests/test_differential_families.py`` and
+``tests/test_differential_fused.py`` enforce this).  Per-code artefacts
 (syndrome lookup table, decode-action table, transposed ``H``, packed rows)
 are built once and cached on the code object itself.
 
@@ -34,15 +41,28 @@ from typing import Tuple
 import numpy as np
 
 from repro.exceptions import DimensionError, ValidationError
-from repro.gf2.bitpack import fold_bytes
+from repro.gf2.bitpack import bytes_to_lanes, fold_bytes, popcount_u64
 from repro.obs import TRACER
 from repro.ecc.code import SystematicLinearCode
 
 #: The valid values of every ``backend=`` selector in the library.
-BACKENDS: Tuple[str, ...] = ("reference", "packed")
+#: ``"fused"`` shares the packed staged kernels below; its distinguishing
+#: behaviour — classifying whole Monte-Carlo rounds without materializing
+#: codeword batches — lives in :mod:`repro.einsim.fused` and engages at the
+#: simulation level (:class:`repro.einsim.simulator.EinsimSimulator`,
+#: :func:`repro.core.profile.monte_carlo_observation_counts`,
+#: :class:`repro.core.experiment.MonteCarloCampaign`).
+BACKENDS: Tuple[str, ...] = ("reference", "packed", "fused")
 
-#: Backend used when callers pass ``"auto"``.
+#: Backend used when callers pass ``"auto"``.  Stays ``"packed"``: the fused
+#: path is opt-in so store keys, committed baselines and obs counters keep
+#: their historical meaning; every backend is bit-identical regardless.
 DEFAULT_BACKEND = "packed"
+
+#: Parity-bit count at or below which the packed syndrome kernel skips the
+#: byte-fold tables: with one or two check rows an AND + XOR-reduce per row
+#: beats per-byte table gathers (the parity-detect regression fix).
+_TINY_SYNDROME_PARITY_BITS = 2
 
 
 def resolve_backend(backend: str) -> str:
@@ -73,7 +93,7 @@ def bulk_encode(
     """Encode a batch of datawords (rows) into codewords ``[d | p]``."""
     backend = resolve_backend(backend)
     data = _validate_batch(datawords, code.num_data_bits, "dataword array")
-    if backend == "packed":
+    if backend != "reference":
         parity_values = fold_bytes(
             code.parity_fold_table(), np.packbits(data, axis=1, bitorder="little")
         )
@@ -92,10 +112,24 @@ def bulk_syndrome_values(
     """Return the integer syndrome of every received codeword (row)."""
     backend = resolve_backend(backend)
     words = _validate_batch(received, code.codeword_length, "codeword array")
-    if backend == "packed":
-        return fold_bytes(
-            code.syndrome_fold_table(), np.packbits(words, axis=1, bitorder="little")
-        )
+    if backend != "reference":
+        packed = np.packbits(words, axis=1, bitorder="little")
+        if code.num_parity_bits <= _TINY_SYNDROME_PARITY_BITS:
+            # Tiny-r fast path: each check bit is the parity of the masked
+            # word — XOR the masked uint64 lanes together and take the
+            # accumulator's popcount mod 2.  Cheaper than building and
+            # gathering a (bytes, 256) fold table for one or two rows.
+            lanes = bytes_to_lanes(packed, code.codeword_length)
+            h_lanes = code.packed_h_lanes()
+            values = np.zeros(packed.shape[0], dtype=np.int64)
+            for row in range(code.num_parity_bits):
+                masked = lanes & h_lanes[row]
+                folded = masked[:, 0]
+                for lane in range(1, masked.shape[1]):
+                    folded = folded ^ masked[:, lane]
+                values |= (popcount_u64(folded).astype(np.int64) & 1) << row
+            return values
+        return fold_bytes(code.syndrome_fold_table(), packed)
     syndromes = (words.astype(np.int64) @ code.h_transpose_int64()) % 2
     return syndromes @ code.syndrome_weights()
 
@@ -132,9 +166,16 @@ def bulk_decode_outcomes(
     batch_start = time.perf_counter() if TRACER.enabled else 0.0
     values = bulk_syndrome_values(code, words, backend)
     actions = code.decode_action_table()[values]
-    corrected = words.copy()
     rows = np.flatnonzero(actions >= 0)
-    corrected[rows, actions[rows]] ^= 1
+    if rows.size:
+        corrected = words.copy()
+        corrected[rows, actions[rows]] ^= 1
+    else:
+        # No action flips a bit (detect-only family, or every syndrome is
+        # zero/DUE): the input already is the decode result.  Returning it
+        # uncopied skips the dominant allocation of detect-only batches;
+        # callers treat the result as read-only either way.
+        corrected = words
     due = actions == SystematicLinearCode.ACTION_DETECT
     if TRACER.enabled:
         seconds = time.perf_counter() - batch_start

@@ -5,6 +5,16 @@ of the same shape; a set bit means the corresponding cell reads back flipped.
 The masks respect each model's physical semantics — in particular the
 data-retention injector only ever flips CHARGED cells, mirroring the
 unidirectional CHARGED → DISCHARGED decay BEER exploits.
+
+Injectors additionally implement the packed protocol consumed by the fused
+simulation backend (:mod:`repro.einsim.fused`):
+``error_mask_packed(codeword, num_words, rng)`` returns the same logical
+masks as ``error_mask`` on a ``num_words``-fold tiling of ``codeword`` —
+drawn from the RNG in exactly the same order, so the two routes are
+bit-identical — but in a packed :class:`~repro.einsim.fused.PackedErrorBatch`
+representation that never materializes the tiled codeword batch.  Injectors
+without the method (e.g. :class:`FaultModelInjector`, whose fault models need
+the stored bits) automatically take the generic tile-and-pack fallback.
 """
 
 from __future__ import annotations
@@ -15,6 +25,11 @@ import numpy as np
 
 from repro.exceptions import ChipConfigurationError
 from repro.dram.cell import CellType
+from repro.einsim.fused import (
+    SUBSET_WIDTH_LIMIT,
+    PackedErrorBatch,
+    packed_error_batch,
+)
 
 
 class UniformRandomInjector:
@@ -37,6 +52,13 @@ class UniformRandomInjector:
         """Return a boolean mask of injected errors."""
         stored = np.asarray(stored_codewords)
         return rng.random(stored.shape) < self._bit_error_rate
+
+    def error_mask_packed(
+        self, codeword: np.ndarray, num_words: int, rng: np.random.Generator
+    ) -> PackedErrorBatch:
+        """Packed-protocol equivalent of :meth:`error_mask` (same draws)."""
+        mask = rng.random((num_words, codeword.shape[0])) < self._bit_error_rate
+        return PackedErrorBatch.from_bool_mask(mask)
 
 
 class DataRetentionInjector:
@@ -69,6 +91,16 @@ class DataRetentionInjector:
         else:
             charged = stored == 0
         return charged & (rng.random(stored.shape) < self._bit_error_rate)
+
+    def error_mask_packed(
+        self, codeword: np.ndarray, num_words: int, rng: np.random.Generator
+    ) -> PackedErrorBatch:
+        """Packed-protocol equivalent of :meth:`error_mask` (same draws)."""
+        charged_value = 1 if self._cell_type is CellType.TRUE_CELL else 0
+        charged_row = codeword == charged_value
+        mask = rng.random((num_words, codeword.shape[0])) < self._bit_error_rate
+        mask &= charged_row[np.newaxis, :]
+        return PackedErrorBatch.from_bool_mask(mask)
 
 
 class FixedErrorCountInjector:
@@ -144,6 +176,61 @@ class FixedErrorCountInjector:
         mask[rows, positions.ravel()] = fires.ravel()
         return mask
 
+    def error_mask_packed(
+        self, codeword: np.ndarray, num_words: int, rng: np.random.Generator
+    ) -> PackedErrorBatch:
+        """Packed-protocol equivalent of :meth:`error_mask` (same draws).
+
+        Small candidate lists (at most
+        :data:`~repro.einsim.fused.SUBSET_WIDTH_LIMIT` positions — the BEEP
+        weak-cell case) come back in the subset representation, which the
+        fused kernel classifies from a single histogram; larger draws use
+        the per-word sparse representation.
+        """
+        codeword_length = codeword.shape[0]
+        candidates = (
+            np.arange(codeword_length, dtype=np.int64)
+            if self._candidate_positions is None
+            else np.asarray(self._candidate_positions, dtype=np.int64)
+        )
+        if self._num_errors > candidates.size:
+            raise ChipConfigurationError(
+                f"cannot place {self._num_errors} errors among {candidates.size} candidates"
+            )
+        if self._num_errors == 0 or num_words == 0:
+            return PackedErrorBatch.from_sparse(
+                np.zeros((num_words, 0), dtype=np.int64),
+                np.zeros((num_words, 0), dtype=bool),
+                codeword_length,
+            )
+        keys = rng.random((num_words, candidates.size))
+        if self._num_errors < candidates.size:
+            chosen = np.argpartition(keys, self._num_errors - 1, axis=1)[
+                :, : self._num_errors
+            ]
+        else:
+            chosen = np.broadcast_to(
+                np.arange(candidates.size), (num_words, candidates.size)
+            )
+        fires = rng.random((num_words, self._num_errors)) < self._per_bit_probability
+        if candidates.size <= SUBSET_WIDTH_LIMIT:
+            # Row sums via matmul: numpy's ``sum(axis=1)`` over an axis this
+            # narrow is several times slower than a matrix-vector product.
+            if self._num_errors < candidates.size:
+                subsets = np.where(fires, np.int64(1) << chosen, 0) @ np.ones(
+                    self._num_errors, dtype=np.int64
+                )
+            else:
+                # ``chosen`` is the identity permutation, so the subset is
+                # just the fired candidates weighted by powers of two.
+                subsets = fires.astype(np.int64) @ (
+                    np.int64(1) << np.arange(candidates.size, dtype=np.int64)
+                )
+            return PackedErrorBatch.from_subset(candidates, subsets, codeword_length)
+        return PackedErrorBatch.from_sparse(
+            candidates[chosen], fires, codeword_length
+        )
+
 
 class PerBitBernoulliInjector:
     """Flip bit ``i`` of every codeword independently with probability ``p[i]``."""
@@ -170,6 +257,21 @@ class PerBitBernoulliInjector:
                 f"{self._probabilities.shape[0]} per-bit probabilities"
             )
         return rng.random(stored.shape) < self._probabilities[np.newaxis, :]
+
+    def error_mask_packed(
+        self, codeword: np.ndarray, num_words: int, rng: np.random.Generator
+    ) -> PackedErrorBatch:
+        """Packed-protocol equivalent of :meth:`error_mask` (same draws)."""
+        if codeword.shape[0] != self._probabilities.shape[0]:
+            raise ChipConfigurationError(
+                f"codeword length {codeword.shape[0]} does not match "
+                f"{self._probabilities.shape[0]} per-bit probabilities"
+            )
+        mask = (
+            rng.random((num_words, codeword.shape[0]))
+            < self._probabilities[np.newaxis, :]
+        )
+        return PackedErrorBatch.from_bool_mask(mask)
 
 
 class MixedCellRetentionInjector:
@@ -227,6 +329,16 @@ class MixedCellRetentionInjector:
         charged = np.where(anti[np.newaxis, :], stored == 0, stored == 1)
         return charged & (rng.random(stored.shape) < self._bit_error_rate)
 
+    def error_mask_packed(
+        self, codeword: np.ndarray, num_words: int, rng: np.random.Generator
+    ) -> PackedErrorBatch:
+        """Packed-protocol equivalent of :meth:`error_mask` (same draws)."""
+        anti = self.anti_cell_mask(codeword.shape[0])
+        charged_row = np.where(anti, codeword == 0, codeword == 1)
+        mask = rng.random((num_words, codeword.shape[0])) < self._bit_error_rate
+        mask &= charged_row[np.newaxis, :]
+        return PackedErrorBatch.from_bool_mask(mask)
+
 
 class BurstErrorInjector:
     """Multi-bit burst errors: a contiguous run of flips within a word.
@@ -275,6 +387,27 @@ class BurstErrorInjector:
         mask[~bursty] = False
         return mask
 
+    def error_mask_packed(
+        self, codeword: np.ndarray, num_words: int, rng: np.random.Generator
+    ) -> PackedErrorBatch:
+        """Packed-protocol equivalent of :meth:`error_mask` (same draws)."""
+        codeword_length = codeword.shape[0]
+        length = min(self._burst_length, codeword_length)
+        if num_words == 0:
+            return PackedErrorBatch.from_sparse(
+                np.zeros((0, length), dtype=np.int64),
+                np.zeros((0, length), dtype=bool),
+                codeword_length,
+            )
+        bursty = rng.random(num_words) < self._burst_probability
+        starts = rng.integers(0, codeword_length - length + 1, size=num_words)
+        fires = rng.random((num_words, length)) < self._bit_flip_probability
+        fires &= bursty[:, np.newaxis]
+        positions = starts[:, np.newaxis].astype(np.int64) + np.arange(
+            length, dtype=np.int64
+        )
+        return PackedErrorBatch.from_sparse(positions, fires, codeword_length)
+
 
 class RowStripeInjector:
     """RowHammer-like disturbance: victim words see flips on a column stripe.
@@ -318,6 +451,17 @@ class RowStripeInjector:
         stripe = self.stripe_mask(codeword_length)
         fires = rng.random(stored.shape) < self._bit_flip_probability
         return victims[:, np.newaxis] & stripe[np.newaxis, :] & fires
+
+    def error_mask_packed(
+        self, codeword: np.ndarray, num_words: int, rng: np.random.Generator
+    ) -> PackedErrorBatch:
+        """Packed-protocol equivalent of :meth:`error_mask` (same draws)."""
+        codeword_length = codeword.shape[0]
+        victims = rng.random(num_words) < self._row_probability
+        stripe = self.stripe_mask(codeword_length)
+        mask = rng.random((num_words, codeword_length)) < self._bit_flip_probability
+        mask &= victims[:, np.newaxis] & stripe[np.newaxis, :]
+        return PackedErrorBatch.from_bool_mask(mask)
 
 
 class FaultModelInjector:
@@ -375,6 +519,23 @@ class CompositeInjector:
         for injector in self._injectors:
             mask |= injector.error_mask(stored, rng)
         return mask
+
+    def error_mask_packed(
+        self, codeword: np.ndarray, num_words: int, rng: np.random.Generator
+    ) -> PackedErrorBatch:
+        """Packed-protocol equivalent of :meth:`error_mask` (same draws).
+
+        Members are drawn in application order from the shared RNG stream —
+        the same order as :meth:`error_mask` — and their packed masks are
+        OR-combined lane-wise.
+        """
+        lanes = None
+        for injector in self._injectors:
+            member = packed_error_batch(injector, codeword, num_words, rng)
+            member_lanes = member.to_lanes()
+            lanes = member_lanes if lanes is None else lanes | member_lanes
+        assert lanes is not None  # the constructor rejects empty members
+        return PackedErrorBatch.from_lanes(lanes, codeword.shape[0])
 
 
 def _validate_probability(value: float) -> None:

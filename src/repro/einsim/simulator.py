@@ -17,6 +17,7 @@ from repro.exceptions import DimensionError
 from repro.gf2 import GF2Vector
 from repro.ecc.code import SystematicLinearCode
 from repro.einsim.engine import bulk_decode_outcomes, bulk_encode, resolve_backend
+from repro.einsim.fused import FusedStats, get_kernel, packed_error_batch
 
 
 @dataclass
@@ -116,6 +117,10 @@ class EinsimSimulator:
         """Simulate ``num_words`` ECC words storing ``dataword`` with ``injector`` errors."""
         data_bits = _as_dataword(dataword, self._code.num_data_bits)
         codeword = bulk_encode(self._code, data_bits.reshape(1, -1), self._backend)[0]
+        if self._backend == "fused":
+            return self._simulate_fused(
+                data_bits, codeword, num_words, injector, batch_size
+            )
         codeword_length = self._code.codeword_length
         num_data_bits = self._code.num_data_bits
 
@@ -161,6 +166,40 @@ class EinsimSimulator:
             miscorrected_words=miscorrected,
             miscorrection_positions=tuple(sorted(miscorrection_positions)),
             detected_words=detected,
+        )
+
+    def _simulate_fused(
+        self,
+        data_bits: np.ndarray,
+        codeword: np.ndarray,
+        num_words: int,
+        injector,
+        batch_size: int,
+    ) -> SimulationResult:
+        """The fused round: inject packed, classify, never tile codewords.
+
+        Bit-identical to the staged loop for any injector and seed — the
+        packed injector protocol consumes the RNG stream in the same order,
+        and the fused kernel computes the same statistics from the masks
+        alone (``tests/test_differential_fused.py``).
+        """
+        kernel = get_kernel(self._code)
+        stats = FusedStats.zero(self._code.codeword_length, self._code.num_data_bits)
+        remaining = num_words
+        while remaining > 0:
+            batch = min(batch_size, remaining)
+            remaining -= batch
+            masks = packed_error_batch(injector, codeword, batch, self._rng)
+            stats = stats.merge(kernel.classify(masks))
+        return SimulationResult(
+            dataword=GF2Vector(data_bits),
+            num_words=num_words,
+            post_correction_error_counts=stats.post_correction_error_counts,
+            pre_correction_error_counts=stats.pre_correction_error_counts,
+            uncorrectable_words=stats.uncorrectable_words,
+            miscorrected_words=stats.miscorrected_words,
+            miscorrection_positions=stats.miscorrection_positions,
+            detected_words=stats.detected_words,
         )
 
     def per_bit_error_probability(

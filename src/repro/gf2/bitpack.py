@@ -58,6 +58,14 @@ def popcount_u64(values: np.ndarray) -> np.ndarray:
     return _POPCOUNT_TABLE[as_bytes].sum(axis=-1, dtype=np.uint8)
 
 
+def popcount_bytes(values: np.ndarray) -> np.ndarray:
+    """Per-element popcount of a ``uint8`` array."""
+    values = np.asarray(values, dtype=np.uint8)
+    if _HAS_BITWISE_COUNT:
+        return np.bitwise_count(values)
+    return _POPCOUNT_TABLE[values]
+
+
 def num_lanes(num_cols: int) -> int:
     """Number of ``uint64`` lanes needed to hold ``num_cols`` bits."""
     return (num_cols + LANE_BITS - 1) // LANE_BITS
@@ -78,6 +86,99 @@ def pack_rows(bits: np.ndarray) -> np.ndarray:
     padded = np.zeros((rows, lanes * 8), dtype=np.uint8)
     padded[:, : packed_bytes.shape[1]] = packed_bytes
     return padded.view("<u8").reshape(rows, lanes)
+
+
+def pack_bool_rows(mask: np.ndarray) -> np.ndarray:
+    """Pack a 2-D boolean mask into ``uint64`` lanes (see :func:`pack_rows`).
+
+    Same layout as :func:`pack_rows` without the ``uint8``-coercion pass —
+    the fused simulation path packs freshly drawn boolean error masks, which
+    ``numpy.packbits`` consumes directly.
+    """
+    mask = np.ascontiguousarray(mask, dtype=bool)
+    if mask.ndim != 2:
+        raise DimensionError(
+            f"pack_bool_rows expects a 2-D array, got shape {mask.shape}"
+        )
+    rows, cols = mask.shape
+    lanes = num_lanes(cols)
+    packed_bytes = np.packbits(mask, axis=1, bitorder="little")
+    if packed_bytes.shape[1] == lanes * 8:
+        return packed_bytes.view("<u8").reshape(rows, lanes)
+    padded = np.zeros((rows, lanes * 8), dtype=np.uint8)
+    padded[:, : packed_bytes.shape[1]] = packed_bytes
+    return padded.view("<u8").reshape(rows, lanes)
+
+
+def lanes_to_bytes(lanes: np.ndarray, num_cols: int) -> np.ndarray:
+    """View packed lanes as the per-byte columns covering ``num_cols`` bits.
+
+    The returned array has shape ``(rows, ceil(num_cols / 8))`` and shares
+    memory with ``lanes`` where possible; byte ``b`` holds columns
+    ``8*b .. 8*b+7`` LSB first, exactly the layout
+    ``np.packbits(..., bitorder="little")`` produces.
+    """
+    lanes = np.ascontiguousarray(np.asarray(lanes, dtype="<u8"))
+    if lanes.ndim != 2:
+        raise DimensionError(
+            f"lanes_to_bytes expects a 2-D array, got shape {lanes.shape}"
+        )
+    if lanes.shape[1] != num_lanes(num_cols):
+        raise DimensionError(
+            f"{lanes.shape[1]} lanes cannot hold exactly {num_cols} columns"
+        )
+    num_bytes = (num_cols + 7) // 8
+    return lanes.view(np.uint8).reshape(lanes.shape[0], -1)[:, :num_bytes]
+
+
+def bytes_to_lanes(packed_bytes: np.ndarray, num_cols: int) -> np.ndarray:
+    """View byte-packed rows as ``uint64`` lanes covering ``num_cols`` bits.
+
+    Inverse direction of :func:`lanes_to_bytes`: pads the byte columns of a
+    ``np.packbits(..., bitorder="little")`` batch up to a lane multiple (no
+    copy when the byte count already is one) and reinterprets them as
+    little-endian ``uint64`` lanes.
+    """
+    packed_bytes = np.ascontiguousarray(packed_bytes, dtype=np.uint8)
+    if packed_bytes.ndim != 2 or packed_bytes.shape[1] != (num_cols + 7) // 8:
+        raise DimensionError(
+            f"byte array of shape {packed_bytes.shape} does not pack exactly "
+            f"{num_cols} columns"
+        )
+    rows = packed_bytes.shape[0]
+    lanes = num_lanes(num_cols)
+    if packed_bytes.shape[1] == lanes * 8:
+        return packed_bytes.view("<u8").reshape(rows, lanes)
+    padded = np.zeros((rows, lanes * 8), dtype=np.uint8)
+    padded[:, : packed_bytes.shape[1]] = packed_bytes
+    return padded.view("<u8").reshape(rows, lanes)
+
+
+#: ``_BYTE_BIT_TABLE[v, b]`` is bit ``b`` of byte value ``v`` — turns a
+#: per-byte-value histogram into per-column set-bit counts with one matmul.
+_BYTE_BIT_TABLE = ((np.arange(256)[:, np.newaxis] >> np.arange(8)) & 1).astype(
+    np.int64
+)
+
+
+def packed_column_counts(packed_bytes: np.ndarray, num_cols: int) -> np.ndarray:
+    """Count set bits per column over a batch of byte-packed rows.
+
+    Equivalent to ``unpack(...).sum(axis=0)`` but works directly on the
+    packed representation: one 256-bin histogram per byte column, dotted with
+    the byte→bit table.
+    """
+    packed_bytes = np.asarray(packed_bytes, dtype=np.uint8)
+    if packed_bytes.ndim != 2 or packed_bytes.shape[1] < (num_cols + 7) // 8:
+        raise DimensionError(
+            f"byte array of shape {packed_bytes.shape} cannot hold "
+            f"{num_cols} columns"
+        )
+    counts = np.zeros(((num_cols + 7) // 8) * 8, dtype=np.int64)
+    for byte_index in range((num_cols + 7) // 8):
+        histogram = np.bincount(packed_bytes[:, byte_index], minlength=256)
+        counts[byte_index * 8 : byte_index * 8 + 8] = histogram @ _BYTE_BIT_TABLE
+    return counts[:num_cols]
 
 
 def unpack_rows(packed: np.ndarray, num_cols: int) -> np.ndarray:

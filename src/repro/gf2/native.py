@@ -1,0 +1,70 @@
+"""Optional numba-jitted tier for the fused syndrome fold.
+
+numba is *not* a dependency of this library.  When it happens to be
+installed (the CI job ``fused-native`` provisions it), the fused kernel
+(:mod:`repro.einsim.fused`) dispatches its dense byte-fold through
+:func:`fold_classify_native` — a single nopython pass over the packed mask
+bytes instead of one vectorised gather per byte column.  When numba is
+absent, ``native_available()`` is False and the pure-numpy
+:func:`repro.gf2.bitpack.fold_bytes` path runs; both compute identical
+``int64`` XOR arithmetic, so the tiers are bit-identical by construction
+(and the fused differential suite re-runs under numba in CI to prove it).
+
+Set ``REPRO_DISABLE_NATIVE=1`` to force the numpy tier even with numba
+installed (useful for differential debugging).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit as _njit
+
+    NATIVE_AVAILABLE = True
+except ImportError:  # pragma: no cover - the default environment
+    _njit = None
+    NATIVE_AVAILABLE = False
+
+
+def native_available() -> bool:
+    """Whether the jitted tier can be used right now."""
+    return NATIVE_AVAILABLE and os.environ.get("REPRO_DISABLE_NATIVE") != "1"
+
+
+def _fold_kernel(mask_bytes, fold_table, syndromes):  # pragma: no cover
+    num_words, num_bytes = mask_bytes.shape
+    for word in range(num_words):
+        value = np.int64(0)
+        for byte_index in range(num_bytes):
+            value ^= fold_table[byte_index, mask_bytes[word, byte_index]]
+        syndromes[word] = value
+
+
+_compiled_fold = None
+
+
+def fold_classify_native(
+    mask_bytes: np.ndarray, fold_table: np.ndarray
+) -> np.ndarray:
+    """Jitted equivalent of :func:`repro.gf2.bitpack.fold_bytes`.
+
+    Callers must check :func:`native_available` first; the function compiles
+    on first use and raises if numba is missing.
+    """
+    global _compiled_fold
+    if _compiled_fold is None:
+        if _njit is None:
+            raise ValidationError(
+                "fold_classify_native called without numba installed"
+            )
+        _compiled_fold = _njit(nogil=True)(_fold_kernel)
+    mask_bytes = np.ascontiguousarray(mask_bytes, dtype=np.uint8)
+    fold_table = np.ascontiguousarray(fold_table, dtype=np.int64)
+    syndromes = np.empty(mask_bytes.shape[0], dtype=np.int64)
+    _compiled_fold(mask_bytes, fold_table, syndromes)
+    return syndromes

@@ -6,6 +6,7 @@ from typing import List
 
 from repro.lint.engine import Rule
 from repro.lint.rules.entropy import EntropyRule
+from repro.lint.rules.fusedpath import FusedPathUnpackRule
 from repro.lint.rules.instrumentation import UnguardedInstrumentationRule
 from repro.lint.rules.iteration import NondeterministicIterationRule
 from repro.lint.rules.pools import PoolSafetyRule
@@ -21,12 +22,14 @@ ALL_RULES: List[Rule] = [
     StoreWriteDisciplineRule(),
     PoolSafetyRule(),
     ExceptionDisciplineRule(),
+    FusedPathUnpackRule(),
 ]
 
 __all__ = [
     "ALL_RULES",
     "EntropyRule",
     "ExceptionDisciplineRule",
+    "FusedPathUnpackRule",
     "NondeterministicIterationRule",
     "PoolSafetyRule",
     "StoreWriteDisciplineRule",

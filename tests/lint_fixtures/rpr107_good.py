@@ -1,0 +1,11 @@
+"""Negative fixture for RPR107: the fused path stays packed throughout."""
+import numpy as np
+from repro.gf2.bitpack import lanes_to_bytes, packed_column_counts, popcount_u64
+
+
+def classify(lanes, num_bits):
+    mask_bytes = lanes_to_bytes(lanes, num_bits)
+    counts = packed_column_counts(mask_bytes, num_bits)
+    weights = popcount_u64(lanes).sum(axis=1)
+    packed = np.packbits(mask_bytes, axis=1)  # packing is fine; unpacking is not
+    return counts, weights, packed

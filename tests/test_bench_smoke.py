@@ -22,6 +22,7 @@ EXPECTED_WORKLOADS = {
     "sat-solver",
     "sweep-parallel",
     "decoder-families",
+    "decoder-fused",
     "fig1-error-probability",
     "table1-outcomes",
     "table2-miscorrection-profile",

@@ -32,6 +32,7 @@ FIXTURE_PATHS = {
     "rpr104_good": "src/repro/store/store.py",
     "rpr105": "src/repro/scenarios/fixture.py",
     "rpr106": "src/repro/analysis/fixture.py",
+    "rpr107": "src/repro/einsim/fused.py",
 }
 
 
@@ -50,7 +51,8 @@ class TestRuleFixtures:
     """Every rule: at least one positive and one negative fixture."""
 
     @pytest.mark.parametrize(
-        "code", ["RPR101", "RPR102", "RPR103", "RPR104", "RPR105", "RPR106"]
+        "code",
+        ["RPR101", "RPR102", "RPR103", "RPR104", "RPR105", "RPR106", "RPR107"],
     )
     def test_bad_fixture_is_flagged(self, code):
         findings = lint_fixture(f"{code.lower()}_bad", code)
@@ -58,7 +60,8 @@ class TestRuleFixtures:
         assert {finding.code for finding in findings} == {code}
 
     @pytest.mark.parametrize(
-        "code", ["RPR101", "RPR102", "RPR103", "RPR104", "RPR105", "RPR106"]
+        "code",
+        ["RPR101", "RPR102", "RPR103", "RPR104", "RPR105", "RPR106", "RPR107"],
     )
     def test_good_fixture_is_clean(self, code):
         findings = lint_fixture(f"{code.lower()}_good", code)
@@ -92,6 +95,33 @@ class TestRuleFixtures:
         source = (FIXTURES / "rpr106_bad.py").read_text(encoding="utf-8")
         outside = lint_source(source, "tools/script.py", [rule_for("RPR106")])
         assert outside == []
+
+    def test_rpr107_counts(self):
+        findings = lint_fixture("rpr107_bad", "RPR107")
+        # np.unpackbits, unpack_rows, aliased unpack_vector
+        assert len(findings) == 3
+
+    def test_rpr107_only_binds_in_fused_modules(self):
+        source = (FIXTURES / "rpr107_bad.py").read_text(encoding="utf-8")
+        for path in (
+            "src/repro/einsim/engine.py",  # staged kernels may unpack
+            "src/repro/analysis/figures.py",
+            "tools/script.py",
+        ):
+            assert lint_source(source, path, [rule_for("RPR107")]) == []
+        native = lint_source(
+            source, "src/repro/gf2/native.py", [rule_for("RPR107")]
+        )
+        assert {finding.code for finding in native} == {"RPR107"}
+
+    def test_rpr103_binds_in_fused_module(self):
+        # The fused module lives under einsim/, an RPR103 hot package: an
+        # unguarded tracer call there must be flagged.
+        source = (FIXTURES / "rpr103_bad.py").read_text(encoding="utf-8")
+        findings = lint_source(
+            source, "src/repro/einsim/fused.py", [rule_for("RPR103")]
+        )
+        assert findings and {finding.code for finding in findings} == {"RPR103"}
 
 
 class TestSuppression:
